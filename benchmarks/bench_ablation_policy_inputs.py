@@ -1,0 +1,44 @@
+"""Ablation bench — which domain-knowledge ingredient matters?
+
+DESIGN.md calls out three policy design choices the paper motivates: the
+graph branch and its flavour (GAT vs GCN), dynamic device parameters as node
+features (vs the prior work's static technology constants), and the dedicated
+specification-coupling FCNN branch.  Each variant is trained under the same
+reduced budget and evaluated on the same deployment batch.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_policy_ablation
+from repro.experiments.ablations import AblationVariant
+
+VARIANTS = (
+    AblationVariant(name="gcn_fc_full", graph_kind="gcn"),
+    AblationVariant(name="static_node_features", use_dynamic_node_features=False),
+    AblationVariant(name="no_spec_encoder", use_spec_encoder=False),
+)
+
+
+def test_policy_input_ablation(benchmark, scale):
+    def run():
+        return run_policy_ablation(
+            circuit="two_stage_opamp", variants=VARIANTS, scale=scale, seed=0,
+            total_episodes=scale.opamp_training_episodes,
+        )
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(results) == len(VARIANTS)
+    for result in results:
+        assert 0.0 <= result.deployment_accuracy <= 1.0
+        assert result.mean_deployment_steps <= 50.0
+
+    benchmark.extra_info["ablation"] = {
+        result.variant.name: {
+            "deployment_accuracy": float(result.deployment_accuracy),
+            "final_mean_reward": float(result.final_mean_reward),
+            "mean_deployment_steps": float(result.mean_deployment_steps),
+        }
+        for result in results
+    }

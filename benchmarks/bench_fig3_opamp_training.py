@@ -1,0 +1,52 @@
+"""Fig. 3, top row (two-stage op-amp) — RL training curves.
+
+The paper plots mean episode reward, mean episode length and deployment
+accuracy versus trained episodes for GAT-FC, GCN-FC, Baseline A (AutoCkt) and
+Baseline B (GCN-RL).  Each parametrized case trains one method at reduced
+budget and records the three end-of-training metrics; the expected *shape*
+(reward rising from its untrained level, episode length at or below the
+50-step budget, accuracy in [0, 1]) is asserted.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.agents import evaluate_deployment
+from repro.experiments import run_training_experiment
+from repro.experiments.configs import RL_METHODS
+
+
+@pytest.mark.parametrize("method", RL_METHODS)
+def test_fig3_opamp_training_curves(benchmark, scale, method):
+    def run():
+        result = run_training_experiment(
+            "two_stage_opamp", method, scale=scale, seed=0, track_accuracy=False
+        )
+        evaluation = evaluate_deployment(
+            result.env, result.policy, num_targets=scale.eval_specs, seed=999
+        )
+        return result, evaluation
+
+    result, evaluation = benchmark.pedantic(run, rounds=1, iterations=1)
+    history = result.history
+
+    rewards = history.series("mean_episode_reward")
+    lengths = history.series("mean_episode_length")
+
+    # Shape checks mirroring the paper's curves.
+    assert history.records[-1].episodes_seen == scale.opamp_training_episodes
+    assert rewards[-1] > rewards[0] - 1e-9 or max(rewards) > rewards[0]
+    assert 1.0 <= lengths[-1] <= 50.0
+    assert 0.0 <= evaluation.accuracy <= 1.0
+
+    benchmark.extra_info.update(
+        {
+            "method": method,
+            "episodes": int(history.records[-1].episodes_seen),
+            "final_mean_episode_reward": float(rewards[-1]),
+            "final_mean_episode_length": float(lengths[-1]),
+            "deployment_accuracy": float(evaluation.accuracy),
+            "mean_deployment_steps": float(evaluation.mean_steps),
+        }
+    )

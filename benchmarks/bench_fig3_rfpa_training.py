@@ -1,0 +1,47 @@
+"""Fig. 3, bottom row (GaN RF PA) — RL training curves with transfer learning.
+
+RF PA agents train against the coarse (DC-estimate) simulator and are
+evaluated by deployment on the fine (harmonic-balance-like) simulator, per
+the paper's transfer-learning protocol.  Episode budget is 30 steps.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.agents import evaluate_deployment
+from repro.env import make_rf_pa_env
+from repro.experiments import run_training_experiment
+from repro.experiments.configs import RL_METHODS
+
+
+@pytest.mark.parametrize("method", RL_METHODS)
+def test_fig3_rfpa_training_curves(benchmark, scale, method):
+    def run():
+        result = run_training_experiment(
+            "rf_pa", method, scale=scale, seed=0, track_accuracy=False
+        )
+        fine_env = make_rf_pa_env(seed=0, fidelity="fine")
+        evaluation = evaluate_deployment(
+            fine_env, result.policy, num_targets=scale.eval_specs, seed=999
+        )
+        return result, evaluation
+
+    result, evaluation = benchmark.pedantic(run, rounds=1, iterations=1)
+    history = result.history
+
+    assert result.env.simulator.name == "rf_pa_coarse", "training must use the coarse simulator"
+    lengths = history.series("mean_episode_length")
+    assert 1.0 <= lengths[-1] <= 30.0
+    assert 0.0 <= evaluation.accuracy <= 1.0
+
+    benchmark.extra_info.update(
+        {
+            "method": method,
+            "episodes": int(history.records[-1].episodes_seen),
+            "final_mean_episode_reward": float(history.final_mean_reward),
+            "final_mean_episode_length": float(history.final_mean_length),
+            "fine_deployment_accuracy": float(evaluation.accuracy),
+            "mean_deployment_steps": float(evaluation.mean_steps),
+        }
+    )

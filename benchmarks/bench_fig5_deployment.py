@@ -1,0 +1,41 @@
+"""Fig. 5 — automated design with policy deployment.
+
+Trains a GCN-FC policy at reduced budget and deploys it toward the exact
+target groups shown in Fig. 5 of the paper (op-amp: G=350, B=1.8e7 Hz,
+PM=55°, P=4 mW; RF PA: Pout=2.5 W, E=57 %), recording the per-step
+specification trajectories.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import deployment_example
+
+
+@pytest.mark.parametrize("circuit", ["two_stage_opamp", "rf_pa"])
+def test_fig5_deployment_trajectory(benchmark, scale, circuit):
+    def run():
+        return deployment_example(circuit, method="gcn_fc", scale=scale, seed=0)
+
+    example = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # The deployment episode respects the paper's step budget.
+    budget = 50 if circuit == "two_stage_opamp" else 30
+    assert 1 <= example.steps <= budget
+    # Every specification trajectory is recorded for every step.
+    for name in example.target_specs:
+        series = example.spec_series(name)
+        assert series.shape == (example.steps,)
+        assert np.all(np.isfinite(series))
+
+    benchmark.extra_info.update(
+        {
+            "circuit": circuit,
+            "target_specs": {k: float(v) for k, v in example.target_specs.items()},
+            "final_specs": {k: float(v) for k, v in example.result.final_specs.items()},
+            "deployment_steps": int(example.steps),
+            "success": bool(example.success),
+        }
+    )

@@ -1,0 +1,52 @@
+"""Fig. 7 — figure-of-merit optimization of the RF PA.
+
+The FoM is ``P + 3·E`` (paper, Sec. 4).  RL methods are retrained with the
+FoM reward against the coarse simulator and scored on the fine simulator;
+GA and BO maximize the FoM directly on the fine simulator.  The paper's
+ordering is GAT-FC ≈ GCN-FC > RL baselines > BO > GA with final values
+3.25 / 3.18 / ~2.9 / 2.61 / 2.53.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_fom_optimizer, run_fom_training
+
+#: Upper bound of the reachable FoM with this substrate:
+#: Pout <= (Vdd-Vknee)^2 / (2 RL) ~ 3.07 W and E < 1.
+FOM_UPPER_BOUND = 3.1 + 3.0
+
+
+@pytest.mark.parametrize("method", ["gcn_fc", "baseline_a"])
+def test_fig7_fom_rl_training(benchmark, scale, method):
+    def run():
+        return run_fom_training(method, scale=scale, seed=0)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert 0.0 < result.best_fom < FOM_UPPER_BOUND
+    assert result.history.records
+    benchmark.extra_info.update(
+        {
+            "method": method,
+            "best_fom": float(result.best_fom),
+            "final_specs": {k: float(v) for k, v in result.final_specs.items()},
+        }
+    )
+
+
+@pytest.mark.parametrize("method", ["genetic_algorithm", "bayesian_optimization"])
+def test_fig7_fom_optimizers(benchmark, method):
+    def run():
+        return run_fom_optimizer(method, seed=0, budget=120)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert 0.0 < result.best_fom < FOM_UPPER_BOUND
+    assert result.num_simulations > 10
+    benchmark.extra_info.update(
+        {
+            "method": method,
+            "best_fom": float(result.best_fom),
+            "num_simulations": int(result.num_simulations),
+        }
+    )

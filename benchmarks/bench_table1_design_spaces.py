@@ -1,0 +1,38 @@
+"""Table 1 — design space of device parameters and sampling space of specs.
+
+Regenerates both halves of Table 1 from the circuit library and checks the
+headline counts (15 op-amp parameters, 14 RF PA parameters) and ranges.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import build_table1, format_table1
+
+
+def _build():
+    table = build_table1()
+    text = format_table1(table)
+    return table, text
+
+
+def test_table1_regeneration(benchmark):
+    table, text = benchmark.pedantic(_build, rounds=3, iterations=1)
+    opamp = table["two_stage_opamp"]
+    rf_pa = table["rf_pa"]
+
+    # Paper Table 1, left half: 2*7+1 = 15 and 2*7 = 14 device parameters.
+    assert opamp["num_device_parameters"] == 15
+    assert rf_pa["num_device_parameters"] == 14
+
+    # Paper Table 1, right half: specification sampling spaces.
+    assert opamp["specifications"]["gain"] == {
+        "min": 300.0, "max": 500.0, "objective": "maximize", "unit": "V/V",
+    }
+    assert opamp["specifications"]["bandwidth"]["max"] == 2.5e7
+    assert opamp["specifications"]["power"]["objective"] == "minimize"
+    assert rf_pa["specifications"]["efficiency"]["min"] == 0.50
+    assert rf_pa["specifications"]["output_power"]["max"] == 3.0
+
+    benchmark.extra_info["opamp_design_space_cardinality"] = opamp["design_space_cardinality"]
+    benchmark.extra_info["rf_pa_design_space_cardinality"] = rf_pa["design_space_cardinality"]
+    assert "45nm CMOS" in text and "150nm GaN" in text

@@ -1,0 +1,69 @@
+"""Transfer learning (Sec. 3) — coarse-simulation training, fine-simulation deployment.
+
+Two claims are exercised:
+
+1. Eq. (1) rewards computed from the coarse (DC-estimate) PA simulator track
+   the fine (harmonic-balance-like) rewards closely — the paper reports
+   roughly ±10 % error.
+2. A policy trained entirely against the coarse simulator can be deployed on
+   the fine simulator without collapsing (the learned experiences transfer).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.agents import PPOConfig, make_gcn_fc_policy
+from repro.agents.transfer import TransferLearningWorkflow, reward_fidelity_report
+from repro.env import make_rf_pa_env
+
+
+def test_coarse_vs_fine_reward_fidelity(benchmark):
+    coarse_env = make_rf_pa_env(seed=0, fidelity="coarse")
+    fine_env = make_rf_pa_env(seed=0, fidelity="fine")
+
+    def run():
+        return reward_fidelity_report(coarse_env, fine_env, num_samples=150, seed=0)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert report.mean_abs_relative_error < 0.25
+    benchmark.extra_info.update(
+        {
+            "mean_abs_reward_error": float(report.mean_abs_error),
+            "p90_abs_reward_error": float(report.p90_abs_error),
+            "mean_abs_relative_error": float(report.mean_abs_relative_error),
+            "num_samples": int(report.num_samples),
+        }
+    )
+
+
+def test_coarse_train_fine_deploy_workflow(benchmark, scale):
+    def run():
+        coarse_env = make_rf_pa_env(seed=0, fidelity="coarse")
+        fine_env = make_rf_pa_env(seed=0, fidelity="fine")
+        policy = make_gcn_fc_policy(coarse_env, np.random.default_rng(0))
+        workflow = TransferLearningWorkflow(
+            coarse_env, fine_env, policy,
+            config=PPOConfig(learning_rate=1e-3, minibatch_size=64, update_epochs=4),
+            seed=0,
+        )
+        return workflow.run(
+            coarse_episodes=scale.rf_pa_training_episodes,
+            episodes_per_update=scale.episodes_per_update,
+            eval_targets=scale.deployment_specs,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert 0.0 <= result.coarse_accuracy <= 1.0
+    assert 0.0 <= result.fine_accuracy <= 1.0
+    # The transferred policy must not collapse on the fine simulator: its
+    # accuracy stays within a generous band of the coarse-environment figure.
+    assert result.fine_accuracy >= result.coarse_accuracy - 0.5
+    benchmark.extra_info.update(
+        {
+            "coarse_accuracy": float(result.coarse_accuracy),
+            "fine_accuracy": float(result.fine_accuracy),
+            "fine_mean_steps": float(result.fine_evaluation.mean_steps),
+        }
+    )

@@ -1,0 +1,48 @@
+"""Shared configuration for the benchmark suite.
+
+Every module in this directory regenerates one table or figure of the paper.
+The paper-scale budgets (3.5e4 / 3.5e3 training episodes, 200-group
+deployment batches, 6 seeds) take many CPU-hours with this pure-Python
+substrate, so the benchmarks run a *reduced* configuration — enough to
+exercise every code path and to show the qualitative shape of each result —
+and attach the measured quantities to pytest-benchmark's ``extra_info`` so
+they appear in the saved benchmark JSON.
+
+To run a full paper-scale experiment use the harnesses in
+``repro.experiments`` directly with ``scale=paper_scale()``.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.experiments.configs import ExperimentScale  # noqa: E402
+
+
+def benchmark_scale() -> ExperimentScale:
+    """Budgets used by the benchmark suite (smaller than ``bench_scale``)."""
+    return ExperimentScale(
+        name="benchmark_suite",
+        opamp_training_episodes=24,
+        rf_pa_training_episodes=20,
+        episodes_per_update=8,
+        eval_interval=3,
+        eval_specs=6,
+        deployment_specs=8,
+        optimizer_runs=3,
+        num_seeds=1,
+        supervised_samples=200,
+        supervised_epochs=30,
+    )
+
+
+@pytest.fixture(scope="session")
+def scale() -> ExperimentScale:
+    return benchmark_scale()

@@ -1,0 +1,77 @@
+"""Quickstart: the P2S problem, the environment, and a few policy steps.
+
+This script walks through the core objects of the library in under a minute:
+
+1. build the two benchmark circuits and print their Table 1 design/spec spaces,
+2. simulate the default op-amp sizing,
+3. create the RL design environment, take a few random tuning actions and
+   watch the Eq. (1) reward respond, and
+4. create the untrained GCN-FC policy and run one policy-driven step.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.agents import make_gcn_fc_policy
+from repro.circuits import build_rf_pa, build_two_stage_opamp
+from repro.env import make_opamp_env
+from repro.experiments import format_table1
+from repro.simulation import OpAmpSimulator
+
+
+def main() -> None:
+    print("=" * 72)
+    print("Table 1: benchmark circuits, design spaces, specification spaces")
+    print("=" * 72)
+    print(format_table1())
+
+    print()
+    print("=" * 72)
+    print("Simulating the default (mid-range) op-amp sizing")
+    print("=" * 72)
+    opamp = build_two_stage_opamp()
+    result = OpAmpSimulator().simulate(opamp.netlist)
+    for name, value in result.specs.items():
+        print(f"  {name:<14s} = {value:.4g}")
+
+    print()
+    print("=" * 72)
+    print("Interacting with the circuit design environment")
+    print("=" * 72)
+    env = make_opamp_env(seed=0)
+    observation = env.reset()
+    print(f"  target specs : { {k: round(v, 4) for k, v in env.target_specs.items()} }")
+    print(f"  graph nodes  : {env.num_graph_nodes}, tunable parameters: {env.num_parameters}")
+    rng = np.random.default_rng(0)
+    for step in range(3):
+        action = env.action_space.sample(rng)
+        observation, reward, done, info = env.step(action)
+        print(f"  random action step {step + 1}: reward = {reward:+.3f}, "
+              f"met {info['met_fraction']:.0%} of specs")
+
+    print()
+    print("=" * 72)
+    print("One step with the (untrained) GCN-FC multimodal policy")
+    print("=" * 72)
+    policy = make_gcn_fc_policy(env, rng)
+    print(f"  policy parameters: {policy.num_parameters()}")
+    observation = env.reset()
+    action, log_prob, value = policy.act(observation, rng)
+    _, reward, _, _ = env.step(action)
+    print(f"  policy action log-prob = {log_prob:.2f}, critic value = {value:.2f}, "
+          f"reward = {reward:+.3f}")
+
+    print()
+    print("RF PA benchmark is available too:")
+    rf_pa = build_rf_pa()
+    print(f"  {rf_pa.name}: {rf_pa.num_parameters} parameters, "
+          f"{len(rf_pa.netlist)} devices, technology {rf_pa.technology}")
+    print()
+    print("Next: examples/opamp_design.py trains a policy and deploys it.")
+
+
+if __name__ == "__main__":
+    main()

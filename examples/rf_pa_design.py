@@ -1,0 +1,65 @@
+"""GaN RF power-amplifier sizing with transfer learning (Sec. 3, Fig. 3/5).
+
+Demonstrates the paper's transfer-learning workflow: the agent trains against
+the fast-but-rough coarse (DC-estimate) simulator and is then deployed on the
+accurate harmonic-balance-like fine simulator.  Also prints the coarse-vs-fine
+reward fidelity report (the "rewards within ±10 %" claim).
+
+Run with:  python examples/rf_pa_design.py [--episodes N]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.agents import PPOConfig, deploy_policy, make_gat_fc_policy
+from repro.agents.transfer import TransferLearningWorkflow, reward_fidelity_report
+from repro.env import make_rf_pa_env
+from repro.experiments import FIG5_RF_PA_TARGET
+
+
+def main(episodes: int, eval_targets: int) -> None:
+    coarse_env = make_rf_pa_env(seed=0, fidelity="coarse")
+    fine_env = make_rf_pa_env(seed=0, fidelity="fine")
+
+    print("Coarse vs fine simulator reward fidelity (random designs/targets):")
+    report = reward_fidelity_report(coarse_env, fine_env, num_samples=150, seed=0)
+    print(f"  mean |reward error|          : {report.mean_abs_error:.3f}")
+    print(f"  90th percentile |error|      : {report.p90_abs_error:.3f}")
+    print(f"  mean relative reward error   : {report.mean_abs_relative_error:.1%}")
+
+    print(f"\nTraining GAT-FC policy on the COARSE simulator for {episodes} episodes "
+          f"(paper scale: 3,500) ...")
+    policy = make_gat_fc_policy(coarse_env, np.random.default_rng(0))
+    workflow = TransferLearningWorkflow(
+        coarse_env, fine_env, policy,
+        config=PPOConfig(learning_rate=1e-3, minibatch_size=64, update_epochs=4),
+        seed=0, method_name="gat_fc_transfer",
+    )
+    result = workflow.run(coarse_episodes=episodes, episodes_per_update=10,
+                          eval_targets=eval_targets)
+    print(f"  deployment accuracy on the coarse simulator: {result.coarse_accuracy:.0%}")
+    print(f"  deployment accuracy on the FINE simulator   : {result.fine_accuracy:.0%}")
+
+    print("\nDeployment example toward the Fig. 5 PA target group (fine simulator):")
+    print(f"  targets: {FIG5_RF_PA_TARGET}")
+    deployment = deploy_policy(fine_env, policy, FIG5_RF_PA_TARGET,
+                               rng=np.random.default_rng(1))
+    print(f"  {'step':>4s} {'Pout (W)':>10s} {'efficiency':>11s}")
+    for record in deployment.trajectory.records:
+        print(f"  {record.step:>4d} {record.specs['output_power']:>10.3f} "
+              f"{record.specs['efficiency']:>11.1%}")
+    outcome = "SUCCESS" if deployment.success else "not all specs met within the step budget"
+    print(f"  -> {outcome} after {deployment.steps} steps")
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--episodes", type=int, default=120,
+                        help="coarse-simulator training episodes (default 120; paper uses 3500)")
+    parser.add_argument("--eval-targets", type=int, default=15,
+                        help="number of spec groups for the accuracy evaluation")
+    args = parser.parse_args()
+    main(args.episodes, args.eval_targets)

@@ -1,0 +1,50 @@
+"""repro — domain knowledge-infused RL for analog/RF circuit sizing.
+
+A from-scratch reproduction of "Domain Knowledge-Infused Deep Learning for
+Automated Analog/Radio-Frequency Circuit Parameter Optimization" (DAC 2022).
+
+Package map
+-----------
+``repro.nn``          numpy autograd, dense/graph layers, Adam, distributions
+``repro.circuits``    devices, netlists, design spaces, spec spaces, benchmarks
+``repro.graph``       circuit-topology graphs and node features
+``repro.simulation``  technology models, MNA mini-SPICE, op-amp / PA evaluators
+``repro.env``         the P2S / FoM circuit design environment
+``repro.agents``      GNN-FC multimodal policy, baselines, PPO, deployment
+``repro.baselines``   genetic algorithm, Bayesian optimization, SL sizer
+``repro.experiments`` harnesses regenerating every paper table and figure
+"""
+
+from repro.agents import (
+    PPOConfig,
+    PPOTrainer,
+    deploy_policy,
+    evaluate_deployment,
+    make_baseline_a_policy,
+    make_baseline_b_policy,
+    make_gat_fc_policy,
+    make_gcn_fc_policy,
+    make_policy,
+)
+from repro.circuits import build_rf_pa, build_two_stage_opamp
+from repro.env import make_opamp_env, make_rf_pa_env, make_rf_pa_fom_env
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PPOConfig",
+    "PPOTrainer",
+    "__version__",
+    "build_rf_pa",
+    "build_two_stage_opamp",
+    "deploy_policy",
+    "evaluate_deployment",
+    "make_baseline_a_policy",
+    "make_baseline_b_policy",
+    "make_gat_fc_policy",
+    "make_gcn_fc_policy",
+    "make_opamp_env",
+    "make_policy",
+    "make_rf_pa_env",
+    "make_rf_pa_fom_env",
+]

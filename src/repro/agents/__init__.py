@@ -1,0 +1,51 @@
+"""RL agents: the GNN-FC multimodal policy, prior-art policies, PPO, deployment."""
+
+from repro.agents.deployment import (
+    DeploymentEvaluation,
+    DeploymentResult,
+    deploy_policy,
+    evaluate_deployment,
+)
+from repro.agents.policy import (
+    POLICY_FACTORIES,
+    ActorCriticPolicy,
+    PolicyConfig,
+    make_baseline_a_policy,
+    make_baseline_b_policy,
+    make_gat_fc_policy,
+    make_gcn_fc_policy,
+    make_policy,
+)
+from repro.agents.ppo import PPOConfig, PPOTrainer, TrainingHistory, TrainingRecord
+from repro.agents.rollout import RolloutBuffer, Transition
+from repro.agents.transfer import (
+    RewardFidelityReport,
+    TransferLearningResult,
+    TransferLearningWorkflow,
+    reward_fidelity_report,
+)
+
+__all__ = [
+    "ActorCriticPolicy",
+    "DeploymentEvaluation",
+    "DeploymentResult",
+    "POLICY_FACTORIES",
+    "PPOConfig",
+    "PPOTrainer",
+    "PolicyConfig",
+    "RewardFidelityReport",
+    "RolloutBuffer",
+    "TrainingHistory",
+    "TrainingRecord",
+    "Transition",
+    "TransferLearningResult",
+    "TransferLearningWorkflow",
+    "deploy_policy",
+    "evaluate_deployment",
+    "make_baseline_a_policy",
+    "make_baseline_b_policy",
+    "make_gat_fc_policy",
+    "make_gcn_fc_policy",
+    "make_policy",
+    "reward_fidelity_report",
+]

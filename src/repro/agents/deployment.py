@@ -1,0 +1,140 @@
+"""Policy deployment: using a trained policy to design circuits.
+
+"Policy deployment applies a trained policy to automatically find the device
+parameters for given specifications" (Sec. 4).  This module implements
+
+* :func:`deploy_policy` — run one deployment episode for one specification
+  group and return its trajectory (the data behind Fig. 5 and Fig. 6), and
+* :func:`evaluate_deployment` — deploy over a batch of sampled specification
+  groups and report the two headline Table 2 metrics: *design accuracy*
+  (fraction of groups for which all specs are met within the step budget)
+  and *mean number of design steps*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.agents.policy import ActorCriticPolicy
+from repro.env.circuit_env import CircuitDesignEnv, EpisodeTrajectory
+
+
+@dataclass
+class DeploymentResult:
+    """Outcome of deploying the policy for one specification group."""
+
+    target_specs: Dict[str, float]
+    success: bool
+    steps: int
+    final_specs: Dict[str, float]
+    trajectory: EpisodeTrajectory
+
+
+@dataclass
+class DeploymentEvaluation:
+    """Aggregate deployment statistics over a batch of specification groups."""
+
+    results: List[DeploymentResult] = field(default_factory=list)
+
+    @property
+    def num_targets(self) -> int:
+        return len(self.results)
+
+    @property
+    def accuracy(self) -> float:
+        """Design accuracy: fraction of target groups fully satisfied."""
+        if not self.results:
+            return 0.0
+        return float(np.mean([r.success for r in self.results]))
+
+    @property
+    def mean_steps(self) -> float:
+        """Mean number of design (simulation) steps per deployment episode."""
+        if not self.results:
+            return 0.0
+        return float(np.mean([r.steps for r in self.results]))
+
+    @property
+    def mean_successful_steps(self) -> float:
+        """Mean steps counting only successful deployments (paper's metric)."""
+        steps = [r.steps for r in self.results if r.success]
+        return float(np.mean(steps)) if steps else float("nan")
+
+
+def deploy_policy(
+    env: CircuitDesignEnv,
+    policy: ActorCriticPolicy,
+    target_specs: Mapping[str, float],
+    deterministic: bool = True,
+    rng: Optional[np.random.Generator] = None,
+    max_steps: Optional[int] = None,
+) -> DeploymentResult:
+    """Run one deployment episode toward ``target_specs``.
+
+    Parameters
+    ----------
+    env:
+        The design environment (its simulator defines the fidelity level —
+        for the RF PA this should be the *fine* simulator, per the paper's
+        transfer-learning protocol).
+    policy:
+        A trained actor-critic policy.
+    target_specs:
+        The desired specification group.
+    deterministic:
+        Greedy (mode) actions when True, sampled actions otherwise.
+    rng:
+        Random generator for stochastic deployment.
+    max_steps:
+        Optional per-deployment step budget overriding the environment's
+        default (Fig. 6 uses a longer budget for out-of-distribution specs).
+    """
+    rng = rng if rng is not None else np.random.default_rng()
+    original_max_steps = env.max_steps
+    if max_steps is not None:
+        env.max_steps = int(max_steps)
+    try:
+        observation = env.reset(target_specs=target_specs)
+        done = False
+        while not done:
+            action, _, _ = policy.act(observation, rng, deterministic=deterministic)
+            observation, _, done, info = env.step(action)
+        trajectory = env.trajectory
+        assert trajectory is not None
+        return DeploymentResult(
+            target_specs=dict(target_specs),
+            success=trajectory.success,
+            steps=trajectory.length,
+            final_specs=dict(env.measured_specs),
+            trajectory=trajectory,
+        )
+    finally:
+        env.max_steps = original_max_steps
+
+
+def evaluate_deployment(
+    env: CircuitDesignEnv,
+    policy: ActorCriticPolicy,
+    num_targets: int = 200,
+    seed: Optional[int] = None,
+    targets: Optional[Sequence[Mapping[str, float]]] = None,
+    deterministic: bool = True,
+) -> DeploymentEvaluation:
+    """Deploy the policy over a batch of specification groups.
+
+    The paper evaluates each point of the Fig. 3 accuracy curves on 200
+    randomly sampled groups; ``num_targets`` controls that batch size here.
+    Pass an explicit ``targets`` sequence to evaluate every method on the
+    identical batch (as done by the Table 2 harness).
+    """
+    rng = np.random.default_rng(seed)
+    if targets is None:
+        targets = env.benchmark.spec_space.sample_batch(rng, num_targets)
+    evaluation = DeploymentEvaluation()
+    for target in targets:
+        result = deploy_policy(env, policy, target, deterministic=deterministic, rng=rng)
+        evaluation.results.append(result)
+    return evaluation

@@ -1,0 +1,259 @@
+"""Proximal Policy Optimization trainer (Algorithm 1 of the paper).
+
+The trainer alternates between
+
+1. collecting a batch of episodes from the circuit design environment with
+   the current stochastic policy,
+2. computing rewards-to-go and GAE(λ) advantage estimates, and
+3. several epochs of minibatch updates maximizing the clipped surrogate
+   objective (Eq. 3) with Adam, plus a value-regression loss and an entropy
+   bonus.
+
+Training progress is recorded as the three curves the paper plots in Fig. 3:
+mean episode reward, mean episode length, and (optionally, every
+``eval_interval`` updates) deployment accuracy over a batch of freshly
+sampled specification groups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.agents.deployment import evaluate_deployment
+from repro.agents.policy import ActorCriticPolicy
+from repro.agents.rollout import RolloutBuffer
+from repro.env.circuit_env import CircuitDesignEnv
+from repro.nn.functional import explained_variance
+from repro.nn.optim import Adam, clip_grad_norm
+from repro.nn.tensor import Tensor, minimum
+
+
+@dataclass
+class PPOConfig:
+    """Hyper-parameters of the PPO loop."""
+
+    learning_rate: float = 3e-4
+    gamma: float = 0.99
+    gae_lambda: float = 0.95
+    clip_epsilon: float = 0.2
+    update_epochs: int = 4
+    minibatch_size: int = 64
+    entropy_coef: float = 0.01
+    value_coef: float = 0.5
+    max_grad_norm: float = 0.5
+    normalize_advantages: bool = True
+
+    def __post_init__(self) -> None:
+        if self.learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if not 0.0 < self.clip_epsilon < 1.0:
+            raise ValueError("clip_epsilon must be in (0, 1)")
+        if self.update_epochs <= 0 or self.minibatch_size <= 0:
+            raise ValueError("update_epochs and minibatch_size must be positive")
+
+
+@dataclass
+class TrainingRecord:
+    """One row of the training curves (one policy update)."""
+
+    update: int
+    episodes_seen: int
+    mean_episode_reward: float
+    mean_episode_length: float
+    policy_loss: float
+    value_loss: float
+    entropy: float
+    explained_variance: float
+    deployment_accuracy: Optional[float] = None
+
+
+@dataclass
+class TrainingHistory:
+    """Full training log: the data behind the Fig. 3 / Fig. 7 curves."""
+
+    method: str
+    circuit: str
+    records: List[TrainingRecord] = field(default_factory=list)
+
+    def episodes_axis(self) -> np.ndarray:
+        return np.array([r.episodes_seen for r in self.records])
+
+    def series(self, name: str) -> np.ndarray:
+        values = [getattr(r, name) for r in self.records]
+        return np.array([np.nan if v is None else v for v in values], dtype=np.float64)
+
+    @property
+    def final_mean_reward(self) -> float:
+        return self.records[-1].mean_episode_reward if self.records else float("nan")
+
+    @property
+    def final_mean_length(self) -> float:
+        return self.records[-1].mean_episode_length if self.records else float("nan")
+
+    @property
+    def final_deployment_accuracy(self) -> Optional[float]:
+        accuracies = [r.deployment_accuracy for r in self.records if r.deployment_accuracy is not None]
+        return accuracies[-1] if accuracies else None
+
+
+class PPOTrainer:
+    """PPO training loop binding a policy to a circuit design environment."""
+
+    def __init__(
+        self,
+        env: CircuitDesignEnv,
+        policy: ActorCriticPolicy,
+        config: Optional[PPOConfig] = None,
+        seed: Optional[int] = None,
+        method_name: str = "gnn_fc",
+    ) -> None:
+        self.env = env
+        self.policy = policy
+        self.config = config or PPOConfig()
+        self.rng = np.random.default_rng(seed)
+        self.method_name = method_name
+        self.optimizer = Adam(policy.parameters(), lr=self.config.learning_rate)
+        self.history = TrainingHistory(method=method_name, circuit=env.benchmark.name)
+        self._episodes_seen = 0
+        self._updates_done = 0
+
+    # ------------------------------------------------------------------
+    # Rollout collection
+    # ------------------------------------------------------------------
+    def collect_episodes(self, num_episodes: int) -> RolloutBuffer:
+        """Run ``num_episodes`` full episodes with the stochastic policy."""
+        if num_episodes <= 0:
+            raise ValueError("num_episodes must be positive")
+        buffer = RolloutBuffer(gamma=self.config.gamma, gae_lambda=self.config.gae_lambda)
+        for _ in range(num_episodes):
+            observation = self.env.reset()
+            done = False
+            while not done:
+                action, log_prob, value = self.policy.act(observation, self.rng)
+                next_observation, reward, done, _ = self.env.step(action)
+                buffer.add(observation, action, log_prob, value, reward, done)
+                observation = next_observation
+            self._episodes_seen += 1
+        return buffer
+
+    # ------------------------------------------------------------------
+    # PPO update
+    # ------------------------------------------------------------------
+    def update(self, buffer: RolloutBuffer) -> Dict[str, float]:
+        """Run the clipped-objective update epochs over one rollout buffer."""
+        config = self.config
+        buffer.compute_returns_and_advantages(normalize=config.normalize_advantages)
+        assert buffer.advantages is not None and buffer.returns is not None
+
+        policy_losses: List[float] = []
+        value_losses: List[float] = []
+        entropies: List[float] = []
+        value_predictions = np.zeros(len(buffer))
+
+        for _ in range(config.update_epochs):
+            for indices in buffer.minibatch_indices(self.rng, config.minibatch_size):
+                loss_terms = []
+                for index in indices:
+                    transition = buffer.transitions[index]
+                    advantage = float(buffer.advantages[index])
+                    target_return = float(buffer.returns[index])
+                    log_prob, value, entropy = self.policy.evaluate_actions(
+                        transition.observation, transition.action
+                    )
+                    value_predictions[index] = float(value.item())
+                    ratio = (log_prob - transition.log_prob).exp()
+                    unclipped = ratio * advantage
+                    clipped = ratio.clip(1.0 - config.clip_epsilon, 1.0 + config.clip_epsilon) * advantage
+                    policy_loss = -minimum(unclipped, clipped)
+                    value_error = value - target_return
+                    value_loss = value_error * value_error
+                    loss = (
+                        policy_loss
+                        + config.value_coef * value_loss
+                        - config.entropy_coef * entropy
+                    )
+                    loss_terms.append(loss)
+                    policy_losses.append(float(policy_loss.item()))
+                    value_losses.append(float(value_loss.item()))
+                    entropies.append(float(entropy.item()))
+                if not loss_terms:
+                    continue
+                total = loss_terms[0]
+                for term in loss_terms[1:]:
+                    total = total + term
+                total = total * (1.0 / len(loss_terms))
+                self.optimizer.zero_grad()
+                total.backward()
+                clip_grad_norm(self.policy.parameters(), config.max_grad_norm)
+                self.optimizer.step()
+
+        return {
+            "policy_loss": float(np.mean(policy_losses)),
+            "value_loss": float(np.mean(value_losses)),
+            "entropy": float(np.mean(entropies)),
+            "explained_variance": explained_variance(value_predictions, buffer.returns),
+        }
+
+    # ------------------------------------------------------------------
+    # Full training loop
+    # ------------------------------------------------------------------
+    def train(
+        self,
+        total_episodes: int,
+        episodes_per_update: int = 8,
+        eval_interval: Optional[int] = None,
+        eval_specs: int = 20,
+        eval_seed: int = 12345,
+    ) -> TrainingHistory:
+        """Train until ``total_episodes`` episodes have been collected.
+
+        Parameters
+        ----------
+        total_episodes:
+            Episode budget (3.5e4 / 3.5e3 in the paper; reduced in benches).
+        episodes_per_update:
+            Episodes collected per PPO update (the trajectory set D_k).
+        eval_interval:
+            Evaluate deployment accuracy every this many updates (None
+            disables evaluation inside the loop).
+        eval_specs:
+            Number of freshly sampled specification groups per evaluation.
+        eval_seed:
+            Seed for the evaluation spec sampler, fixed so every method is
+            evaluated on the same target groups.
+        """
+        if total_episodes <= 0:
+            raise ValueError("total_episodes must be positive")
+        while self._episodes_seen < total_episodes:
+            remaining = total_episodes - self._episodes_seen
+            batch = min(episodes_per_update, remaining)
+            buffer = self.collect_episodes(batch)
+            stats = self.update(buffer)
+            self._updates_done += 1
+
+            accuracy: Optional[float] = None
+            if eval_interval is not None and self._updates_done % eval_interval == 0:
+                evaluation = evaluate_deployment(
+                    self.env, self.policy, num_targets=eval_specs, seed=eval_seed
+                )
+                accuracy = evaluation.accuracy
+
+            rewards = buffer.episode_rewards()
+            lengths = buffer.episode_lengths()
+            self.history.records.append(
+                TrainingRecord(
+                    update=self._updates_done,
+                    episodes_seen=self._episodes_seen,
+                    mean_episode_reward=float(np.mean(rewards)) if rewards else float("nan"),
+                    mean_episode_length=float(np.mean(lengths)) if lengths else float("nan"),
+                    policy_loss=stats["policy_loss"],
+                    value_loss=stats["value_loss"],
+                    entropy=stats["entropy"],
+                    explained_variance=stats["explained_variance"],
+                    deployment_accuracy=accuracy,
+                )
+            )
+        return self.history

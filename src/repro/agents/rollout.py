@@ -1,0 +1,151 @@
+"""Rollout storage and generalized advantage estimation for PPO.
+
+Algorithm 1 of the paper collects a set of trajectories with the current
+policy, computes rewards-to-go and advantage estimates, and then performs the
+clipped PPO update.  :class:`RolloutBuffer` stores the collected transitions
+and implements the return / GAE(λ) computation; minibatch iteration is used
+by the PPO epochs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+import numpy as np
+
+from repro.env.spaces import Observation
+
+
+@dataclass
+class Transition:
+    """One environment step as stored for the PPO update."""
+
+    observation: Observation
+    action: np.ndarray
+    log_prob: float
+    value: float
+    reward: float
+    done: bool
+
+
+class RolloutBuffer:
+    """Container for on-policy transitions with GAE(λ) post-processing."""
+
+    def __init__(self, gamma: float = 0.99, gae_lambda: float = 0.95) -> None:
+        if not 0.0 < gamma <= 1.0:
+            raise ValueError("gamma must be in (0, 1]")
+        if not 0.0 <= gae_lambda <= 1.0:
+            raise ValueError("gae_lambda must be in [0, 1]")
+        self.gamma = gamma
+        self.gae_lambda = gae_lambda
+        self.transitions: List[Transition] = []
+        self.advantages: Optional[np.ndarray] = None
+        self.returns: Optional[np.ndarray] = None
+
+    def __len__(self) -> int:
+        return len(self.transitions)
+
+    def add(
+        self,
+        observation: Observation,
+        action: np.ndarray,
+        log_prob: float,
+        value: float,
+        reward: float,
+        done: bool,
+    ) -> None:
+        self.transitions.append(
+            Transition(
+                observation=observation,
+                action=np.asarray(action, dtype=np.int64).copy(),
+                log_prob=float(log_prob),
+                value=float(value),
+                reward=float(reward),
+                done=bool(done),
+            )
+        )
+        # Any previously computed advantages are stale.
+        self.advantages = None
+        self.returns = None
+
+    def clear(self) -> None:
+        self.transitions.clear()
+        self.advantages = None
+        self.returns = None
+
+    # ------------------------------------------------------------------
+    # Advantage computation
+    # ------------------------------------------------------------------
+    def compute_returns_and_advantages(self, normalize: bool = True) -> None:
+        """Compute GAE(λ) advantages and discounted returns in place.
+
+        Episodes are assumed to be stored back-to-back with ``done=True`` on
+        their final transition; bootstrapping across an episode boundary is
+        therefore never performed, and the terminal value is taken as zero
+        (episodes end either on success — where the bonus reward already
+        encodes the outcome — or on the fixed step budget).
+        """
+        count = len(self.transitions)
+        if count == 0:
+            raise ValueError("cannot compute advantages for an empty buffer")
+        rewards = np.array([t.reward for t in self.transitions])
+        values = np.array([t.value for t in self.transitions])
+        dones = np.array([t.done for t in self.transitions], dtype=bool)
+
+        advantages = np.zeros(count)
+        last_advantage = 0.0
+        for step in reversed(range(count)):
+            if dones[step]:
+                next_value = 0.0
+                last_advantage = 0.0
+            else:
+                next_value = values[step + 1]
+            delta = rewards[step] + self.gamma * next_value - values[step]
+            last_advantage = delta + self.gamma * self.gae_lambda * last_advantage
+            advantages[step] = last_advantage
+        returns = advantages + values
+        if normalize and count > 1:
+            std = advantages.std()
+            if std > 1e-8:
+                advantages = (advantages - advantages.mean()) / std
+        self.advantages = advantages
+        self.returns = returns
+
+    # ------------------------------------------------------------------
+    # Minibatch iteration
+    # ------------------------------------------------------------------
+    def minibatch_indices(
+        self, rng: np.random.Generator, batch_size: int
+    ) -> Iterator[np.ndarray]:
+        """Yield shuffled index minibatches covering the whole buffer."""
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        permutation = rng.permutation(len(self.transitions))
+        for start in range(0, len(permutation), batch_size):
+            yield permutation[start:start + batch_size]
+
+    # ------------------------------------------------------------------
+    # Episode statistics
+    # ------------------------------------------------------------------
+    def episode_rewards(self) -> List[float]:
+        """Total reward of each completed episode in the buffer."""
+        totals: List[float] = []
+        current = 0.0
+        for transition in self.transitions:
+            current += transition.reward
+            if transition.done:
+                totals.append(current)
+                current = 0.0
+        return totals
+
+    def episode_lengths(self) -> List[int]:
+        """Length of each completed episode in the buffer."""
+        lengths: List[int] = []
+        current = 0
+        for transition in self.transitions:
+            current += 1
+            if transition.done:
+                lengths.append(current)
+                current = 0
+        return lengths

@@ -1,0 +1,39 @@
+"""Non-RL sizing baselines: genetic algorithm, Bayesian optimization, SL, random."""
+
+from repro.baselines.base import (
+    OptimizationResult,
+    OptimizationTrace,
+    SizingOptimizer,
+    SizingProblem,
+)
+from repro.baselines.bayesian import (
+    BayesianOptimization,
+    BayesianOptimizationConfig,
+    GaussianProcess,
+    expected_improvement,
+)
+from repro.baselines.genetic import GeneticAlgorithm, GeneticAlgorithmConfig
+from repro.baselines.random_search import RandomSearch, RandomSearchConfig
+from repro.baselines.supervised import (
+    SupervisedDesignResult,
+    SupervisedSizer,
+    SupervisedSizerConfig,
+)
+
+__all__ = [
+    "BayesianOptimization",
+    "BayesianOptimizationConfig",
+    "GaussianProcess",
+    "GeneticAlgorithm",
+    "GeneticAlgorithmConfig",
+    "OptimizationResult",
+    "OptimizationTrace",
+    "RandomSearch",
+    "RandomSearchConfig",
+    "SizingOptimizer",
+    "SizingProblem",
+    "SupervisedDesignResult",
+    "SupervisedSizer",
+    "SupervisedSizerConfig",
+    "expected_improvement",
+]

@@ -1,0 +1,148 @@
+"""Common interface and result types for the non-RL sizing baselines.
+
+The paper compares against optimization methods (Genetic Algorithm [6],
+Bayesian Optimization [5]) and a supervised-learning sizer [8].  All of them
+consume the same problem definition — a circuit benchmark, a simulator, and a
+target specification group — and produce a best parameter vector plus the
+history of objective values versus simulation count (the Fig. 3 / Fig. 7
+"# of simulation steps" curves).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional
+
+import numpy as np
+
+from repro.circuits.library.benchmark import CircuitBenchmark
+from repro.env.reward import FomReward, P2SReward
+from repro.simulation.base import CircuitSimulator
+
+
+@dataclass
+class OptimizationTrace:
+    """History of an optimization run (one point per simulator call)."""
+
+    objective_values: List[float] = field(default_factory=list)
+    best_values: List[float] = field(default_factory=list)
+
+    def record(self, value: float) -> None:
+        self.objective_values.append(float(value))
+        best_so_far = value if not self.best_values else max(self.best_values[-1], value)
+        self.best_values.append(float(best_so_far))
+
+    @property
+    def num_evaluations(self) -> int:
+        return len(self.objective_values)
+
+    def best_curve(self) -> np.ndarray:
+        """Monotone best-so-far curve (what Fig. 3's last column plots)."""
+        return np.array(self.best_values)
+
+
+@dataclass
+class OptimizationResult:
+    """Outcome of one baseline optimization run."""
+
+    best_parameters: np.ndarray
+    best_objective: float
+    best_specs: Dict[str, float]
+    success: bool
+    num_simulations: int
+    trace: OptimizationTrace
+
+
+class SizingProblem:
+    """Wraps benchmark + simulator + target into an objective function.
+
+    The objective is the paper's Eq. (1) quantity ``r`` (without the goal
+    bonus): zero when every specification is met, negative otherwise.  For
+    FoM optimization an alternative objective built from
+    :class:`~repro.env.reward.FomReward` is exposed.
+    """
+
+    def __init__(
+        self,
+        benchmark: CircuitBenchmark,
+        simulator: CircuitSimulator,
+        targets: Optional[Mapping[str, float]] = None,
+        fom_reward: Optional[FomReward] = None,
+    ) -> None:
+        if targets is None and fom_reward is None:
+            raise ValueError("either targets (P2S) or fom_reward (FoM) must be provided")
+        self.benchmark = benchmark
+        self.simulator = simulator
+        self.targets = dict(targets) if targets is not None else None
+        self.fom_reward = fom_reward
+        self.reward_fn = P2SReward(benchmark.spec_space)
+        self.trace = OptimizationTrace()
+        self._evaluations = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def num_parameters(self) -> int:
+        return self.benchmark.num_parameters
+
+    @property
+    def num_evaluations(self) -> int:
+        return self._evaluations
+
+    def simulate(self, parameters: np.ndarray) -> Dict[str, float]:
+        """Evaluate a parameter vector into specs (one simulator call)."""
+        netlist = self.benchmark.fresh_netlist()
+        self.benchmark.design_space.apply_to_netlist(netlist, parameters)
+        result = self.simulator.simulate(netlist)
+        self._evaluations += 1
+        return dict(result.specs)
+
+    def objective(self, parameters: np.ndarray) -> float:
+        """Scalar objective (larger is better, 0 or the FoM maximum is best)."""
+        specs = self.simulate(parameters)
+        if self.targets is not None:
+            value = float(
+                self.benchmark.spec_space.normalized_errors(specs, self.targets).sum()
+            )
+        else:
+            assert self.fom_reward is not None
+            value = self.fom_reward.figure_of_merit(specs)
+        self.trace.record(value)
+        return value
+
+    def objective_from_unit(self, unit_parameters: np.ndarray) -> float:
+        """Objective over the normalized [0, 1]^M search space."""
+        parameters = self.benchmark.design_space.denormalize(unit_parameters)
+        return self.objective(parameters)
+
+    def is_successful(self, parameters: np.ndarray) -> bool:
+        """Whether a parameter vector meets every target specification."""
+        if self.targets is None:
+            return False
+        specs = self.simulate(parameters)
+        return self.benchmark.spec_space.all_met(specs, self.targets)
+
+
+class SizingOptimizer:
+    """Base class for the optimization baselines."""
+
+    name = "optimizer"
+
+    def optimize(self, problem: SizingProblem) -> OptimizationResult:  # pragma: no cover
+        raise NotImplementedError
+
+    @staticmethod
+    def _build_result(problem: SizingProblem, best_unit: np.ndarray, best_value: float) -> OptimizationResult:
+        parameters = problem.benchmark.design_space.denormalize(best_unit)
+        specs = problem.simulate(parameters)
+        if problem.targets is not None:
+            success = problem.benchmark.spec_space.all_met(specs, problem.targets)
+        else:
+            success = True
+        return OptimizationResult(
+            best_parameters=parameters,
+            best_objective=float(best_value),
+            best_specs=specs,
+            success=success,
+            num_simulations=problem.num_evaluations,
+            trace=problem.trace,
+        )

@@ -1,0 +1,102 @@
+"""Genetic-algorithm sizing baseline (Liu et al. [6]).
+
+A straightforward real-coded genetic algorithm over the normalized
+``[0, 1]^M`` design space: tournament selection, blend (BLX-α) crossover,
+Gaussian mutation, and elitism.  The paper reports that this class of method
+needs on the order of 400 simulations per design and reaches roughly 77 %
+design accuracy on the op-amp benchmark because runs can stall in local
+optima; the bench harness reproduces both numbers in shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.baselines.base import OptimizationResult, SizingOptimizer, SizingProblem
+
+
+@dataclass
+class GeneticAlgorithmConfig:
+    """Hyper-parameters of the GA baseline."""
+
+    population_size: int = 20
+    num_generations: int = 20
+    tournament_size: int = 3
+    crossover_rate: float = 0.9
+    crossover_alpha: float = 0.3
+    mutation_rate: float = 0.15
+    mutation_scale: float = 0.15
+    elite_count: int = 2
+    stop_when_met: bool = True
+
+    def __post_init__(self) -> None:
+        if self.population_size < 4:
+            raise ValueError("population_size must be at least 4")
+        if self.elite_count >= self.population_size:
+            raise ValueError("elite_count must be smaller than the population")
+        if not 0.0 <= self.mutation_rate <= 1.0:
+            raise ValueError("mutation_rate must be in [0, 1]")
+
+
+class GeneticAlgorithm(SizingOptimizer):
+    """Real-coded GA over the normalized design space."""
+
+    name = "genetic_algorithm"
+
+    def __init__(self, config: Optional[GeneticAlgorithmConfig] = None,
+                 seed: Optional[int] = None) -> None:
+        self.config = config or GeneticAlgorithmConfig()
+        self.rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    def _tournament(self, fitness: np.ndarray) -> int:
+        contenders = self.rng.integers(0, fitness.size, size=self.config.tournament_size)
+        return int(contenders[np.argmax(fitness[contenders])])
+
+    def _crossover(self, parent_a: np.ndarray, parent_b: np.ndarray) -> np.ndarray:
+        if self.rng.random() > self.config.crossover_rate:
+            return parent_a.copy()
+        alpha = self.config.crossover_alpha
+        low = np.minimum(parent_a, parent_b) - alpha * np.abs(parent_a - parent_b)
+        high = np.maximum(parent_a, parent_b) + alpha * np.abs(parent_a - parent_b)
+        child = self.rng.uniform(low, high)
+        return np.clip(child, 0.0, 1.0)
+
+    def _mutate(self, individual: np.ndarray) -> np.ndarray:
+        mask = self.rng.random(individual.size) < self.config.mutation_rate
+        noise = self.rng.normal(0.0, self.config.mutation_scale, size=individual.size)
+        mutated = np.where(mask, individual + noise, individual)
+        return np.clip(mutated, 0.0, 1.0)
+
+    # ------------------------------------------------------------------
+    def optimize(self, problem: SizingProblem) -> OptimizationResult:
+        config = self.config
+        dimension = problem.num_parameters
+        population = self.rng.random((config.population_size, dimension))
+        fitness = np.array([problem.objective_from_unit(ind) for ind in population])
+
+        best_index = int(np.argmax(fitness))
+        best_individual = population[best_index].copy()
+        best_fitness = float(fitness[best_index])
+
+        for _ in range(config.num_generations):
+            if config.stop_when_met and problem.targets is not None and best_fitness >= 0.0:
+                break
+            order = np.argsort(fitness)[::-1]
+            next_population = [population[i].copy() for i in order[: config.elite_count]]
+            while len(next_population) < config.population_size:
+                parent_a = population[self._tournament(fitness)]
+                parent_b = population[self._tournament(fitness)]
+                child = self._mutate(self._crossover(parent_a, parent_b))
+                next_population.append(child)
+            population = np.stack(next_population)
+            fitness = np.array([problem.objective_from_unit(ind) for ind in population])
+            generation_best = int(np.argmax(fitness))
+            if fitness[generation_best] > best_fitness:
+                best_fitness = float(fitness[generation_best])
+                best_individual = population[generation_best].copy()
+
+        return self._build_result(problem, best_individual, best_fitness)

@@ -1,0 +1,53 @@
+"""Uniform random search — the sanity-check lower-bound baseline.
+
+Not part of the paper's comparison table, but useful for calibrating the
+other methods: any optimizer worth reporting must beat uniform sampling of
+the design space at an equal simulation budget, and the ablation/diagnostic
+tests use it to verify exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.baselines.base import OptimizationResult, SizingOptimizer, SizingProblem
+
+
+@dataclass
+class RandomSearchConfig:
+    """Hyper-parameters of the random-search baseline."""
+
+    num_samples: int = 200
+    stop_when_met: bool = True
+
+    def __post_init__(self) -> None:
+        if self.num_samples <= 0:
+            raise ValueError("num_samples must be positive")
+
+
+class RandomSearch(SizingOptimizer):
+    """Evaluate uniformly random designs and keep the best."""
+
+    name = "random_search"
+
+    def __init__(self, config: Optional[RandomSearchConfig] = None,
+                 seed: Optional[int] = None) -> None:
+        self.config = config or RandomSearchConfig()
+        self.rng = np.random.default_rng(seed)
+
+    def optimize(self, problem: SizingProblem) -> OptimizationResult:
+        best_x: Optional[np.ndarray] = None
+        best_y = -np.inf
+        for _ in range(self.config.num_samples):
+            candidate = self.rng.random(problem.num_parameters)
+            value = problem.objective_from_unit(candidate)
+            if value > best_y:
+                best_y = float(value)
+                best_x = candidate
+            if self.config.stop_when_met and problem.targets is not None and best_y >= 0.0:
+                break
+        assert best_x is not None
+        return self._build_result(problem, best_x, best_y)

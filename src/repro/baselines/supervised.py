@@ -1,0 +1,152 @@
+"""Supervised-learning sizing baseline (H. M.V. & Harish [8]).
+
+The SL approach learns a *static inverse mapping* from desired specifications
+to device parameters: a dataset of (parameters → simulated specs) pairs is
+generated offline, an MLP is trained to regress parameters from specs, and
+deployment is a single forward pass ("1 design step" in Table 2).  Because the
+inverse mapping is ill-posed and the network interpolates, the resulting
+one-shot designs frequently miss at least one specification — the paper
+reports ~79 % design accuracy, far below the RL methods — and that is the
+behaviour this implementation reproduces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.circuits.library.benchmark import CircuitBenchmark
+from repro.nn.functional import mse_loss
+from repro.nn.layers import MLP
+from repro.nn.optim import Adam
+from repro.nn.tensor import Tensor
+from repro.simulation.base import CircuitSimulator
+
+
+@dataclass
+class SupervisedSizerConfig:
+    """Hyper-parameters of the SL baseline."""
+
+    num_training_samples: int = 2000
+    hidden_sizes: Tuple[int, ...] = (64, 64)
+    learning_rate: float = 1e-3
+    epochs: int = 200
+    batch_size: int = 64
+
+    def __post_init__(self) -> None:
+        if self.num_training_samples < 10:
+            raise ValueError("num_training_samples must be at least 10")
+        if self.epochs <= 0 or self.batch_size <= 0:
+            raise ValueError("epochs and batch_size must be positive")
+
+
+@dataclass
+class SupervisedDesignResult:
+    """One-shot design produced by the SL baseline."""
+
+    parameters: np.ndarray
+    predicted_specs: Dict[str, float]
+    success: bool
+    num_simulations: int = 1
+
+
+class SupervisedSizer:
+    """Inverse spec→parameter regressor trained on randomly sampled designs."""
+
+    name = "supervised_learning"
+
+    def __init__(
+        self,
+        benchmark: CircuitBenchmark,
+        simulator: CircuitSimulator,
+        config: Optional[SupervisedSizerConfig] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        self.benchmark = benchmark
+        self.simulator = simulator
+        self.config = config or SupervisedSizerConfig()
+        self.rng = np.random.default_rng(seed)
+        spec_dim = len(benchmark.spec_space)
+        param_dim = benchmark.num_parameters
+        self.network = MLP(
+            (spec_dim, *self.config.hidden_sizes, param_dim),
+            rng=self.rng,
+            hidden_activation="tanh",
+            output_activation="sigmoid",
+        )
+        self._trained = False
+        self.training_losses: List[float] = []
+
+    # ------------------------------------------------------------------
+    # Dataset generation and training
+    # ------------------------------------------------------------------
+    def generate_dataset(self, num_samples: Optional[int] = None) -> Tuple[np.ndarray, np.ndarray]:
+        """Sample random designs and simulate them into (spec, parameter) pairs.
+
+        The *inputs* are range-normalized specs of the simulated design and
+        the *targets* are the normalized parameters that produced them —
+        i.e. the network learns the inverse mapping the SL papers use.
+        """
+        count = num_samples or self.config.num_training_samples
+        spec_rows = []
+        param_rows = []
+        for _ in range(count):
+            parameters = self.benchmark.design_space.sample(self.rng)
+            netlist = self.benchmark.fresh_netlist()
+            self.benchmark.design_space.apply_to_netlist(netlist, parameters)
+            result = self.simulator.simulate(netlist)
+            if not result.valid:
+                continue
+            spec_rows.append(self.benchmark.spec_space.normalize(result.specs))
+            param_rows.append(self.benchmark.design_space.normalize(parameters))
+        if len(spec_rows) < 10:
+            raise RuntimeError("too few valid samples to train the supervised sizer")
+        return np.stack(spec_rows), np.stack(param_rows)
+
+    def fit(self, specs: Optional[np.ndarray] = None, parameters: Optional[np.ndarray] = None) -> None:
+        """Train the inverse regressor (generating the dataset if needed)."""
+        if specs is None or parameters is None:
+            specs, parameters = self.generate_dataset()
+        optimizer = Adam(self.network.parameters(), lr=self.config.learning_rate)
+        count = specs.shape[0]
+        for _ in range(self.config.epochs):
+            permutation = self.rng.permutation(count)
+            epoch_losses = []
+            for start in range(0, count, self.config.batch_size):
+                batch = permutation[start:start + self.config.batch_size]
+                prediction = self.network(Tensor(specs[batch]))
+                loss = mse_loss(prediction, Tensor(parameters[batch]))
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+                epoch_losses.append(float(loss.item()))
+            self.training_losses.append(float(np.mean(epoch_losses)))
+        self._trained = True
+
+    # ------------------------------------------------------------------
+    # One-shot design
+    # ------------------------------------------------------------------
+    def design(self, targets: Mapping[str, float]) -> SupervisedDesignResult:
+        """Predict parameters for a target group and verify with one simulation."""
+        if not self._trained:
+            raise RuntimeError("SupervisedSizer.design() called before fit()")
+        normalized_target = self.benchmark.spec_space.normalize(targets).reshape(1, -1)
+        unit_parameters = self.network(Tensor(normalized_target)).numpy().ravel()
+        parameters = self.benchmark.design_space.denormalize(unit_parameters)
+        netlist = self.benchmark.fresh_netlist()
+        self.benchmark.design_space.apply_to_netlist(netlist, parameters)
+        result = self.simulator.simulate(netlist)
+        success = result.valid and self.benchmark.spec_space.all_met(result.specs, targets)
+        return SupervisedDesignResult(
+            parameters=parameters,
+            predicted_specs=dict(result.specs),
+            success=success,
+        )
+
+    def evaluate_accuracy(self, targets: List[Mapping[str, float]]) -> float:
+        """Design accuracy over a batch of target groups (Table 2 metric)."""
+        if not targets:
+            raise ValueError("targets must be non-empty")
+        return float(np.mean([self.design(t).success for t in targets]))

@@ -1,0 +1,54 @@
+"""Circuit substrate: devices, netlists, tunable parameters, specifications.
+
+The modules in this package describe *what* is being designed — the circuit
+topology, the Table 1 design space of device parameters, and the Table 1
+sampling space of desired specifications — independently of *how* it is
+simulated (:mod:`repro.simulation`) or optimized (:mod:`repro.agents`,
+:mod:`repro.baselines`).
+"""
+
+from repro.circuits.devices import (
+    Device,
+    DeviceType,
+    DEVICE_TYPE_ORDER,
+    bias,
+    capacitor,
+    current_source,
+    gan_hemt,
+    ground,
+    inductor,
+    nmos,
+    pmos,
+    resistor,
+    supply,
+)
+from repro.circuits.library import CircuitBenchmark, build_rf_pa, build_two_stage_opamp
+from repro.circuits.netlist import Netlist
+from repro.circuits.parameters import ACTION_DELTAS, DesignParameter, DesignSpace
+from repro.circuits.specs import Objective, Specification, SpecificationSpace
+
+__all__ = [
+    "ACTION_DELTAS",
+    "CircuitBenchmark",
+    "DEVICE_TYPE_ORDER",
+    "Device",
+    "DeviceType",
+    "DesignParameter",
+    "DesignSpace",
+    "Netlist",
+    "Objective",
+    "Specification",
+    "SpecificationSpace",
+    "bias",
+    "build_rf_pa",
+    "build_two_stage_opamp",
+    "capacitor",
+    "current_source",
+    "gan_hemt",
+    "ground",
+    "inductor",
+    "nmos",
+    "pmos",
+    "resistor",
+    "supply",
+]

@@ -1,0 +1,7 @@
+"""Benchmark circuit library: the two evaluation circuits from the paper."""
+
+from repro.circuits.library.benchmark import CircuitBenchmark
+from repro.circuits.library.rf_pa import build_rf_pa
+from repro.circuits.library.two_stage_opamp import build_two_stage_opamp
+
+__all__ = ["CircuitBenchmark", "build_rf_pa", "build_two_stage_opamp"]

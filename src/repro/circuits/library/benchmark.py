@@ -1,0 +1,80 @@
+"""Container bundling everything a benchmark circuit needs.
+
+A :class:`CircuitBenchmark` groups the netlist (topology + initial sizing),
+the tunable design space (Table 1, left half) and the specification sampling
+space (Table 1, right half) so that environments, baselines and experiment
+harnesses all consume the same definition of "the two-stage op-amp" or "the
+RF PA".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.circuits.netlist import Netlist
+from repro.circuits.parameters import DesignSpace
+from repro.circuits.specs import SpecificationSpace
+
+
+@dataclass
+class CircuitBenchmark:
+    """One evaluation circuit: topology, knobs, and target sampling space."""
+
+    name: str
+    technology: str
+    netlist: Netlist
+    design_space: DesignSpace
+    spec_space: SpecificationSpace
+    metadata: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        # Validate that every design parameter resolves to a real device
+        # attribute; a typo here would otherwise only explode deep inside an
+        # RL rollout.
+        for parameter in self.design_space:
+            value = self.netlist.get_parameter(parameter.device, parameter.attribute)
+            if not (parameter.minimum <= value <= parameter.maximum):
+                raise ValueError(
+                    f"initial value of {parameter.name} ({value}) lies outside "
+                    f"[{parameter.minimum}, {parameter.maximum}]"
+                )
+
+    @property
+    def num_parameters(self) -> int:
+        return self.design_space.num_parameters
+
+    @property
+    def num_specs(self) -> int:
+        return len(self.spec_space)
+
+    def fresh_netlist(self) -> Netlist:
+        """Deep copy of the netlist for an isolated episode/optimization run."""
+        return self.netlist.copy()
+
+    def summary(self) -> Dict[str, object]:
+        """Human-readable summary used by the Table 1 benchmark."""
+        return {
+            "circuit": self.name,
+            "technology": self.technology,
+            "num_device_parameters": self.num_parameters,
+            "design_space_cardinality": self.design_space.cardinality(),
+            "parameters": {
+                p.name: {
+                    "min": p.minimum,
+                    "max": p.maximum,
+                    "step": p.step,
+                    "integer": p.integer,
+                }
+                for p in self.design_space
+            },
+            "specifications": {
+                s.name: {
+                    "min": s.minimum,
+                    "max": s.maximum,
+                    "objective": s.objective.value,
+                    "unit": s.unit,
+                }
+                for s in self.spec_space
+            },
+        }

@@ -1,0 +1,151 @@
+"""The 150 nm GaN RF power amplifier benchmark (Fig. 4, Diduck et al. [22]).
+
+Topology:
+
+* a five-device driver chain ``D1 … D5`` that progressively amplifies the RF
+  input ``vin_a``,
+* a final driver ``DF`` that drives the gate of the power device, and
+* the power amplifying GaN HEMT ``M1`` whose drain is biased through the
+  drain supply ``VP1`` and drives a fixed 50 Ω load at ``vout``.
+
+Bias networks ``VBIAS1`` (driver gate bias) and ``VBIAS2`` (power-device gate
+bias), the driver supply ``VP2``, and ground ``VGND`` are explicit graph
+nodes, matching the paper's full-topology state representation.
+
+Design space (Table 1): width ``[16, 100] µm`` and finger count ``1 … 16``
+for each of the 7 GaN devices — 14 tunable parameters.
+
+Specification sampling space (Table 1): power efficiency ``[50 %, 60 %]`` and
+output power ``[2, 3] W``.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.devices import bias, capacitor, gan_hemt, ground, inductor, resistor, supply
+from repro.circuits.library.benchmark import CircuitBenchmark
+from repro.circuits.netlist import Netlist
+from repro.circuits.parameters import DesignParameter, DesignSpace
+from repro.circuits.specs import Objective, Specification, SpecificationSpace
+
+#: GaN device instance names in signal-path order: five drivers, the final
+#: driver, then the power device.
+RF_PA_DRIVERS = ("D1", "D2", "D3", "D4", "D5", "DF")
+RF_PA_POWER_DEVICE = "M1"
+RF_PA_DEVICES = RF_PA_DRIVERS + (RF_PA_POWER_DEVICE,)
+
+#: Drain supply of the power stage (volts) — typical for 150 nm GaN.
+RF_PA_DRAIN_SUPPLY = 28.0
+
+#: Driver-chain supply (volts).
+RF_PA_DRIVER_SUPPLY = 8.0
+
+#: Gate bias voltages (volts, relative to the GaN threshold of about -3 V).
+#: Drivers are biased well into conduction (class A) for drive linearity; the
+#: power device sits just above pinch-off (deep class AB) for efficiency.
+RF_PA_DRIVER_BIAS = -2.55
+RF_PA_POWER_BIAS = -2.95
+
+#: Fixed load resistance presented to the power device by the (ideal) output
+#: matching network (ohms).  The physical antenna load is 50 ohm; the
+#: matching network transforms it so the Table 1 output-power and efficiency
+#: ranges are simultaneously reachable.
+RF_PA_LOAD_RESISTANCE = 110.0
+
+# Table 1 bounds.
+WIDTH_MIN, WIDTH_MAX, WIDTH_STEP = 16e-6, 100e-6, 2e-6
+FINGERS_MIN, FINGERS_MAX, FINGERS_STEP = 1, 16, 1
+
+
+def _build_netlist(initial_width: float, initial_fingers: int) -> Netlist:
+    netlist = Netlist("rf_pa")
+    # Driver chain: D1 input is the RF input, each stage drives the next gate.
+    previous_net = "vin_a"
+    for index, name in enumerate(RF_PA_DRIVERS, start=1):
+        drain_net = f"drv{index}" if name != "DF" else "gate_m1"
+        netlist.add_device(
+            gan_hemt(name, drain=drain_net, gate=previous_net, source="vgnd",
+                     width=initial_width, fingers=initial_fingers)
+        )
+        previous_net = drain_net
+    # Power device and its output network.
+    netlist.add_device(
+        gan_hemt(RF_PA_POWER_DEVICE, drain="vdrain", gate="gate_m1", source="vgnd",
+                 width=initial_width, fingers=initial_fingers)
+    )
+    netlist.add_device(inductor("LCHOKE", plus="vp1", minus="vdrain", value=100e-9))
+    netlist.add_device(capacitor("CBLOCK", plus="vdrain", minus="vout", value=10e-12))
+    netlist.add_device(resistor("RLOAD", plus="vout", minus="vgnd", value=RF_PA_LOAD_RESISTANCE))
+    # Supplies, ground and bias nodes — explicit graph nodes.
+    netlist.add_device(supply("VP1", net="vp1", voltage=RF_PA_DRAIN_SUPPLY))
+    netlist.add_device(supply("VP2", net="vp2", voltage=RF_PA_DRIVER_SUPPLY))
+    netlist.add_device(ground("VGND", net="vgnd"))
+    netlist.add_device(bias("VBIAS1", net="vin_a", voltage=RF_PA_DRIVER_BIAS))
+    netlist.add_device(bias("VBIAS2", net="gate_m1", voltage=RF_PA_POWER_BIAS))
+    # Driver drains are pulled up to the driver supply through chokes so the
+    # chain and the supply share nets in the graph.
+    for index in range(1, len(RF_PA_DRIVERS)):
+        netlist.add_device(
+            resistor(f"RD{index}", plus="vp2", minus=f"drv{index}", value=200.0)
+        )
+    return netlist
+
+
+def _build_design_space() -> DesignSpace:
+    parameters = []
+    for name in RF_PA_DEVICES:
+        parameters.append(
+            DesignParameter(
+                name=f"{name}.width", device=name, attribute="width",
+                minimum=WIDTH_MIN, maximum=WIDTH_MAX, step=WIDTH_STEP,
+            )
+        )
+        parameters.append(
+            DesignParameter(
+                name=f"{name}.fingers", device=name, attribute="fingers",
+                minimum=FINGERS_MIN, maximum=FINGERS_MAX, step=FINGERS_STEP, integer=True,
+            )
+        )
+    return DesignSpace(parameters)
+
+
+def _build_spec_space() -> SpecificationSpace:
+    return SpecificationSpace(
+        [
+            Specification("efficiency", 0.50, 0.60, Objective.MAXIMIZE, unit="fraction"),
+            Specification("output_power", 2.0, 3.0, Objective.MAXIMIZE, unit="W"),
+        ]
+    )
+
+
+def build_rf_pa(
+    initial_width: float = 58e-6,
+    initial_fingers: int = 8,
+) -> CircuitBenchmark:
+    """Construct the GaN RF power-amplifier benchmark.
+
+    Parameters
+    ----------
+    initial_width, initial_fingers:
+        Starting sizing applied uniformly to all seven GaN devices; the
+        defaults sit near the middle of the Table 1 design space.
+    """
+    if not (WIDTH_MIN <= initial_width <= WIDTH_MAX):
+        raise ValueError("initial_width outside the Table 1 design space")
+    if not (FINGERS_MIN <= initial_fingers <= FINGERS_MAX):
+        raise ValueError("initial_fingers outside the Table 1 design space")
+    netlist = _build_netlist(initial_width, int(initial_fingers))
+    return CircuitBenchmark(
+        name="rf_pa",
+        technology="150nm GaN",
+        netlist=netlist,
+        design_space=_build_design_space(),
+        spec_space=_build_spec_space(),
+        metadata={
+            "drain_supply": RF_PA_DRAIN_SUPPLY,
+            "driver_supply": RF_PA_DRIVER_SUPPLY,
+            "driver_bias": RF_PA_DRIVER_BIAS,
+            "power_bias": RF_PA_POWER_BIAS,
+            "load_resistance": RF_PA_LOAD_RESISTANCE,
+            "max_episode_steps": 30,
+        },
+    )

@@ -1,0 +1,150 @@
+"""The 45 nm CMOS two-stage operational amplifier benchmark (Fig. 2).
+
+Topology (classic Miller-compensated two-stage op-amp):
+
+* first stage — NMOS differential pair ``M1``/``M2`` with PMOS current-mirror
+  load ``M3``/``M4`` and NMOS tail current source ``M5``;
+* second stage — PMOS common-source driver ``M6`` with NMOS current-sink
+  load ``M7``;
+* Miller compensation capacitor ``CC`` from the first-stage output to the
+  amplifier output, fixed load capacitor ``CL``;
+* supply ``VP``, ground ``VGND`` and a bias voltage node ``VBIAS`` that sets
+  the gate voltage of the current sources — these three are explicit graph
+  nodes exactly as the paper requires ("we also treat the power supply,
+  ground, and other DC bias voltages as extra nodes").
+
+Design space (Table 1): width ``[1, 100] µm`` and finger count ``[2, 32]``
+for each of the 7 transistors plus the compensation capacitance
+``[0.1, 10] pF`` — 15 tunable parameters.
+
+Specification sampling space (Table 1): gain ``[300, 500]``, bandwidth
+``[1e6, 2.5e7] Hz``, phase margin ``[55°, 60°]``, power ``[1e-4, 1e-2] W``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.circuits.devices import bias, capacitor, ground, nmos, pmos, supply
+from repro.circuits.library.benchmark import CircuitBenchmark
+from repro.circuits.netlist import Netlist
+from repro.circuits.parameters import DesignParameter, DesignSpace
+from repro.circuits.specs import Objective, Specification, SpecificationSpace
+
+#: Transistor instance names, in schematic order.
+OPAMP_TRANSISTORS = ("M1", "M2", "M3", "M4", "M5", "M6", "M7")
+
+#: Default supply voltage of the 45 nm benchmark (volts).
+OPAMP_SUPPLY_VOLTAGE = 1.2
+
+#: Bias voltage applied to the tail/current-sink gates (volts).
+OPAMP_BIAS_VOLTAGE = 0.55
+
+#: Fixed output load capacitance (farads).
+OPAMP_LOAD_CAPACITANCE = 2.0e-12
+
+# Table 1 bounds.
+WIDTH_MIN, WIDTH_MAX, WIDTH_STEP = 1e-6, 100e-6, 1e-6
+FINGERS_MIN, FINGERS_MAX, FINGERS_STEP = 2, 32, 1
+CAP_MIN, CAP_MAX, CAP_STEP = 0.1e-12, 10e-12, 0.1e-12
+
+
+def _build_netlist(initial_width: float, initial_fingers: int, initial_cap: float) -> Netlist:
+    netlist = Netlist("two_stage_opamp")
+    # First stage: NMOS differential pair with PMOS mirror load.
+    netlist.add_device(nmos("M1", drain="net1", gate="vin_p", source="tail", bulk="vgnd",
+                            width=initial_width, fingers=initial_fingers))
+    netlist.add_device(nmos("M2", drain="net2", gate="vin_n", source="tail", bulk="vgnd",
+                            width=initial_width, fingers=initial_fingers))
+    netlist.add_device(pmos("M3", drain="net1", gate="net1", source="vdd", bulk="vdd",
+                            width=initial_width, fingers=initial_fingers))
+    netlist.add_device(pmos("M4", drain="net2", gate="net1", source="vdd", bulk="vdd",
+                            width=initial_width, fingers=initial_fingers))
+    netlist.add_device(nmos("M5", drain="tail", gate="vbias", source="vgnd", bulk="vgnd",
+                            width=initial_width, fingers=initial_fingers))
+    # Second stage: PMOS common-source driver with NMOS current-sink load.
+    netlist.add_device(pmos("M6", drain="vout", gate="net2", source="vdd", bulk="vdd",
+                            width=initial_width, fingers=initial_fingers))
+    netlist.add_device(nmos("M7", drain="vout", gate="vbias", source="vgnd", bulk="vgnd",
+                            width=initial_width, fingers=initial_fingers))
+    # Compensation and load capacitors.
+    netlist.add_device(capacitor("CC", plus="net2", minus="vout", value=initial_cap))
+    netlist.add_device(capacitor("CL", plus="vout", minus="vgnd", value=OPAMP_LOAD_CAPACITANCE))
+    # Supply, ground and bias are explicit devices so they become graph nodes.
+    netlist.add_device(supply("VP", net="vdd", voltage=OPAMP_SUPPLY_VOLTAGE))
+    netlist.add_device(ground("VGND", net="vgnd"))
+    netlist.add_device(bias("VBIAS", net="vbias", voltage=OPAMP_BIAS_VOLTAGE))
+    return netlist
+
+
+def _build_design_space() -> DesignSpace:
+    parameters = []
+    for name in OPAMP_TRANSISTORS:
+        parameters.append(
+            DesignParameter(
+                name=f"{name}.width", device=name, attribute="width",
+                minimum=WIDTH_MIN, maximum=WIDTH_MAX, step=WIDTH_STEP,
+            )
+        )
+        parameters.append(
+            DesignParameter(
+                name=f"{name}.fingers", device=name, attribute="fingers",
+                minimum=FINGERS_MIN, maximum=FINGERS_MAX, step=FINGERS_STEP, integer=True,
+            )
+        )
+    parameters.append(
+        DesignParameter(
+            name="CC.value", device="CC", attribute="value",
+            minimum=CAP_MIN, maximum=CAP_MAX, step=CAP_STEP,
+        )
+    )
+    return DesignSpace(parameters)
+
+
+def _build_spec_space() -> SpecificationSpace:
+    return SpecificationSpace(
+        [
+            Specification("gain", 300.0, 500.0, Objective.MAXIMIZE, unit="V/V"),
+            Specification("bandwidth", 1.0e6, 2.5e7, Objective.MAXIMIZE, unit="Hz",
+                          log_uniform=True),
+            Specification("phase_margin", 55.0, 60.0, Objective.MAXIMIZE, unit="deg"),
+            Specification("power", 1.0e-4, 1.0e-2, Objective.MINIMIZE, unit="W",
+                          log_uniform=True),
+        ]
+    )
+
+
+def build_two_stage_opamp(
+    initial_width: float = 40e-6,
+    initial_fingers: int = 16,
+    initial_cap: float = 2.0e-12,
+) -> CircuitBenchmark:
+    """Construct the two-stage op-amp benchmark.
+
+    Parameters
+    ----------
+    initial_width, initial_fingers, initial_cap:
+        Starting sizing applied uniformly to every transistor / the
+        compensation capacitor.  The defaults sit near the middle of the
+        Table 1 design space so episodes start from a neutral design.
+    """
+    if not (WIDTH_MIN <= initial_width <= WIDTH_MAX):
+        raise ValueError("initial_width outside the Table 1 design space")
+    if not (FINGERS_MIN <= initial_fingers <= FINGERS_MAX):
+        raise ValueError("initial_fingers outside the Table 1 design space")
+    if not (CAP_MIN <= initial_cap <= CAP_MAX):
+        raise ValueError("initial_cap outside the Table 1 design space")
+    netlist = _build_netlist(initial_width, int(initial_fingers), initial_cap)
+    return CircuitBenchmark(
+        name="two_stage_opamp",
+        technology="45nm CMOS",
+        netlist=netlist,
+        design_space=_build_design_space(),
+        spec_space=_build_spec_space(),
+        metadata={
+            "supply_voltage": OPAMP_SUPPLY_VOLTAGE,
+            "bias_voltage": OPAMP_BIAS_VOLTAGE,
+            "load_capacitance": OPAMP_LOAD_CAPACITANCE,
+            "max_episode_steps": 50,
+        },
+    )

@@ -1,0 +1,93 @@
+"""Factory functions for the standard environments used in the experiments.
+
+These helpers encode the paper's experimental setup (Table 1 + Sec. 4):
+
+* ``make_opamp_env``     — two-stage op-amp, analytic Spectre-substitute
+  simulator, 50-step episodes, Eq. (1) reward;
+* ``make_rf_pa_env``     — GaN RF PA, 30-step episodes, Eq. (1) reward, with
+  a ``fidelity`` switch between the coarse (training) and fine (deployment)
+  simulators used by the transfer-learning workflow;
+* ``make_rf_pa_fom_env`` — RF PA with the FoM reward used in Fig. 7.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.circuits.library.rf_pa import build_rf_pa
+from repro.circuits.library.two_stage_opamp import build_two_stage_opamp
+from repro.env.circuit_env import CircuitDesignEnv
+from repro.env.reward import FomReward, P2SReward
+from repro.simulation.opamp_sim import OpAmpSimulator
+from repro.simulation.pa_sim import RfPaCoarseSimulator, RfPaFineSimulator
+
+
+def make_opamp_env(
+    seed: Optional[int] = None,
+    max_steps: int = 50,
+    initial_sizing: str = "center",
+    goal_tolerance: float = 0.0,
+) -> CircuitDesignEnv:
+    """Two-stage op-amp P2S environment (Fig. 2 benchmark)."""
+    benchmark = build_two_stage_opamp()
+    return CircuitDesignEnv(
+        benchmark=benchmark,
+        simulator=OpAmpSimulator(),
+        reward_fn=P2SReward(benchmark.spec_space),
+        max_steps=max_steps,
+        initial_sizing=initial_sizing,
+        goal_tolerance=goal_tolerance,
+        seed=seed,
+    )
+
+
+def _pa_simulator(fidelity: str):
+    fidelity = fidelity.lower()
+    if fidelity == "fine":
+        return RfPaFineSimulator()
+    if fidelity == "coarse":
+        return RfPaCoarseSimulator()
+    raise ValueError(f"fidelity must be 'fine' or 'coarse', got '{fidelity}'")
+
+
+def make_rf_pa_env(
+    seed: Optional[int] = None,
+    max_steps: int = 30,
+    fidelity: str = "fine",
+    initial_sizing: str = "center",
+    goal_tolerance: float = 0.0,
+) -> CircuitDesignEnv:
+    """GaN RF PA P2S environment (Fig. 4 benchmark).
+
+    ``fidelity="coarse"`` selects the fast DC-estimate simulator used for
+    transfer-learning pre-training; ``"fine"`` selects the harmonic-balance
+    style simulator used at deployment time.
+    """
+    benchmark = build_rf_pa()
+    return CircuitDesignEnv(
+        benchmark=benchmark,
+        simulator=_pa_simulator(fidelity),
+        reward_fn=P2SReward(benchmark.spec_space),
+        max_steps=max_steps,
+        initial_sizing=initial_sizing,
+        goal_tolerance=goal_tolerance,
+        seed=seed,
+    )
+
+
+def make_rf_pa_fom_env(
+    seed: Optional[int] = None,
+    max_steps: int = 30,
+    fidelity: str = "fine",
+    initial_sizing: str = "center",
+) -> CircuitDesignEnv:
+    """RF PA environment with the figure-of-merit reward of Fig. 7."""
+    benchmark = build_rf_pa()
+    return CircuitDesignEnv(
+        benchmark=benchmark,
+        simulator=_pa_simulator(fidelity),
+        reward_fn=FomReward(benchmark.spec_space),
+        max_steps=max_steps,
+        initial_sizing=initial_sizing,
+        seed=seed,
+    )

@@ -1,0 +1,155 @@
+"""Reward functions for the P2S and FoM optimization problems.
+
+Two reward definitions are used in the paper:
+
+* **P2S reward** (Eq. 1): at each step the reward is the sum over all
+  specifications of the clipped normalized difference between intermediate
+  and target values, ``r = Σ_j min((g_j − g*_j)/(g_j + g*_j), 0)`` (with the
+  sign flipped for "smaller-is-better" specs such as power consumption).
+  The sum is upper-bounded by zero so the agent is not pushed to
+  over-optimize a spec that is already met, and a large bonus ``R = 10`` is
+  granted once *all* specifications are met.
+
+* **FoM reward** (Sec. 4, "FoM Optimization"): for the RF PA the figure of
+  merit is ``FoM = P + 3 E``; during training each term is normalized with a
+  reference value, ``r_i = (P_i − P_r)/(P_i + P_r) + 3 (E_i − E_r)/(E_i + E_r)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+import numpy as np
+
+from repro.circuits.specs import SpecificationSpace
+
+#: Bonus granted when every specification of the target group is satisfied.
+GOAL_BONUS = 10.0
+
+
+@dataclass
+class RewardOutcome:
+    """Reward plus the per-spec diagnostics environments expose in ``info``."""
+
+    reward: float
+    goal_reached: bool
+    normalized_errors: Dict[str, float]
+    met_fraction: float
+
+
+class P2SReward:
+    """The paper's Eq. (1) reward for parameter-to-specification search.
+
+    Parameters
+    ----------
+    spec_space:
+        The circuit's specification space (provides objective directions).
+    goal_bonus:
+        Reward granted when all specifications are met (``R`` in Eq. 1).
+    invalid_penalty:
+        Reward returned when the simulator reports a degenerate operating
+        point; strongly negative so the policy learns to avoid such regions.
+    """
+
+    def __init__(
+        self,
+        spec_space: SpecificationSpace,
+        goal_bonus: float = GOAL_BONUS,
+        invalid_penalty: float | None = None,
+    ) -> None:
+        self.spec_space = spec_space
+        self.goal_bonus = goal_bonus
+        # Default: one unit of penalty per specification (the worst possible
+        # Eq. 1 value), used for invalid simulation results.
+        self.invalid_penalty = (
+            float(invalid_penalty) if invalid_penalty is not None else -float(len(spec_space))
+        )
+
+    def __call__(
+        self,
+        measured: Mapping[str, float],
+        targets: Mapping[str, float],
+        valid: bool = True,
+    ) -> RewardOutcome:
+        errors = self.spec_space.normalized_errors(measured, targets)
+        named_errors = {name: float(e) for name, e in zip(self.spec_space.names, errors)}
+        if not valid:
+            return RewardOutcome(
+                reward=self.invalid_penalty,
+                goal_reached=False,
+                normalized_errors=named_errors,
+                met_fraction=0.0,
+            )
+        raw = float(errors.sum())
+        goal_reached = bool(np.all(errors >= 0.0))
+        reward = self.goal_bonus if goal_reached else raw
+        return RewardOutcome(
+            reward=reward,
+            goal_reached=goal_reached,
+            normalized_errors=named_errors,
+            met_fraction=self.spec_space.met_fraction(measured, targets),
+        )
+
+
+class FomReward:
+    """Figure-of-merit reward for the RF PA (``FoM = P + 3 E``).
+
+    Parameters
+    ----------
+    spec_space:
+        Specification space (only used for naming/diagnostics).
+    power_reference, efficiency_reference:
+        The normalization references ``P_r`` and ``E_r``; the paper uses
+        references drawn from the sampling space (we default to its
+        midpoints: 2.5 W and 55 %).
+    efficiency_weight:
+        The factor 3 from the paper's FoM definition.
+    """
+
+    def __init__(
+        self,
+        spec_space: SpecificationSpace,
+        power_reference: float = 2.5,
+        efficiency_reference: float = 0.55,
+        efficiency_weight: float = 3.0,
+    ) -> None:
+        if power_reference <= 0 or efficiency_reference <= 0:
+            raise ValueError("references must be positive")
+        self.spec_space = spec_space
+        self.power_reference = power_reference
+        self.efficiency_reference = efficiency_reference
+        self.efficiency_weight = efficiency_weight
+
+    def figure_of_merit(self, measured: Mapping[str, float]) -> float:
+        """Un-normalized figure of merit ``P + 3 E`` (what Table 2 reports)."""
+        return float(measured["output_power"]) + self.efficiency_weight * float(
+            measured["efficiency"]
+        )
+
+    def __call__(
+        self,
+        measured: Mapping[str, float],
+        targets: Mapping[str, float] | None = None,
+        valid: bool = True,
+    ) -> RewardOutcome:
+        if not valid:
+            return RewardOutcome(
+                reward=-2.0 * (1.0 + self.efficiency_weight),
+                goal_reached=False,
+                normalized_errors={},
+                met_fraction=0.0,
+            )
+        power = float(measured["output_power"])
+        efficiency = float(measured["efficiency"])
+        power_term = (power - self.power_reference) / (power + self.power_reference)
+        eff_term = (efficiency - self.efficiency_reference) / (
+            efficiency + self.efficiency_reference
+        )
+        reward = power_term + self.efficiency_weight * eff_term
+        return RewardOutcome(
+            reward=float(reward),
+            goal_reached=False,
+            normalized_errors={"output_power": power_term, "efficiency": eff_term},
+            met_fraction=0.0,
+        )

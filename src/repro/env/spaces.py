@@ -1,0 +1,81 @@
+"""Observation and action space descriptions for the circuit environment.
+
+The action space follows the paper exactly: for each of the ``M`` tunable
+device parameters the policy picks one of three moves — decrease by one step,
+keep, or increase by one step — so an action is an integer vector of length
+``M`` with entries in ``{0, 1, 2}``.
+
+The observation bundles everything any of the compared policies may need:
+
+* the circuit graph (adjacency + *dynamic* node features) for the GNN branch
+  of the proposed policy,
+* static-technology node features for the Baseline B reproduction,
+* the specification context (normalized target specs, normalized measured
+  specs, and their normalized gap) for the FCNN branch, and
+* the normalized device-parameter vector for the AutoCkt-style Baseline A.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+#: Number of choices per parameter (decrease / keep / increase).
+NUM_ACTION_CHOICES = 3
+
+#: Action index meanings, matching :data:`repro.circuits.parameters.ACTION_DELTAS`.
+ACTION_DECREASE, ACTION_KEEP, ACTION_INCREASE = 0, 1, 2
+
+
+@dataclass(frozen=True)
+class ActionSpace:
+    """Discrete ``M x 3`` action space."""
+
+    num_parameters: int
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.num_parameters, NUM_ACTION_CHOICES)
+
+    def sample(self, rng: np.random.Generator) -> np.ndarray:
+        """Uniformly random action vector (used by random-policy baselines)."""
+        return rng.integers(0, NUM_ACTION_CHOICES, size=self.num_parameters)
+
+    def no_op(self) -> np.ndarray:
+        """The all-keep action."""
+        return np.full(self.num_parameters, ACTION_KEEP, dtype=np.int64)
+
+    def contains(self, action: np.ndarray) -> bool:
+        action = np.asarray(action)
+        return (
+            action.shape == (self.num_parameters,)
+            and np.issubdtype(action.dtype, np.integer)
+            and bool(np.all((action >= 0) & (action < NUM_ACTION_CHOICES)))
+        )
+
+
+@dataclass
+class Observation:
+    """One environment observation (see module docstring)."""
+
+    node_features: np.ndarray
+    static_node_features: np.ndarray
+    adjacency: np.ndarray
+    spec_features: np.ndarray
+    normalized_parameters: np.ndarray
+    measured_specs: Dict[str, float]
+    target_specs: Dict[str, float]
+
+    @property
+    def num_nodes(self) -> int:
+        return self.node_features.shape[0]
+
+    @property
+    def num_parameters(self) -> int:
+        return self.normalized_parameters.shape[0]
+
+    def flat_vector(self) -> np.ndarray:
+        """Spec context + parameters, the Baseline A (AutoCkt-style) input."""
+        return np.concatenate([self.spec_features, self.normalized_parameters])

@@ -1,0 +1,145 @@
+"""Optimization-baseline curves (Fig. 3, last column; also used by Fig. 7).
+
+The last column of Fig. 3 plots, for one target specification group, the
+Eq. (1) reward of the Genetic Algorithm and Bayesian Optimization against the
+number of simulator calls; the paper observes GA needs roughly 400 and BO
+roughly 100 simulations to converge (versus ~20 deployment steps for the
+trained RL policies), and that neither reaches 100 % design accuracy over
+repeated runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.base import OptimizationResult, SizingProblem
+from repro.baselines.bayesian import BayesianOptimization, BayesianOptimizationConfig
+from repro.baselines.genetic import GeneticAlgorithm, GeneticAlgorithmConfig
+from repro.baselines.random_search import RandomSearch, RandomSearchConfig
+from repro.circuits.library.rf_pa import build_rf_pa
+from repro.circuits.library.two_stage_opamp import build_two_stage_opamp
+from repro.experiments.configs import ExperimentScale, bench_scale
+from repro.simulation.opamp_sim import OpAmpSimulator
+from repro.simulation.pa_sim import RfPaFineSimulator
+
+#: Optimizer names shown in the Fig. 3 last-column legend.
+OPTIMIZER_METHODS = ("genetic_algorithm", "bayesian_optimization")
+
+
+def _benchmark_and_simulator(circuit: str):
+    if circuit == "two_stage_opamp":
+        return build_two_stage_opamp(), OpAmpSimulator()
+    if circuit == "rf_pa":
+        # The optimization baselines "cannot leverage transfer learning and
+        # have to use HB simulation" (paper) — always the fine simulator.
+        return build_rf_pa(), RfPaFineSimulator()
+    raise ValueError(f"unknown circuit '{circuit}'")
+
+
+def make_optimizer(name: str, seed: Optional[int] = None, budget: Optional[int] = None):
+    """Instantiate one optimization baseline with a roughly equal budget."""
+    if name == "genetic_algorithm":
+        config = GeneticAlgorithmConfig()
+        if budget is not None:
+            config.num_generations = max(2, budget // config.population_size)
+        return GeneticAlgorithm(config, seed=seed)
+    if name == "bayesian_optimization":
+        config = BayesianOptimizationConfig()
+        if budget is not None:
+            config.num_iterations = max(2, budget - config.num_initial)
+        return BayesianOptimization(config, seed=seed)
+    if name == "random_search":
+        config = RandomSearchConfig()
+        if budget is not None:
+            config.num_samples = budget
+        return RandomSearch(config, seed=seed)
+    raise ValueError(f"unknown optimizer '{name}'")
+
+
+@dataclass
+class OptimizationCurve:
+    """Best-objective-so-far curve of one optimizer on one target group."""
+
+    method: str
+    circuit: str
+    target_specs: Dict[str, float]
+    result: OptimizationResult
+
+    @property
+    def num_simulations(self) -> int:
+        return self.result.num_simulations
+
+    @property
+    def success(self) -> bool:
+        return self.result.success
+
+    def curve(self) -> np.ndarray:
+        return self.result.trace.best_curve()
+
+
+def run_optimization_curves(
+    circuit: str,
+    target: Optional[Mapping[str, float]] = None,
+    methods: Sequence[str] = OPTIMIZER_METHODS,
+    seed: int = 0,
+    ga_budget: Optional[int] = None,
+    bo_budget: Optional[int] = None,
+) -> Dict[str, OptimizationCurve]:
+    """Run the GA / BO searches for one target group (Fig. 3, last column)."""
+    benchmark, simulator = _benchmark_and_simulator(circuit)
+    if target is None:
+        target = benchmark.spec_space.sample(np.random.default_rng(seed))
+    budgets = {"genetic_algorithm": ga_budget, "bayesian_optimization": bo_budget, "random_search": None}
+    curves: Dict[str, OptimizationCurve] = {}
+    for method in methods:
+        problem = SizingProblem(benchmark, simulator, targets=target)
+        optimizer = make_optimizer(method, seed=seed, budget=budgets.get(method))
+        result = optimizer.optimize(problem)
+        curves[method] = OptimizationCurve(
+            method=method, circuit=circuit, target_specs=dict(target), result=result
+        )
+    return curves
+
+
+@dataclass
+class OptimizerAccuracy:
+    """Design accuracy and simulation-count statistics over repeated runs."""
+
+    method: str
+    circuit: str
+    accuracy: float
+    mean_simulations: float
+    results: List[OptimizationCurve] = field(default_factory=list)
+
+
+def evaluate_optimizer_accuracy(
+    circuit: str,
+    method: str,
+    num_runs: Optional[int] = None,
+    scale: Optional[ExperimentScale] = None,
+    seed: int = 0,
+) -> OptimizerAccuracy:
+    """Repeat an optimizer over random target groups (the "30-group random
+    experiments" behind the GA/BO accuracy numbers in Sec. 4 / Table 2)."""
+    scale = scale or bench_scale()
+    num_runs = num_runs or scale.optimizer_runs
+    benchmark, simulator = _benchmark_and_simulator(circuit)
+    rng = np.random.default_rng(seed)
+    targets = benchmark.spec_space.sample_batch(rng, num_runs)
+    runs: List[OptimizationCurve] = []
+    for index, target in enumerate(targets):
+        problem = SizingProblem(benchmark, simulator, targets=target)
+        optimizer = make_optimizer(method, seed=seed + index)
+        result = optimizer.optimize(problem)
+        runs.append(
+            OptimizationCurve(method=method, circuit=circuit, target_specs=dict(target), result=result)
+        )
+    accuracy = float(np.mean([run.success for run in runs]))
+    mean_simulations = float(np.mean([run.num_simulations for run in runs]))
+    return OptimizerAccuracy(
+        method=method, circuit=circuit, accuracy=accuracy,
+        mean_simulations=mean_simulations, results=runs,
+    )

@@ -1,0 +1,138 @@
+"""Figure-of-merit optimization experiments (Fig. 7 and the last Table 2 column).
+
+For the RF PA the paper additionally maximizes the figure of merit
+``FoM = P + 3·E`` (output power plus three times power efficiency).  The RL
+methods are retrained with the FoM reward; the GA and BO baselines maximize
+the FoM directly.  The paper reports final FoM values of 3.25 (GAT-FC),
+3.18 (GCN-FC), ~2.9 / ~2.8 for the RL baselines, 2.61 (BO) and 2.53 (GA).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.agents.deployment import deploy_policy
+from repro.agents.policy import ActorCriticPolicy, make_policy
+from repro.agents.ppo import PPOConfig, PPOTrainer, TrainingHistory
+from repro.baselines.base import SizingProblem
+from repro.circuits.library.rf_pa import build_rf_pa
+from repro.env.registry import make_rf_pa_fom_env
+from repro.env.reward import FomReward
+from repro.experiments.configs import ExperimentScale, RL_METHODS, bench_scale, rl_hyperparameters
+from repro.experiments.figures import make_optimizer
+from repro.simulation.pa_sim import RfPaFineSimulator
+
+
+@dataclass
+class FomTrainingResult:
+    """FoM-optimization outcome of one RL method."""
+
+    method: str
+    history: TrainingHistory
+    policy: ActorCriticPolicy
+    best_fom: float
+    final_specs: Dict[str, float]
+
+
+def _best_fom_from_policy(policy: ActorCriticPolicy, seed: int = 0, episodes: int = 3) -> tuple[float, Dict[str, float]]:
+    """Greedy roll-outs on the fine FoM environment; return the best FoM seen."""
+    env = make_rf_pa_fom_env(seed=seed, fidelity="fine")
+    reward_fn: FomReward = env.reward_fn  # type: ignore[assignment]
+    rng = np.random.default_rng(seed)
+    best = -np.inf
+    best_specs: Dict[str, float] = {}
+    for episode in range(episodes):
+        observation = env.reset()
+        done = False
+        while not done:
+            action, _, _ = policy.act(observation, rng, deterministic=True)
+            observation, _, done, info = env.step(action)
+            fom = float(info["figure_of_merit"])
+            if fom > best:
+                best = fom
+                best_specs = dict(info["specs"])
+    return float(best), best_specs
+
+
+def run_fom_training(
+    method: str,
+    scale: Optional[ExperimentScale] = None,
+    seed: int = 0,
+    total_episodes: Optional[int] = None,
+) -> FomTrainingResult:
+    """Train one RL method with the FoM reward (coarse simulator, per the
+    transfer-learning protocol) and measure the best FoM on the fine simulator."""
+    scale = scale or bench_scale()
+    env = make_rf_pa_fom_env(seed=seed, fidelity="coarse")
+    rng = np.random.default_rng(seed)
+    policy = make_policy(method, env, rng)
+    hyper = rl_hyperparameters("rf_pa")
+    trainer = PPOTrainer(env, policy, config=hyper["ppo"], seed=seed, method_name=f"{method}_fom")
+    episodes = total_episodes or scale.rf_pa_training_episodes
+    history = trainer.train(
+        total_episodes=episodes,
+        episodes_per_update=scale.episodes_per_update,
+        eval_interval=None,
+    )
+    best_fom, best_specs = _best_fom_from_policy(policy, seed=seed)
+    return FomTrainingResult(
+        method=method, history=history, policy=policy, best_fom=best_fom, final_specs=best_specs
+    )
+
+
+@dataclass
+class FomOptimizerResult:
+    """FoM achieved by an optimization baseline (GA / BO)."""
+
+    method: str
+    best_fom: float
+    num_simulations: int
+    curve: np.ndarray
+
+
+def run_fom_optimizer(method: str, seed: int = 0, budget: Optional[int] = None) -> FomOptimizerResult:
+    """Maximize the PA figure of merit with GA or BO on the fine simulator."""
+    benchmark = build_rf_pa()
+    fom_reward = FomReward(benchmark.spec_space)
+    problem = SizingProblem(benchmark, RfPaFineSimulator(), fom_reward=fom_reward)
+    optimizer = make_optimizer(method, seed=seed, budget=budget)
+    result = optimizer.optimize(problem)
+    return FomOptimizerResult(
+        method=method,
+        best_fom=float(result.best_objective),
+        num_simulations=result.num_simulations,
+        curve=result.trace.best_curve(),
+    )
+
+
+@dataclass
+class FomComparison:
+    """The full Fig. 7 / Table 2 FoM comparison."""
+
+    rl_results: Dict[str, FomTrainingResult] = field(default_factory=dict)
+    optimizer_results: Dict[str, FomOptimizerResult] = field(default_factory=dict)
+
+    def summary(self) -> Dict[str, float]:
+        """Method name to final FoM value (the Table 2 "FoM value" column)."""
+        values = {name: result.best_fom for name, result in self.rl_results.items()}
+        values.update({name: result.best_fom for name, result in self.optimizer_results.items()})
+        return values
+
+
+def run_fom_comparison(
+    rl_methods: Sequence[str] = RL_METHODS,
+    optimizer_methods: Sequence[str] = ("genetic_algorithm", "bayesian_optimization"),
+    scale: Optional[ExperimentScale] = None,
+    seed: int = 0,
+) -> FomComparison:
+    """Run the complete FoM comparison across RL methods and optimizers."""
+    scale = scale or bench_scale()
+    comparison = FomComparison()
+    for method in rl_methods:
+        comparison.rl_results[method] = run_fom_training(method, scale=scale, seed=seed)
+    for method in optimizer_methods:
+        comparison.optimizer_results[method] = run_fom_optimizer(method, seed=seed)
+    return comparison

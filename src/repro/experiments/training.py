@@ -1,0 +1,144 @@
+"""Training-curve experiments (Fig. 3, first three columns).
+
+For each RL method (GAT-FC, GCN-FC, Baseline A, Baseline B) and each circuit
+(two-stage op-amp, RF PA) the paper plots mean episode reward, mean episode
+length and deployment accuracy against the number of trained episodes,
+averaged over random seeds.  :func:`run_training_experiment` reproduces one
+(method, circuit) cell and :func:`run_fig3_training` sweeps a whole figure
+row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.agents.policy import ActorCriticPolicy, make_policy
+from repro.agents.ppo import PPOConfig, PPOTrainer, TrainingHistory
+from repro.env.circuit_env import CircuitDesignEnv
+from repro.env.registry import make_opamp_env, make_rf_pa_env
+from repro.experiments.configs import ExperimentScale, RL_METHODS, bench_scale, rl_hyperparameters
+
+#: Circuits recognized by the training harness.
+CIRCUITS = ("two_stage_opamp", "rf_pa")
+
+
+def make_environment(circuit: str, seed: Optional[int] = None, fidelity: str = "coarse") -> CircuitDesignEnv:
+    """Build the training environment for a circuit.
+
+    Following the paper's transfer-learning protocol, RF PA agents train on
+    the *coarse* simulator by default (pass ``fidelity="fine"`` to override);
+    the op-amp always uses its analytic Spectre-substitute.
+    """
+    if circuit == "two_stage_opamp":
+        hyper = rl_hyperparameters(circuit)
+        return make_opamp_env(seed=seed, max_steps=hyper["max_steps"])
+    if circuit == "rf_pa":
+        hyper = rl_hyperparameters(circuit)
+        return make_rf_pa_env(seed=seed, max_steps=hyper["max_steps"], fidelity=fidelity)
+    raise ValueError(f"unknown circuit '{circuit}', expected one of {CIRCUITS}")
+
+
+@dataclass
+class MethodTrainingResult:
+    """Training outcome of one (method, circuit, seed) run."""
+
+    method: str
+    circuit: str
+    seed: int
+    history: TrainingHistory
+    policy: ActorCriticPolicy
+    env: CircuitDesignEnv
+
+
+@dataclass
+class TrainingCurves:
+    """Per-method training curves aggregated over seeds (one Fig. 3 line)."""
+
+    method: str
+    circuit: str
+    runs: List[MethodTrainingResult] = field(default_factory=list)
+
+    def episodes_axis(self) -> np.ndarray:
+        return self.runs[0].history.episodes_axis()
+
+    def mean_series(self, name: str) -> Tuple[np.ndarray, np.ndarray]:
+        """Mean and standard deviation of one metric across seeds."""
+        series = np.stack([run.history.series(name) for run in self.runs])
+        return np.nanmean(series, axis=0), np.nanstd(series, axis=0)
+
+    @property
+    def final_mean_reward(self) -> float:
+        return float(np.mean([run.history.final_mean_reward for run in self.runs]))
+
+    @property
+    def final_mean_length(self) -> float:
+        return float(np.mean([run.history.final_mean_length for run in self.runs]))
+
+    @property
+    def final_deployment_accuracy(self) -> float:
+        values = [
+            run.history.final_deployment_accuracy
+            for run in self.runs
+            if run.history.final_deployment_accuracy is not None
+        ]
+        return float(np.mean(values)) if values else float("nan")
+
+
+def run_training_experiment(
+    circuit: str,
+    method: str,
+    scale: Optional[ExperimentScale] = None,
+    seed: int = 0,
+    total_episodes: Optional[int] = None,
+    track_accuracy: bool = True,
+) -> MethodTrainingResult:
+    """Train one method on one circuit for one seed and return the history."""
+    scale = scale or bench_scale()
+    env = make_environment(circuit, seed=seed)
+    rng = np.random.default_rng(seed)
+    policy = make_policy(method, env, rng)
+    hyper = rl_hyperparameters(circuit)
+    ppo_config: PPOConfig = hyper["ppo"]
+    trainer = PPOTrainer(env, policy, config=ppo_config, seed=seed, method_name=method)
+    if total_episodes is None:
+        total_episodes = (
+            scale.opamp_training_episodes
+            if circuit == "two_stage_opamp"
+            else scale.rf_pa_training_episodes
+        )
+    history = trainer.train(
+        total_episodes=total_episodes,
+        episodes_per_update=scale.episodes_per_update,
+        eval_interval=scale.eval_interval if track_accuracy else None,
+        eval_specs=scale.eval_specs,
+    )
+    return MethodTrainingResult(
+        method=method, circuit=circuit, seed=seed, history=history, policy=policy, env=env
+    )
+
+
+def run_fig3_training(
+    circuit: str,
+    methods: Sequence[str] = RL_METHODS,
+    scale: Optional[ExperimentScale] = None,
+    seeds: Optional[Sequence[int]] = None,
+    track_accuracy: bool = True,
+) -> Dict[str, TrainingCurves]:
+    """Reproduce one row of Fig. 3 (all RL methods on one circuit)."""
+    scale = scale or bench_scale()
+    if seeds is None:
+        seeds = tuple(range(scale.num_seeds))
+    curves: Dict[str, TrainingCurves] = {}
+    for method in methods:
+        method_curves = TrainingCurves(method=method, circuit=circuit)
+        for seed in seeds:
+            method_curves.runs.append(
+                run_training_experiment(
+                    circuit, method, scale=scale, seed=seed, track_accuracy=track_accuracy
+                )
+            )
+        curves[method] = method_curves
+    return curves

@@ -1,0 +1,112 @@
+"""Probability distributions for the discrete sizing action space.
+
+The paper uses a discrete action space in which every tunable device
+parameter is either increased by one step, kept, or decreased by one step at
+each time step.  The policy head therefore outputs an ``M x 3`` matrix of
+logits (``M`` = number of tunable parameters), interpreted row-wise as
+independent categorical distributions.  :class:`MultiCategorical` wraps that
+matrix and provides sampling, log-probabilities and entropy — all the
+quantities PPO needs (Eq. 3).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+class Categorical:
+    """Single categorical distribution over ``K`` classes from logits."""
+
+    def __init__(self, logits: Tensor) -> None:
+        if logits.ndim != 1:
+            raise ValueError(f"Categorical expects 1-D logits, got shape {logits.shape}")
+        self.logits = logits
+        self._log_probs = logits.log_softmax(axis=-1)
+
+    @property
+    def probs(self) -> np.ndarray:
+        return np.exp(self._log_probs.data)
+
+    def sample(self, rng: np.random.Generator) -> int:
+        return int(rng.choice(len(self.probs), p=self.probs))
+
+    def log_prob(self, action: int) -> Tensor:
+        return self._log_probs[int(action)]
+
+    def entropy(self) -> Tensor:
+        probs = Tensor(self.probs)
+        return -(probs * self._log_probs).sum()
+
+    def mode(self) -> int:
+        return int(np.argmax(self.probs))
+
+
+class MultiCategorical:
+    """Independent categorical distribution per device parameter.
+
+    Parameters
+    ----------
+    logits:
+        ``(M, K)`` tensor of unnormalized log-probabilities; in this project
+        ``K = 3`` (decrease / keep / increase).
+    """
+
+    def __init__(self, logits: Tensor) -> None:
+        if logits.ndim != 2:
+            raise ValueError(f"MultiCategorical expects 2-D logits, got shape {logits.shape}")
+        self.logits = logits
+        self._log_probs = logits.log_softmax(axis=-1)
+
+    @property
+    def num_parameters(self) -> int:
+        return self.logits.shape[0]
+
+    @property
+    def num_choices(self) -> int:
+        return self.logits.shape[1]
+
+    @property
+    def probs(self) -> np.ndarray:
+        """Row-stochastic ``(M, K)`` probability matrix (detached)."""
+        return np.exp(self._log_probs.data)
+
+    def sample(self, rng: np.random.Generator) -> np.ndarray:
+        """Sample one choice index per parameter; returns an ``(M,)`` int array."""
+        probs = self.probs
+        cumulative = probs.cumsum(axis=1)
+        draws = rng.random(size=(self.num_parameters, 1))
+        return (draws > cumulative[:, :-1]).sum(axis=1).astype(np.int64) if self.num_choices > 1 else np.zeros(
+            self.num_parameters, dtype=np.int64
+        )
+
+    def mode(self) -> np.ndarray:
+        """Greedy (most likely) choice per parameter."""
+        return np.argmax(self.probs, axis=1).astype(np.int64)
+
+    def log_prob(self, actions: np.ndarray) -> Tensor:
+        """Joint log-probability of a full action vector (sum over rows)."""
+        actions = np.asarray(actions, dtype=np.int64)
+        if actions.shape != (self.num_parameters,):
+            raise ValueError(
+                f"actions must have shape ({self.num_parameters},), got {actions.shape}"
+            )
+        if np.any(actions < 0) or np.any(actions >= self.num_choices):
+            raise ValueError("action index out of range")
+        rows = np.arange(self.num_parameters)
+        return self._log_probs[rows, actions].sum()
+
+    def entropy(self) -> Tensor:
+        """Total entropy (sum of per-parameter entropies)."""
+        probs = Tensor(self.probs)
+        return -(probs * self._log_probs).sum()
+
+    def kl_divergence(self, other: "MultiCategorical") -> float:
+        """KL(self || other), summed over parameters (detached diagnostic)."""
+        p = self.probs
+        log_p = self._log_probs.data
+        log_q = other._log_probs.data
+        return float((p * (log_p - log_q)).sum())

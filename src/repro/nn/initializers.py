@@ -1,0 +1,70 @@
+"""Weight initialization schemes used by the policy/value networks.
+
+The paper trains small networks (a few fully connected and graph layers), so
+initialization quality matters for stable PPO training.  We provide the
+standard Glorot/Xavier and He schemes plus an orthogonal initializer, which
+is the common choice for actor-critic output heads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+def xavier_uniform(fan_in: int, fan_out: int, rng: np.random.Generator, gain: float = 1.0) -> Tensor:
+    """Glorot/Xavier uniform initialization for a ``(fan_in, fan_out)`` matrix."""
+    limit = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    data = rng.uniform(-limit, limit, size=(fan_in, fan_out))
+    return Tensor(data, requires_grad=True)
+
+
+def he_normal(fan_in: int, fan_out: int, rng: np.random.Generator) -> Tensor:
+    """He (Kaiming) normal initialization, appropriate for ReLU layers."""
+    std = np.sqrt(2.0 / fan_in)
+    data = rng.normal(0.0, std, size=(fan_in, fan_out))
+    return Tensor(data, requires_grad=True)
+
+
+def orthogonal(fan_in: int, fan_out: int, rng: np.random.Generator, gain: float = 1.0) -> Tensor:
+    """Orthogonal initialization (rows/columns orthonormal, scaled by ``gain``)."""
+    normal = rng.normal(0.0, 1.0, size=(fan_in, fan_out))
+    # QR on the taller orientation so Q has orthonormal columns.
+    if fan_in < fan_out:
+        q, r = np.linalg.qr(normal.T)
+        q = q.T
+    else:
+        q, r = np.linalg.qr(normal)
+    # Make the decomposition deterministic in sign.
+    q *= np.sign(np.diag(r))[: min(fan_in, fan_out)].reshape(
+        (1, -1) if fan_in >= fan_out else (-1, 1)
+    )
+    return Tensor(gain * q[:fan_in, :fan_out], requires_grad=True)
+
+
+def zeros(*shape: int) -> Tensor:
+    """All-zeros trainable tensor (bias initialization)."""
+    return Tensor(np.zeros(shape), requires_grad=True)
+
+
+def constant(value: float, *shape: int) -> Tensor:
+    """Constant-valued trainable tensor."""
+    return Tensor(np.full(shape, float(value)), requires_grad=True)
+
+
+_INITIALIZERS = {
+    "xavier": xavier_uniform,
+    "he": he_normal,
+    "orthogonal": orthogonal,
+}
+
+
+def get_initializer(name: str):
+    """Look up an initializer by name (``xavier``, ``he`` or ``orthogonal``)."""
+    try:
+        return _INITIALIZERS[name]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown initializer '{name}', expected one of {sorted(_INITIALIZERS)}"
+        ) from exc

@@ -1,0 +1,176 @@
+"""Dense layers used across the policy, value, and baseline networks.
+
+The paper's multimodal policy is built from three dense building blocks in
+addition to the graph layers (see :mod:`repro.nn.graph_layers`):
+
+* an FCNN that embeds the desired/intermediate specification vector,
+* final fully connected (FC) layers that merge the graph embedding and the
+  specification embedding, and
+* the actor/critic output heads.
+
+All of these are compositions of :class:`Linear` with activations, which the
+:class:`MLP` convenience class assembles.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.nn.initializers import get_initializer, zeros
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+
+Activation = Callable[[Tensor], Tensor]
+
+
+def identity(x: Tensor) -> Tensor:
+    """No-op activation used for linear output heads."""
+    return x
+
+
+def tanh(x: Tensor) -> Tensor:
+    return x.tanh()
+
+
+def relu(x: Tensor) -> Tensor:
+    return x.relu()
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    return x.sigmoid()
+
+
+_ACTIVATIONS: dict[str, Activation] = {
+    "identity": identity,
+    "linear": identity,
+    "tanh": tanh,
+    "relu": relu,
+    "sigmoid": sigmoid,
+}
+
+
+def get_activation(name: str) -> Activation:
+    """Resolve an activation function from its name."""
+    try:
+        return _ACTIVATIONS[name]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown activation '{name}', expected one of {sorted(_ACTIVATIONS)}"
+        ) from exc
+
+
+class Linear(Module):
+    """Affine layer ``y = x W + b``.
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Input and output dimensionality.
+    rng:
+        Random generator used for weight initialization, so every network in
+        an experiment is reproducible from a single seed.
+    init:
+        Initializer name (``xavier``, ``he``, ``orthogonal``).
+    bias:
+        Whether to learn an additive bias.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator,
+        init: str = "xavier",
+        gain: float = 1.0,
+        bias: bool = True,
+    ) -> None:
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("Linear layer dimensions must be positive")
+        initializer = get_initializer(init)
+        if init == "he":
+            self.weight = initializer(in_features, out_features, rng)
+        else:
+            self.weight = initializer(in_features, out_features, rng, gain=gain)
+        self.use_bias = bias
+        if bias:
+            self.bias = zeros(out_features)
+        self.in_features = in_features
+        self.out_features = out_features
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.use_bias:
+            out = out + self.bias
+        return out
+
+
+class MLP(Module):
+    """Multi-layer perceptron (the paper's "FCNN" and "FC" blocks).
+
+    Parameters
+    ----------
+    layer_sizes:
+        Sequence ``[in, h1, ..., out]`` of layer widths; at least two entries.
+    hidden_activation:
+        Activation between hidden layers (paper uses ``tanh``).
+    output_activation:
+        Activation after the last layer (``identity`` for logits/values).
+    """
+
+    def __init__(
+        self,
+        layer_sizes: Sequence[int],
+        rng: np.random.Generator,
+        hidden_activation: str = "tanh",
+        output_activation: str = "identity",
+        init: str = "xavier",
+        output_gain: Optional[float] = None,
+    ) -> None:
+        super().__init__()
+        if len(layer_sizes) < 2:
+            raise ValueError("MLP requires at least an input and an output size")
+        self.layer_sizes = tuple(int(s) for s in layer_sizes)
+        self.hidden_activation = get_activation(hidden_activation)
+        self.output_activation = get_activation(output_activation)
+        self.layers: list[Linear] = []
+        for index, (fan_in, fan_out) in enumerate(zip(self.layer_sizes[:-1], self.layer_sizes[1:])):
+            is_last = index == len(self.layer_sizes) - 2
+            gain = output_gain if (is_last and output_gain is not None) else 1.0
+            layer = Linear(fan_in, fan_out, rng, init=init, gain=gain)
+            self.layers.append(layer)
+            self.register_module(f"layer_{index}", layer)
+
+    @property
+    def in_features(self) -> int:
+        return self.layer_sizes[0]
+
+    @property
+    def out_features(self) -> int:
+        return self.layer_sizes[-1]
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x
+        for index, layer in enumerate(self.layers):
+            out = layer(out)
+            if index < len(self.layers) - 1:
+                out = self.hidden_activation(out)
+        return self.output_activation(out)
+
+
+class Sequential(Module):
+    """Apply child modules in order (used to compose custom trunks)."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self.children_list = list(modules)
+        for index, module in enumerate(modules):
+            self.register_module(f"module_{index}", module)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x
+        for module in self.children_list:
+            out = module(out)
+        return out

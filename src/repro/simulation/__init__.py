@@ -1,0 +1,48 @@
+"""Simulation substrate: technology models, a mini-SPICE, and circuit evaluators.
+
+This package replaces the proprietary simulators the paper relies on
+(Cadence Spectre for the op-amp, Keysight ADS harmonic balance for the RF PA)
+with from-scratch equivalents:
+
+* :mod:`repro.simulation.mna` — a modified-nodal-analysis DC/AC engine,
+* :mod:`repro.simulation.opamp_sim` — the two-stage op-amp evaluator,
+* :mod:`repro.simulation.pa_sim` — fine (HB-like) and coarse (DC-estimate)
+  RF PA evaluators used by the transfer-learning workflow.
+"""
+
+from repro.simulation.base import CircuitSimulator, SimulationResult
+from repro.simulation.gan_hemt import GanHemtModel, GanOperatingPoint
+from repro.simulation.mna import AcSolution, ConvergenceError, DcSolution, MnaCircuit
+from repro.simulation.mosfet import MosfetModel, OperatingPoint, Region
+from repro.simulation.opamp_sim import OpAmpOperatingPoint, OpAmpSimulator
+from repro.simulation.pa_sim import (
+    DriverChainResult,
+    PaOperatingPoint,
+    RfPaCoarseSimulator,
+    RfPaFineSimulator,
+)
+from repro.simulation.technology import CMOS_45NM, GAN_150NM, CmosTechnology, GanTechnology
+
+__all__ = [
+    "AcSolution",
+    "CMOS_45NM",
+    "CircuitSimulator",
+    "CmosTechnology",
+    "ConvergenceError",
+    "DcSolution",
+    "DriverChainResult",
+    "GAN_150NM",
+    "GanHemtModel",
+    "GanOperatingPoint",
+    "GanTechnology",
+    "MnaCircuit",
+    "MosfetModel",
+    "OpAmpOperatingPoint",
+    "OpAmpSimulator",
+    "OperatingPoint",
+    "PaOperatingPoint",
+    "Region",
+    "RfPaCoarseSimulator",
+    "RfPaFineSimulator",
+    "SimulationResult",
+]

@@ -1,0 +1,57 @@
+"""Common simulator interface shared by every circuit evaluator.
+
+The RL environment (Fig. 2 of the paper) only ever asks the simulator one
+question: "given the current netlist, what are the intermediate
+specifications?".  :class:`CircuitSimulator` fixes that contract so the
+environment, the optimization baselines and the experiment harness can use
+the analytical op-amp evaluator, the harmonic-balance-like PA evaluator and
+the coarse PA evaluator interchangeably — including the coarse→fine swap at
+the heart of the transfer-learning contribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Protocol
+
+from repro.circuits.netlist import Netlist
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulation call.
+
+    Attributes
+    ----------
+    specs:
+        Measured intermediate specifications keyed by specification name
+        (matching the circuit's :class:`~repro.circuits.specs.SpecificationSpace`).
+    details:
+        Additional operating-point information (currents, pole locations,
+        conduction angle, …) useful for debugging and for reports.
+    valid:
+        False when the operating point is degenerate (e.g. a device is cut
+        off so the amplifier has no gain); environments translate this into a
+        strongly negative reward rather than crashing.
+    """
+
+    specs: Dict[str, float]
+    details: Dict[str, float] = field(default_factory=dict)
+    valid: bool = True
+
+    def spec(self, name: str) -> float:
+        try:
+            return self.specs[name]
+        except KeyError as exc:
+            raise KeyError(f"simulation result has no spec '{name}'") from exc
+
+
+class CircuitSimulator(Protocol):
+    """Anything that can evaluate a netlist into intermediate specifications."""
+
+    #: Human-readable simulator name (shown in experiment reports).
+    name: str
+
+    def simulate(self, netlist: Netlist) -> SimulationResult:
+        """Evaluate the netlist and return the measured specifications."""
+        ...

@@ -1,0 +1,491 @@
+"""Modified nodal analysis (MNA) engine — the repository's mini-SPICE.
+
+The paper's design environment invokes Cadence Spectre for AC/DC analysis of
+the op-amp.  This module provides the equivalent substrate: a small circuit
+simulator supporting
+
+* **DC operating-point analysis** with Newton–Raphson iteration over
+  nonlinear square-law MOSFETs (linear elements are stamped directly), and
+* **AC small-signal analysis** over a frequency sweep with complex phasor
+  solves, including linearized MOSFETs, resistors, capacitors, inductors,
+  controlled sources and independent sources.
+
+The engine is deliberately dense-matrix based: analog cells have tens of
+nodes, so ``numpy.linalg.solve`` on a ``(n+m) × (n+m)`` system is both simple
+and fast.  It is used to validate the analytical op-amp evaluator
+(:mod:`repro.simulation.opamp_sim`) and in its own unit tests against
+closed-form circuit theory results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.simulation.mosfet import MosfetModel
+
+#: Net names treated as the global reference node.
+GROUND_NAMES = ("0", "gnd", "vgnd", "ground")
+
+
+class ConvergenceError(RuntimeError):
+    """Raised when the Newton iteration fails to converge."""
+
+
+@dataclass
+class _Resistor:
+    name: str
+    n1: str
+    n2: str
+    value: float
+
+
+@dataclass
+class _Capacitor:
+    name: str
+    n1: str
+    n2: str
+    value: float
+
+
+@dataclass
+class _Inductor:
+    name: str
+    n1: str
+    n2: str
+    value: float
+
+
+@dataclass
+class _VoltageSource:
+    name: str
+    n_plus: str
+    n_minus: str
+    dc: float
+    ac: float
+
+
+@dataclass
+class _CurrentSource:
+    name: str
+    n_plus: str
+    n_minus: str
+    dc: float
+    ac: float
+
+
+@dataclass
+class _Vccs:
+    """Voltage-controlled current source: ``i(out+ -> out-) = gm * v(in+, in-)``."""
+
+    name: str
+    out_plus: str
+    out_minus: str
+    in_plus: str
+    in_minus: str
+    gm: float
+
+
+@dataclass
+class _Mosfet:
+    name: str
+    drain: str
+    gate: str
+    source: str
+    model: MosfetModel
+
+
+@dataclass
+class DcSolution:
+    """Result of a DC operating-point analysis."""
+
+    node_voltages: Dict[str, float]
+    source_currents: Dict[str, float]
+    iterations: int
+
+    def voltage(self, node: str) -> float:
+        if node.lower() in GROUND_NAMES:
+            return 0.0
+        return self.node_voltages[node]
+
+
+@dataclass
+class AcSolution:
+    """Result of an AC sweep: complex node voltages per frequency."""
+
+    frequencies: np.ndarray
+    node_voltages: Dict[str, np.ndarray]
+
+    def voltage(self, node: str) -> np.ndarray:
+        if node.lower() in GROUND_NAMES:
+            return np.zeros_like(self.frequencies, dtype=np.complex128)
+        return self.node_voltages[node]
+
+    def transfer(self, output_node: str, input_node: str) -> np.ndarray:
+        """Complex transfer function V(out)/V(in) over the sweep."""
+        vin = self.voltage(input_node)
+        vout = self.voltage(output_node)
+        return vout / vin
+
+    def magnitude_db(self, node: str) -> np.ndarray:
+        return 20.0 * np.log10(np.abs(self.voltage(node)) + 1e-300)
+
+
+class MnaCircuit:
+    """A circuit assembled element by element and solved with MNA."""
+
+    def __init__(self, name: str = "circuit") -> None:
+        self.name = name
+        self._resistors: List[_Resistor] = []
+        self._capacitors: List[_Capacitor] = []
+        self._inductors: List[_Inductor] = []
+        self._vsources: List[_VoltageSource] = []
+        self._isources: List[_CurrentSource] = []
+        self._vccs: List[_Vccs] = []
+        self._mosfets: List[_Mosfet] = []
+        self._names: set[str] = set()
+
+    # ------------------------------------------------------------------
+    # Element construction
+    # ------------------------------------------------------------------
+    def _register(self, name: str) -> None:
+        if name in self._names:
+            raise ValueError(f"duplicate element name '{name}'")
+        self._names.add(name)
+
+    def add_resistor(self, name: str, n1: str, n2: str, value: float) -> None:
+        if value <= 0:
+            raise ValueError(f"resistor {name} must have positive resistance")
+        self._register(name)
+        self._resistors.append(_Resistor(name, n1, n2, float(value)))
+
+    def add_capacitor(self, name: str, n1: str, n2: str, value: float) -> None:
+        if value <= 0:
+            raise ValueError(f"capacitor {name} must have positive capacitance")
+        self._register(name)
+        self._capacitors.append(_Capacitor(name, n1, n2, float(value)))
+
+    def add_inductor(self, name: str, n1: str, n2: str, value: float) -> None:
+        if value <= 0:
+            raise ValueError(f"inductor {name} must have positive inductance")
+        self._register(name)
+        self._inductors.append(_Inductor(name, n1, n2, float(value)))
+
+    def add_voltage_source(self, name: str, n_plus: str, n_minus: str, dc: float = 0.0,
+                           ac: float = 0.0) -> None:
+        self._register(name)
+        self._vsources.append(_VoltageSource(name, n_plus, n_minus, float(dc), float(ac)))
+
+    def add_current_source(self, name: str, n_plus: str, n_minus: str, dc: float = 0.0,
+                           ac: float = 0.0) -> None:
+        self._register(name)
+        self._isources.append(_CurrentSource(name, n_plus, n_minus, float(dc), float(ac)))
+
+    def add_vccs(self, name: str, out_plus: str, out_minus: str, in_plus: str, in_minus: str,
+                 gm: float) -> None:
+        self._register(name)
+        self._vccs.append(_Vccs(name, out_plus, out_minus, in_plus, in_minus, float(gm)))
+
+    def add_mosfet(self, name: str, drain: str, gate: str, source: str, model: MosfetModel) -> None:
+        self._register(name)
+        self._mosfets.append(_Mosfet(name, drain, gate, source, model))
+
+    # ------------------------------------------------------------------
+    # Node bookkeeping
+    # ------------------------------------------------------------------
+    def _collect_nodes(self) -> List[str]:
+        nodes: Dict[str, None] = {}
+        def visit(net: str) -> None:
+            if net.lower() not in GROUND_NAMES:
+                nodes.setdefault(net, None)
+
+        for r in self._resistors:
+            visit(r.n1), visit(r.n2)
+        for c in self._capacitors:
+            visit(c.n1), visit(c.n2)
+        for l in self._inductors:
+            visit(l.n1), visit(l.n2)
+        for v in self._vsources:
+            visit(v.n_plus), visit(v.n_minus)
+        for i in self._isources:
+            visit(i.n_plus), visit(i.n_minus)
+        for g in self._vccs:
+            visit(g.out_plus), visit(g.out_minus), visit(g.in_plus), visit(g.in_minus)
+        for m in self._mosfets:
+            visit(m.drain), visit(m.gate), visit(m.source)
+        return list(nodes)
+
+    @property
+    def node_names(self) -> List[str]:
+        return self._collect_nodes()
+
+    # ------------------------------------------------------------------
+    # DC analysis
+    # ------------------------------------------------------------------
+    def dc_operating_point(
+        self,
+        max_iterations: int = 200,
+        tolerance: float = 1e-9,
+        initial_guess: Optional[Dict[str, float]] = None,
+        damping: float = 1.0,
+        max_voltage_step: float = 0.3,
+    ) -> DcSolution:
+        """Solve the nonlinear DC operating point with Newton–Raphson.
+
+        Capacitors are open and inductors are shorts (modelled as 0 V
+        sources) at DC.  Each MOSFET is replaced by its companion model —
+        a conductance/current-source linearization around the present
+        voltage estimate — and the resulting linear system is re-solved until
+        the node voltages stop changing.
+        """
+        nodes = self._collect_nodes()
+        index = {node: i for i, node in enumerate(nodes)}
+        num_nodes = len(nodes)
+        # Branch unknowns: every voltage source and every inductor (short).
+        branch_elements: List[Tuple[str, str, str, float]] = [
+            (v.name, v.n_plus, v.n_minus, v.dc) for v in self._vsources
+        ] + [(l.name, l.n1, l.n2, 0.0) for l in self._inductors]
+        num_branches = len(branch_elements)
+        size = num_nodes + num_branches
+
+        def node_idx(net: str) -> Optional[int]:
+            if net.lower() in GROUND_NAMES:
+                return None
+            return index[net]
+
+        voltages = np.zeros(num_nodes)
+        if initial_guess:
+            for net, value in initial_guess.items():
+                if net in index:
+                    voltages[index[net]] = value
+
+        def voltage_of(net: str, vec: np.ndarray) -> float:
+            idx = node_idx(net)
+            return 0.0 if idx is None else float(vec[idx])
+
+        solution = np.zeros(size)
+        solution[:num_nodes] = voltages
+        iterations = 0
+        for iterations in range(1, max_iterations + 1):
+            matrix = np.zeros((size, size))
+            rhs = np.zeros(size)
+
+            def stamp_conductance(n1: str, n2: str, g: float) -> None:
+                i, j = node_idx(n1), node_idx(n2)
+                if i is not None:
+                    matrix[i, i] += g
+                if j is not None:
+                    matrix[j, j] += g
+                if i is not None and j is not None:
+                    matrix[i, j] -= g
+                    matrix[j, i] -= g
+
+            def stamp_current(n_plus: str, n_minus: str, current: float) -> None:
+                # Current flows from n_plus through the source to n_minus
+                # (i.e. it is injected into n_minus and drawn from n_plus).
+                i, j = node_idx(n_plus), node_idx(n_minus)
+                if i is not None:
+                    rhs[i] -= current
+                if j is not None:
+                    rhs[j] += current
+
+            for r in self._resistors:
+                stamp_conductance(r.n1, r.n2, 1.0 / r.value)
+            for g in self._vccs:
+                self._stamp_vccs(matrix, node_idx, g.out_plus, g.out_minus, g.in_plus, g.in_minus, g.gm)
+            for src in self._isources:
+                stamp_current(src.n_plus, src.n_minus, src.dc)
+
+            # MOSFET companion models.
+            for m in self._mosfets:
+                vg = voltage_of(m.gate, solution)
+                vd = voltage_of(m.drain, solution)
+                vs = voltage_of(m.source, solution)
+                vgs, vds = vg - vs, vd - vs
+                op = m.model.operating_point(vgs, vds)
+                current = m.model.drain_current(vgs, vds)
+                gm, gds = op.gm, max(op.gds, 1e-12)
+                if m.model.polarity == "pmos":
+                    # Orient small-signal conductances the same way as NMOS;
+                    # signs are handled by the equivalent current below.
+                    pass
+                # Companion current source: i_eq = I_D - gm*vgs - gds*vds
+                # (signed drain->source current).
+                i_eq = current - gm * vgs * self._polarity_sign(m) - gds * vds
+                self._stamp_vccs(matrix, node_idx, m.drain, m.source, m.gate, m.source,
+                                 gm * self._polarity_sign(m))
+                stamp_conductance(m.drain, m.source, gds)
+                stamp_current(m.drain, m.source, i_eq)
+
+            # Voltage sources and inductors as branch equations.
+            for branch, (name, n_plus, n_minus, value) in enumerate(branch_elements):
+                row = num_nodes + branch
+                i, j = node_idx(n_plus), node_idx(n_minus)
+                if i is not None:
+                    matrix[i, row] += 1.0
+                    matrix[row, i] += 1.0
+                if j is not None:
+                    matrix[j, row] -= 1.0
+                    matrix[row, j] -= 1.0
+                rhs[row] = value
+
+            try:
+                new_solution = np.linalg.solve(matrix, rhs)
+            except np.linalg.LinAlgError as exc:
+                raise ConvergenceError(f"singular MNA matrix in '{self.name}'") from exc
+            delta = new_solution - solution
+            # Limit per-iteration node-voltage updates (standard SPICE-style
+            # damping) so Newton cannot oscillate across the square-law
+            # region boundaries of high-gain stages.
+            node_delta = delta[:num_nodes]
+            largest = np.max(np.abs(node_delta)) if num_nodes else 0.0
+            if max_voltage_step > 0.0 and largest > max_voltage_step:
+                delta = delta * (max_voltage_step / largest)
+            solution = solution + damping * delta
+            if np.max(np.abs(delta[:num_nodes])) < tolerance:
+                break
+        else:
+            raise ConvergenceError(
+                f"DC analysis of '{self.name}' did not converge in {max_iterations} iterations"
+            )
+
+        node_voltages = {node: float(solution[index[node]]) for node in nodes}
+        source_currents = {
+            name: float(solution[num_nodes + k])
+            for k, (name, _, _, _) in enumerate(branch_elements)
+        }
+        return DcSolution(node_voltages=node_voltages, source_currents=source_currents,
+                          iterations=iterations)
+
+    @staticmethod
+    def _polarity_sign(mosfet: _Mosfet) -> float:
+        """Sign applied to gm stamps: drain current decreases with vgs for PMOS."""
+        return 1.0 if mosfet.model.polarity == "nmos" else 1.0
+
+    @staticmethod
+    def _stamp_vccs(matrix: np.ndarray, node_idx, out_plus: str, out_minus: str,
+                    in_plus: str, in_minus: str, gm: float) -> None:
+        op, om = node_idx(out_plus), node_idx(out_minus)
+        ip, im = node_idx(in_plus), node_idx(in_minus)
+        for out_node, out_sign in ((op, 1.0), (om, -1.0)):
+            if out_node is None:
+                continue
+            for in_node, in_sign in ((ip, 1.0), (im, -1.0)):
+                if in_node is None:
+                    continue
+                matrix[out_node, in_node] += out_sign * in_sign * gm
+
+    # ------------------------------------------------------------------
+    # AC analysis
+    # ------------------------------------------------------------------
+    def ac_analysis(
+        self,
+        frequencies: Sequence[float],
+        operating_point: Optional[DcSolution] = None,
+    ) -> AcSolution:
+        """Small-signal frequency sweep.
+
+        Every MOSFET is linearized around ``operating_point`` (which is
+        computed on the fly if not supplied and any MOSFET is present).
+        Independent sources contribute their ``ac`` amplitude; DC values are
+        zeroed as usual for small-signal analysis.
+        """
+        frequencies = np.asarray(list(frequencies), dtype=np.float64)
+        if frequencies.ndim != 1 or frequencies.size == 0:
+            raise ValueError("frequencies must be a non-empty 1-D sequence")
+        if np.any(frequencies <= 0):
+            raise ValueError("AC analysis requires positive frequencies")
+
+        if self._mosfets and operating_point is None:
+            operating_point = self.dc_operating_point()
+
+        nodes = self._collect_nodes()
+        index = {node: i for i, node in enumerate(nodes)}
+        num_nodes = len(nodes)
+        branch_elements = [(v.name, v.n_plus, v.n_minus, v.ac) for v in self._vsources]
+        num_vsrc = len(branch_elements)
+        inductor_branches = [(l.name, l.n1, l.n2, l.value) for l in self._inductors]
+        size = num_nodes + num_vsrc + len(inductor_branches)
+
+        def node_idx(net: str) -> Optional[int]:
+            if net.lower() in GROUND_NAMES:
+                return None
+            return index[net]
+
+        # Pre-compute linearized MOSFET parameters.
+        linearized: List[Tuple[_Mosfet, float, float]] = []
+        for m in self._mosfets:
+            assert operating_point is not None
+            vg = operating_point.voltage(m.gate)
+            vd = operating_point.voltage(m.drain)
+            vs = operating_point.voltage(m.source)
+            op = m.model.operating_point(vg - vs, vd - vs)
+            linearized.append((m, op.gm, max(op.gds, 1e-12)))
+
+        results = {node: np.zeros(frequencies.size, dtype=np.complex128) for node in nodes}
+        for f_index, frequency in enumerate(frequencies):
+            omega = 2.0 * np.pi * frequency
+            matrix = np.zeros((size, size), dtype=np.complex128)
+            rhs = np.zeros(size, dtype=np.complex128)
+
+            def stamp_admittance(n1: str, n2: str, y: complex) -> None:
+                i, j = node_idx(n1), node_idx(n2)
+                if i is not None:
+                    matrix[i, i] += y
+                if j is not None:
+                    matrix[j, j] += y
+                if i is not None and j is not None:
+                    matrix[i, j] -= y
+                    matrix[j, i] -= y
+
+            for r in self._resistors:
+                stamp_admittance(r.n1, r.n2, 1.0 / r.value)
+            for c in self._capacitors:
+                stamp_admittance(c.n1, c.n2, 1j * omega * c.value)
+            for g in self._vccs:
+                self._stamp_vccs(matrix, node_idx, g.out_plus, g.out_minus, g.in_plus,
+                                 g.in_minus, g.gm)
+            for m, gm, gds in linearized:
+                self._stamp_vccs(matrix, node_idx, m.drain, m.source, m.gate, m.source, gm)
+                stamp_admittance(m.drain, m.source, gds)
+            for src in self._isources:
+                i, j = node_idx(src.n_plus), node_idx(src.n_minus)
+                if i is not None:
+                    rhs[i] -= src.ac
+                if j is not None:
+                    rhs[j] += src.ac
+
+            for branch, (name, n_plus, n_minus, ac_value) in enumerate(branch_elements):
+                row = num_nodes + branch
+                i, j = node_idx(n_plus), node_idx(n_minus)
+                if i is not None:
+                    matrix[i, row] += 1.0
+                    matrix[row, i] += 1.0
+                if j is not None:
+                    matrix[j, row] -= 1.0
+                    matrix[row, j] -= 1.0
+                rhs[row] = ac_value
+
+            for branch, (name, n1, n2, value) in enumerate(inductor_branches):
+                row = num_nodes + num_vsrc + branch
+                i, j = node_idx(n1), node_idx(n2)
+                if i is not None:
+                    matrix[i, row] += 1.0
+                    matrix[row, i] += 1.0
+                if j is not None:
+                    matrix[j, row] -= 1.0
+                    matrix[row, j] -= 1.0
+                matrix[row, row] -= 1j * omega * value
+
+            try:
+                solution = np.linalg.solve(matrix, rhs)
+            except np.linalg.LinAlgError as exc:
+                raise ConvergenceError(
+                    f"singular AC MNA matrix in '{self.name}' at f={frequency:.3g} Hz"
+                ) from exc
+            for node, i in index.items():
+                results[node][f_index] = solution[i]
+
+        return AcSolution(frequencies=frequencies, node_voltages=results)

@@ -1,0 +1,299 @@
+"""Two-stage op-amp performance evaluator (the "Cadence Spectre" substitute).
+
+The paper's environment runs AC and DC Spectre simulations of the Fig. 2
+two-stage op-amp at every RL step to obtain the intermediate specifications
+(gain, bandwidth, phase margin, power).  This module reproduces that loop
+with a calibrated analytical evaluator built on the square-law device model:
+
+1. **DC**: the bias voltage fixes the overdrive of the tail device ``M5`` and
+   the output current sink ``M7``; their geometries therefore set the first-
+   and second-stage bias currents, hence the static power.
+2. **AC**: the classic Miller-compensated two-stage small-signal model gives
+   the low-frequency gain ``gm1 (ro2‖ro4) · gm6 (ro6‖ro7)``, the unity-gain
+   bandwidth ``gm1 / (2π C_c)``, and the phase margin from the output pole
+   ``gm6 / (2π C_L)`` and the right-half-plane zero ``gm6 / (2π C_c)``.
+
+Two evaluation paths are provided:
+
+* ``method="analytic"`` (default) — closed-form expressions above; this is
+  what the RL environment uses (sub-millisecond per call, mirroring the
+  "tens of milliseconds" Spectre AC/DC runs in the paper).
+* ``method="mna"`` — builds the small-signal equivalent circuit and sweeps it
+  with the :mod:`repro.simulation.mna` engine, extracting gain, unity-gain
+  frequency and phase margin numerically.  Used to validate the analytic
+  path (see ``tests/simulation/test_opamp_mna_crosscheck.py``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.circuits.netlist import Netlist
+from repro.simulation.base import SimulationResult
+from repro.simulation.mna import MnaCircuit
+from repro.simulation.mosfet import MosfetModel
+from repro.simulation.technology import CMOS_45NM, CmosTechnology
+
+
+def _parallel(r1: float, r2: float) -> float:
+    if math.isinf(r1):
+        return r2
+    if math.isinf(r2):
+        return r1
+    return (r1 * r2) / (r1 + r2)
+
+
+@dataclass
+class OpAmpOperatingPoint:
+    """Intermediate analog quantities exposed for debugging and tests."""
+
+    tail_current: float
+    second_stage_current: float
+    gm1: float
+    gm6: float
+    first_stage_resistance: float
+    second_stage_resistance: float
+    first_stage_gain: float
+    second_stage_gain: float
+    dominant_pole_hz: float
+    output_pole_hz: float
+    zero_hz: float
+    unity_gain_bandwidth_hz: float
+    phase_margin_deg: float
+    power_w: float
+
+
+class OpAmpSimulator:
+    """Evaluate the two-stage op-amp netlist into its four specifications."""
+
+    name = "opamp_analytic"
+
+    def __init__(
+        self,
+        technology: CmosTechnology = CMOS_45NM,
+        method: str = "analytic",
+        bias_overhead_current: float = 2e-6,
+    ) -> None:
+        if method not in {"analytic", "mna"}:
+            raise ValueError("method must be 'analytic' or 'mna'")
+        self.technology = technology
+        self.method = method
+        #: Fixed bias-generation overhead added to the supply current (A);
+        #: keeps the power figure strictly positive even for minimum sizing.
+        self.bias_overhead_current = bias_overhead_current
+        self.name = f"opamp_{method}"
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def simulate(self, netlist: Netlist) -> SimulationResult:
+        """Return gain, bandwidth (Hz), phase margin (deg) and power (W)."""
+        op = self.operating_point(netlist)
+        if self.method == "mna":
+            gain, bandwidth, phase_margin = self._mna_frequency_response(netlist, op)
+        else:
+            gain = op.first_stage_gain * op.second_stage_gain
+            bandwidth = op.unity_gain_bandwidth_hz
+            phase_margin = op.phase_margin_deg
+        valid = op.tail_current > 0.0 and op.second_stage_current > 0.0 and gain > 1.0
+        specs = {
+            "gain": float(gain),
+            "bandwidth": float(bandwidth),
+            "phase_margin": float(phase_margin),
+            "power": float(op.power_w),
+        }
+        details = {
+            "tail_current": op.tail_current,
+            "second_stage_current": op.second_stage_current,
+            "gm1": op.gm1,
+            "gm6": op.gm6,
+            "dominant_pole_hz": op.dominant_pole_hz,
+            "output_pole_hz": op.output_pole_hz,
+            "zero_hz": op.zero_hz,
+            "first_stage_gain": op.first_stage_gain,
+            "second_stage_gain": op.second_stage_gain,
+        }
+        return SimulationResult(specs=specs, details=details, valid=valid)
+
+    # ------------------------------------------------------------------
+    # DC + small-signal operating point
+    # ------------------------------------------------------------------
+    def operating_point(self, netlist: Netlist) -> OpAmpOperatingPoint:
+        """Compute bias currents, small-signal parameters and poles."""
+        tech = self.technology
+        models = {
+            name: MosfetModel(
+                tech,
+                "pmos" if name in ("M3", "M4", "M6") else "nmos",
+                netlist.get_parameter(name, "width"),
+                netlist.get_parameter(name, "fingers"),
+            )
+            for name in ("M1", "M2", "M3", "M4", "M5", "M6", "M7")
+        }
+        supply_voltage = netlist.get_parameter("VP", "voltage")
+        bias_voltage = netlist.get_parameter("VBIAS", "voltage")
+        compensation_cap = netlist.get_parameter("CC", "value")
+        load_cap = netlist.get_parameter("CL", "value")
+
+        # --- DC bias ---------------------------------------------------
+        overdrive = bias_voltage - tech.vth_n
+        tail_current = models["M5"].saturation_current(overdrive)
+        second_stage_current = models["M7"].saturation_current(overdrive)
+        branch_current = tail_current / 2.0
+        power = supply_voltage * (
+            tail_current + second_stage_current + self.bias_overhead_current
+        )
+
+        # --- First stage ------------------------------------------------
+        gm1 = models["M1"].gm_at_current(branch_current)
+        r_first = _parallel(
+            models["M2"].ro_at_current(branch_current),
+            models["M4"].ro_at_current(branch_current),
+        )
+        gain_first = gm1 * r_first if math.isfinite(r_first) else 0.0
+
+        # --- Second stage -------------------------------------------------
+        gm6 = models["M6"].gm_at_current(second_stage_current)
+        r_second = _parallel(
+            models["M6"].ro_at_current(second_stage_current),
+            models["M7"].ro_at_current(second_stage_current),
+        )
+        gain_second = gm6 * r_second if math.isfinite(r_second) else 0.0
+
+        # --- Frequency response -------------------------------------------
+        # Parasitic capacitance at the first-stage output is dominated by the
+        # gate of M6.
+        first_stage_cap = models["M6"].gate_capacitance() + 10e-15
+        total_output_cap = load_cap + 20e-15
+        miller_cap = compensation_cap
+
+        if gain_second > 0.0 and r_first > 0.0:
+            dominant_pole = 1.0 / (
+                2.0 * math.pi * r_first * (first_stage_cap + miller_cap * (1.0 + gain_second))
+            )
+        else:
+            dominant_pole = 0.0
+        if gm6 > 0.0:
+            denominator = (
+                first_stage_cap * total_output_cap
+                + miller_cap * (first_stage_cap + total_output_cap)
+            )
+            output_pole = gm6 * miller_cap / (2.0 * math.pi * denominator)
+            zero = gm6 / (2.0 * math.pi * miller_cap)
+        else:
+            output_pole = 0.0
+            zero = 0.0
+        unity_gain_bandwidth = gm1 / (2.0 * math.pi * miller_cap) if miller_cap > 0 else 0.0
+
+        phase_margin = self._phase_margin(
+            unity_gain_bandwidth, dominant_pole, output_pole, zero,
+            dc_gain=gain_first * gain_second,
+        )
+
+        return OpAmpOperatingPoint(
+            tail_current=tail_current,
+            second_stage_current=second_stage_current,
+            gm1=gm1,
+            gm6=gm6,
+            first_stage_resistance=r_first,
+            second_stage_resistance=r_second,
+            first_stage_gain=gain_first,
+            second_stage_gain=gain_second,
+            dominant_pole_hz=dominant_pole,
+            output_pole_hz=output_pole,
+            zero_hz=zero,
+            unity_gain_bandwidth_hz=unity_gain_bandwidth,
+            phase_margin_deg=phase_margin,
+            power_w=power,
+        )
+
+    @staticmethod
+    def _phase_margin(
+        unity_freq: float,
+        dominant_pole: float,
+        output_pole: float,
+        zero: float,
+        dc_gain: float,
+    ) -> float:
+        """Phase margin (degrees) from the two-pole-one-zero response."""
+        if unity_freq <= 0.0 or dc_gain <= 1.0 or dominant_pole <= 0.0:
+            return 0.0
+        phase = -math.degrees(math.atan2(unity_freq, dominant_pole))
+        if output_pole > 0.0:
+            phase -= math.degrees(math.atan2(unity_freq, output_pole))
+        if zero > 0.0:
+            # Right-half-plane zero: adds phase lag like a pole.
+            phase -= math.degrees(math.atan2(unity_freq, zero))
+        margin = 180.0 + phase
+        return float(np.clip(margin, 0.0, 180.0))
+
+    # ------------------------------------------------------------------
+    # Small-signal MNA cross-check
+    # ------------------------------------------------------------------
+    def build_small_signal_circuit(self, netlist: Netlist,
+                                   op: Optional[OpAmpOperatingPoint] = None) -> MnaCircuit:
+        """Assemble the two-stage small-signal equivalent as an MNA circuit.
+
+        Nodes: ``in`` (differential input), ``mid`` (first-stage output),
+        ``out`` (amplifier output).  Stage transconductances and output
+        resistances come from the analytical operating point so that both
+        paths share the same DC linearization and only the frequency response
+        is cross-checked.
+        """
+        op = op or self.operating_point(netlist)
+        compensation_cap = netlist.get_parameter("CC", "value")
+        load_cap = netlist.get_parameter("CL", "value")
+        first_stage_cap = 10e-15 + MosfetModel(
+            self.technology, "pmos",
+            netlist.get_parameter("M6", "width"), netlist.get_parameter("M6", "fingers"),
+        ).gate_capacitance()
+
+        circuit = MnaCircuit("opamp_small_signal")
+        circuit.add_voltage_source("VIN", "in", "0", dc=0.0, ac=1.0)
+        # First stage: gm1 from input into the mid node.
+        circuit.add_vccs("GM1", "mid", "0", "in", "0", gm=-op.gm1)
+        circuit.add_resistor("R1", "mid", "0", max(op.first_stage_resistance, 1.0))
+        circuit.add_capacitor("C1", "mid", "0", max(first_stage_cap, 1e-18))
+        # Second stage: gm6 from mid into the output node.
+        circuit.add_vccs("GM6", "out", "0", "mid", "0", gm=op.gm6)
+        circuit.add_resistor("R2", "out", "0", max(op.second_stage_resistance, 1.0))
+        circuit.add_capacitor("CL", "out", "0", max(load_cap + 20e-15, 1e-18))
+        # Miller compensation across the second stage.
+        circuit.add_capacitor("CC", "mid", "out", max(compensation_cap, 1e-18))
+        return circuit
+
+    def _mna_frequency_response(
+        self, netlist: Netlist, op: OpAmpOperatingPoint
+    ) -> tuple[float, float, float]:
+        """Gain, unity-gain bandwidth and phase margin from an MNA AC sweep."""
+        circuit = self.build_small_signal_circuit(netlist, op)
+        frequencies = np.logspace(1, 11, 401)
+        solution = circuit.ac_analysis(frequencies)
+        response = solution.voltage("out")
+        magnitude = np.abs(response)
+        gain = float(magnitude[0])
+        # Unity-gain crossing by log interpolation.
+        above = magnitude >= 1.0
+        if not above.any() or above.all():
+            unity_freq = float(frequencies[-1] if above.all() else 0.0)
+            phase_margin = 0.0
+        else:
+            last_above = int(np.nonzero(above)[0][-1])
+            if last_above + 1 >= magnitude.size:
+                unity_freq = float(frequencies[-1])
+            else:
+                f_lo, f_hi = frequencies[last_above], frequencies[last_above + 1]
+                m_lo, m_hi = magnitude[last_above], magnitude[last_above + 1]
+                # Interpolate log(f) against log(m) for the |H| = 1 crossing.
+                weight = np.log(m_lo) / (np.log(m_lo) - np.log(m_hi))
+                unity_freq = float(np.exp(np.log(f_lo) + weight * (np.log(f_hi) - np.log(f_lo))))
+            phase = np.unwrap(np.angle(response))
+            phase_at_unity = float(np.interp(np.log(unity_freq), np.log(frequencies), phase))
+            reference_phase = float(phase[0])
+            phase_margin = 180.0 + math.degrees(phase_at_unity - reference_phase)
+            phase_margin = float(np.clip(phase_margin, 0.0, 180.0))
+        return gain, unity_freq, phase_margin

@@ -1,0 +1,141 @@
+"""Technology constants for the two implementation technologies in Table 1.
+
+The paper sizes the two-stage op-amp in a 45 nm CMOS process and the RF PA in
+a 150 nm GaN process, characterized with Cadence Spectre / Keysight ADS
+foundry models.  Those models are proprietary, so this module defines
+behavioural process constants (square-law CMOS, saturating GaN HEMT) that are
+calibrated so the Table 1 specification sampling spaces are reachable inside
+the Table 1 design spaces.  Absolute accuracy is not the goal — preserving
+the monotone parameter→specification relationships that the RL agent must
+learn is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CmosTechnology:
+    """Square-law CMOS process constants.
+
+    Attributes
+    ----------
+    name:
+        Process label.
+    kp_n, kp_p:
+        Process transconductance ``µ Cox`` of NMOS/PMOS devices (A/V²).
+    vth_n, vth_p:
+        Threshold voltages (V); ``vth_p`` is the magnitude.
+    lambda_n, lambda_p:
+        Channel-length-modulation coefficients (1/V).  Deliberately large to
+        reflect the low intrinsic gain of a short-channel process, which is
+        what makes the 300–500 V/V gain spec of Table 1 a binding constraint.
+    l_ref:
+        Effective channel length used in the W/L strength ratio (m).
+    supply_voltage:
+        Nominal supply (V).
+    cox_per_area:
+        Gate-oxide capacitance per unit area (F/m²), used for parasitic
+        estimates.
+    """
+
+    name: str
+    kp_n: float
+    kp_p: float
+    vth_n: float
+    vth_p: float
+    lambda_n: float
+    lambda_p: float
+    l_ref: float
+    supply_voltage: float
+    cox_per_area: float
+
+    def strength(self, width: float, fingers: float) -> float:
+        """Device strength ``W_total / L_ref`` (dimensionless W/L ratio)."""
+        if width <= 0 or fingers <= 0:
+            raise ValueError("width and fingers must be positive")
+        return (width * fingers) / self.l_ref
+
+
+@dataclass(frozen=True)
+class GanTechnology:
+    """Behavioural GaN HEMT process constants for the RF PA.
+
+    Attributes
+    ----------
+    name:
+        Process label.
+    vth:
+        Threshold (pinch-off) voltage (V), negative for a depletion-mode HEMT.
+    imax_per_width:
+        Saturated drain-current density (A per metre of total gate width).
+    gm_per_width:
+        Transconductance density (S per metre of total gate width).
+    knee_voltage:
+        Knee voltage below which the drain swing is lost (V).
+    drain_supply:
+        Nominal drain supply of the power stage (V).
+    driver_supply:
+        Supply of the driver chain (V).
+    driver_load_resistance:
+        Drain pull-up resistance of each driver stage (ohm).
+    cgs_per_width:
+        Gate-source capacitance density (F per metre of total gate width);
+        determines how hard each stage must drive the next.
+    rf_frequency:
+        Operating frequency of the PA (Hz) used for drive-impedance
+        calculations.
+    """
+
+    name: str
+    vth: float
+    imax_per_width: float
+    gm_per_width: float
+    knee_voltage: float
+    drain_supply: float
+    driver_supply: float
+    driver_load_resistance: float
+    cgs_per_width: float
+    rf_frequency: float
+
+    def imax(self, width: float, fingers: float) -> float:
+        """Saturation current of a device with the given geometry (A)."""
+        if width <= 0 or fingers <= 0:
+            raise ValueError("width and fingers must be positive")
+        return self.imax_per_width * width * fingers
+
+    def gm(self, width: float, fingers: float) -> float:
+        """Peak transconductance of a device with the given geometry (S)."""
+        if width <= 0 or fingers <= 0:
+            raise ValueError("width and fingers must be positive")
+        return self.gm_per_width * width * fingers
+
+
+#: 45 nm CMOS constants used by the two-stage op-amp benchmark.
+CMOS_45NM = CmosTechnology(
+    name="45nm CMOS",
+    kp_n=300e-6,
+    kp_p=150e-6,
+    vth_n=0.40,
+    vth_p=0.40,
+    lambda_n=0.40,
+    lambda_p=0.50,
+    l_ref=0.45e-6,
+    supply_voltage=1.2,
+    cox_per_area=8e-3,
+)
+
+#: 150 nm GaN constants used by the RF power-amplifier benchmark.
+GAN_150NM = GanTechnology(
+    name="150nm GaN",
+    vth=-3.0,
+    imax_per_width=1000.0,   # 1 A/mm expressed in A/m
+    gm_per_width=350.0,      # 350 mS/mm expressed in S/m
+    knee_voltage=2.0,
+    drain_supply=28.0,
+    driver_supply=8.0,
+    driver_load_resistance=200.0,
+    cgs_per_width=1.0e-9,    # 1 pF/mm expressed in F/m
+    rf_frequency=1.0e9,
+)

@@ -1,0 +1,82 @@
+"""Tests for policy deployment and design-accuracy evaluation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.agents.deployment import deploy_policy, evaluate_deployment
+from repro.agents.policy import make_baseline_a_policy, make_gcn_fc_policy
+from repro.env import make_opamp_env
+
+
+@pytest.fixture
+def env():
+    return make_opamp_env(seed=0, max_steps=10)
+
+
+@pytest.fixture
+def policy(env):
+    return make_gcn_fc_policy(env, np.random.default_rng(0))
+
+
+class TestDeployPolicy:
+    def test_returns_trajectory_and_final_specs(self, env, policy):
+        target = {"gain": 400.0, "bandwidth": 1e7, "phase_margin": 57.0, "power": 2e-3}
+        result = deploy_policy(env, policy, target, rng=np.random.default_rng(0))
+        assert result.target_specs == target
+        assert 1 <= result.steps <= env.max_steps
+        assert result.trajectory.length == result.steps
+        assert set(result.final_specs) == {"gain", "bandwidth", "phase_margin", "power"}
+
+    def test_success_on_trivial_target(self, env, policy):
+        trivial = {"gain": 1.1, "bandwidth": 1.0, "phase_margin": 0.0, "power": 10.0}
+        result = deploy_policy(env, policy, trivial, rng=np.random.default_rng(0))
+        assert result.success
+        assert result.steps == 1
+
+    def test_max_steps_override_is_restored(self, env, policy):
+        target = {"gain": 1e9, "bandwidth": 1e12, "phase_margin": 90.0, "power": 1e-12}
+        result = deploy_policy(env, policy, target, max_steps=3, rng=np.random.default_rng(0))
+        assert result.steps == 3
+        assert env.max_steps == 10
+
+    def test_deterministic_deployment_is_reproducible(self, env, policy):
+        target = {"gain": 400.0, "bandwidth": 1e7, "phase_margin": 57.0, "power": 2e-3}
+        first = deploy_policy(env, policy, target, deterministic=True)
+        second = deploy_policy(env, policy, target, deterministic=True)
+        assert first.steps == second.steps
+        assert first.final_specs == second.final_specs
+
+
+class TestEvaluateDeployment:
+    def test_accuracy_and_steps_statistics(self, env, policy):
+        evaluation = evaluate_deployment(env, policy, num_targets=5, seed=42)
+        assert evaluation.num_targets == 5
+        assert 0.0 <= evaluation.accuracy <= 1.0
+        assert 1.0 <= evaluation.mean_steps <= env.max_steps
+
+    def test_same_seed_gives_same_targets(self, env, policy):
+        first = evaluate_deployment(env, policy, num_targets=4, seed=7)
+        second = evaluate_deployment(env, policy, num_targets=4, seed=7)
+        assert [r.target_specs for r in first.results] == [r.target_specs for r in second.results]
+
+    def test_explicit_target_list(self, env, policy):
+        targets = [
+            {"gain": 1.1, "bandwidth": 1.0, "phase_margin": 0.0, "power": 10.0},
+            {"gain": 1e9, "bandwidth": 1e12, "phase_margin": 90.0, "power": 1e-12},
+        ]
+        evaluation = evaluate_deployment(env, policy, targets=targets)
+        assert evaluation.num_targets == 2
+        assert evaluation.results[0].success
+        assert not evaluation.results[1].success
+        assert evaluation.accuracy == pytest.approx(0.5)
+        assert evaluation.mean_successful_steps == pytest.approx(1.0)
+
+    def test_empty_evaluation_degenerate_values(self):
+        from repro.agents.deployment import DeploymentEvaluation
+
+        empty = DeploymentEvaluation()
+        assert empty.accuracy == 0.0
+        assert empty.mean_steps == 0.0
+        assert np.isnan(empty.mean_successful_steps)

@@ -1,0 +1,102 @@
+"""Tests for the PPO trainer (Algorithm 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.agents.policy import make_baseline_a_policy, make_gcn_fc_policy
+from repro.agents.ppo import PPOConfig, PPOTrainer
+from repro.env import make_opamp_env
+
+
+@pytest.fixture
+def small_trainer():
+    env = make_opamp_env(seed=0, max_steps=8)
+    policy = make_baseline_a_policy(env, np.random.default_rng(0))
+    config = PPOConfig(minibatch_size=16, update_epochs=2)
+    return PPOTrainer(env, policy, config=config, seed=0, method_name="test")
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PPOConfig(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            PPOConfig(clip_epsilon=1.5)
+        with pytest.raises(ValueError):
+            PPOConfig(update_epochs=0)
+
+
+class TestCollection:
+    def test_collect_episodes_fills_buffer(self, small_trainer):
+        buffer = small_trainer.collect_episodes(2)
+        assert len(buffer.episode_rewards()) == 2
+        assert len(buffer) <= 2 * small_trainer.env.max_steps
+        assert all(t.action.shape == (15,) for t in buffer.transitions)
+
+    def test_collect_requires_positive_count(self, small_trainer):
+        with pytest.raises(ValueError):
+            small_trainer.collect_episodes(0)
+
+
+class TestUpdate:
+    def test_update_returns_finite_stats(self, small_trainer):
+        buffer = small_trainer.collect_episodes(2)
+        stats = small_trainer.update(buffer)
+        for key in ("policy_loss", "value_loss", "entropy", "explained_variance"):
+            assert np.isfinite(stats[key])
+        assert stats["entropy"] > 0.0
+
+    def test_update_changes_parameters(self, small_trainer):
+        before = {name: p.data.copy() for name, p in small_trainer.policy.named_parameters()}
+        buffer = small_trainer.collect_episodes(2)
+        small_trainer.update(buffer)
+        changed = any(
+            not np.allclose(before[name], p.data)
+            for name, p in small_trainer.policy.named_parameters()
+        )
+        assert changed
+
+    def test_value_loss_decreases_with_repeated_updates_on_same_buffer(self, small_trainer):
+        buffer = small_trainer.collect_episodes(3)
+        first = small_trainer.update(buffer)["value_loss"]
+        for _ in range(5):
+            last = small_trainer.update(buffer)["value_loss"]
+        assert last < first
+
+
+class TestTrainingLoop:
+    def test_history_records_cover_budget(self, small_trainer):
+        history = small_trainer.train(total_episodes=8, episodes_per_update=4)
+        assert history.records[-1].episodes_seen == 8
+        assert len(history.records) == 2
+        assert np.isfinite(history.final_mean_reward)
+        assert history.circuit == "two_stage_opamp"
+
+    def test_history_series_and_axis(self, small_trainer):
+        history = small_trainer.train(total_episodes=8, episodes_per_update=4)
+        np.testing.assert_array_equal(history.episodes_axis(), [4, 8])
+        assert history.series("mean_episode_reward").shape == (2,)
+
+    def test_eval_interval_populates_accuracy(self):
+        env = make_opamp_env(seed=0, max_steps=5)
+        policy = make_baseline_a_policy(env, np.random.default_rng(0))
+        trainer = PPOTrainer(env, policy, PPOConfig(minibatch_size=16, update_epochs=1), seed=0)
+        history = trainer.train(
+            total_episodes=4, episodes_per_update=2, eval_interval=1, eval_specs=2
+        )
+        accuracies = [r.deployment_accuracy for r in history.records]
+        assert all(a is not None for a in accuracies)
+        assert all(0.0 <= a <= 1.0 for a in accuracies)
+
+    def test_invalid_total_episodes(self, small_trainer):
+        with pytest.raises(ValueError):
+            small_trainer.train(total_episodes=0)
+
+    def test_gcn_policy_trains_end_to_end(self):
+        env = make_opamp_env(seed=1, max_steps=6)
+        policy = make_gcn_fc_policy(env, np.random.default_rng(1))
+        trainer = PPOTrainer(env, policy, PPOConfig(minibatch_size=32, update_epochs=1), seed=1)
+        history = trainer.train(total_episodes=4, episodes_per_update=4)
+        assert len(history.records) == 1

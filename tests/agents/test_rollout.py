@@ -1,0 +1,96 @@
+"""Tests for the rollout buffer and GAE computation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.agents.rollout import RolloutBuffer
+
+
+def make_buffer(rewards, values, dones, gamma=0.9, lam=0.8):
+    buffer = RolloutBuffer(gamma=gamma, gae_lambda=lam)
+    for reward, value, done in zip(rewards, values, dones):
+        buffer.add(observation=None, action=np.array([0]), log_prob=0.0,
+                   value=value, reward=reward, done=done)
+    return buffer
+
+
+class TestValidation:
+    def test_constructor_bounds(self):
+        with pytest.raises(ValueError):
+            RolloutBuffer(gamma=0.0)
+        with pytest.raises(ValueError):
+            RolloutBuffer(gae_lambda=1.5)
+
+    def test_empty_buffer_cannot_compute(self):
+        with pytest.raises(ValueError):
+            RolloutBuffer().compute_returns_and_advantages()
+
+    def test_minibatch_size_validation(self, rng):
+        buffer = make_buffer([1.0], [0.0], [True])
+        with pytest.raises(ValueError):
+            list(buffer.minibatch_indices(rng, 0))
+
+
+class TestGae:
+    def test_single_step_episode(self):
+        """For a one-step episode: advantage = r - V(s), return = r."""
+        buffer = make_buffer(rewards=[2.0], values=[0.5], dones=[True])
+        buffer.compute_returns_and_advantages(normalize=False)
+        np.testing.assert_allclose(buffer.advantages, [1.5])
+        np.testing.assert_allclose(buffer.returns, [2.0])
+
+    def test_two_step_episode_hand_computed(self):
+        gamma, lam = 0.9, 0.8
+        rewards, values = [1.0, 2.0], [0.3, 0.6]
+        buffer = make_buffer(rewards, values, [False, True], gamma=gamma, lam=lam)
+        buffer.compute_returns_and_advantages(normalize=False)
+        delta_1 = rewards[1] - values[1]
+        delta_0 = rewards[0] + gamma * values[1] - values[0]
+        expected_adv_1 = delta_1
+        expected_adv_0 = delta_0 + gamma * lam * expected_adv_1
+        np.testing.assert_allclose(buffer.advantages, [expected_adv_0, expected_adv_1])
+        np.testing.assert_allclose(buffer.returns,
+                                   np.array([expected_adv_0, expected_adv_1]) + values)
+
+    def test_episode_boundary_stops_bootstrapping(self):
+        """The first episode's advantages are unaffected by the second episode."""
+        lone = make_buffer([1.0, 2.0], [0.0, 0.0], [False, True])
+        lone.compute_returns_and_advantages(normalize=False)
+        combined = make_buffer([1.0, 2.0, 100.0], [0.0, 0.0, 0.0], [False, True, True])
+        combined.compute_returns_and_advantages(normalize=False)
+        np.testing.assert_allclose(combined.advantages[:2], lone.advantages)
+
+    def test_normalization_zero_mean_unit_std(self):
+        buffer = make_buffer([1.0, -2.0, 3.0, 0.5], [0.0] * 4, [False, True, False, True])
+        buffer.compute_returns_and_advantages(normalize=True)
+        assert abs(buffer.advantages.mean()) < 1e-9
+        assert buffer.advantages.std() == pytest.approx(1.0, abs=1e-6)
+
+    def test_adding_invalidates_cached_advantages(self):
+        buffer = make_buffer([1.0], [0.0], [True])
+        buffer.compute_returns_and_advantages()
+        buffer.add(None, np.array([0]), 0.0, 0.0, 1.0, True)
+        assert buffer.advantages is None
+
+
+class TestEpisodeStatistics:
+    def test_episode_rewards_and_lengths(self):
+        buffer = make_buffer(
+            rewards=[1.0, 2.0, -1.0, 5.0, 3.0],
+            values=[0.0] * 5,
+            dones=[False, True, False, False, True],
+        )
+        assert buffer.episode_rewards() == [3.0, 7.0]
+        assert buffer.episode_lengths() == [2, 3]
+
+    def test_minibatches_cover_everything_once(self, rng):
+        buffer = make_buffer([1.0] * 10, [0.0] * 10, [False] * 9 + [True])
+        seen = np.concatenate(list(buffer.minibatch_indices(rng, 3)))
+        assert sorted(seen.tolist()) == list(range(10))
+
+    def test_clear(self):
+        buffer = make_buffer([1.0], [0.0], [True])
+        buffer.clear()
+        assert len(buffer) == 0

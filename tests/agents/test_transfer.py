@@ -1,0 +1,70 @@
+"""Tests for the coarse-to-fine transfer-learning workflow."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.agents.policy import make_gcn_fc_policy
+from repro.agents.ppo import PPOConfig
+from repro.agents.transfer import (
+    TransferLearningWorkflow,
+    reward_fidelity_report,
+)
+from repro.env import make_opamp_env, make_rf_pa_env
+
+
+class TestRewardFidelity:
+    def test_report_statistics(self, rf_pa_coarse_env, rf_pa_env):
+        report = reward_fidelity_report(rf_pa_coarse_env, rf_pa_env, num_samples=40, seed=0)
+        assert report.num_samples == 40
+        assert report.mean_abs_error >= 0.0
+        assert report.p90_abs_error >= report.mean_abs_error * 0.1
+        assert report.max_abs_error >= report.p90_abs_error
+
+    def test_coarse_rewards_track_fine_rewards(self, rf_pa_coarse_env, rf_pa_env):
+        """The paper's ±10% claim: mean relative reward error stays moderate."""
+        report = reward_fidelity_report(rf_pa_coarse_env, rf_pa_env, num_samples=80, seed=1)
+        assert report.mean_abs_relative_error < 0.25
+
+    def test_mismatched_circuits_rejected(self, rf_pa_env):
+        opamp_env = make_opamp_env(seed=0)
+        with pytest.raises(ValueError):
+            reward_fidelity_report(opamp_env, rf_pa_env, num_samples=5)
+
+
+class TestWorkflow:
+    def test_workflow_requires_matching_benchmarks(self, rf_pa_coarse_env):
+        opamp_env = make_opamp_env(seed=0)
+        policy = make_gcn_fc_policy(rf_pa_coarse_env, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            TransferLearningWorkflow(rf_pa_coarse_env, opamp_env, policy)
+
+    def test_coarse_train_fine_deploy_smoke(self):
+        coarse = make_rf_pa_env(seed=0, fidelity="coarse", max_steps=6)
+        fine = make_rf_pa_env(seed=0, fidelity="fine", max_steps=6)
+        policy = make_gcn_fc_policy(coarse, np.random.default_rng(0))
+        workflow = TransferLearningWorkflow(
+            coarse, fine, policy,
+            config=PPOConfig(minibatch_size=16, update_epochs=1),
+            seed=0,
+        )
+        result = workflow.run(coarse_episodes=4, episodes_per_update=4, eval_targets=3)
+        assert 0.0 <= result.coarse_accuracy <= 1.0
+        assert 0.0 <= result.fine_accuracy <= 1.0
+        assert result.fine_evaluation.num_targets == 3
+        assert result.coarse_history.records
+        assert result.fine_tune_history is None
+
+    def test_fine_tuning_phase_runs_when_requested(self):
+        coarse = make_rf_pa_env(seed=1, fidelity="coarse", max_steps=5)
+        fine = make_rf_pa_env(seed=1, fidelity="fine", max_steps=5)
+        policy = make_gcn_fc_policy(coarse, np.random.default_rng(1))
+        workflow = TransferLearningWorkflow(
+            coarse, fine, policy, config=PPOConfig(minibatch_size=16, update_epochs=1), seed=1
+        )
+        result = workflow.run(
+            coarse_episodes=2, fine_tune_episodes=2, episodes_per_update=2, eval_targets=2
+        )
+        assert result.fine_tune_history is not None
+        assert result.fine_tune_history.records

@@ -1,0 +1,62 @@
+"""Tests for the genetic-algorithm baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.base import SizingProblem
+from repro.baselines.genetic import GeneticAlgorithm, GeneticAlgorithmConfig
+from repro.simulation.opamp_sim import OpAmpSimulator
+
+
+class TestConfigValidation:
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            GeneticAlgorithmConfig(population_size=2)
+        with pytest.raises(ValueError):
+            GeneticAlgorithmConfig(population_size=10, elite_count=10)
+        with pytest.raises(ValueError):
+            GeneticAlgorithmConfig(mutation_rate=1.5)
+
+
+class TestOnCircuitProblem:
+    def test_improves_over_random_initialization(self, opamp_benchmark):
+        target = {"gain": 400.0, "bandwidth": 5e6, "phase_margin": 57.0, "power": 3e-3}
+        problem = SizingProblem(opamp_benchmark, OpAmpSimulator(), targets=target)
+        config = GeneticAlgorithmConfig(population_size=10, num_generations=6, stop_when_met=False)
+        result = GeneticAlgorithm(config, seed=0).optimize(problem)
+        curve = result.trace.best_curve()
+        # Best-so-far objective never decreases and improves over the first
+        # random population.
+        assert np.all(np.diff(curve) >= -1e-12)
+        assert curve[-1] > curve[9]
+        assert result.num_simulations == problem.num_evaluations
+
+    def test_stops_early_when_target_met(self, opamp_benchmark):
+        easy_target = {"gain": 2.0, "bandwidth": 10.0, "phase_margin": 0.1, "power": 1.0}
+        problem = SizingProblem(opamp_benchmark, OpAmpSimulator(), targets=easy_target)
+        config = GeneticAlgorithmConfig(population_size=8, num_generations=50)
+        result = GeneticAlgorithm(config, seed=0).optimize(problem)
+        assert result.success
+        # Early stop: far fewer evaluations than the full budget.
+        assert result.num_simulations < 8 * 51
+
+    def test_best_parameters_within_design_space(self, opamp_benchmark):
+        target = {"gain": 400.0, "bandwidth": 5e6, "phase_margin": 57.0, "power": 3e-3}
+        problem = SizingProblem(opamp_benchmark, OpAmpSimulator(), targets=target)
+        config = GeneticAlgorithmConfig(population_size=8, num_generations=3)
+        result = GeneticAlgorithm(config, seed=1).optimize(problem)
+        space = opamp_benchmark.design_space
+        assert np.all(result.best_parameters >= space.lower_bounds - 1e-12)
+        assert np.all(result.best_parameters <= space.upper_bounds + 1e-12)
+
+    def test_reproducible_given_seed(self, opamp_benchmark):
+        target = {"gain": 400.0, "bandwidth": 5e6, "phase_margin": 57.0, "power": 3e-3}
+        config = GeneticAlgorithmConfig(population_size=6, num_generations=3, stop_when_met=False)
+        results = []
+        for _ in range(2):
+            problem = SizingProblem(opamp_benchmark, OpAmpSimulator(), targets=target)
+            results.append(GeneticAlgorithm(config, seed=5).optimize(problem))
+        np.testing.assert_allclose(results[0].best_parameters, results[1].best_parameters)
+        assert results[0].best_objective == results[1].best_objective

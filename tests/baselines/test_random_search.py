@@ -1,0 +1,75 @@
+"""Tests for random search and the shared sizing-problem wrapper."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.base import OptimizationTrace, SizingProblem
+from repro.baselines.random_search import RandomSearch, RandomSearchConfig
+from repro.env.reward import FomReward
+from repro.simulation.opamp_sim import OpAmpSimulator
+from repro.simulation.pa_sim import RfPaFineSimulator
+
+
+class TestSizingProblem:
+    def test_requires_target_or_fom(self, opamp_benchmark):
+        with pytest.raises(ValueError):
+            SizingProblem(opamp_benchmark, OpAmpSimulator())
+
+    def test_objective_zero_when_target_met(self, opamp_benchmark):
+        easy = {"gain": 2.0, "bandwidth": 10.0, "phase_margin": 0.0, "power": 1.0}
+        problem = SizingProblem(opamp_benchmark, OpAmpSimulator(), targets=easy)
+        value = problem.objective(opamp_benchmark.design_space.center())
+        assert value == 0.0
+        assert problem.num_evaluations == 1
+        assert problem.trace.num_evaluations == 1
+
+    def test_objective_negative_when_not_met(self, opamp_benchmark):
+        hard = {"gain": 1e9, "bandwidth": 1e15, "phase_margin": 89.0, "power": 1e-12}
+        problem = SizingProblem(opamp_benchmark, OpAmpSimulator(), targets=hard)
+        assert problem.objective(opamp_benchmark.design_space.center()) < 0.0
+
+    def test_fom_objective(self, rf_pa_benchmark):
+        fom = FomReward(rf_pa_benchmark.spec_space)
+        problem = SizingProblem(rf_pa_benchmark, RfPaFineSimulator(), fom_reward=fom)
+        value = problem.objective(rf_pa_benchmark.design_space.center())
+        specs = problem.simulate(rf_pa_benchmark.design_space.center())
+        assert value == pytest.approx(specs["output_power"] + 3 * specs["efficiency"])
+
+    def test_trace_best_curve_monotone(self, opamp_benchmark, rng):
+        target = {"gain": 400.0, "bandwidth": 5e6, "phase_margin": 57.0, "power": 3e-3}
+        problem = SizingProblem(opamp_benchmark, OpAmpSimulator(), targets=target)
+        for _ in range(10):
+            problem.objective_from_unit(rng.random(15))
+        curve = problem.trace.best_curve()
+        assert np.all(np.diff(curve) >= -1e-12)
+
+
+class TestOptimizationTrace:
+    def test_record_tracks_best(self):
+        trace = OptimizationTrace()
+        for value in (-3.0, -1.0, -2.0):
+            trace.record(value)
+        np.testing.assert_allclose(trace.best_curve(), [-3.0, -1.0, -1.0])
+
+
+class TestRandomSearch:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            RandomSearchConfig(num_samples=0)
+
+    def test_finds_easy_target_quickly(self, opamp_benchmark):
+        easy = {"gain": 2.0, "bandwidth": 10.0, "phase_margin": 0.1, "power": 1.0}
+        problem = SizingProblem(opamp_benchmark, OpAmpSimulator(), targets=easy)
+        result = RandomSearch(RandomSearchConfig(num_samples=50), seed=0).optimize(problem)
+        assert result.success
+        assert result.num_simulations < 50
+
+    def test_respects_budget_on_hard_target(self, opamp_benchmark):
+        hard = {"gain": 1e9, "bandwidth": 1e15, "phase_margin": 89.0, "power": 1e-12}
+        problem = SizingProblem(opamp_benchmark, OpAmpSimulator(), targets=hard)
+        result = RandomSearch(RandomSearchConfig(num_samples=10), seed=0).optimize(problem)
+        assert not result.success
+        # +1 evaluation comes from the final verification of the best design.
+        assert result.num_simulations == 11

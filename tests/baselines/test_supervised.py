@@ -1,0 +1,64 @@
+"""Tests for the supervised-learning sizing baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.supervised import SupervisedSizer, SupervisedSizerConfig
+from repro.simulation.opamp_sim import OpAmpSimulator
+
+
+@pytest.fixture
+def sizer(opamp_benchmark):
+    config = SupervisedSizerConfig(num_training_samples=120, epochs=15, hidden_sizes=(24, 24))
+    return SupervisedSizer(opamp_benchmark, OpAmpSimulator(), config, seed=0)
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SupervisedSizerConfig(num_training_samples=5)
+        with pytest.raises(ValueError):
+            SupervisedSizerConfig(epochs=0)
+
+
+class TestTraining:
+    def test_dataset_generation_shapes(self, sizer, opamp_benchmark):
+        specs, parameters = sizer.generate_dataset(num_samples=50)
+        assert specs.shape[1] == len(opamp_benchmark.spec_space)
+        assert parameters.shape[1] == opamp_benchmark.num_parameters
+        assert specs.shape[0] == parameters.shape[0] <= 50
+        assert np.all((parameters >= 0.0) & (parameters <= 1.0))
+
+    def test_training_loss_decreases(self, sizer):
+        sizer.fit()
+        losses = sizer.training_losses
+        assert len(losses) == 15
+        assert losses[-1] < losses[0]
+
+    def test_design_before_fit_raises(self, sizer):
+        with pytest.raises(RuntimeError):
+            sizer.design({"gain": 400.0, "bandwidth": 1e7, "phase_margin": 57.0, "power": 2e-3})
+
+
+class TestOneShotDesign:
+    def test_design_returns_in_space_parameters(self, sizer, opamp_benchmark):
+        sizer.fit()
+        result = sizer.design({"gain": 400.0, "bandwidth": 1e7, "phase_margin": 57.0, "power": 2e-3})
+        space = opamp_benchmark.design_space
+        assert np.all(result.parameters >= space.lower_bounds - 1e-12)
+        assert np.all(result.parameters <= space.upper_bounds + 1e-12)
+        assert result.num_simulations == 1
+        assert set(result.predicted_specs) == set(opamp_benchmark.spec_space.names)
+
+    def test_accuracy_between_zero_and_one(self, sizer, opamp_benchmark, rng):
+        sizer.fit()
+        targets = opamp_benchmark.spec_space.sample_batch(rng, 10)
+        accuracy = sizer.evaluate_accuracy(targets)
+        assert 0.0 <= accuracy <= 1.0
+
+    def test_accuracy_requires_targets(self, sizer):
+        sizer.fit()
+        with pytest.raises(ValueError):
+            sizer.evaluate_accuracy([])

@@ -1,0 +1,56 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits import build_rf_pa, build_two_stage_opamp
+from repro.env import make_opamp_env, make_rf_pa_env
+from repro.simulation import OpAmpSimulator, RfPaCoarseSimulator, RfPaFineSimulator
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic random generator for reproducible tests."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def opamp_benchmark():
+    return build_two_stage_opamp()
+
+
+@pytest.fixture
+def rf_pa_benchmark():
+    return build_rf_pa()
+
+
+@pytest.fixture
+def opamp_simulator():
+    return OpAmpSimulator()
+
+
+@pytest.fixture
+def pa_fine_simulator():
+    return RfPaFineSimulator()
+
+
+@pytest.fixture
+def pa_coarse_simulator():
+    return RfPaCoarseSimulator()
+
+
+@pytest.fixture
+def opamp_env():
+    return make_opamp_env(seed=0)
+
+
+@pytest.fixture
+def rf_pa_env():
+    return make_rf_pa_env(seed=0, fidelity="fine")
+
+
+@pytest.fixture
+def rf_pa_coarse_env():
+    return make_rf_pa_env(seed=0, fidelity="coarse")

@@ -1,0 +1,158 @@
+"""Tests for the circuit design environment."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.env import GOAL_BONUS, make_opamp_env, make_rf_pa_env, make_rf_pa_fom_env
+from repro.env.circuit_env import CircuitDesignEnv
+from repro.env.reward import P2SReward
+
+
+class TestReset:
+    def test_reset_samples_target_from_table1_space(self, opamp_env):
+        opamp_env.reset()
+        targets = opamp_env.target_specs
+        assert 300.0 <= targets["gain"] <= 500.0
+        assert 1e6 <= targets["bandwidth"] <= 2.5e7
+        assert 55.0 <= targets["phase_margin"] <= 60.0
+        assert 1e-4 <= targets["power"] <= 1e-2
+
+    def test_reset_with_explicit_target(self, opamp_env):
+        target = {"gain": 400.0, "bandwidth": 1e7, "phase_margin": 57.0, "power": 2e-3}
+        opamp_env.reset(target_specs=target)
+        assert opamp_env.target_specs == target
+
+    def test_reset_returns_observation_with_initial_specs(self, opamp_env):
+        observation = opamp_env.reset()
+        assert set(observation.measured_specs) == {"gain", "bandwidth", "phase_margin", "power"}
+        assert observation.num_parameters == 15
+
+    def test_center_initialization_is_reproducible(self, opamp_env):
+        first = opamp_env.reset().normalized_parameters
+        second = opamp_env.reset().normalized_parameters
+        np.testing.assert_allclose(first, second)
+
+    def test_reset_with_initial_parameters(self, opamp_env, opamp_benchmark):
+        start = opamp_benchmark.design_space.lower_bounds
+        observation = opamp_env.reset(initial_parameters=start)
+        np.testing.assert_allclose(observation.normalized_parameters, np.zeros(15), atol=1e-9)
+
+
+class TestStep:
+    def test_step_before_reset_raises(self, opamp_env):
+        with pytest.raises(RuntimeError):
+            opamp_env.step(opamp_env.action_space.no_op())
+
+    def test_invalid_action_rejected(self, opamp_env):
+        opamp_env.reset()
+        with pytest.raises(ValueError):
+            opamp_env.step(np.zeros(3, dtype=np.int64))
+        with pytest.raises(ValueError):
+            opamp_env.step(np.full(15, 7, dtype=np.int64))
+
+    def test_step_returns_reward_and_info(self, opamp_env, rng):
+        opamp_env.reset()
+        observation, reward, done, info = opamp_env.step(opamp_env.action_space.sample(rng))
+        assert isinstance(reward, float)
+        assert reward <= GOAL_BONUS
+        assert info["step"] == 1
+        assert "specs" in info and "met_fraction" in info
+        assert isinstance(done, bool)
+
+    def test_keep_action_leaves_parameters_unchanged(self, opamp_env):
+        observation = opamp_env.reset()
+        before = observation.normalized_parameters.copy()
+        after, _, _, _ = opamp_env.step(opamp_env.action_space.no_op())
+        np.testing.assert_allclose(before, after.normalized_parameters)
+
+    def test_episode_terminates_at_max_steps(self):
+        env = make_opamp_env(seed=0, max_steps=5)
+        env.reset(target_specs={"gain": 1e9, "bandwidth": 1e12, "phase_margin": 90.0, "power": 1e-12})
+        done = False
+        steps = 0
+        while not done:
+            _, _, done, _ = env.step(env.action_space.no_op())
+            steps += 1
+        assert steps == 5
+
+    def test_episode_terminates_with_bonus_when_goal_reached(self, opamp_env):
+        # A trivially easy target: the initial center sizing already meets it.
+        easy_target = {"gain": 1.1, "bandwidth": 1.0, "phase_margin": 0.0, "power": 10.0}
+        opamp_env.reset(target_specs=easy_target)
+        _, reward, done, info = opamp_env.step(opamp_env.action_space.no_op())
+        assert done
+        assert info["goal_reached"]
+        assert reward == GOAL_BONUS
+
+    def test_trajectory_recorded(self, opamp_env, rng):
+        opamp_env.reset()
+        for _ in range(3):
+            _, _, done, _ = opamp_env.step(opamp_env.action_space.sample(rng))
+            if done:
+                break
+        trajectory = opamp_env.trajectory
+        assert trajectory is not None
+        assert trajectory.length >= 1
+        assert trajectory.spec_series("gain").shape == (trajectory.length,)
+        assert isinstance(trajectory.total_reward, float)
+
+
+class TestConfiguration:
+    def test_max_steps_default_from_metadata(self, opamp_env, rf_pa_env):
+        assert opamp_env.max_steps == 50
+        assert rf_pa_env.max_steps == 30
+
+    def test_invalid_initial_sizing(self, opamp_benchmark, opamp_simulator):
+        with pytest.raises(ValueError):
+            CircuitDesignEnv(opamp_benchmark, opamp_simulator, initial_sizing="warm")
+
+    def test_invalid_max_steps(self, opamp_benchmark, opamp_simulator):
+        with pytest.raises(ValueError):
+            CircuitDesignEnv(opamp_benchmark, opamp_simulator, max_steps=0)
+
+    def test_random_initial_sizing_differs_between_episodes(self):
+        env = make_opamp_env(seed=3, initial_sizing="random")
+        first = env.reset().normalized_parameters.copy()
+        second = env.reset().normalized_parameters.copy()
+        assert not np.allclose(first, second)
+
+    def test_dimensions_exposed(self, opamp_env, rf_pa_env):
+        assert opamp_env.num_parameters == 15
+        assert rf_pa_env.num_parameters == 14
+        assert opamp_env.spec_feature_dimension == 12
+        assert rf_pa_env.spec_feature_dimension == 6
+        assert opamp_env.num_graph_nodes == 12
+        assert opamp_env.node_feature_dimension > 0
+
+
+class TestFomMode:
+    def test_fom_env_never_terminates_early(self):
+        env = make_rf_pa_fom_env(seed=0, max_steps=4)
+        env.reset()
+        steps = 0
+        done = False
+        while not done:
+            _, _, done, info = env.step(env.action_space.no_op())
+            steps += 1
+            assert "figure_of_merit" in info
+        assert steps == 4
+
+    def test_fom_mode_flag(self):
+        assert make_rf_pa_fom_env(seed=0).is_fom_mode
+        assert not make_opamp_env(seed=0).is_fom_mode
+
+
+class TestRegistry:
+    def test_fidelity_selection(self):
+        assert make_rf_pa_env(fidelity="fine").simulator.name == "rf_pa_fine"
+        assert make_rf_pa_env(fidelity="coarse").simulator.name == "rf_pa_coarse"
+        with pytest.raises(ValueError):
+            make_rf_pa_env(fidelity="medium")
+
+    def test_seeded_environments_sample_same_targets(self):
+        env_a = make_opamp_env(seed=11)
+        env_b = make_opamp_env(seed=11)
+        env_a.reset(), env_b.reset()
+        assert env_a.target_specs == env_b.target_specs

@@ -1,0 +1,124 @@
+"""Tests for the Eq. (1) P2S reward and the FoM reward."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.specs import Objective, Specification, SpecificationSpace
+from repro.env.reward import GOAL_BONUS, FomReward, P2SReward
+
+
+@pytest.fixture
+def spec_space() -> SpecificationSpace:
+    return SpecificationSpace(
+        [
+            Specification("gain", 300.0, 500.0, Objective.MAXIMIZE),
+            Specification("power", 1e-4, 1e-2, Objective.MINIMIZE),
+        ]
+    )
+
+
+class TestP2SReward:
+    def test_bonus_when_all_met(self, spec_space):
+        reward = P2SReward(spec_space)
+        outcome = reward({"gain": 450.0, "power": 1e-3}, {"gain": 400.0, "power": 5e-3})
+        assert outcome.reward == GOAL_BONUS
+        assert outcome.goal_reached
+        assert outcome.met_fraction == 1.0
+
+    def test_negative_when_not_met(self, spec_space):
+        reward = P2SReward(spec_space)
+        outcome = reward({"gain": 350.0, "power": 1e-3}, {"gain": 400.0, "power": 5e-3})
+        assert outcome.reward < 0.0
+        assert not outcome.goal_reached
+        assert outcome.met_fraction == 0.5
+        expected = (350.0 - 400.0) / (350.0 + 400.0)
+        assert outcome.reward == pytest.approx(expected)
+
+    def test_reward_never_positive_without_bonus(self, spec_space):
+        """Eq. (1): each term is clipped at zero, so r <= 0 unless all met."""
+        reward = P2SReward(spec_space, goal_bonus=0.0)
+        outcome = reward({"gain": 1000.0, "power": 1e-5}, {"gain": 400.0, "power": 5e-3})
+        assert outcome.reward == 0.0
+
+    def test_reward_bounded_below_by_minus_num_specs(self, spec_space):
+        reward = P2SReward(spec_space)
+        outcome = reward({"gain": 1e-9, "power": 1e3}, {"gain": 500.0, "power": 1e-4})
+        assert outcome.reward >= -len(spec_space)
+
+    def test_invalid_simulation_penalty(self, spec_space):
+        reward = P2SReward(spec_space)
+        outcome = reward({"gain": 450.0, "power": 1e-3}, {"gain": 400.0, "power": 5e-3}, valid=False)
+        assert outcome.reward == -len(spec_space)
+        assert not outcome.goal_reached
+
+    def test_custom_invalid_penalty(self, spec_space):
+        reward = P2SReward(spec_space, invalid_penalty=-42.0)
+        outcome = reward({"gain": 1.0, "power": 1.0}, {"gain": 400.0, "power": 5e-3}, valid=False)
+        assert outcome.reward == -42.0
+
+    def test_named_errors_exposed(self, spec_space):
+        reward = P2SReward(spec_space)
+        outcome = reward({"gain": 350.0, "power": 1e-1}, {"gain": 400.0, "power": 5e-3})
+        assert set(outcome.normalized_errors) == {"gain", "power"}
+        assert outcome.normalized_errors["gain"] < 0.0
+        assert outcome.normalized_errors["power"] < 0.0
+
+
+class TestFomReward:
+    def test_figure_of_merit_definition(self, spec_space):
+        reward = FomReward(spec_space)
+        # FoM = P + 3 E (paper, Sec. 4).
+        assert reward.figure_of_merit({"output_power": 2.5, "efficiency": 0.6}) == pytest.approx(4.3)
+
+    def test_reward_zero_at_references(self, spec_space):
+        reward = FomReward(spec_space, power_reference=2.5, efficiency_reference=0.55)
+        outcome = reward({"output_power": 2.5, "efficiency": 0.55})
+        assert outcome.reward == pytest.approx(0.0)
+
+    def test_reward_increases_with_both_terms(self, spec_space):
+        reward = FomReward(spec_space)
+        low = reward({"output_power": 2.0, "efficiency": 0.50}).reward
+        high = reward({"output_power": 3.0, "efficiency": 0.60}).reward
+        assert high > low
+
+    def test_efficiency_weighted_three_times(self, spec_space):
+        reward = FomReward(spec_space, power_reference=2.5, efficiency_reference=0.55)
+        power_only = reward({"output_power": 3.0, "efficiency": 0.55}).reward
+        eff_only = reward({"output_power": 2.5, "efficiency": 0.66}).reward
+        # The efficiency term uses the same normalized difference but x3.
+        assert eff_only > power_only
+
+    def test_invalid_result_penalized(self, spec_space):
+        reward = FomReward(spec_space)
+        assert reward({"output_power": 2.5, "efficiency": 0.55}, valid=False).reward < 0.0
+
+    def test_reference_validation(self, spec_space):
+        with pytest.raises(ValueError):
+            FomReward(spec_space, power_reference=0.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    gain=st.floats(min_value=1.0, max_value=1e4),
+    power=st.floats(min_value=1e-6, max_value=1.0),
+    target_gain=st.floats(min_value=300.0, max_value=500.0),
+    target_power=st.floats(min_value=1e-4, max_value=1e-2),
+)
+def test_property_p2s_reward_is_bonus_or_nonpositive(gain, power, target_gain, target_power):
+    """The Eq. (1) reward is either the goal bonus or a value in [-N, 0]."""
+    spec_space = SpecificationSpace(
+        [
+            Specification("gain", 300.0, 500.0, Objective.MAXIMIZE),
+            Specification("power", 1e-4, 1e-2, Objective.MINIMIZE),
+        ]
+    )
+    outcome = P2SReward(spec_space)({"gain": gain, "power": power},
+                                    {"gain": target_gain, "power": target_power})
+    if outcome.goal_reached:
+        assert outcome.reward == GOAL_BONUS
+    else:
+        assert -len(spec_space) <= outcome.reward < 0.0 or outcome.reward == 0.0

@@ -1,0 +1,57 @@
+"""Tests for experiment scales and method registries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.configs import (
+    METHOD_LABELS,
+    RL_METHODS,
+    bench_scale,
+    get_scale,
+    paper_scale,
+    rl_hyperparameters,
+    smoke_scale,
+)
+
+
+class TestScales:
+    def test_paper_scale_matches_section4(self):
+        scale = paper_scale()
+        assert scale.opamp_training_episodes == 35_000
+        assert scale.rf_pa_training_episodes == 3_500
+        assert scale.deployment_specs == 200
+        assert scale.optimizer_runs == 30
+        assert scale.num_seeds == 6
+
+    def test_scale_ordering(self):
+        assert smoke_scale().opamp_training_episodes < bench_scale().opamp_training_episodes
+        assert bench_scale().opamp_training_episodes < paper_scale().opamp_training_episodes
+
+    def test_get_scale_lookup(self):
+        assert get_scale("paper").name == "paper"
+        assert get_scale("bench").name == "bench"
+        assert get_scale("smoke").name == "smoke"
+        with pytest.raises(ValueError):
+            get_scale("galactic")
+
+
+class TestMethodRegistry:
+    def test_rl_methods_cover_fig3_legend(self):
+        assert set(RL_METHODS) == {"gat_fc", "gcn_fc", "baseline_a", "baseline_b"}
+
+    def test_labels_exist_for_all_methods(self):
+        for method in RL_METHODS:
+            assert method in METHOD_LABELS
+        for method in ("genetic_algorithm", "bayesian_optimization", "supervised_learning"):
+            assert method in METHOD_LABELS
+
+
+class TestHyperparameters:
+    def test_episode_lengths_match_paper(self):
+        assert rl_hyperparameters("two_stage_opamp")["max_steps"] == 50
+        assert rl_hyperparameters("rf_pa")["max_steps"] == 30
+
+    def test_unknown_circuit(self):
+        with pytest.raises(ValueError):
+            rl_hyperparameters("lna")

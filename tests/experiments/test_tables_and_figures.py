@@ -1,0 +1,94 @@
+"""Tests for the table/figure harnesses (Table 1 exactness, smoke-level runs)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    FIG5_OPAMP_TARGET,
+    FIG5_RF_PA_TARGET,
+    FIG6_OPAMP_UNSEEN_TARGET,
+    FIG6_RF_PA_UNSEEN_TARGET,
+    build_table1,
+    default_target,
+    format_table1,
+    make_optimizer,
+    run_optimization_curves,
+    smoke_scale,
+)
+from repro.experiments.figures import evaluate_optimizer_accuracy
+
+
+class TestTable1:
+    def test_structure_and_values(self):
+        table = build_table1()
+        assert set(table) == {"two_stage_opamp", "rf_pa"}
+        assert table["two_stage_opamp"]["num_device_parameters"] == 15
+        assert table["rf_pa"]["num_device_parameters"] == 14
+        assert table["two_stage_opamp"]["technology"] == "45nm CMOS"
+        assert table["rf_pa"]["technology"] == "150nm GaN"
+        opamp_specs = table["two_stage_opamp"]["specifications"]
+        assert opamp_specs["gain"]["min"] == 300.0 and opamp_specs["gain"]["max"] == 500.0
+        pa_specs = table["rf_pa"]["specifications"]
+        assert pa_specs["output_power"]["min"] == 2.0 and pa_specs["output_power"]["max"] == 3.0
+
+    def test_format_table1_mentions_both_circuits(self):
+        text = format_table1()
+        assert "two_stage_opamp" in text
+        assert "rf_pa" in text
+        assert "45nm CMOS" in text and "150nm GaN" in text
+
+
+class TestFigureTargets:
+    def test_fig5_targets_match_paper(self):
+        assert FIG5_OPAMP_TARGET == {
+            "gain": 350.0, "bandwidth": 1.8e7, "phase_margin": 55.0, "power": 4e-3,
+        }
+        assert FIG5_RF_PA_TARGET == {"output_power": 2.5, "efficiency": 0.57}
+
+    def test_fig6_targets_are_partly_outside_sampling_space(self, opamp_benchmark, rf_pa_benchmark):
+        opamp_space = opamp_benchmark.spec_space
+        assert FIG6_OPAMP_UNSEEN_TARGET["phase_margin"] > opamp_space["phase_margin"].maximum
+        assert FIG6_OPAMP_UNSEEN_TARGET["bandwidth"] > opamp_space["bandwidth"].maximum
+        pa_space = rf_pa_benchmark.spec_space
+        assert FIG6_RF_PA_UNSEEN_TARGET["efficiency"] > pa_space["efficiency"].maximum
+        assert FIG6_RF_PA_UNSEEN_TARGET["output_power"] > pa_space["output_power"].minimum
+
+    def test_default_target_dispatch(self):
+        assert default_target("two_stage_opamp") == FIG5_OPAMP_TARGET
+        assert default_target("rf_pa", unseen=True) == FIG6_RF_PA_UNSEEN_TARGET
+        with pytest.raises(ValueError):
+            default_target("mixer")
+
+
+class TestOptimizerHarness:
+    def test_make_optimizer_budgets(self):
+        ga = make_optimizer("genetic_algorithm", seed=0, budget=60)
+        assert ga.config.num_generations >= 2
+        bo = make_optimizer("bayesian_optimization", seed=0, budget=20)
+        assert bo.config.num_iterations >= 2
+        rs = make_optimizer("random_search", seed=0, budget=15)
+        assert rs.config.num_samples == 15
+        with pytest.raises(ValueError):
+            make_optimizer("simulated_annealing")
+
+    def test_run_optimization_curves_smoke(self):
+        curves = run_optimization_curves(
+            "two_stage_opamp",
+            target={"gain": 350.0, "bandwidth": 3e6, "phase_margin": 56.0, "power": 5e-3},
+            seed=0, ga_budget=40, bo_budget=14,
+        )
+        assert set(curves) == {"genetic_algorithm", "bayesian_optimization"}
+        for curve in curves.values():
+            assert curve.num_simulations >= 10
+            assert np.all(np.diff(curve.curve()) >= -1e-12)
+
+    def test_evaluate_optimizer_accuracy_smoke(self):
+        accuracy = evaluate_optimizer_accuracy(
+            "two_stage_opamp", "bayesian_optimization", num_runs=2,
+            scale=smoke_scale(), seed=0,
+        )
+        assert 0.0 <= accuracy.accuracy <= 1.0
+        assert accuracy.mean_simulations > 0
+        assert len(accuracy.results) == 2

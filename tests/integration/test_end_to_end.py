@@ -1,0 +1,80 @@
+"""End-to-end integration tests: train → deploy → evaluate at smoke scale."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.agents import PPOConfig, PPOTrainer, evaluate_deployment, make_gcn_fc_policy
+from repro.env import make_opamp_env, make_rf_pa_env
+from repro.experiments import (
+    deployment_example,
+    generalization_example,
+    run_fom_training,
+    run_training_experiment,
+    smoke_scale,
+)
+
+
+class TestOpAmpPipeline:
+    def test_training_improves_mean_reward(self):
+        """A short PPO run lifts the mean episode reward above its start.
+
+        This is the smoke-level version of the Fig. 3 reward curves: with the
+        center-start environment, untrained policies collect strongly
+        negative Eq. (1) rewards and learning pushes them upward.
+        """
+        env = make_opamp_env(seed=0)
+        policy = make_gcn_fc_policy(env, np.random.default_rng(0))
+        trainer = PPOTrainer(
+            env, policy, PPOConfig(learning_rate=1e-3, minibatch_size=64, update_epochs=4), seed=0
+        )
+        history = trainer.train(total_episodes=60, episodes_per_update=10)
+        first = history.records[0].mean_episode_reward
+        best_late = max(r.mean_episode_reward for r in history.records[2:])
+        assert best_late > first
+
+    def test_run_training_experiment_harness(self):
+        result = run_training_experiment(
+            "two_stage_opamp", "baseline_a", scale=smoke_scale(), seed=0, track_accuracy=False
+        )
+        assert result.history.records
+        evaluation = evaluate_deployment(result.env, result.policy, num_targets=4, seed=1)
+        assert 0.0 <= evaluation.accuracy <= 1.0
+
+    def test_deployment_example_records_all_spec_curves(self):
+        example = deployment_example(
+            "two_stage_opamp", method="baseline_a", scale=smoke_scale(), seed=0
+        )
+        assert example.target_specs["gain"] == 350.0
+        for name in ("gain", "bandwidth", "phase_margin", "power"):
+            series = example.spec_series(name)
+            assert series.shape == (example.steps,)
+            assert np.all(np.isfinite(series))
+
+    def test_generalization_example_uses_unseen_targets_and_longer_budget(self):
+        example = generalization_example(
+            "two_stage_opamp", method="baseline_a", scale=smoke_scale(), seed=0
+        )
+        assert example.target_specs["phase_margin"] == 65.0
+        assert example.steps <= 80
+
+
+class TestRfPaPipeline:
+    def test_coarse_training_then_fine_deployment(self):
+        result = run_training_experiment(
+            "rf_pa", "gcn_fc", scale=smoke_scale(), seed=0, track_accuracy=False
+        )
+        # Training used the coarse simulator (transfer-learning protocol).
+        assert result.env.simulator.name == "rf_pa_coarse"
+        fine_env = make_rf_pa_env(seed=0, fidelity="fine")
+        evaluation = evaluate_deployment(fine_env, result.policy, num_targets=3, seed=2)
+        assert evaluation.num_targets == 3
+        assert 0.0 <= evaluation.accuracy <= 1.0
+
+    def test_fom_training_produces_reasonable_fom(self):
+        result = run_fom_training("baseline_a", scale=smoke_scale(), seed=0)
+        # FoM = P + 3E; with P in (0, 3.3] and E in (0, 1) the value is bounded.
+        assert 0.0 < result.best_fom < 3.3 + 3.0
+        assert result.history.records
+        assert set(result.final_specs) == {"output_power", "efficiency"}

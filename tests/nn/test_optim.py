@@ -1,0 +1,108 @@
+"""Tests for SGD / Adam optimizers and gradient clipping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.optim import SGD, Adam, clip_grad_norm
+from repro.nn.tensor import Tensor
+
+
+def quadratic_loss(param: Tensor, target: np.ndarray) -> Tensor:
+    diff = param - Tensor(target)
+    return (diff * diff).sum()
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        target = np.array([1.0, -2.0, 3.0])
+        param = Tensor(np.zeros(3), requires_grad=True)
+        optimizer = SGD([param], lr=0.1)
+        for _ in range(200):
+            optimizer.zero_grad()
+            quadratic_loss(param, target).backward()
+            optimizer.step()
+        np.testing.assert_allclose(param.data, target, atol=1e-4)
+
+    def test_momentum_accelerates(self):
+        target = np.array([2.0])
+
+        def run(momentum: float) -> float:
+            param = Tensor(np.zeros(1), requires_grad=True)
+            optimizer = SGD([param], lr=0.01, momentum=momentum)
+            for _ in range(50):
+                optimizer.zero_grad()
+                quadratic_loss(param, target).backward()
+                optimizer.step()
+            return abs(float(param.data[0]) - 2.0)
+
+        assert run(0.9) < run(0.0)
+
+    def test_validation(self):
+        param = Tensor(np.zeros(1), requires_grad=True)
+        with pytest.raises(ValueError):
+            SGD([param], lr=-1.0)
+        with pytest.raises(ValueError):
+            SGD([param], lr=0.1, momentum=1.5)
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+        with pytest.raises(ValueError):
+            SGD([Tensor(np.zeros(1))], lr=0.1)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        target = np.array([[0.5, -1.5], [2.0, 0.0]])
+        param = Tensor(np.zeros((2, 2)), requires_grad=True)
+        optimizer = Adam([param], lr=0.05)
+        for _ in range(500):
+            optimizer.zero_grad()
+            quadratic_loss(param, target).backward()
+            optimizer.step()
+        np.testing.assert_allclose(param.data, target, atol=1e-3)
+
+    def test_skips_parameters_without_gradients(self):
+        used = Tensor(np.zeros(1), requires_grad=True)
+        unused = Tensor(np.ones(1), requires_grad=True)
+        optimizer = Adam([used, unused], lr=0.1)
+        quadratic_loss(used, np.array([1.0])).backward()
+        optimizer.step()
+        np.testing.assert_allclose(unused.data, [1.0])
+        assert used.data[0] != 0.0
+
+    def test_weight_decay_shrinks_weights(self):
+        param = Tensor(np.array([5.0]), requires_grad=True)
+        optimizer = Adam([param], lr=0.1, weight_decay=0.5)
+        for _ in range(100):
+            optimizer.zero_grad()
+            # Constant zero-gradient loss: only weight decay acts.
+            (param * 0.0).sum().backward()
+            optimizer.step()
+        assert abs(float(param.data[0])) < 5.0
+
+    def test_validation(self):
+        param = Tensor(np.zeros(1), requires_grad=True)
+        with pytest.raises(ValueError):
+            Adam([param], lr=0.0)
+        with pytest.raises(ValueError):
+            Adam([param], betas=(1.1, 0.9))
+
+
+class TestClipGradNorm:
+    def test_clips_large_gradients(self):
+        param = Tensor(np.zeros(4), requires_grad=True)
+        param.grad = np.full(4, 10.0)
+        norm_before = clip_grad_norm([param], max_norm=1.0)
+        assert norm_before == pytest.approx(20.0)
+        assert np.linalg.norm(param.grad) == pytest.approx(1.0)
+
+    def test_leaves_small_gradients_untouched(self):
+        param = Tensor(np.zeros(2), requires_grad=True)
+        param.grad = np.array([0.1, 0.2])
+        clip_grad_norm([param], max_norm=5.0)
+        np.testing.assert_allclose(param.grad, [0.1, 0.2])
+
+    def test_handles_missing_gradients(self):
+        param = Tensor(np.zeros(2), requires_grad=True)
+        assert clip_grad_norm([param], max_norm=1.0) == 0.0

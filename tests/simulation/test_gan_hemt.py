@@ -1,0 +1,80 @@
+"""Tests for the GaN HEMT behavioural model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simulation.gan_hemt import GanHemtModel
+from repro.simulation.technology import GAN_150NM
+
+
+@pytest.fixture
+def device() -> GanHemtModel:
+    return GanHemtModel(GAN_150NM, width=50e-6, fingers=8)
+
+
+class TestStaticCharacteristic:
+    def test_geometry_scaling(self, device):
+        assert device.total_width == pytest.approx(400e-6)
+        assert device.imax == pytest.approx(GAN_150NM.imax_per_width * 400e-6)
+        assert device.gm == pytest.approx(GAN_150NM.gm_per_width * 400e-6)
+
+    def test_cutoff_below_threshold(self, device):
+        assert device.drain_current(GAN_150NM.vth - 0.5) == 0.0
+
+    def test_linear_region_slope(self, device):
+        low = float(device.drain_current(GAN_150NM.vth + 0.1))
+        high = float(device.drain_current(GAN_150NM.vth + 0.2))
+        assert (high - low) == pytest.approx(device.gm * 0.1, rel=1e-9)
+
+    def test_saturation_at_imax(self, device):
+        assert float(device.drain_current(10.0)) == pytest.approx(device.imax)
+
+    def test_operating_point(self, device):
+        op = device.operating_point(GAN_150NM.vth + 0.05)
+        assert op.quiescent_current == pytest.approx(device.gm * 0.05)
+        assert 0.0 < op.conduction_ratio < 1.0
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            GanHemtModel(GAN_150NM, width=-1.0, fingers=2)
+
+
+class TestWaveformAnalysis:
+    def test_waveform_clipped_between_zero_and_imax(self, device):
+        waveform = device.current_waveform(GAN_150NM.vth + 0.1, drive_amplitude=5.0)
+        assert np.all(waveform >= 0.0)
+        assert np.all(waveform <= device.imax + 1e-12)
+
+    def test_waveform_needs_enough_points(self, device):
+        with pytest.raises(ValueError):
+            device.current_waveform(-2.9, 1.0, num_points=4)
+
+    def test_fourier_of_constant_waveform(self, device):
+        components = device.fourier_components(np.full(256, 2.0), num_harmonics=3)
+        assert components[0] == pytest.approx(2.0)
+        np.testing.assert_allclose(components[1:], 0.0, atol=1e-12)
+
+    def test_fourier_of_pure_cosine(self, device):
+        theta = np.linspace(0.0, 2 * np.pi, 256, endpoint=False)
+        waveform = 1.5 + 0.7 * np.cos(theta)
+        components = device.fourier_components(waveform, num_harmonics=3)
+        assert components[0] == pytest.approx(1.5)
+        assert components[1] == pytest.approx(0.7)
+        np.testing.assert_allclose(components[2:], 0.0, atol=1e-9)
+
+    def test_fourier_of_ideal_class_b_half_sine(self, device):
+        """Half-rectified cosine: I_dc = Ip/pi and I_1 = Ip/2 (textbook)."""
+        theta = np.linspace(0.0, 2 * np.pi, 4096, endpoint=False)
+        peak = 1.0
+        waveform = np.maximum(peak * np.cos(theta), 0.0)
+        components = device.fourier_components(waveform, num_harmonics=2)
+        assert components[0] == pytest.approx(peak / np.pi, rel=1e-3)
+        assert components[1] == pytest.approx(peak / 2.0, rel=1e-3)
+
+    def test_larger_drive_increases_fundamental(self, device):
+        bias = GAN_150NM.vth + 0.05
+        small = device.fourier_components(device.current_waveform(bias, 0.5))[1]
+        large = device.fourier_components(device.current_waveform(bias, 2.0))[1]
+        assert large > small
