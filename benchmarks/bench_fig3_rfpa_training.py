@@ -10,7 +10,7 @@ from __future__ import annotations
 import pytest
 
 from repro.agents import evaluate_deployment
-from repro.env import make_rf_pa_env
+from repro import make_env
 from repro.experiments import run_training_experiment
 from repro.experiments.configs import RL_METHODS
 
@@ -21,7 +21,7 @@ def test_fig3_rfpa_training_curves(benchmark, scale, method):
         result = run_training_experiment(
             "rf_pa", method, scale=scale, seed=0, track_accuracy=False
         )
-        fine_env = make_rf_pa_env(seed=0, fidelity="fine")
+        fine_env = make_env("rf_pa-fine-v0", seed=0)
         evaluation = evaluate_deployment(
             fine_env, result.policy, num_targets=scale.eval_specs, seed=999
         )

@@ -14,14 +14,14 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.agents import PPOConfig, make_gcn_fc_policy
+from repro import make_env, make_policy
+from repro.agents import PPOConfig
 from repro.agents.transfer import TransferLearningWorkflow, reward_fidelity_report
-from repro.env import make_rf_pa_env
 
 
 def test_coarse_vs_fine_reward_fidelity(benchmark):
-    coarse_env = make_rf_pa_env(seed=0, fidelity="coarse")
-    fine_env = make_rf_pa_env(seed=0, fidelity="fine")
+    coarse_env = make_env("rf_pa-coarse-v0", seed=0)
+    fine_env = make_env("rf_pa-fine-v0", seed=0)
 
     def run():
         return reward_fidelity_report(coarse_env, fine_env, num_samples=150, seed=0)
@@ -40,9 +40,9 @@ def test_coarse_vs_fine_reward_fidelity(benchmark):
 
 def test_coarse_train_fine_deploy_workflow(benchmark, scale):
     def run():
-        coarse_env = make_rf_pa_env(seed=0, fidelity="coarse")
-        fine_env = make_rf_pa_env(seed=0, fidelity="fine")
-        policy = make_gcn_fc_policy(coarse_env, np.random.default_rng(0))
+        coarse_env = make_env("rf_pa-coarse-v0", seed=0)
+        fine_env = make_env("rf_pa-fine-v0", seed=0)
+        policy = make_policy("gcn_fc", coarse_env, np.random.default_rng(0))
         workflow = TransferLearningWorkflow(
             coarse_env, fine_env, policy,
             config=PPOConfig(learning_rate=1e-3, minibatch_size=64, update_epochs=4),

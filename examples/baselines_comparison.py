@@ -1,69 +1,51 @@
-"""Head-to-head: RL deployment vs GA, BO and the supervised sizer (Table 2).
+"""Head-to-head: every method family through ONE shared optimize() loop.
 
-For a single target specification group on the two-stage op-amp, runs every
-class of method the paper compares and prints how many simulator calls each
-needed and whether the design met all specifications — the per-design view of
-Table 2's accuracy/efficiency trade-off.
+For a single target specification group on the two-stage op-amp, every
+registered optimizer — genetic algorithm, Bayesian optimization, random
+search, the supervised one-shot sizer, and the PPO-trained RL policy — runs
+through the identical :class:`repro.api.Optimizer` protocol::
 
-Run with:  python examples/baselines_comparison.py [--episodes N]
+    result = repro.make_optimizer(method).optimize(env, budget, seed, target_specs=TARGET)
+
+and reports how many simulator calls it needed and whether the design met
+all specifications — the per-design view of Table 2's accuracy/efficiency
+trade-off.  Per-method knobs are data (the ``METHODS`` table below), not
+separate code paths.
+
+Run with:  python examples/baselines_comparison.py [--episodes N] [--search-budget N]
 """
 
 from __future__ import annotations
 
 import argparse
 
-import numpy as np
-
-from repro.agents import PPOTrainer, deploy_policy, make_gcn_fc_policy
-from repro.baselines import (
-    BayesianOptimization,
-    GeneticAlgorithm,
-    RandomSearch,
-    SizingProblem,
-    SupervisedSizer,
-    SupervisedSizerConfig,
-)
-from repro.circuits import build_two_stage_opamp
-from repro.env import make_opamp_env
-from repro.experiments import rl_hyperparameters
-from repro.simulation import OpAmpSimulator
+import repro
 
 TARGET = {"gain": 380.0, "bandwidth": 8e6, "phase_margin": 56.0, "power": 4e-3}
 
 
-def main(episodes: int) -> None:
-    benchmark = build_two_stage_opamp()
-    simulator = OpAmpSimulator()
+def method_table(args: argparse.Namespace):
+    """(optimizer id, label, budget, constructor params) for every method."""
+    return (
+        ("genetic", "Genetic Algorithm", args.search_budget, {}),
+        ("bayesian", "Bayesian Optimization", max(12, args.search_budget // 4), {}),
+        ("random", "Random Search", args.search_budget, {}),
+        ("supervised", "Supervised Learning", args.sl_samples, {"epochs": args.sl_epochs}),
+        ("ppo", "GCN-FC RL deployment", args.episodes, {"policy": "gcn_fc"}),
+    )
+
+
+def main(args: argparse.Namespace) -> None:
+    env = repro.make_env("opamp-p2s-v0", seed=0)
+    methods = method_table(args)
     rows = []
 
     print(f"Target specification group: {TARGET}\n")
-
-    print("[1/5] Genetic Algorithm ...")
-    ga = GeneticAlgorithm(seed=0).optimize(SizingProblem(benchmark, simulator, targets=TARGET))
-    rows.append(("Genetic Algorithm", ga.num_simulations, ga.success))
-
-    print("[2/5] Bayesian Optimization ...")
-    bo = BayesianOptimization(seed=0).optimize(SizingProblem(benchmark, simulator, targets=TARGET))
-    rows.append(("Bayesian Optimization", bo.num_simulations, bo.success))
-
-    print("[3/5] Random Search ...")
-    rs = RandomSearch(seed=0).optimize(SizingProblem(benchmark, simulator, targets=TARGET))
-    rows.append(("Random Search", rs.num_simulations, rs.success))
-
-    print("[4/5] Supervised sizer (one-shot inverse regression) ...")
-    sizer = SupervisedSizer(benchmark, simulator,
-                            SupervisedSizerConfig(num_training_samples=600, epochs=60), seed=0)
-    sizer.fit()
-    sl = sizer.design(TARGET)
-    rows.append(("Supervised Learning", sl.num_simulations, sl.success))
-
-    print(f"[5/5] GCN-FC RL agent: training for {episodes} episodes, then one deployment ...")
-    env = make_opamp_env(seed=0)
-    policy = make_gcn_fc_policy(env, np.random.default_rng(0))
-    trainer = PPOTrainer(env, policy, config=rl_hyperparameters("two_stage_opamp")["ppo"], seed=0)
-    trainer.train(total_episodes=episodes, episodes_per_update=10)
-    rl = deploy_policy(env, policy, TARGET, rng=np.random.default_rng(1))
-    rows.append(("GCN-FC RL deployment", rl.steps, rl.success))
+    for index, (method, label, budget, params) in enumerate(methods, start=1):
+        print(f"[{index}/{len(methods)}] {label} (budget {budget}) ...")
+        optimizer = repro.make_optimizer(method, **params)
+        result = optimizer.optimize(env, budget=budget, seed=0, target_specs=TARGET)
+        rows.append((label, result.num_simulations, result.success))
 
     print("\nPer-design comparison (simulator calls to produce one design):")
     print(f"  {'method':<26s} {'simulator calls':>16s} {'all specs met':>14s}")
@@ -71,11 +53,17 @@ def main(episodes: int) -> None:
         print(f"  {name:<26s} {calls:>16d} {str(bool(success)):>14s}")
     print("\nNote: the RL row excludes the one-off training cost, exactly as in the paper —")
     print("once trained, the policy is reused for every new specification group.")
+    print("The supervised row likewise excludes its offline dataset generation.")
 
 
 if __name__ == "__main__":
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--episodes", type=int, default=200,
                         help="RL training episodes (default 200; paper uses 35000)")
-    args = parser.parse_args()
-    main(args.episodes)
+    parser.add_argument("--search-budget", type=int, default=400,
+                        help="simulator-call budget for the search baselines")
+    parser.add_argument("--sl-samples", type=int, default=600,
+                        help="training designs for the supervised sizer")
+    parser.add_argument("--sl-epochs", type=int, default=60,
+                        help="training epochs for the supervised sizer")
+    main(parser.parse_args())

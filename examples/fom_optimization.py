@@ -20,7 +20,7 @@ from repro.experiments import run_fom_optimizer, run_fom_training
 from repro.experiments.configs import bench_scale
 
 
-def main(episodes: int) -> None:
+def main(episodes: int, ga_budget: int, bo_budget: int) -> None:
     scale = bench_scale()
     print(f"FoM definition: P + 3*E (paper Sec. 4); upper bound with this substrate ~6.1")
 
@@ -31,11 +31,11 @@ def main(episodes: int) -> None:
           f"efficiency = {rl_result.final_specs.get('efficiency', float('nan')):.1%}")
 
     print("\n[2/3] Genetic Algorithm maximizing the FoM ...")
-    ga = run_fom_optimizer("genetic_algorithm", seed=0, budget=150)
+    ga = run_fom_optimizer("genetic_algorithm", seed=0, budget=ga_budget)
     print(f"  best FoM: {ga.best_fom:.3f}   ({ga.num_simulations} simulations)")
 
     print("\n[3/3] Bayesian Optimization maximizing the FoM ...")
-    bo = run_fom_optimizer("bayesian_optimization", seed=0, budget=60)
+    bo = run_fom_optimizer("bayesian_optimization", seed=0, budget=bo_budget)
     print(f"  best FoM: {bo.best_fom:.3f}   ({bo.num_simulations} simulations)")
 
     print("\nSummary (paper-scale reference values: GAT-FC 3.25, GCN-FC 3.18, "
@@ -52,5 +52,9 @@ if __name__ == "__main__":
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--episodes", type=int, default=120,
                         help="RL training episodes for the FoM reward (paper uses 3500)")
+    parser.add_argument("--ga-budget", type=int, default=150,
+                        help="simulator-call budget for the genetic algorithm")
+    parser.add_argument("--bo-budget", type=int, default=60,
+                        help="simulator-call budget for Bayesian optimization")
     args = parser.parse_args()
-    main(args.episodes)
+    main(args.episodes, args.ga_budget, args.bo_budget)

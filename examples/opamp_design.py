@@ -14,15 +14,15 @@ import argparse
 
 import numpy as np
 
-from repro.agents import PPOTrainer, deploy_policy, evaluate_deployment, make_gcn_fc_policy
-from repro.env import make_opamp_env
+from repro import make_env, make_policy
+from repro.agents import PPOTrainer, deploy_policy, evaluate_deployment
 from repro.experiments import FIG5_OPAMP_TARGET, rl_hyperparameters
 
 
 def main(episodes: int, eval_targets: int) -> None:
-    env = make_opamp_env(seed=0)
+    env = make_env("opamp-p2s-v0", seed=0)
     rng = np.random.default_rng(0)
-    policy = make_gcn_fc_policy(env, rng)
+    policy = make_policy("gcn_fc", env, rng)
     hyper = rl_hyperparameters("two_stage_opamp")
 
     print(f"Training GCN-FC policy for {episodes} episodes "

@@ -1,28 +1,43 @@
-"""Quickstart: the P2S problem, the environment, and a few policy steps.
+"""Quickstart: the unified ``repro.api`` front door in under a minute.
 
-This script walks through the core objects of the library in under a minute:
+The whole library is driven through four calls::
 
-1. build the two benchmark circuits and print their Table 1 design/spec spaces,
-2. simulate the default op-amp sizing,
-3. create the RL design environment, take a few random tuning actions and
-   watch the Eq. (1) reward respond, and
-4. create the untrained GCN-FC policy and run one policy-driven step.
+    env       = repro.make_env("opamp-p2s-v0", seed=0)   # string-ID registry
+    optimizer = repro.make_optimizer("bayesian")         # common protocol
+    result    = optimizer.optimize(env, budget=40)       # one loop for all methods
+    config    = repro.RunConfig(...)                     # serializable runs
 
-Run with:  python examples/quickstart.py
+This script walks through each of them:
+
+1. discover every registered environment, policy and optimizer,
+2. build the op-amp environment, inspect its Table 1 spaces, take a few
+   random tuning actions and watch the Eq. (1) reward respond,
+3. run one small optimization through the shared ``optimize()`` protocol,
+4. round-trip the exact same run through a JSON ``RunConfig``.
+
+Run with:  python examples/quickstart.py [--budget N]
 """
 
 from __future__ import annotations
 
+import argparse
+
 import numpy as np
 
-from repro.agents import make_gcn_fc_policy
-from repro.circuits import build_rf_pa, build_two_stage_opamp
-from repro.env import make_opamp_env
+import repro
 from repro.experiments import format_table1
-from repro.simulation import OpAmpSimulator
 
 
-def main() -> None:
+def main(budget: int) -> None:
+    print("=" * 72)
+    print("Discovery: the component catalog")
+    print("=" * 72)
+    for kind, entries in repro.describe_components().items():
+        print(f"  {kind}:")
+        for component_id, description in entries.items():
+            print(f"    {component_id:<22s} {description}")
+
+    print()
     print("=" * 72)
     print("Table 1: benchmark circuits, design spaces, specification spaces")
     print("=" * 72)
@@ -30,48 +45,58 @@ def main() -> None:
 
     print()
     print("=" * 72)
-    print("Simulating the default (mid-range) op-amp sizing")
+    print("Interacting with an environment built by string ID")
     print("=" * 72)
-    opamp = build_two_stage_opamp()
-    result = OpAmpSimulator().simulate(opamp.netlist)
-    for name, value in result.specs.items():
-        print(f"  {name:<14s} = {value:.4g}")
-
-    print()
-    print("=" * 72)
-    print("Interacting with the circuit design environment")
-    print("=" * 72)
-    env = make_opamp_env(seed=0)
-    observation = env.reset()
+    env = repro.make_env("opamp-p2s-v0", seed=0)
+    env.reset()
     print(f"  target specs : { {k: round(v, 4) for k, v in env.target_specs.items()} }")
     print(f"  graph nodes  : {env.num_graph_nodes}, tunable parameters: {env.num_parameters}")
     rng = np.random.default_rng(0)
     for step in range(3):
         action = env.action_space.sample(rng)
-        observation, reward, done, info = env.step(action)
+        _, reward, _, info = env.step(action)
         print(f"  random action step {step + 1}: reward = {reward:+.3f}, "
               f"met {info['met_fraction']:.0%} of specs")
 
-    print()
-    print("=" * 72)
-    print("One step with the (untrained) GCN-FC multimodal policy")
-    print("=" * 72)
-    policy = make_gcn_fc_policy(env, rng)
-    print(f"  policy parameters: {policy.num_parameters()}")
-    observation = env.reset()
-    action, log_prob, value = policy.act(observation, rng)
-    _, reward, _, _ = env.step(action)
-    print(f"  policy action log-prob = {log_prob:.2f}, critic value = {value:.2f}, "
-          f"reward = {reward:+.3f}")
+    policy = repro.make_policy("gcn_fc", env, rng)
+    print(f"  untrained GCN-FC policy has {policy.num_parameters()} parameters")
 
     print()
-    print("RF PA benchmark is available too:")
-    rf_pa = build_rf_pa()
-    print(f"  {rf_pa.name}: {rf_pa.num_parameters} parameters, "
-          f"{len(rf_pa.netlist)} devices, technology {rf_pa.technology}")
+    print("=" * 72)
+    print(f"One optimization through the shared protocol (random, budget {budget})")
+    print("=" * 72)
+    optimizer = repro.make_optimizer("random")
+    result = optimizer.optimize(env, budget=budget, seed=0)
+    print(f"  method          : {result.method}")
+    print(f"  simulator calls : {result.num_simulations}")
+    print(f"  best objective  : {result.best_objective:+.3f} (0 means every spec met)")
+    print(f"  all specs met   : {result.success}")
+
     print()
-    print("Next: examples/opamp_design.py trains a policy and deploys it.")
+    print("=" * 72)
+    print("The same run as a serializable RunConfig (JSON round-trip)")
+    print("=" * 72)
+    config = repro.RunConfig(
+        env=repro.EnvConfig("opamp-p2s-v0", {"seed": 0}),
+        optimizer=repro.OptimizerConfig("random"),
+        budget=budget,
+        seed=0,
+        name="quickstart",
+    )
+    print(config.to_json())
+    clone = repro.RunConfig.from_json(config.to_json())
+    replay = clone.run()
+    print(f"  replayed best objective: {replay.best_objective:+.3f} "
+          f"(identical: {replay.best_objective == result.best_objective})")
+
+    print()
+    print("Next: examples/baselines_comparison.py runs every method through the")
+    print("same optimize() loop; examples/opamp_design.py trains the RL policy.")
 
 
 if __name__ == "__main__":
-    main()
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--budget", type=int, default=30,
+                        help="simulator-call budget for the demo optimization")
+    args = parser.parse_args()
+    main(args.budget)

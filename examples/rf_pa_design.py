@@ -14,25 +14,25 @@ import argparse
 
 import numpy as np
 
-from repro.agents import PPOConfig, deploy_policy, make_gat_fc_policy
+from repro import make_env, make_policy
+from repro.agents import PPOConfig, deploy_policy
 from repro.agents.transfer import TransferLearningWorkflow, reward_fidelity_report
-from repro.env import make_rf_pa_env
 from repro.experiments import FIG5_RF_PA_TARGET
 
 
-def main(episodes: int, eval_targets: int) -> None:
-    coarse_env = make_rf_pa_env(seed=0, fidelity="coarse")
-    fine_env = make_rf_pa_env(seed=0, fidelity="fine")
+def main(episodes: int, eval_targets: int, fidelity_samples: int) -> None:
+    coarse_env = make_env("rf_pa-coarse-v0", seed=0)
+    fine_env = make_env("rf_pa-fine-v0", seed=0)
 
     print("Coarse vs fine simulator reward fidelity (random designs/targets):")
-    report = reward_fidelity_report(coarse_env, fine_env, num_samples=150, seed=0)
+    report = reward_fidelity_report(coarse_env, fine_env, num_samples=fidelity_samples, seed=0)
     print(f"  mean |reward error|          : {report.mean_abs_error:.3f}")
     print(f"  90th percentile |error|      : {report.p90_abs_error:.3f}")
     print(f"  mean relative reward error   : {report.mean_abs_relative_error:.1%}")
 
     print(f"\nTraining GAT-FC policy on the COARSE simulator for {episodes} episodes "
           f"(paper scale: 3,500) ...")
-    policy = make_gat_fc_policy(coarse_env, np.random.default_rng(0))
+    policy = make_policy("gat_fc", coarse_env, np.random.default_rng(0))
     workflow = TransferLearningWorkflow(
         coarse_env, fine_env, policy,
         config=PPOConfig(learning_rate=1e-3, minibatch_size=64, update_epochs=4),
@@ -61,5 +61,7 @@ if __name__ == "__main__":
                         help="coarse-simulator training episodes (default 120; paper uses 3500)")
     parser.add_argument("--eval-targets", type=int, default=15,
                         help="number of spec groups for the accuracy evaluation")
+    parser.add_argument("--fidelity-samples", type=int, default=150,
+                        help="random designs for the coarse-vs-fine fidelity report")
     args = parser.parse_args()
-    main(args.episodes, args.eval_targets)
+    main(args.episodes, args.eval_targets, args.fidelity_samples)

@@ -1,4 +1,8 @@
-"""Setup shim for legacy editable installs (offline environments without wheel)."""
+"""Setup shim for legacy editable installs (offline environments without wheel).
+
+All real packaging metadata lives in ``pyproject.toml`` (name, dependencies,
+``src/`` layout, and the version single-sourced from ``repro.__version__``).
+"""
 
 from setuptools import setup
 

@@ -3,18 +3,53 @@
 A from-scratch reproduction of "Domain Knowledge-Infused Deep Learning for
 Automated Analog/Radio-Frequency Circuit Parameter Optimization" (DAC 2022).
 
+Quickstart (the :mod:`repro.api` front door)
+--------------------------------------------
+>>> import repro
+>>> env = repro.make_env("opamp-p2s-v0", seed=0)
+>>> optimizer = repro.make_optimizer("bayesian")
+>>> result = optimizer.optimize(env, budget=60, seed=0)
+>>> result.success, result.num_simulations          # doctest: +SKIP
+
+Discovery: :func:`repro.list_envs`, :func:`repro.list_policies`,
+:func:`repro.list_optimizers`.  Serializable runs: :class:`repro.RunConfig`.
+
 Package map
 -----------
+``repro.api``         string-ID registry, Optimizer protocol, run configs
 ``repro.nn``          numpy autograd, dense/graph layers, Adam, distributions
 ``repro.circuits``    devices, netlists, design spaces, spec spaces, benchmarks
 ``repro.graph``       circuit-topology graphs and node features
 ``repro.simulation``  technology models, MNA mini-SPICE, op-amp / PA evaluators
 ``repro.env``         the P2S / FoM circuit design environment
-``repro.agents``      GNN-FC multimodal policy, baselines, PPO, deployment
+``repro.agents``      GNN-FC multimodal policy, PPO, deployment, transfer
 ``repro.baselines``   genetic algorithm, Bayesian optimization, SL sizer
 ``repro.experiments`` harnesses regenerating every paper table and figure
 """
 
+from repro.api import (
+    EnvConfig,
+    OptimizationCallback,
+    OptimizationResult,
+    Optimizer,
+    OptimizerConfig,
+    RunConfig,
+    UnknownComponentError,
+    describe_components,
+    list_envs,
+    list_optimizers,
+    list_policies,
+    make_env,
+    make_optimizer,
+    make_policy,
+    register_env,
+    register_optimizer,
+    register_policy,
+)
+
+# Legacy entry points: importable for backward compatibility; calling the
+# factory functions emits a DeprecationWarning (see repro.api for the
+# replacements).
 from repro.agents import (
     PPOConfig,
     PPOTrainer,
@@ -24,27 +59,42 @@ from repro.agents import (
     make_baseline_b_policy,
     make_gat_fc_policy,
     make_gcn_fc_policy,
-    make_policy,
 )
 from repro.circuits import build_rf_pa, build_two_stage_opamp
 from repro.env import make_opamp_env, make_rf_pa_env, make_rf_pa_fom_env
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "EnvConfig",
+    "OptimizationCallback",
+    "OptimizationResult",
+    "Optimizer",
+    "OptimizerConfig",
     "PPOConfig",
     "PPOTrainer",
+    "RunConfig",
+    "UnknownComponentError",
     "__version__",
     "build_rf_pa",
     "build_two_stage_opamp",
     "deploy_policy",
+    "describe_components",
     "evaluate_deployment",
+    "list_envs",
+    "list_optimizers",
+    "list_policies",
     "make_baseline_a_policy",
     "make_baseline_b_policy",
+    "make_env",
     "make_gat_fc_policy",
     "make_gcn_fc_policy",
     "make_opamp_env",
+    "make_optimizer",
     "make_policy",
     "make_rf_pa_env",
     "make_rf_pa_fom_env",
+    "register_env",
+    "register_optimizer",
+    "register_policy",
 ]

@@ -242,25 +242,25 @@ def _base_config(env, **overrides) -> PolicyConfig:
     return config
 
 
-def make_gcn_fc_policy(env, rng: Optional[np.random.Generator] = None, **overrides) -> ActorCriticPolicy:
+def _gcn_fc_policy(env, rng: Optional[np.random.Generator] = None, **overrides) -> ActorCriticPolicy:
     """The paper's GCN-FC multimodal policy."""
     config = _base_config(env, use_graph=True, graph_kind="gcn", use_spec_encoder=True, **overrides)
     return ActorCriticPolicy(config, rng)
 
 
-def make_gat_fc_policy(env, rng: Optional[np.random.Generator] = None, **overrides) -> ActorCriticPolicy:
+def _gat_fc_policy(env, rng: Optional[np.random.Generator] = None, **overrides) -> ActorCriticPolicy:
     """The paper's GAT-FC multimodal policy (best-performing variant)."""
     config = _base_config(env, use_graph=True, graph_kind="gat", use_spec_encoder=True, **overrides)
     return ActorCriticPolicy(config, rng)
 
 
-def make_baseline_a_policy(env, rng: Optional[np.random.Generator] = None, **overrides) -> ActorCriticPolicy:
+def _baseline_a_policy(env, rng: Optional[np.random.Generator] = None, **overrides) -> ActorCriticPolicy:
     """Baseline A (AutoCkt [10]): FCNN over spec vector + parameters, no graph."""
     config = _base_config(env, use_graph=False, use_spec_encoder=True, **overrides)
     return ActorCriticPolicy(config, rng)
 
 
-def make_baseline_b_policy(
+def _baseline_b_policy(
     env,
     rng: Optional[np.random.Generator] = None,
     graph_kind: str = "gcn",
@@ -285,21 +285,56 @@ def make_baseline_b_policy(
     return ActorCriticPolicy(config, rng)
 
 
-#: Mapping of method name (as used in figures/tables) to constructor.
+#: Mapping of method name (as used in figures/tables) to constructor.  The
+#: :mod:`repro.api` catalog registers exactly these builders under the same
+#: IDs; prefer ``repro.make_policy("gcn_fc", env)`` in new code.
 POLICY_FACTORIES = {
-    "gcn_fc": make_gcn_fc_policy,
-    "gat_fc": make_gat_fc_policy,
-    "baseline_a": make_baseline_a_policy,
-    "baseline_b": make_baseline_b_policy,
+    "gcn_fc": _gcn_fc_policy,
+    "gat_fc": _gat_fc_policy,
+    "baseline_a": _baseline_a_policy,
+    "baseline_b": _baseline_b_policy,
 }
 
 
+# ----------------------------------------------------------------------
+# Deprecated entry points (kept importable; use repro.make_policy instead)
+# ----------------------------------------------------------------------
+def make_gcn_fc_policy(env, rng: Optional[np.random.Generator] = None, **overrides) -> ActorCriticPolicy:
+    """Deprecated: use ``repro.make_policy("gcn_fc", env, ...)``."""
+    from repro.api.deprecation import warn_deprecated
+
+    warn_deprecated("make_gcn_fc_policy", "repro.make_policy('gcn_fc', env, ...)")
+    return _gcn_fc_policy(env, rng, **overrides)
+
+
+def make_gat_fc_policy(env, rng: Optional[np.random.Generator] = None, **overrides) -> ActorCriticPolicy:
+    """Deprecated: use ``repro.make_policy("gat_fc", env, ...)``."""
+    from repro.api.deprecation import warn_deprecated
+
+    warn_deprecated("make_gat_fc_policy", "repro.make_policy('gat_fc', env, ...)")
+    return _gat_fc_policy(env, rng, **overrides)
+
+
+def make_baseline_a_policy(env, rng: Optional[np.random.Generator] = None, **overrides) -> ActorCriticPolicy:
+    """Deprecated: use ``repro.make_policy("baseline_a", env, ...)``."""
+    from repro.api.deprecation import warn_deprecated
+
+    warn_deprecated("make_baseline_a_policy", "repro.make_policy('baseline_a', env, ...)")
+    return _baseline_a_policy(env, rng, **overrides)
+
+
+def make_baseline_b_policy(env, rng: Optional[np.random.Generator] = None, **overrides) -> ActorCriticPolicy:
+    """Deprecated: use ``repro.make_policy("baseline_b", env, ...)``."""
+    from repro.api.deprecation import warn_deprecated
+
+    warn_deprecated("make_baseline_b_policy", "repro.make_policy('baseline_b', env, ...)")
+    return _baseline_b_policy(env, rng, **overrides)
+
+
 def make_policy(name: str, env, rng: Optional[np.random.Generator] = None, **overrides) -> ActorCriticPolicy:
-    """Build a policy by method name (``gcn_fc``, ``gat_fc``, ``baseline_a``, ``baseline_b``)."""
-    try:
-        factory = POLICY_FACTORIES[name]
-    except KeyError as exc:
-        raise ValueError(
-            f"unknown policy '{name}', expected one of {sorted(POLICY_FACTORIES)}"
-        ) from exc
-    return factory(env, rng, **overrides)
+    """Deprecated: use ``repro.make_policy(name, env, ...)`` (registry-backed)."""
+    from repro.api.catalog import make_policy as _api_make_policy
+    from repro.api.deprecation import warn_deprecated
+
+    warn_deprecated("repro.agents.make_policy", "repro.make_policy(name, env, ...)")
+    return _api_make_policy(name, env, rng, **overrides)

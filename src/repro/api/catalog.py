@@ -1,0 +1,283 @@
+"""The component catalog: every environment, policy, and optimizer ID.
+
+This module is the single front door to the codebase.  It owns the three
+global registries and the canonical builder functions behind the public
+``repro.make_env`` / ``repro.make_policy`` / ``repro.make_optimizer``
+helpers:
+
+=============  =====================================================
+kind           registered IDs
+=============  =====================================================
+environments   ``opamp-p2s-v0``, ``rf_pa-fine-v0``, ``rf_pa-coarse-v0``,
+               ``rf_pa-fom-v0``, ``rf_pa-fom-coarse-v0``
+policies       ``gcn_fc``, ``gat_fc``, ``baseline_a``, ``baseline_b``
+optimizers     ``ppo``, ``genetic``, ``bayesian``, ``random``,
+               ``supervised``
+=============  =====================================================
+
+Environment IDs follow the gym convention ``<circuit>-<task/fidelity>-v<N>``;
+legacy names (``"genetic_algorithm"``, ``"bayesian_optimization"``, ...) are
+registered as aliases so strings stored in old experiment configs keep
+resolving.  Third parties extend the catalog with the same decorators::
+
+    @register_env("my_lna-p2s-v0", description="LNA sizing environment")
+    def _my_lna(seed=None, **kwargs):
+        return CircuitDesignEnv(...)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.api.registry import Registry
+from repro.circuits.library.rf_pa import build_rf_pa
+from repro.circuits.library.two_stage_opamp import build_two_stage_opamp
+from repro.env.circuit_env import CircuitDesignEnv
+from repro.env.reward import FomReward, P2SReward
+from repro.simulation.opamp_sim import OpAmpSimulator
+from repro.simulation.pa_sim import RfPaCoarseSimulator, RfPaFineSimulator
+
+#: The three global registries behind the ``repro.make_*`` helpers.
+ENVS = Registry("environment")
+POLICIES = Registry("policy")
+OPTIMIZERS = Registry("optimizer")
+
+# Decorator aliases for third-party registration.
+register_env = ENVS.register
+register_policy = POLICIES.register
+register_optimizer = OPTIMIZERS.register
+
+
+# ----------------------------------------------------------------------
+# Environments
+# ----------------------------------------------------------------------
+@register_env(
+    "opamp-p2s-v0",
+    description="Two-stage op-amp, P2S (Eq. 1) reward, analytic simulator, 50-step episodes",
+    aliases=("opamp-v0",),
+    metadata={"circuit": "two_stage_opamp", "task": "p2s", "fidelity": "fine"},
+)
+def _opamp_p2s_v0(
+    seed: Optional[int] = None,
+    max_steps: int = 50,
+    initial_sizing: str = "center",
+    goal_tolerance: float = 0.0,
+) -> CircuitDesignEnv:
+    benchmark = build_two_stage_opamp()
+    return CircuitDesignEnv(
+        benchmark=benchmark,
+        simulator=OpAmpSimulator(),
+        reward_fn=P2SReward(benchmark.spec_space),
+        max_steps=max_steps,
+        initial_sizing=initial_sizing,
+        goal_tolerance=goal_tolerance,
+        seed=seed,
+    )
+
+
+def _rf_pa_env(
+    simulator,
+    reward_kind: str,
+    seed: Optional[int],
+    max_steps: int,
+    initial_sizing: str,
+    goal_tolerance: float,
+) -> CircuitDesignEnv:
+    benchmark = build_rf_pa()
+    if reward_kind == "fom":
+        reward_fn = FomReward(benchmark.spec_space)
+    else:
+        reward_fn = P2SReward(benchmark.spec_space)
+    return CircuitDesignEnv(
+        benchmark=benchmark,
+        simulator=simulator,
+        reward_fn=reward_fn,
+        max_steps=max_steps,
+        initial_sizing=initial_sizing,
+        goal_tolerance=goal_tolerance,
+        seed=seed,
+    )
+
+
+@register_env(
+    "rf_pa-fine-v0",
+    description="GaN RF PA, P2S reward, fine (harmonic-balance style) simulator, 30-step episodes",
+    aliases=("rf_pa-p2s-v0", "rf_pa-v0"),
+    metadata={"circuit": "rf_pa", "task": "p2s", "fidelity": "fine"},
+)
+def _rf_pa_fine_v0(
+    seed: Optional[int] = None,
+    max_steps: int = 30,
+    initial_sizing: str = "center",
+    goal_tolerance: float = 0.0,
+) -> CircuitDesignEnv:
+    return _rf_pa_env(RfPaFineSimulator(), "p2s", seed, max_steps, initial_sizing, goal_tolerance)
+
+
+@register_env(
+    "rf_pa-coarse-v0",
+    description="GaN RF PA, P2S reward, coarse (DC-estimate) training simulator, 30-step episodes",
+    metadata={"circuit": "rf_pa", "task": "p2s", "fidelity": "coarse"},
+)
+def _rf_pa_coarse_v0(
+    seed: Optional[int] = None,
+    max_steps: int = 30,
+    initial_sizing: str = "center",
+    goal_tolerance: float = 0.0,
+) -> CircuitDesignEnv:
+    return _rf_pa_env(RfPaCoarseSimulator(), "p2s", seed, max_steps, initial_sizing, goal_tolerance)
+
+
+@register_env(
+    "rf_pa-fom-v0",
+    description="GaN RF PA, FoM (P + 3E) reward, fine simulator (Fig. 7 scoring)",
+    aliases=("rf_pa-fom-fine-v0",),
+    metadata={"circuit": "rf_pa", "task": "fom", "fidelity": "fine"},
+)
+def _rf_pa_fom_v0(
+    seed: Optional[int] = None,
+    max_steps: int = 30,
+    initial_sizing: str = "center",
+    goal_tolerance: float = 0.0,
+) -> CircuitDesignEnv:
+    return _rf_pa_env(RfPaFineSimulator(), "fom", seed, max_steps, initial_sizing, goal_tolerance)
+
+
+@register_env(
+    "rf_pa-fom-coarse-v0",
+    description="GaN RF PA, FoM reward, coarse simulator (Fig. 7 transfer training)",
+    metadata={"circuit": "rf_pa", "task": "fom", "fidelity": "coarse"},
+)
+def _rf_pa_fom_coarse_v0(
+    seed: Optional[int] = None,
+    max_steps: int = 30,
+    initial_sizing: str = "center",
+    goal_tolerance: float = 0.0,
+) -> CircuitDesignEnv:
+    return _rf_pa_env(RfPaCoarseSimulator(), "fom", seed, max_steps, initial_sizing, goal_tolerance)
+
+
+# ----------------------------------------------------------------------
+# Policies
+# ----------------------------------------------------------------------
+def _register_policies() -> None:
+    # Imported lazily so that ``repro.agents`` (which itself imports the nn
+    # stack) only loads when the catalog module does, keeping import order
+    # free of cycles with the legacy shims in repro.agents.policy.
+    from repro.agents.policy import POLICY_FACTORIES
+
+    descriptions = {
+        "gcn_fc": "GCN + spec-FCNN multimodal policy (ours)",
+        "gat_fc": "GAT + spec-FCNN multimodal policy (ours, best variant)",
+        "baseline_a": "Baseline A (AutoCkt): FCNN over specs + parameters, no graph",
+        "baseline_b": "Baseline B (GCN-RL): graph branch only, raw spec vector",
+    }
+    aliases = {
+        "gcn_fc": ("gcn-fc",),
+        "gat_fc": ("gat-fc",),
+        "baseline_a": ("autockt",),
+        "baseline_b": ("gcn_rl", "gcn-rl"),
+    }
+    for name, factory in POLICY_FACTORIES.items():
+        POLICIES.register(
+            name,
+            factory,
+            description=descriptions.get(name, ""),
+            aliases=aliases.get(name, ()),
+        )
+
+
+_register_policies()
+
+
+def _register_optimizers() -> None:
+    # Late import: repro.api.optimizers imports the catalog for make_policy.
+    from repro.api.optimizers import (
+        BayesianOptimizer,
+        GeneticOptimizer,
+        PPOOptimizer,
+        RandomSearchOptimizer,
+        SupervisedOptimizer,
+    )
+
+    OPTIMIZERS.register(
+        "ppo",
+        PPOOptimizer,
+        description="PPO-trained RL policy (GNN-FC by default), deployed per target group",
+        aliases=("rl",),
+    )
+    OPTIMIZERS.register(
+        "genetic",
+        GeneticOptimizer,
+        description="Real-coded genetic algorithm over the normalized design space",
+        aliases=("genetic_algorithm", "ga"),
+    )
+    OPTIMIZERS.register(
+        "bayesian",
+        BayesianOptimizer,
+        description="Gaussian-process Bayesian optimization with expected improvement",
+        aliases=("bayesian_optimization", "bo"),
+    )
+    OPTIMIZERS.register(
+        "random",
+        RandomSearchOptimizer,
+        description="Uniform random search (sanity-check lower bound)",
+        aliases=("random_search", "rs"),
+    )
+    OPTIMIZERS.register(
+        "supervised",
+        SupervisedOptimizer,
+        description="Supervised inverse spec-to-parameter regressor (one-shot design)",
+        aliases=("supervised_learning", "sl"),
+    )
+
+
+_register_optimizers()
+
+
+# ----------------------------------------------------------------------
+# Public factory / discovery helpers (re-exported as repro.make_* etc.)
+# ----------------------------------------------------------------------
+def make_env(id: str, **kwargs: Any) -> CircuitDesignEnv:
+    """Build an environment by string ID, e.g. ``make_env("opamp-p2s-v0", seed=0)``."""
+    return ENVS.make(id, **kwargs)
+
+
+def make_policy(id: str, env: CircuitDesignEnv, rng: Optional[np.random.Generator] = None, **overrides: Any):
+    """Build a policy by string ID for an environment, e.g. ``make_policy("gcn_fc", env)``."""
+    return POLICIES.make(id, env, rng, **overrides)
+
+
+def make_optimizer(id: str, **kwargs: Any):
+    """Build an optimizer by string ID, e.g. ``make_optimizer("ppo", policy="gat_fc")``.
+
+    Every returned object implements the common :class:`repro.api.Optimizer`
+    protocol: ``optimize(env, budget=..., seed=..., callbacks=...)``.
+    """
+    return OPTIMIZERS.make(id, **kwargs)
+
+
+def list_envs() -> List[str]:
+    """Registered environment IDs."""
+    return ENVS.ids()
+
+
+def list_policies() -> List[str]:
+    """Registered policy IDs."""
+    return POLICIES.ids()
+
+
+def list_optimizers() -> List[str]:
+    """Registered optimizer IDs."""
+    return OPTIMIZERS.ids()
+
+
+def describe_components() -> Dict[str, Dict[str, str]]:
+    """Full catalog: kind -> {id: one-line description} (discovery helper)."""
+    return {
+        "environments": ENVS.describe(),
+        "policies": POLICIES.describe(),
+        "optimizers": OPTIMIZERS.describe(),
+    }

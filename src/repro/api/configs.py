@@ -1,0 +1,199 @@
+"""Serializable run configurations: any experiment from a single dict.
+
+Three small dataclasses make a complete optimization run reconstructable
+from JSON — the foundation for distributing and sharding experiment sweeps:
+
+* :class:`EnvConfig` — an environment ID plus its keyword arguments;
+* :class:`OptimizerConfig` — an optimizer ID plus its constructor keywords;
+* :class:`RunConfig` — env + optimizer + budget + seed (+ optional fixed
+  target group), with ``run()`` executing the whole thing through the
+  common :class:`repro.api.Optimizer` protocol.
+
+Round trip::
+
+    config = RunConfig(
+        env=EnvConfig("opamp-p2s-v0", {"seed": 0}),
+        optimizer=OptimizerConfig("random"),
+        budget=40,
+        seed=7,
+    )
+    clone = RunConfig.from_json(config.to_json())
+    assert clone == config
+    assert clone.run().best_objective == config.run().best_objective
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Union
+
+from repro.api import catalog
+from repro.api.protocol import Callbacks, OptimizationResult
+
+
+def _require_mapping(value: Any, what: str) -> Dict[str, Any]:
+    if value is None:
+        return {}
+    if not isinstance(value, Mapping):
+        raise TypeError(f"{what} must be a mapping, got {type(value).__name__}")
+    return dict(value)
+
+
+@dataclass
+class EnvConfig:
+    """A registry environment ID plus the keyword arguments to build it."""
+
+    id: str
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.params = _require_mapping(self.params, "EnvConfig.params")
+        catalog.ENVS.resolve(self.id)  # fail fast with the helpful registry error
+
+    def build(self):
+        """Instantiate the environment: ``make_env(id, **params)``."""
+        return catalog.make_env(self.id, **self.params)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"id": self.id, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: Union[str, Mapping[str, Any]]) -> "EnvConfig":
+        """Build from ``{"id": ..., "params": {...}}`` (or a bare ID string)."""
+        if isinstance(data, str):
+            return cls(id=data)
+        data = _require_mapping(data, "EnvConfig")
+        unknown = set(data) - {"id", "params"}
+        if unknown:
+            raise ValueError(f"unknown EnvConfig keys: {sorted(unknown)}")
+        if "id" not in data:
+            raise ValueError("EnvConfig requires an 'id' key")
+        return cls(id=data["id"], params=data.get("params") or {})
+
+
+@dataclass
+class OptimizerConfig:
+    """A registry optimizer ID plus the constructor keyword arguments."""
+
+    id: str
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.params = _require_mapping(self.params, "OptimizerConfig.params")
+        catalog.OPTIMIZERS.resolve(self.id)
+
+    def build(self):
+        """Instantiate the optimizer: ``make_optimizer(id, **params)``."""
+        return catalog.make_optimizer(self.id, **self.params)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"id": self.id, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: Union[str, Mapping[str, Any]]) -> "OptimizerConfig":
+        """Build from ``{"id": ..., "params": {...}}`` (or a bare ID string)."""
+        if isinstance(data, str):
+            return cls(id=data)
+        data = _require_mapping(data, "OptimizerConfig")
+        unknown = set(data) - {"id", "params"}
+        if unknown:
+            raise ValueError(f"unknown OptimizerConfig keys: {sorted(unknown)}")
+        if "id" not in data:
+            raise ValueError("OptimizerConfig requires an 'id' key")
+        return cls(id=data["id"], params=data.get("params") or {})
+
+
+@dataclass
+class RunConfig:
+    """One fully-specified optimization run.
+
+    The same config (hence the same JSON document) always reproduces the
+    same result: the ``seed`` drives every random choice — policy
+    initialization, search sampling, and the target group when
+    ``target_specs`` is not pinned.
+    """
+
+    env: EnvConfig
+    optimizer: OptimizerConfig
+    budget: Optional[int] = None
+    seed: int = 0
+    target_specs: Optional[Dict[str, float]] = None
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if isinstance(self.env, (str, Mapping)):
+            self.env = EnvConfig.from_dict(self.env)
+        if isinstance(self.optimizer, (str, Mapping)):
+            self.optimizer = OptimizerConfig.from_dict(self.optimizer)
+        if self.budget is not None and int(self.budget) <= 0:
+            raise ValueError("budget must be positive (or None for the method default)")
+        if self.target_specs is not None:
+            self.target_specs = {
+                name: float(value) for name, value in dict(self.target_specs).items()
+            }
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, callbacks: Callbacks = ()) -> OptimizationResult:
+        """Build the environment and optimizer, then execute the run."""
+        env = self.env.build()
+        optimizer = self.optimizer.build()
+        return optimizer.optimize(
+            env,
+            budget=self.budget,
+            seed=self.seed,
+            callbacks=callbacks,
+            target_specs=self.target_specs,
+        )
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "env": self.env.to_dict(),
+            "optimizer": self.optimizer.to_dict(),
+            "budget": self.budget,
+            "seed": self.seed,
+            "target_specs": dict(self.target_specs) if self.target_specs else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunConfig":
+        data = _require_mapping(data, "RunConfig")
+        known = {"name", "env", "optimizer", "budget", "seed", "target_specs"}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown RunConfig keys: {sorted(unknown)} (expected {sorted(known)})")
+        missing = {"env", "optimizer"} - set(data)
+        if missing:
+            raise ValueError(f"RunConfig requires keys: {sorted(missing)}")
+        return cls(
+            env=EnvConfig.from_dict(data["env"]),
+            optimizer=OptimizerConfig.from_dict(data["optimizer"]),
+            budget=data.get("budget"),
+            seed=int(data.get("seed", 0)),
+            target_specs=data.get("target_specs"),
+            name=data.get("name", ""),
+        )
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunConfig":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path) -> None:
+        """Write the config as JSON to ``path``."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json() + "\n")
+
+    @classmethod
+    def load(cls, path) -> "RunConfig":
+        """Read a config previously written with :meth:`save`."""
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(handle.read())

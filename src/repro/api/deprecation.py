@@ -1,0 +1,18 @@
+"""Helper for the legacy-factory deprecation shims."""
+
+from __future__ import annotations
+
+import warnings
+
+
+def warn_deprecated(old: str, replacement: str, *, stacklevel: int = 3) -> None:
+    """Emit the standard deprecation warning for a legacy entry point.
+
+    ``stacklevel=3`` points the warning at the *caller* of the shim (the
+    shim itself adds one frame, this helper another).
+    """
+    warnings.warn(
+        f"{old} is deprecated; use {replacement} instead",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )

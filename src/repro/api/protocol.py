@@ -1,0 +1,155 @@
+"""The common ``Optimizer`` protocol every sizing method implements.
+
+The paper compares five families of methods — PPO-trained RL policies, a
+genetic algorithm, Bayesian optimization, random search, and a supervised
+inverse-regression sizer.  Historically each had its own entry point and
+signature; the protocol below gives them one shared loop::
+
+    env = repro.make_env("opamp-p2s-v0", seed=0)
+    for method in repro.list_optimizers():
+        optimizer = repro.make_optimizer(method)
+        result = optimizer.optimize(env, budget=200, seed=0)
+        print(method, result.num_simulations, result.success)
+
+``optimize`` returns a :class:`repro.baselines.base.OptimizationResult`
+(re-exported here) whose ``method`` / ``seed`` / ``budget`` / ``metadata``
+fields the adapters fill in, so results from different methods are directly
+comparable and serializable via ``result.summary()``.
+
+Budget semantics follow the paper: for the search baselines the budget is a
+*simulator-call* budget; for ``"ppo"`` it is a *training-episode* budget and
+``num_simulations`` reports the deployment steps only ("the RL row excludes
+the one-off training cost").
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    Mapping,
+    Optional,
+    Protocol,
+    Sequence,
+    runtime_checkable,
+)
+
+from repro.baselines.base import OptimizationResult, OptimizationTrace
+from repro.env.circuit_env import CircuitDesignEnv
+
+
+class OptimizationCallback:
+    """Observer hooks invoked during an :meth:`Optimizer.optimize` run.
+
+    Subclass and override any subset; all hooks default to no-ops.  The
+    hooks are deliberately coarse so every optimizer family can honour them:
+    ``on_evaluation`` fires once per objective evaluation for the search
+    methods and once per training update (with the mean episode reward) for
+    the RL optimizer.
+    """
+
+    def on_start(self, optimizer_id: str, env: CircuitDesignEnv, budget: Optional[int]) -> None:
+        """Called once before the first evaluation."""
+
+    def on_evaluation(self, index: int, objective: float, best: float) -> None:
+        """Called after each objective evaluation (1-based ``index``)."""
+
+    def on_result(self, result: "OptimizationResult") -> None:
+        """Called once with the final result."""
+
+
+Callbacks = Sequence[OptimizationCallback]
+
+
+def notify(callbacks: Iterable[OptimizationCallback], hook: str, *args: Any) -> None:
+    """Invoke ``hook`` on every callback (missing hooks are skipped)."""
+    for callback in callbacks:
+        method = getattr(callback, hook, None)
+        if method is not None:
+            method(*args)
+
+
+class NotifyingTrace(OptimizationTrace):
+    """An :class:`OptimizationTrace` that forwards each record to callbacks."""
+
+    def __init__(self, callbacks: Callbacks = ()) -> None:
+        super().__init__()
+        self._callbacks = tuple(callbacks)
+
+    def record(self, value: float) -> None:
+        super().record(value)
+        notify(self._callbacks, "on_evaluation", len(self.objective_values), value, self.best_values[-1])
+
+
+@runtime_checkable
+class Optimizer(Protocol):
+    """What every sizing method exposes to the shared comparison loop.
+
+    Implementations also carry an ``id`` attribute with their registry ID.
+    """
+
+    def optimize(
+        self,
+        env: CircuitDesignEnv,
+        budget: Optional[int] = None,
+        seed: Optional[int] = None,
+        callbacks: Callbacks = (),
+        target_specs: Optional[Mapping[str, float]] = None,
+    ) -> OptimizationResult:
+        """Run one optimization on ``env`` and return the unified result.
+
+        Parameters
+        ----------
+        env:
+            The design environment; its benchmark/simulator/reward define
+            the problem (P2S toward ``target_specs``, or FoM maximization
+            when the env uses the FoM reward).
+        budget:
+            Simulator-call budget (search methods) or training-episode
+            budget (RL).  ``None`` uses the method's default.
+        seed:
+            Seed controlling every random choice of the run; the same
+            (env, budget, seed, target) quadruple reproduces the result.
+        callbacks:
+            :class:`OptimizationCallback` observers.
+        target_specs:
+            Fixed target specification group.  ``None`` samples one
+            deterministically from the environment's spec space (ignored in
+            FoM mode).
+        """
+        ...
+
+
+def resolve_target(
+    env: CircuitDesignEnv,
+    target_specs: Optional[Mapping[str, float]],
+    seed: Optional[int],
+) -> Optional[Dict[str, float]]:
+    """The target group an optimize() run should pursue.
+
+    Explicit ``target_specs`` win; otherwise one group is sampled
+    deterministically from ``seed`` — the environment's episode state is
+    deliberately ignored so the same ``(env id, budget, seed)`` triple
+    always optimizes the same target, reset history notwithstanding.
+    FoM-mode environments need no target and get ``None``.
+    """
+    if env.is_fom_mode:
+        return None
+    if target_specs is not None:
+        return {name: float(value) for name, value in dict(target_specs).items()}
+    import numpy as np
+
+    return env.benchmark.spec_space.sample(np.random.default_rng(seed))
+
+
+__all__ = [
+    "Callbacks",
+    "NotifyingTrace",
+    "OptimizationCallback",
+    "OptimizationResult",
+    "OptimizationTrace",
+    "Optimizer",
+    "notify",
+    "resolve_target",
+]

@@ -43,7 +43,14 @@ class OptimizationTrace:
 
 @dataclass
 class OptimizationResult:
-    """Outcome of one baseline optimization run."""
+    """Outcome of one optimization run.
+
+    This is the unified result type of the :class:`repro.api.Optimizer`
+    protocol: the first six fields are filled by every method, the trailing
+    ``method`` / ``seed`` / ``budget`` / ``metadata`` fields carry the run
+    context the :mod:`repro.api` adapters add (RL adapters stash their
+    trained policy and training history under ``metadata``).
+    """
 
     best_parameters: np.ndarray
     best_objective: float
@@ -51,6 +58,23 @@ class OptimizationResult:
     success: bool
     num_simulations: int
     trace: OptimizationTrace
+    method: str = ""
+    seed: Optional[int] = None
+    budget: Optional[int] = None
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def summary(self) -> Dict[str, object]:
+        """JSON-serializable digest of the run (no traces, no live objects)."""
+        return {
+            "method": self.method,
+            "best_parameters": [float(v) for v in np.asarray(self.best_parameters).ravel()],
+            "best_objective": float(self.best_objective),
+            "best_specs": {name: float(value) for name, value in self.best_specs.items()},
+            "success": bool(self.success),
+            "num_simulations": int(self.num_simulations),
+            "seed": self.seed,
+            "budget": self.budget,
+        }
 
 
 class SizingProblem:

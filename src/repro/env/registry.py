@@ -1,25 +1,21 @@
-"""Factory functions for the standard environments used in the experiments.
+"""Deprecated environment factories (superseded by :mod:`repro.api`).
 
-These helpers encode the paper's experimental setup (Table 1 + Sec. 4):
+The canonical environment catalog now lives behind gym-style string IDs::
 
-* ``make_opamp_env``     — two-stage op-amp, analytic Spectre-substitute
-  simulator, 50-step episodes, Eq. (1) reward;
-* ``make_rf_pa_env``     — GaN RF PA, 30-step episodes, Eq. (1) reward, with
-  a ``fidelity`` switch between the coarse (training) and fine (deployment)
-  simulators used by the transfer-learning workflow;
-* ``make_rf_pa_fom_env`` — RF PA with the FoM reward used in Fig. 7.
+    repro.make_env("opamp-p2s-v0", seed=0)       # was make_opamp_env(seed=0)
+    repro.make_env("rf_pa-coarse-v0", seed=0)    # was make_rf_pa_env(fidelity="coarse")
+    repro.make_env("rf_pa-fom-v0", seed=0)       # was make_rf_pa_fom_env()
+
+The helpers below stay importable for old code and emit a
+``DeprecationWarning`` when called; they delegate to the registry so both
+paths construct identical environments.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
-from repro.circuits.library.rf_pa import build_rf_pa
-from repro.circuits.library.two_stage_opamp import build_two_stage_opamp
 from repro.env.circuit_env import CircuitDesignEnv
-from repro.env.reward import FomReward, P2SReward
-from repro.simulation.opamp_sim import OpAmpSimulator
-from repro.simulation.pa_sim import RfPaCoarseSimulator, RfPaFineSimulator
 
 
 def make_opamp_env(
@@ -28,26 +24,27 @@ def make_opamp_env(
     initial_sizing: str = "center",
     goal_tolerance: float = 0.0,
 ) -> CircuitDesignEnv:
-    """Two-stage op-amp P2S environment (Fig. 2 benchmark)."""
-    benchmark = build_two_stage_opamp()
-    return CircuitDesignEnv(
-        benchmark=benchmark,
-        simulator=OpAmpSimulator(),
-        reward_fn=P2SReward(benchmark.spec_space),
+    """Deprecated: use ``repro.make_env("opamp-p2s-v0", ...)``."""
+    from repro.api.catalog import make_env
+    from repro.api.deprecation import warn_deprecated
+
+    warn_deprecated("make_opamp_env", "repro.make_env('opamp-p2s-v0', ...)")
+    return make_env(
+        "opamp-p2s-v0",
+        seed=seed,
         max_steps=max_steps,
         initial_sizing=initial_sizing,
         goal_tolerance=goal_tolerance,
-        seed=seed,
     )
 
 
-def _pa_simulator(fidelity: str):
+def _pa_env_id(fidelity: str, fom: bool = False) -> str:
     fidelity = fidelity.lower()
-    if fidelity == "fine":
-        return RfPaFineSimulator()
-    if fidelity == "coarse":
-        return RfPaCoarseSimulator()
-    raise ValueError(f"fidelity must be 'fine' or 'coarse', got '{fidelity}'")
+    if fidelity not in {"fine", "coarse"}:
+        raise ValueError(f"fidelity must be 'fine' or 'coarse', got '{fidelity}'")
+    if fom:
+        return "rf_pa-fom-v0" if fidelity == "fine" else "rf_pa-fom-coarse-v0"
+    return f"rf_pa-{fidelity}-v0"
 
 
 def make_rf_pa_env(
@@ -57,21 +54,17 @@ def make_rf_pa_env(
     initial_sizing: str = "center",
     goal_tolerance: float = 0.0,
 ) -> CircuitDesignEnv:
-    """GaN RF PA P2S environment (Fig. 4 benchmark).
+    """Deprecated: use ``repro.make_env("rf_pa-fine-v0" / "rf_pa-coarse-v0", ...)``."""
+    from repro.api.catalog import make_env
+    from repro.api.deprecation import warn_deprecated
 
-    ``fidelity="coarse"`` selects the fast DC-estimate simulator used for
-    transfer-learning pre-training; ``"fine"`` selects the harmonic-balance
-    style simulator used at deployment time.
-    """
-    benchmark = build_rf_pa()
-    return CircuitDesignEnv(
-        benchmark=benchmark,
-        simulator=_pa_simulator(fidelity),
-        reward_fn=P2SReward(benchmark.spec_space),
+    warn_deprecated("make_rf_pa_env", "repro.make_env('rf_pa-fine-v0' or 'rf_pa-coarse-v0', ...)")
+    return make_env(
+        _pa_env_id(fidelity),
+        seed=seed,
         max_steps=max_steps,
         initial_sizing=initial_sizing,
         goal_tolerance=goal_tolerance,
-        seed=seed,
     )
 
 
@@ -81,13 +74,16 @@ def make_rf_pa_fom_env(
     fidelity: str = "fine",
     initial_sizing: str = "center",
 ) -> CircuitDesignEnv:
-    """RF PA environment with the figure-of-merit reward of Fig. 7."""
-    benchmark = build_rf_pa()
-    return CircuitDesignEnv(
-        benchmark=benchmark,
-        simulator=_pa_simulator(fidelity),
-        reward_fn=FomReward(benchmark.spec_space),
+    """Deprecated: use ``repro.make_env("rf_pa-fom-v0" / "rf_pa-fom-coarse-v0", ...)``."""
+    from repro.api.catalog import make_env
+    from repro.api.deprecation import warn_deprecated
+
+    warn_deprecated(
+        "make_rf_pa_fom_env", "repro.make_env('rf_pa-fom-v0' or 'rf_pa-fom-coarse-v0', ...)"
+    )
+    return make_env(
+        _pa_env_id(fidelity, fom=True),
+        seed=seed,
         max_steps=max_steps,
         initial_sizing=initial_sizing,
-        seed=seed,
     )

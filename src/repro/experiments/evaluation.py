@@ -17,10 +17,10 @@ import numpy as np
 
 from repro.agents.deployment import DeploymentResult, deploy_policy
 from repro.agents.policy import ActorCriticPolicy
+from repro.api.catalog import make_env
 from repro.env.circuit_env import CircuitDesignEnv
-from repro.env.registry import make_opamp_env, make_rf_pa_env
 from repro.experiments.configs import ExperimentScale, bench_scale
-from repro.experiments.training import run_training_experiment
+from repro.experiments.training import CIRCUIT_ENV_IDS, run_training_experiment
 
 #: Fig. 5 target groups (sampled from the Table 1 spaces in the paper).
 FIG5_OPAMP_TARGET: Dict[str, float] = {
@@ -73,13 +73,14 @@ class DeploymentExample:
         return self.result.success
 
 
+#: Deployment always uses the accurate simulator (fine for the RF PA).
+DEPLOYMENT_ENV_IDS = {circuit: ids["fine"] for circuit, ids in CIRCUIT_ENV_IDS.items()}
+
+
 def _deployment_env(circuit: str, seed: Optional[int] = None) -> CircuitDesignEnv:
-    """Deployment always uses the accurate simulator (fine for the RF PA)."""
-    if circuit == "two_stage_opamp":
-        return make_opamp_env(seed=seed)
-    if circuit == "rf_pa":
-        return make_rf_pa_env(seed=seed, fidelity="fine")
-    raise ValueError(f"unknown circuit '{circuit}'")
+    if circuit not in DEPLOYMENT_ENV_IDS:
+        raise ValueError(f"unknown circuit '{circuit}', expected one of {sorted(DEPLOYMENT_ENV_IDS)}")
+    return make_env(DEPLOYMENT_ENV_IDS[circuit], seed=seed)
 
 
 def default_target(circuit: str, unseen: bool = False) -> Dict[str, float]:

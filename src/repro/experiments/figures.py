@@ -6,6 +6,9 @@ number of simulator calls; the paper observes GA needs roughly 400 and BO
 roughly 100 simulations to converge (versus ~20 deployment steps for the
 trained RL policies), and that neither reaches 100 % design accuracy over
 repeated runs.
+
+All runs route through the common :class:`repro.api.Optimizer` protocol, so
+any registered optimizer ID works as a ``methods`` entry.
 """
 
 from __future__ import annotations
@@ -15,48 +18,44 @@ from typing import Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
-from repro.baselines.base import OptimizationResult, SizingProblem
-from repro.baselines.bayesian import BayesianOptimization, BayesianOptimizationConfig
-from repro.baselines.genetic import GeneticAlgorithm, GeneticAlgorithmConfig
-from repro.baselines.random_search import RandomSearch, RandomSearchConfig
-from repro.circuits.library.rf_pa import build_rf_pa
-from repro.circuits.library.two_stage_opamp import build_two_stage_opamp
+from repro.api.catalog import OPTIMIZERS, make_env
+from repro.api.catalog import make_optimizer as _api_make_optimizer
+from repro.baselines.base import OptimizationResult
 from repro.experiments.configs import ExperimentScale, bench_scale
-from repro.simulation.opamp_sim import OpAmpSimulator
-from repro.simulation.pa_sim import RfPaFineSimulator
+from repro.experiments.training import CIRCUIT_ENV_IDS
 
-#: Optimizer names shown in the Fig. 3 last-column legend.
+#: Optimizer names shown in the Fig. 3 last-column legend (registry aliases
+#: of ``"genetic"`` and ``"bayesian"``).
 OPTIMIZER_METHODS = ("genetic_algorithm", "bayesian_optimization")
 
+#: The optimization baselines "cannot leverage transfer learning and have to
+#: use HB simulation" (paper) — the RF PA always uses the fine simulator.
+SEARCH_ENV_IDS = {circuit: ids["fine"] for circuit, ids in CIRCUIT_ENV_IDS.items()}
 
-def _benchmark_and_simulator(circuit: str):
-    if circuit == "two_stage_opamp":
-        return build_two_stage_opamp(), OpAmpSimulator()
-    if circuit == "rf_pa":
-        # The optimization baselines "cannot leverage transfer learning and
-        # have to use HB simulation" (paper) — always the fine simulator.
-        return build_rf_pa(), RfPaFineSimulator()
-    raise ValueError(f"unknown circuit '{circuit}'")
+
+def _circuit_env(circuit: str, seed: Optional[int] = None):
+    if circuit not in SEARCH_ENV_IDS:
+        raise ValueError(f"unknown circuit '{circuit}', expected one of {sorted(SEARCH_ENV_IDS)}")
+    return make_env(SEARCH_ENV_IDS[circuit], seed=seed)
 
 
 def make_optimizer(name: str, seed: Optional[int] = None, budget: Optional[int] = None):
-    """Instantiate one optimization baseline with a roughly equal budget."""
-    if name == "genetic_algorithm":
-        config = GeneticAlgorithmConfig()
-        if budget is not None:
-            config.num_generations = max(2, budget // config.population_size)
-        return GeneticAlgorithm(config, seed=seed)
-    if name == "bayesian_optimization":
-        config = BayesianOptimizationConfig()
-        if budget is not None:
-            config.num_iterations = max(2, budget - config.num_initial)
-        return BayesianOptimization(config, seed=seed)
-    if name == "random_search":
-        config = RandomSearchConfig()
-        if budget is not None:
-            config.num_samples = budget
-        return RandomSearch(config, seed=seed)
-    raise ValueError(f"unknown optimizer '{name}'")
+    """Deprecated: use ``repro.make_optimizer(name, seed=..., budget=...)``.
+
+    Returns the raw :class:`repro.baselines.base.SizingOptimizer` the old
+    API produced (the new protocol adapters wrap the same object).
+    """
+    from repro.api.deprecation import warn_deprecated
+
+    warn_deprecated(
+        "repro.experiments.make_optimizer", "repro.make_optimizer(name, seed=..., budget=...)"
+    )
+    adapter = _api_make_optimizer(name, seed=seed, budget=budget)
+    if not hasattr(adapter, "build_search"):
+        raise ValueError(
+            f"'{name}' is not a direct-search optimizer; use repro.make_optimizer instead"
+        )
+    return adapter.build_search()
 
 
 @dataclass
@@ -89,15 +88,17 @@ def run_optimization_curves(
     bo_budget: Optional[int] = None,
 ) -> Dict[str, OptimizationCurve]:
     """Run the GA / BO searches for one target group (Fig. 3, last column)."""
-    benchmark, simulator = _benchmark_and_simulator(circuit)
+    env = _circuit_env(circuit, seed=seed)
     if target is None:
-        target = benchmark.spec_space.sample(np.random.default_rng(seed))
-    budgets = {"genetic_algorithm": ga_budget, "bayesian_optimization": bo_budget, "random_search": None}
+        target = env.benchmark.spec_space.sample(np.random.default_rng(seed))
+    # Keyed by canonical registry ID so alias method names share the budget.
+    budgets = {"genetic": ga_budget, "bayesian": bo_budget}
     curves: Dict[str, OptimizationCurve] = {}
     for method in methods:
-        problem = SizingProblem(benchmark, simulator, targets=target)
-        optimizer = make_optimizer(method, seed=seed, budget=budgets.get(method))
-        result = optimizer.optimize(problem)
+        optimizer = _api_make_optimizer(method)
+        result = optimizer.optimize(
+            env, budget=budgets.get(OPTIMIZERS.resolve(method)), seed=seed, target_specs=target
+        )
         curves[method] = OptimizationCurve(
             method=method, circuit=circuit, target_specs=dict(target), result=result
         )
@@ -126,14 +127,13 @@ def evaluate_optimizer_accuracy(
     experiments" behind the GA/BO accuracy numbers in Sec. 4 / Table 2)."""
     scale = scale or bench_scale()
     num_runs = num_runs or scale.optimizer_runs
-    benchmark, simulator = _benchmark_and_simulator(circuit)
+    env = _circuit_env(circuit, seed=seed)
     rng = np.random.default_rng(seed)
-    targets = benchmark.spec_space.sample_batch(rng, num_runs)
+    targets = env.benchmark.spec_space.sample_batch(rng, num_runs)
     runs: List[OptimizationCurve] = []
     for index, target in enumerate(targets):
-        problem = SizingProblem(benchmark, simulator, targets=target)
-        optimizer = make_optimizer(method, seed=seed + index)
-        result = optimizer.optimize(problem)
+        optimizer = _api_make_optimizer(method)
+        result = optimizer.optimize(env, seed=seed + index, target_specs=target)
         runs.append(
             OptimizationCurve(method=method, circuit=circuit, target_specs=dict(target), result=result)
         )

@@ -14,16 +14,11 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.agents.deployment import deploy_policy
-from repro.agents.policy import ActorCriticPolicy, make_policy
+from repro.agents.policy import ActorCriticPolicy
 from repro.agents.ppo import PPOConfig, PPOTrainer, TrainingHistory
-from repro.baselines.base import SizingProblem
-from repro.circuits.library.rf_pa import build_rf_pa
-from repro.env.registry import make_rf_pa_fom_env
+from repro.api.catalog import make_env, make_optimizer, make_policy
 from repro.env.reward import FomReward
 from repro.experiments.configs import ExperimentScale, RL_METHODS, bench_scale, rl_hyperparameters
-from repro.experiments.figures import make_optimizer
-from repro.simulation.pa_sim import RfPaFineSimulator
 
 
 @dataclass
@@ -39,7 +34,7 @@ class FomTrainingResult:
 
 def _best_fom_from_policy(policy: ActorCriticPolicy, seed: int = 0, episodes: int = 3) -> tuple[float, Dict[str, float]]:
     """Greedy roll-outs on the fine FoM environment; return the best FoM seen."""
-    env = make_rf_pa_fom_env(seed=seed, fidelity="fine")
+    env = make_env("rf_pa-fom-v0", seed=seed)
     reward_fn: FomReward = env.reward_fn  # type: ignore[assignment]
     rng = np.random.default_rng(seed)
     best = -np.inf
@@ -66,7 +61,7 @@ def run_fom_training(
     """Train one RL method with the FoM reward (coarse simulator, per the
     transfer-learning protocol) and measure the best FoM on the fine simulator."""
     scale = scale or bench_scale()
-    env = make_rf_pa_fom_env(seed=seed, fidelity="coarse")
+    env = make_env("rf_pa-fom-coarse-v0", seed=seed)
     rng = np.random.default_rng(seed)
     policy = make_policy(method, env, rng)
     hyper = rl_hyperparameters("rf_pa")
@@ -95,11 +90,9 @@ class FomOptimizerResult:
 
 def run_fom_optimizer(method: str, seed: int = 0, budget: Optional[int] = None) -> FomOptimizerResult:
     """Maximize the PA figure of merit with GA or BO on the fine simulator."""
-    benchmark = build_rf_pa()
-    fom_reward = FomReward(benchmark.spec_space)
-    problem = SizingProblem(benchmark, RfPaFineSimulator(), fom_reward=fom_reward)
-    optimizer = make_optimizer(method, seed=seed, budget=budget)
-    result = optimizer.optimize(problem)
+    env = make_env("rf_pa-fom-v0", seed=seed)
+    optimizer = make_optimizer(method)
+    result = optimizer.optimize(env, budget=budget, seed=seed)
     return FomOptimizerResult(
         method=method,
         best_fom=float(result.best_objective),

@@ -22,15 +22,13 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.agents.deployment import evaluate_deployment
-from repro.baselines.supervised import SupervisedSizer, SupervisedSizerConfig
+from repro.api.catalog import make_env, make_optimizer
 from repro.circuits.library.rf_pa import build_rf_pa
 from repro.circuits.library.two_stage_opamp import build_two_stage_opamp
-from repro.env.registry import make_opamp_env, make_rf_pa_env
 from repro.experiments.configs import ExperimentScale, METHOD_LABELS, RL_METHODS, bench_scale
 from repro.experiments.figures import evaluate_optimizer_accuracy
 from repro.experiments.fom import run_fom_optimizer, run_fom_training
 from repro.experiments.training import run_training_experiment
-from repro.simulation.opamp_sim import OpAmpSimulator
 
 
 # ----------------------------------------------------------------------
@@ -138,7 +136,7 @@ def _rl_row(
             "rf_pa", method, scale=scale, seed=seed, track_accuracy=False
         )
         # Deployment on the fine simulator, per the transfer-learning protocol.
-        fine_env = make_rf_pa_env(seed=seed, fidelity="fine")
+        fine_env = make_env("rf_pa-fine-v0", seed=seed)
         evaluation = evaluate_deployment(
             fine_env, training.policy, num_targets=scale.deployment_specs, seed=seed + 1000
         )
@@ -181,19 +179,19 @@ def _supervised_row(scale: ExperimentScale, seed: int, circuits: Sequence[str]) 
         uses_domain_knowledge=False,
     )
     if "two_stage_opamp" in circuits:
-        benchmark = build_two_stage_opamp()
-        sizer = SupervisedSizer(
-            benchmark,
-            OpAmpSimulator(),
-            SupervisedSizerConfig(
-                num_training_samples=scale.supervised_samples,
-                epochs=scale.supervised_epochs,
-            ),
-            seed=seed,
+        env = make_env("opamp-p2s-v0", seed=seed)
+        optimizer = make_optimizer(
+            "supervised",
+            num_training_samples=scale.supervised_samples,
+            epochs=scale.supervised_epochs,
         )
-        sizer.fit()
+        # Train once, then reuse the fitted sizer for the whole target batch
+        # (one optimize() call fits and designs; the sizer rides along in
+        # result.metadata).
         rng = np.random.default_rng(seed + 1000)
-        targets = benchmark.spec_space.sample_batch(rng, scale.deployment_specs)
+        targets = env.benchmark.spec_space.sample_batch(rng, scale.deployment_specs)
+        result = optimizer.optimize(env, seed=seed, target_specs=targets[0])
+        sizer = result.metadata["sizer"]
         row.opamp_accuracy = sizer.evaluate_accuracy(targets)
         row.opamp_mean_steps = 1.0
     return row

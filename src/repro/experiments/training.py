@@ -15,30 +15,60 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.agents.policy import ActorCriticPolicy, make_policy
+from repro.agents.policy import ActorCriticPolicy
 from repro.agents.ppo import PPOConfig, PPOTrainer, TrainingHistory
+from repro.api.catalog import ENVS, list_envs, make_env, make_policy
 from repro.env.circuit_env import CircuitDesignEnv
-from repro.env.registry import make_opamp_env, make_rf_pa_env
 from repro.experiments.configs import ExperimentScale, RL_METHODS, bench_scale, rl_hyperparameters
 
+#: Training env registry IDs per (circuit, fidelity) — the paper's protocol:
+#: RF PA agents train on the coarse simulator, the op-amp has a single
+#: analytic Spectre-substitute.
+CIRCUIT_ENV_IDS = {
+    "two_stage_opamp": {"coarse": "opamp-p2s-v0", "fine": "opamp-p2s-v0"},
+    "rf_pa": {"coarse": "rf_pa-coarse-v0", "fine": "rf_pa-fine-v0"},
+}
+
 #: Circuits recognized by the training harness.
-CIRCUITS = ("two_stage_opamp", "rf_pa")
+CIRCUITS = tuple(CIRCUIT_ENV_IDS)
 
 
-def make_environment(circuit: str, seed: Optional[int] = None, fidelity: str = "coarse") -> CircuitDesignEnv:
-    """Build the training environment for a circuit.
+def make_environment(
+    circuit: str, seed: Optional[int] = None, fidelity: Optional[str] = None
+) -> CircuitDesignEnv:
+    """Build the training environment for a circuit (or registry env ID).
 
-    Following the paper's transfer-learning protocol, RF PA agents train on
-    the *coarse* simulator by default (pass ``fidelity="fine"`` to override);
-    the op-amp always uses its analytic Spectre-substitute.
+    ``circuit`` may be a paper circuit name (``"two_stage_opamp"``,
+    ``"rf_pa"``) — resolved through :data:`CIRCUIT_ENV_IDS` with the
+    paper's per-circuit episode lengths — or any registered environment ID
+    (see ``repro.list_envs()``), built with the registry defaults.
+
+    ``fidelity`` defaults to ``"coarse"`` for circuit names (the paper's
+    transfer-learning protocol); an env ID already encodes its fidelity, so
+    combining one with an explicit ``fidelity`` is rejected rather than
+    silently ignored.
     """
-    if circuit == "two_stage_opamp":
+    if circuit in CIRCUIT_ENV_IDS:
+        fidelities = CIRCUIT_ENV_IDS[circuit]
+        fidelity = fidelity or "coarse"
+        if fidelity not in fidelities:
+            raise ValueError(
+                f"unknown fidelity '{fidelity}' for circuit '{circuit}', "
+                f"expected one of {sorted(fidelities)}"
+            )
         hyper = rl_hyperparameters(circuit)
-        return make_opamp_env(seed=seed, max_steps=hyper["max_steps"])
-    if circuit == "rf_pa":
-        hyper = rl_hyperparameters(circuit)
-        return make_rf_pa_env(seed=seed, max_steps=hyper["max_steps"], fidelity=fidelity)
-    raise ValueError(f"unknown circuit '{circuit}', expected one of {CIRCUITS}")
+        return make_env(fidelities[fidelity], seed=seed, max_steps=hyper["max_steps"])
+    if circuit in ENVS:
+        if fidelity is not None:
+            raise ValueError(
+                f"'{circuit}' is an environment id, which already encodes its fidelity; "
+                f"drop the fidelity argument or pick the matching id from repro.list_envs()"
+            )
+        return make_env(circuit, seed=seed)
+    raise ValueError(
+        f"unknown circuit '{circuit}': expected a circuit name from {CIRCUITS} "
+        f"or an environment id from repro.list_envs() = {list_envs()}"
+    )
 
 
 @dataclass

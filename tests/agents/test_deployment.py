@@ -6,18 +6,17 @@ import numpy as np
 import pytest
 
 from repro.agents.deployment import deploy_policy, evaluate_deployment
-from repro.agents.policy import make_baseline_a_policy, make_gcn_fc_policy
-from repro.env import make_opamp_env
+from repro import make_env, make_policy
 
 
 @pytest.fixture
 def env():
-    return make_opamp_env(seed=0, max_steps=10)
+    return make_env("opamp-p2s-v0", seed=0, max_steps=10)
 
 
 @pytest.fixture
 def policy(env):
-    return make_gcn_fc_policy(env, np.random.default_rng(0))
+    return make_policy("gcn_fc", env, np.random.default_rng(0))
 
 
 class TestDeployPolicy:

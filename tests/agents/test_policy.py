@@ -5,15 +5,8 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.agents.policy import (
-    ActorCriticPolicy,
-    PolicyConfig,
-    make_baseline_a_policy,
-    make_baseline_b_policy,
-    make_gat_fc_policy,
-    make_gcn_fc_policy,
-    make_policy,
-)
+from repro import make_policy
+from repro.agents.policy import ActorCriticPolicy, PolicyConfig
 from repro.env.spaces import NUM_ACTION_CHOICES
 
 
@@ -49,34 +42,33 @@ class TestConfigValidation:
 
 
 class TestForwardPasses:
-    @pytest.mark.parametrize("factory", [make_gcn_fc_policy, make_gat_fc_policy,
-                                         make_baseline_a_policy, make_baseline_b_policy])
-    def test_distribution_shape(self, opamp_env, observation, factory, rng):
-        policy = factory(opamp_env, rng)
+    @pytest.mark.parametrize("policy_id", ["gcn_fc", "gat_fc", "baseline_a", "baseline_b"])
+    def test_distribution_shape(self, opamp_env, observation, policy_id, rng):
+        policy = make_policy(policy_id, opamp_env, rng)
         distribution = policy.action_distribution(observation)
         assert distribution.probs.shape == (opamp_env.num_parameters, NUM_ACTION_CHOICES)
         np.testing.assert_allclose(distribution.probs.sum(axis=1), 1.0)
 
     def test_value_is_scalar(self, opamp_env, observation, rng):
-        policy = make_gcn_fc_policy(opamp_env, rng)
+        policy = make_policy("gcn_fc", opamp_env, rng)
         value = policy.value(observation)
         assert value.size == 1
         assert np.isfinite(value.item())
 
     def test_act_returns_valid_action(self, opamp_env, observation, rng):
-        policy = make_gat_fc_policy(opamp_env, rng)
+        policy = make_policy("gat_fc", opamp_env, rng)
         action, log_prob, value = policy.act(observation, rng)
         assert opamp_env.action_space.contains(action)
         assert np.isfinite(log_prob) and np.isfinite(value)
 
     def test_deterministic_act_is_mode(self, opamp_env, observation, rng):
-        policy = make_gcn_fc_policy(opamp_env, rng)
+        policy = make_policy("gcn_fc", opamp_env, rng)
         action_a, _, _ = policy.act(observation, rng, deterministic=True)
         action_b, _, _ = policy.act(observation, np.random.default_rng(999), deterministic=True)
         np.testing.assert_array_equal(action_a, action_b)
 
     def test_evaluate_actions_consistent_with_act(self, opamp_env, observation, rng):
-        policy = make_gcn_fc_policy(opamp_env, rng)
+        policy = make_policy("gcn_fc", opamp_env, rng)
         action, log_prob, value = policy.act(observation, rng)
         log_prob_eval, value_eval, entropy = policy.evaluate_actions(observation, action)
         assert float(log_prob_eval.item()) == pytest.approx(log_prob)
@@ -84,7 +76,7 @@ class TestForwardPasses:
         assert float(entropy.item()) >= 0.0
 
     def test_gradients_reach_both_branches(self, opamp_env, observation, rng):
-        policy = make_gcn_fc_policy(opamp_env, rng)
+        policy = make_policy("gcn_fc", opamp_env, rng)
         action, _, _ = policy.act(observation, rng)
         log_prob, value, entropy = policy.evaluate_actions(observation, action)
         (log_prob + value + entropy).backward()
@@ -97,25 +89,25 @@ class TestForwardPasses:
 
 class TestArchitectureDifferences:
     def test_baseline_a_has_no_graph_branch(self, opamp_env, rng):
-        policy = make_baseline_a_policy(opamp_env, rng)
+        policy = make_policy("baseline_a", opamp_env, rng)
         names = [name for name, _ in policy.named_parameters()]
         assert not any("graph_encoder" in name for name in names)
 
     def test_baseline_b_has_no_spec_encoder(self, opamp_env, rng):
-        policy = make_baseline_b_policy(opamp_env, rng)
+        policy = make_policy("baseline_b", opamp_env, rng)
         names = [name for name, _ in policy.named_parameters()]
         assert any("graph_encoder" in name for name in names)
         assert not any("spec_encoder" in name for name in names)
 
     def test_gat_uses_attention_parameters(self, opamp_env, rng):
-        policy = make_gat_fc_policy(opamp_env, rng)
+        policy = make_policy("gat_fc", opamp_env, rng)
         names = [name for name, _ in policy.named_parameters()]
         assert any("attn_src" in name for name in names)
 
     def test_baseline_b_static_features_ignore_sizing(self, opamp_env, rng):
         """With static node features, only the raw spec block reacts to sizing."""
-        policy = make_baseline_b_policy(opamp_env, rng, use_dynamic_node_features=False,
-                                        include_parameters=False)
+        policy = make_policy("baseline_b", opamp_env, rng, use_dynamic_node_features=False,
+                             include_parameters=False)
         observation = opamp_env.reset(
             target_specs={"gain": 400.0, "bandwidth": 1e7, "phase_margin": 57.0, "power": 2e-3}
         )
@@ -135,8 +127,8 @@ class TestArchitectureDifferences:
 
 class TestTransferability:
     def test_state_dict_roundtrip_preserves_behaviour(self, opamp_env, observation, rng):
-        source = make_gcn_fc_policy(opamp_env, np.random.default_rng(0))
-        target = make_gcn_fc_policy(opamp_env, np.random.default_rng(1))
+        source = make_policy("gcn_fc", opamp_env, np.random.default_rng(0))
+        target = make_policy("gcn_fc", opamp_env, np.random.default_rng(1))
         target.load_state_dict(source.state_dict())
         np.testing.assert_allclose(
             source.action_distribution(observation).probs,
@@ -144,7 +136,7 @@ class TestTransferability:
         )
 
     def test_policy_works_on_rf_pa_env(self, rf_pa_env, rng):
-        policy = make_gcn_fc_policy(rf_pa_env, rng)
+        policy = make_policy("gcn_fc", rf_pa_env, rng)
         observation = rf_pa_env.reset()
         action, _, _ = policy.act(observation, rng)
         assert action.shape == (14,)

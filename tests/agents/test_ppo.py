@@ -5,15 +5,14 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.agents.policy import make_baseline_a_policy, make_gcn_fc_policy
+from repro import make_env, make_policy
 from repro.agents.ppo import PPOConfig, PPOTrainer
-from repro.env import make_opamp_env
 
 
 @pytest.fixture
 def small_trainer():
-    env = make_opamp_env(seed=0, max_steps=8)
-    policy = make_baseline_a_policy(env, np.random.default_rng(0))
+    env = make_env("opamp-p2s-v0", seed=0, max_steps=8)
+    policy = make_policy("baseline_a", env, np.random.default_rng(0))
     config = PPOConfig(minibatch_size=16, update_epochs=2)
     return PPOTrainer(env, policy, config=config, seed=0, method_name="test")
 
@@ -80,8 +79,8 @@ class TestTrainingLoop:
         assert history.series("mean_episode_reward").shape == (2,)
 
     def test_eval_interval_populates_accuracy(self):
-        env = make_opamp_env(seed=0, max_steps=5)
-        policy = make_baseline_a_policy(env, np.random.default_rng(0))
+        env = make_env("opamp-p2s-v0", seed=0, max_steps=5)
+        policy = make_policy("baseline_a", env, np.random.default_rng(0))
         trainer = PPOTrainer(env, policy, PPOConfig(minibatch_size=16, update_epochs=1), seed=0)
         history = trainer.train(
             total_episodes=4, episodes_per_update=2, eval_interval=1, eval_specs=2
@@ -95,8 +94,8 @@ class TestTrainingLoop:
             small_trainer.train(total_episodes=0)
 
     def test_gcn_policy_trains_end_to_end(self):
-        env = make_opamp_env(seed=1, max_steps=6)
-        policy = make_gcn_fc_policy(env, np.random.default_rng(1))
+        env = make_env("opamp-p2s-v0", seed=1, max_steps=6)
+        policy = make_policy("gcn_fc", env, np.random.default_rng(1))
         trainer = PPOTrainer(env, policy, PPOConfig(minibatch_size=32, update_epochs=1), seed=1)
         history = trainer.train(total_episodes=4, episodes_per_update=4)
         assert len(history.records) == 1

@@ -5,13 +5,12 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.agents.policy import make_gcn_fc_policy
 from repro.agents.ppo import PPOConfig
 from repro.agents.transfer import (
     TransferLearningWorkflow,
     reward_fidelity_report,
 )
-from repro.env import make_opamp_env, make_rf_pa_env
+from repro import make_env, make_policy
 
 
 class TestRewardFidelity:
@@ -28,22 +27,22 @@ class TestRewardFidelity:
         assert report.mean_abs_relative_error < 0.25
 
     def test_mismatched_circuits_rejected(self, rf_pa_env):
-        opamp_env = make_opamp_env(seed=0)
+        opamp_env = make_env("opamp-p2s-v0", seed=0)
         with pytest.raises(ValueError):
             reward_fidelity_report(opamp_env, rf_pa_env, num_samples=5)
 
 
 class TestWorkflow:
     def test_workflow_requires_matching_benchmarks(self, rf_pa_coarse_env):
-        opamp_env = make_opamp_env(seed=0)
-        policy = make_gcn_fc_policy(rf_pa_coarse_env, np.random.default_rng(0))
+        opamp_env = make_env("opamp-p2s-v0", seed=0)
+        policy = make_policy("gcn_fc", rf_pa_coarse_env, np.random.default_rng(0))
         with pytest.raises(ValueError):
             TransferLearningWorkflow(rf_pa_coarse_env, opamp_env, policy)
 
     def test_coarse_train_fine_deploy_smoke(self):
-        coarse = make_rf_pa_env(seed=0, fidelity="coarse", max_steps=6)
-        fine = make_rf_pa_env(seed=0, fidelity="fine", max_steps=6)
-        policy = make_gcn_fc_policy(coarse, np.random.default_rng(0))
+        coarse = make_env("rf_pa-coarse-v0", seed=0, max_steps=6)
+        fine = make_env("rf_pa-fine-v0", seed=0, max_steps=6)
+        policy = make_policy("gcn_fc", coarse, np.random.default_rng(0))
         workflow = TransferLearningWorkflow(
             coarse, fine, policy,
             config=PPOConfig(minibatch_size=16, update_epochs=1),
@@ -57,9 +56,9 @@ class TestWorkflow:
         assert result.fine_tune_history is None
 
     def test_fine_tuning_phase_runs_when_requested(self):
-        coarse = make_rf_pa_env(seed=1, fidelity="coarse", max_steps=5)
-        fine = make_rf_pa_env(seed=1, fidelity="fine", max_steps=5)
-        policy = make_gcn_fc_policy(coarse, np.random.default_rng(1))
+        coarse = make_env("rf_pa-coarse-v0", seed=1, max_steps=5)
+        fine = make_env("rf_pa-fine-v0", seed=1, max_steps=5)
+        policy = make_policy("gcn_fc", coarse, np.random.default_rng(1))
         workflow = TransferLearningWorkflow(
             coarse, fine, policy, config=PPOConfig(minibatch_size=16, update_epochs=1), seed=1
         )

@@ -1,0 +1,147 @@
+"""Protocol conformance: all five optimizer families behind one optimize() loop."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.api import OptimizationCallback, OptimizationResult, Optimizer
+from repro.baselines.base import OptimizationTrace
+
+TARGET = {"gain": 380.0, "bandwidth": 8e6, "phase_margin": 56.0, "power": 4e-3}
+
+#: (optimizer id, budget, constructor params) — budgets sized for test speed.
+METHODS = (
+    ("genetic", 12, {"population_size": 6}),
+    ("bayesian", 13, {"num_initial": 3, "candidate_pool": 50, "local_candidates": 20}),
+    ("random", 6, {}),
+    ("supervised", 60, {"epochs": 3}),
+    ("ppo", 4, {"episodes_per_update": 2}),
+)
+
+
+class _Recorder(OptimizationCallback):
+    def __init__(self):
+        self.started = []
+        self.evaluations = []
+        self.results = []
+
+    def on_start(self, optimizer_id, env, budget):
+        self.started.append((optimizer_id, budget))
+
+    def on_evaluation(self, index, objective, best):
+        self.evaluations.append((index, objective, best))
+
+    def on_result(self, result):
+        self.results.append(result)
+
+
+@pytest.fixture(scope="module")
+def small_env():
+    return repro.make_env("opamp-p2s-v0", seed=0, max_steps=8)
+
+
+class TestProtocolConformance:
+    @pytest.mark.parametrize("method,budget,params", METHODS, ids=[m[0] for m in METHODS])
+    def test_shared_optimize_loop(self, small_env, method, budget, params):
+        """The acceptance loop: one code path drives every method family."""
+        optimizer = repro.make_optimizer(method, **params)
+        assert isinstance(optimizer, Optimizer)
+        recorder = _Recorder()
+        result = optimizer.optimize(
+            small_env, budget=budget, seed=0, callbacks=[recorder], target_specs=TARGET
+        )
+
+        assert isinstance(result, OptimizationResult)
+        assert result.method == method
+        assert result.seed == 0
+        assert result.budget == budget
+        assert result.best_parameters.shape == (small_env.num_parameters,)
+        assert np.isfinite(result.best_objective)
+        assert set(result.best_specs) == set(TARGET)
+        assert isinstance(result.success, bool) or result.success in (True, False)
+        assert result.num_simulations >= 1
+        assert isinstance(result.trace, OptimizationTrace)
+
+        # Callback contract: exactly one start, one result, >= 1 evaluation.
+        assert recorder.started == [(method, budget)]
+        assert recorder.results == [result]
+        assert len(recorder.evaluations) >= 1
+        # best-so-far stream is monotone non-decreasing
+        bests = [b for _, _, b in recorder.evaluations]
+        assert all(b2 >= b1 - 1e-12 for b1, b2 in zip(bests, bests[1:]))
+
+    @pytest.mark.parametrize("method,budget,params", METHODS[:3], ids=[m[0] for m in METHODS[:3]])
+    def test_search_methods_are_seed_deterministic(self, small_env, method, budget, params):
+        optimizer = repro.make_optimizer(method, **params)
+        first = optimizer.optimize(small_env, budget=budget, seed=3, target_specs=TARGET)
+        second = repro.make_optimizer(method, **params).optimize(
+            small_env, budget=budget, seed=3, target_specs=TARGET
+        )
+        assert first.best_objective == second.best_objective
+        np.testing.assert_array_equal(first.best_parameters, second.best_parameters)
+
+    def test_target_sampled_deterministically_when_omitted(self, small_env):
+        result_a = repro.make_optimizer("random").optimize(small_env, budget=4, seed=11)
+        result_b = repro.make_optimizer("random").optimize(small_env, budget=4, seed=11)
+        assert result_a.metadata["target_specs"] == result_b.metadata["target_specs"]
+
+    def test_stale_reset_target_does_not_leak_into_seeded_runs(self):
+        """Same (env id, budget, seed) -> same target, reset history or not."""
+        pristine = repro.make_env("opamp-p2s-v0", seed=0, max_steps=8)
+        reset_first = repro.make_env("opamp-p2s-v0", seed=0, max_steps=8)
+        reset_first.reset(target_specs=TARGET)  # user inspected the env first
+        result_a = repro.make_optimizer("random").optimize(pristine, budget=4, seed=11)
+        result_b = repro.make_optimizer("random").optimize(reset_first, budget=4, seed=11)
+        assert result_a.metadata["target_specs"] == result_b.metadata["target_specs"]
+        assert result_b.metadata["target_specs"] != TARGET
+
+    def test_genetic_budget_bounds_simulator_calls(self, small_env):
+        result = repro.make_optimizer("genetic").optimize(
+            small_env, budget=60, seed=0, target_specs=TARGET
+        )
+        # initial population + num_generations populations + 1 verification
+        # call; stop_when_met may end earlier, never later.
+        assert result.num_simulations <= 60 + 1
+
+    def test_ppo_result_carries_policy_and_history(self, small_env):
+        result = repro.make_optimizer("ppo", episodes_per_update=2).optimize(
+            small_env, budget=4, seed=0, target_specs=TARGET
+        )
+        from repro.agents.policy import ActorCriticPolicy
+        from repro.agents.ppo import TrainingHistory
+
+        assert isinstance(result.metadata["policy"], ActorCriticPolicy)
+        assert isinstance(result.metadata["training_history"], TrainingHistory)
+        assert result.metadata["policy_id"] == "gcn_fc"
+        # RL accounting: deployment steps only, bounded by the episode budget.
+        assert 1 <= result.num_simulations <= small_env.max_steps
+
+    def test_ppo_policy_id_selects_architecture(self, small_env):
+        result = repro.make_optimizer("ppo", policy="baseline_a", episodes_per_update=2).optimize(
+            small_env, budget=2, seed=0, target_specs=TARGET
+        )
+        names = [name for name, _ in result.metadata["policy"].named_parameters()]
+        assert not any("graph_encoder" in name for name in names)
+
+
+class TestFomMode:
+    def test_search_optimizer_on_fom_env(self):
+        env = repro.make_env("rf_pa-fom-v0", seed=0, max_steps=5)
+        result = repro.make_optimizer("random").optimize(env, budget=5, seed=0)
+        assert result.method == "random"
+        assert np.isfinite(result.best_objective)
+        assert result.success  # FoM mode has no pass/fail targets
+
+    def test_ppo_on_fom_env_reports_best_fom(self):
+        env = repro.make_env("rf_pa-fom-v0", seed=0, max_steps=4)
+        result = repro.make_optimizer("ppo", episodes_per_update=2, fom_episodes=1).optimize(
+            env, budget=2, seed=0
+        )
+        assert result.best_objective == max(result.trace.objective_values)
+
+    def test_supervised_rejects_fom_env(self):
+        env = repro.make_env("rf_pa-fom-v0", seed=0, max_steps=4)
+        with pytest.raises(ValueError, match="FoM"):
+            repro.make_optimizer("supervised").optimize(env, budget=20, seed=0)

@@ -1,0 +1,113 @@
+"""Tests for the serializable run configs (EnvConfig/OptimizerConfig/RunConfig)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+import repro
+from repro.api import EnvConfig, OptimizerConfig, RunConfig, UnknownComponentError
+
+
+class TestEnvConfig:
+    def test_build_applies_params(self):
+        config = EnvConfig("opamp-p2s-v0", {"seed": 3, "max_steps": 9})
+        env = config.build()
+        assert env.max_steps == 9
+
+    def test_unknown_id_fails_at_construction(self):
+        with pytest.raises(UnknownComponentError):
+            EnvConfig("opamp-p3s-v0")
+
+    def test_from_dict_accepts_bare_string(self):
+        assert EnvConfig.from_dict("opamp-p2s-v0") == EnvConfig("opamp-p2s-v0")
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="unknown EnvConfig keys"):
+            EnvConfig.from_dict({"id": "opamp-p2s-v0", "kwargs": {}})
+        with pytest.raises(ValueError, match="requires an 'id'"):
+            EnvConfig.from_dict({"params": {}})
+
+
+class TestOptimizerConfig:
+    def test_build_forwards_params(self):
+        config = OptimizerConfig("genetic", {"population_size": 6, "budget": 12})
+        optimizer = config.build()
+        search = optimizer.build_search()
+        assert search.config.population_size == 6
+
+    def test_alias_ids_accepted(self):
+        assert OptimizerConfig("genetic_algorithm").build().id == "genetic"
+
+    def test_unknown_id_fails_at_construction(self):
+        with pytest.raises(UnknownComponentError):
+            OptimizerConfig("annealing")
+
+
+class TestRunConfigSerialization:
+    def _config(self) -> RunConfig:
+        return RunConfig(
+            env=EnvConfig("opamp-p2s-v0", {"seed": 0}),
+            optimizer=OptimizerConfig("random"),
+            budget=25,
+            seed=7,
+            target_specs={"gain": 380.0, "bandwidth": 8e6, "phase_margin": 56.0, "power": 4e-3},
+            name="unit",
+        )
+
+    def test_dict_round_trip(self):
+        config = self._config()
+        assert RunConfig.from_dict(config.to_dict()) == config
+
+    def test_json_round_trip(self):
+        config = self._config()
+        text = config.to_json()
+        json.loads(text)  # valid JSON document
+        assert RunConfig.from_json(text) == config
+
+    def test_file_round_trip(self, tmp_path):
+        config = self._config()
+        path = tmp_path / "run.json"
+        config.save(path)
+        assert RunConfig.load(path) == config
+
+    def test_shorthand_env_and_optimizer(self):
+        config = RunConfig(env="opamp-p2s-v0", optimizer="random", budget=5)
+        assert config.env == EnvConfig("opamp-p2s-v0")
+        assert config.optimizer == OptimizerConfig("random")
+
+    def test_rejects_unknown_keys_and_bad_budget(self):
+        with pytest.raises(ValueError, match="unknown RunConfig keys"):
+            RunConfig.from_dict({"env": "opamp-p2s-v0", "optimizer": "random", "episodes": 5})
+        with pytest.raises(ValueError, match="requires keys"):
+            RunConfig.from_dict({"env": "opamp-p2s-v0"})
+        with pytest.raises(ValueError, match="budget"):
+            RunConfig(env="opamp-p2s-v0", optimizer="random", budget=0)
+
+
+class TestRunConfigReproducibility:
+    def test_same_config_reproduces_identical_run(self):
+        config = RunConfig(env={"id": "opamp-p2s-v0", "params": {"seed": 0}},
+                           optimizer="random", budget=25, seed=7)
+        clone = RunConfig.from_json(config.to_json())
+        first, second = config.run(), clone.run()
+        assert first.best_objective == second.best_objective
+        assert first.success == second.success
+        assert first.num_simulations == second.num_simulations
+        np.testing.assert_array_equal(first.best_parameters, second.best_parameters)
+        assert first.trace.objective_values == second.trace.objective_values
+
+    def test_different_seeds_sample_different_targets(self):
+        base = {"env": "opamp-p2s-v0", "optimizer": "random", "budget": 6}
+        result_a = RunConfig.from_dict({**base, "seed": 1}).run()
+        result_b = RunConfig.from_dict({**base, "seed": 2}).run()
+        assert result_a.metadata["target_specs"] != result_b.metadata["target_specs"]
+
+    def test_result_summary_is_json_serializable(self):
+        result = RunConfig(env="opamp-p2s-v0", optimizer="random", budget=5, seed=0).run()
+        digest = json.loads(json.dumps(result.summary()))
+        assert digest["method"] == "random"
+        assert digest["budget"] == 5
+        assert isinstance(digest["best_parameters"], list)

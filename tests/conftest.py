@@ -5,8 +5,8 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro import make_env
 from repro.circuits import build_rf_pa, build_two_stage_opamp
-from repro.env import make_opamp_env, make_rf_pa_env
 from repro.simulation import OpAmpSimulator, RfPaCoarseSimulator, RfPaFineSimulator
 
 
@@ -43,14 +43,14 @@ def pa_coarse_simulator():
 
 @pytest.fixture
 def opamp_env():
-    return make_opamp_env(seed=0)
+    return make_env("opamp-p2s-v0", seed=0)
 
 
 @pytest.fixture
 def rf_pa_env():
-    return make_rf_pa_env(seed=0, fidelity="fine")
+    return make_env("rf_pa-fine-v0", seed=0)
 
 
 @pytest.fixture
 def rf_pa_coarse_env():
-    return make_rf_pa_env(seed=0, fidelity="coarse")
+    return make_env("rf_pa-coarse-v0", seed=0)

@@ -5,7 +5,8 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.env import GOAL_BONUS, make_opamp_env, make_rf_pa_env, make_rf_pa_fom_env
+from repro import make_env
+from repro.env import GOAL_BONUS
 from repro.env.circuit_env import CircuitDesignEnv
 from repro.env.reward import P2SReward
 
@@ -68,7 +69,7 @@ class TestStep:
         np.testing.assert_allclose(before, after.normalized_parameters)
 
     def test_episode_terminates_at_max_steps(self):
-        env = make_opamp_env(seed=0, max_steps=5)
+        env = make_env("opamp-p2s-v0", seed=0, max_steps=5)
         env.reset(target_specs={"gain": 1e9, "bandwidth": 1e12, "phase_margin": 90.0, "power": 1e-12})
         done = False
         steps = 0
@@ -113,7 +114,7 @@ class TestConfiguration:
             CircuitDesignEnv(opamp_benchmark, opamp_simulator, max_steps=0)
 
     def test_random_initial_sizing_differs_between_episodes(self):
-        env = make_opamp_env(seed=3, initial_sizing="random")
+        env = make_env("opamp-p2s-v0", seed=3, initial_sizing="random")
         first = env.reset().normalized_parameters.copy()
         second = env.reset().normalized_parameters.copy()
         assert not np.allclose(first, second)
@@ -129,7 +130,7 @@ class TestConfiguration:
 
 class TestFomMode:
     def test_fom_env_never_terminates_early(self):
-        env = make_rf_pa_fom_env(seed=0, max_steps=4)
+        env = make_env("rf_pa-fom-v0", seed=0, max_steps=4)
         env.reset()
         steps = 0
         done = False
@@ -140,19 +141,19 @@ class TestFomMode:
         assert steps == 4
 
     def test_fom_mode_flag(self):
-        assert make_rf_pa_fom_env(seed=0).is_fom_mode
-        assert not make_opamp_env(seed=0).is_fom_mode
+        assert make_env("rf_pa-fom-v0", seed=0).is_fom_mode
+        assert not make_env("opamp-p2s-v0", seed=0).is_fom_mode
 
 
 class TestRegistry:
     def test_fidelity_selection(self):
-        assert make_rf_pa_env(fidelity="fine").simulator.name == "rf_pa_fine"
-        assert make_rf_pa_env(fidelity="coarse").simulator.name == "rf_pa_coarse"
+        assert make_env("rf_pa-fine-v0").simulator.name == "rf_pa_fine"
+        assert make_env("rf_pa-coarse-v0").simulator.name == "rf_pa_coarse"
         with pytest.raises(ValueError):
-            make_rf_pa_env(fidelity="medium")
+            make_env("rf_pa-medium-v0")
 
     def test_seeded_environments_sample_same_targets(self):
-        env_a = make_opamp_env(seed=11)
-        env_b = make_opamp_env(seed=11)
+        env_a = make_env("opamp-p2s-v0", seed=11)
+        env_b = make_env("opamp-p2s-v0", seed=11)
         env_a.reset(), env_b.reset()
         assert env_a.target_specs == env_b.target_specs

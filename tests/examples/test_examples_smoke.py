@@ -1,0 +1,53 @@
+"""Every example script runs end-to-end with a tiny budget.
+
+Each example is executed as a subprocess exactly as a user would run it,
+with budgets shrunk far below the defaults so the whole module stays in the
+tens of seconds.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+EXAMPLES = REPO_ROOT / "examples"
+
+#: script -> tiny-budget CLI arguments
+EXAMPLE_ARGS = {
+    "quickstart.py": ["--budget", "8"],
+    "baselines_comparison.py": [
+        "--episodes", "4", "--search-budget", "12", "--sl-samples", "40", "--sl-epochs", "2",
+    ],
+    "opamp_design.py": ["--episodes", "4", "--eval-targets", "2"],
+    "rf_pa_design.py": ["--episodes", "4", "--eval-targets", "2", "--fidelity-samples", "6"],
+    "fom_optimization.py": ["--episodes", "4", "--ga-budget", "12", "--bo-budget", "8"],
+}
+
+
+def test_every_example_is_covered():
+    scripts = {path.name for path in EXAMPLES.glob("*.py")}
+    assert scripts == set(EXAMPLE_ARGS), "new examples must be added to EXAMPLE_ARGS"
+
+
+@pytest.mark.parametrize("script", sorted(EXAMPLE_ARGS))
+def test_example_runs(script):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *EXAMPLE_ARGS[script]],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert completed.returncode == 0, (
+        f"{script} failed\n--- stdout ---\n{completed.stdout[-2000:]}"
+        f"\n--- stderr ---\n{completed.stderr[-2000:]}"
+    )
+    assert completed.stdout.strip(), f"{script} produced no output"

@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro import make_optimizer
 from repro.experiments import (
     FIG5_OPAMP_TARGET,
     FIG5_RF_PA_TARGET,
@@ -13,7 +14,6 @@ from repro.experiments import (
     build_table1,
     default_target,
     format_table1,
-    make_optimizer,
     run_optimization_curves,
     smoke_scale,
 )
@@ -64,11 +64,11 @@ class TestFigureTargets:
 
 class TestOptimizerHarness:
     def test_make_optimizer_budgets(self):
-        ga = make_optimizer("genetic_algorithm", seed=0, budget=60)
+        ga = make_optimizer("genetic_algorithm", seed=0, budget=60).build_search()
         assert ga.config.num_generations >= 2
-        bo = make_optimizer("bayesian_optimization", seed=0, budget=20)
+        bo = make_optimizer("bayesian_optimization", seed=0, budget=20).build_search()
         assert bo.config.num_iterations >= 2
-        rs = make_optimizer("random_search", seed=0, budget=15)
+        rs = make_optimizer("random_search", seed=0, budget=15).build_search()
         assert rs.config.num_samples == 15
         with pytest.raises(ValueError):
             make_optimizer("simulated_annealing")
@@ -83,6 +83,16 @@ class TestOptimizerHarness:
         for curve in curves.values():
             assert curve.num_simulations >= 10
             assert np.all(np.diff(curve.curve()) >= -1e-12)
+
+    def test_budgets_apply_to_canonical_method_ids_too(self):
+        target = {"gain": 350.0, "bandwidth": 3e6, "phase_margin": 56.0, "power": 5e-3}
+        curves = run_optimization_curves(
+            "two_stage_opamp", target=target, methods=("genetic",), seed=0, ga_budget=24,
+        )
+        # budget 24 with the default population of 20 caps the GA at 2
+        # generations; without the budget it would run its full 20.
+        assert curves["genetic"].result.budget == 24
+        assert curves["genetic"].num_simulations < 100
 
     def test_evaluate_optimizer_accuracy_smoke(self):
         accuracy = evaluate_optimizer_accuracy(

@@ -1,0 +1,45 @@
+"""Tests for the registry-backed training-environment resolver."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.experiments import CIRCUIT_ENV_IDS, CIRCUITS
+from repro.experiments.training import make_environment
+
+
+class TestMakeEnvironment:
+    def test_circuit_names_resolve_with_paper_episode_lengths(self):
+        opamp = make_environment("two_stage_opamp", seed=0)
+        assert opamp.benchmark.name == "two_stage_opamp"
+        assert opamp.max_steps == 50
+        pa = make_environment("rf_pa", seed=0)
+        assert pa.simulator.name == "rf_pa_coarse"  # transfer-learning default
+        assert pa.max_steps == 30
+        assert make_environment("rf_pa", fidelity="fine").simulator.name == "rf_pa_fine"
+
+    def test_registry_env_ids_accepted_directly(self):
+        env = make_environment("rf_pa-fom-v0", seed=0)
+        assert env.is_fom_mode
+
+    def test_registry_env_id_rejects_conflicting_fidelity(self):
+        with pytest.raises(ValueError, match="already encodes its fidelity"):
+            make_environment("rf_pa-fine-v0", fidelity="coarse")
+
+    def test_circuit_map_matches_registry(self):
+        for circuit, fidelities in CIRCUIT_ENV_IDS.items():
+            assert circuit in CIRCUITS
+            for env_id in fidelities.values():
+                assert env_id in repro.list_envs()
+
+    def test_unknown_circuit_error_mentions_available_ids(self):
+        with pytest.raises(ValueError) as excinfo:
+            make_environment("mixer")
+        message = str(excinfo.value)
+        assert "two_stage_opamp" in message
+        assert "opamp-p2s-v0" in message  # points at repro.list_envs()
+
+    def test_unknown_fidelity_rejected(self):
+        with pytest.raises(ValueError, match="fidelity"):
+            make_environment("rf_pa", fidelity="medium")

@@ -5,8 +5,8 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.agents import PPOConfig, PPOTrainer, evaluate_deployment, make_gcn_fc_policy
-from repro.env import make_opamp_env, make_rf_pa_env
+from repro import make_env, make_policy
+from repro.agents import PPOConfig, PPOTrainer, evaluate_deployment
 from repro.experiments import (
     deployment_example,
     generalization_example,
@@ -24,8 +24,8 @@ class TestOpAmpPipeline:
         center-start environment, untrained policies collect strongly
         negative Eq. (1) rewards and learning pushes them upward.
         """
-        env = make_opamp_env(seed=0)
-        policy = make_gcn_fc_policy(env, np.random.default_rng(0))
+        env = make_env("opamp-p2s-v0", seed=0)
+        policy = make_policy("gcn_fc", env, np.random.default_rng(0))
         trainer = PPOTrainer(
             env, policy, PPOConfig(learning_rate=1e-3, minibatch_size=64, update_epochs=4), seed=0
         )
@@ -67,7 +67,7 @@ class TestRfPaPipeline:
         )
         # Training used the coarse simulator (transfer-learning protocol).
         assert result.env.simulator.name == "rf_pa_coarse"
-        fine_env = make_rf_pa_env(seed=0, fidelity="fine")
+        fine_env = make_env("rf_pa-fine-v0", seed=0)
         evaluation = evaluate_deployment(fine_env, result.policy, num_targets=3, seed=2)
         assert evaluation.num_targets == 3
         assert 0.0 <= evaluation.accuracy <= 1.0
