@@ -9,8 +9,6 @@ reduced budget and evaluated on the same deployment batch.
 
 from __future__ import annotations
 
-import pytest
-
 from repro.experiments import run_policy_ablation
 from repro.experiments.ablations import AblationVariant
 

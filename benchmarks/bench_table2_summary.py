@@ -17,8 +17,6 @@ require the full training budget — see EXPERIMENTS.md.
 
 from __future__ import annotations
 
-import pytest
-
 from repro.experiments import build_table2
 from repro.experiments.configs import RL_METHODS
 

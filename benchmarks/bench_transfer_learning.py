@@ -12,8 +12,6 @@ Two claims are exercised:
 from __future__ import annotations
 
 import numpy as np
-import pytest
-
 from repro import make_env, make_policy
 from repro.agents import PPOConfig
 from repro.agents.transfer import TransferLearningWorkflow, reward_fidelity_report

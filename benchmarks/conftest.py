@@ -14,16 +14,13 @@ To run a full paper-scale experiment use the harnesses in
 
 from __future__ import annotations
 
-import sys
-from pathlib import Path
-
 import pytest
 
-_SRC = Path(__file__).resolve().parent.parent / "src"
-if str(_SRC) not in sys.path:
-    sys.path.insert(0, str(_SRC))
-
-from repro.experiments.configs import ExperimentScale  # noqa: E402
+# The bench suite imports the library exactly like the test suite does: from
+# the installed package (``pip install -e .[dev]``, as CI does) or via
+# ``PYTHONPATH=src`` — never by mutating ``sys.path`` here, so benchmarks run
+# identically in CI and locally.
+from repro.experiments.configs import ExperimentScale
 
 
 def benchmark_scale() -> ExperimentScale:

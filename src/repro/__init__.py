@@ -22,6 +22,7 @@ Package map
 ``repro.graph``       circuit-topology graphs and node features
 ``repro.simulation``  technology models, MNA mini-SPICE, op-amp / PA evaluators
 ``repro.env``         the P2S / FoM circuit design environment
+``repro.parallel``    vectorized env batches and simulation caching
 ``repro.agents``      GNN-FC multimodal policy, PPO, deployment, transfer
 ``repro.baselines``   genetic algorithm, Bayesian optimization, SL sizer
 ``repro.experiments`` harnesses regenerating every paper table and figure
@@ -62,8 +63,9 @@ from repro.agents import (
 )
 from repro.circuits import build_rf_pa, build_two_stage_opamp
 from repro.env import make_opamp_env, make_rf_pa_env, make_rf_pa_fom_env
+from repro.parallel import SimulationCache, VectorCircuitEnv
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "EnvConfig",
@@ -74,7 +76,9 @@ __all__ = [
     "PPOConfig",
     "PPOTrainer",
     "RunConfig",
+    "SimulationCache",
     "UnknownComponentError",
+    "VectorCircuitEnv",
     "__version__",
     "build_rf_pa",
     "build_two_stage_opamp",

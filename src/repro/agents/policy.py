@@ -29,13 +29,13 @@ The baselines reproduce the prior RL methods as the paper describes them
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.env.spaces import NUM_ACTION_CHOICES, Observation
-from repro.nn.distributions import MultiCategorical
+from repro.env.spaces import NUM_ACTION_CHOICES, BatchedObservation, Observation
+from repro.nn.distributions import BatchedMultiCategorical, MultiCategorical
 from repro.nn.graph_layers import GraphEncoder
 from repro.nn.layers import MLP
 from repro.nn.module import Module
@@ -152,6 +152,32 @@ class _FeatureTrunk(Module):
             return pieces[0]
         return concatenate(pieces, axis=-1)
 
+    def forward_batch(self, batch: BatchedObservation) -> Tensor:
+        """Batched trunk features, shape ``(B, output_dim)``.
+
+        One autograd graph covers the whole batch — the GNN branch runs a
+        stacked ``(B, n, d)`` forward over the shared adjacency and the flat
+        branch a single ``(B, flat)`` matmul — so the per-environment Python
+        and graph-construction overhead is paid once per *batch* instead of
+        once per environment.
+        """
+        pieces = []
+        if self.config.use_graph:
+            if self.config.use_dynamic_node_features:
+                node_features = batch.node_features
+            else:
+                node_features = batch.static_node_features
+            pieces.append(self.graph_encoder(Tensor(node_features), batch.adjacency))
+        flat = Tensor(batch.flat_matrix() if self.config.include_parameters
+                      else batch.spec_features)
+        if self.config.use_spec_encoder:
+            pieces.append(self.spec_encoder(flat))
+        else:
+            pieces.append(flat)
+        if len(pieces) == 1:
+            return pieces[0]
+        return concatenate(pieces, axis=-1)
+
 
 class ActorCriticPolicy(Module):
     """Actor-critic with independent actor and critic trunks.
@@ -225,6 +251,45 @@ class ActorCriticPolicy(Module):
         value = self.value(observation)
         return log_prob, value, entropy
 
+    # ------------------------------------------------------------------
+    # Batched acting (the VectorCircuitEnv fast path)
+    # ------------------------------------------------------------------
+    def action_distribution_batch(self, batch: BatchedObservation) -> BatchedMultiCategorical:
+        """Batched ``(B, M, 3)`` action distribution over stacked observations."""
+        features = self.actor_trunk.forward_batch(batch)
+        logits = self.actor_head(features).reshape(
+            len(batch), self.config.num_parameters, NUM_ACTION_CHOICES
+        )
+        return BatchedMultiCategorical(logits)
+
+    def value_batch(self, batch: BatchedObservation) -> Tensor:
+        """Batched state-value estimates, shape ``(B,)``."""
+        features = self.critic_trunk.forward_batch(batch)
+        return self.critic_head(features).reshape(len(batch))
+
+    def act_batch(
+        self,
+        batch: BatchedObservation,
+        rng: np.random.Generator,
+        deterministic: bool = False,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Batched :meth:`act`: ``(actions (B, M), log_probs (B,), values (B,))``.
+
+        Numerically equivalent to calling :meth:`act` per environment (same
+        weights, same float64 operations over each row) while paying the
+        network-forward overhead once per batch.  Stochastic sampling draws
+        from ``rng`` in batch order, so the random stream differs from B
+        sequential :meth:`act` calls — seed accounting, not results quality.
+        """
+        distribution = self.action_distribution_batch(batch)
+        if deterministic:
+            actions = distribution.mode()
+        else:
+            actions = distribution.sample(rng)
+        log_probs = distribution.log_prob(actions).numpy().copy()
+        values = self.value_batch(batch).numpy().copy()
+        return actions, log_probs, values
+
 
 # ----------------------------------------------------------------------
 # Named constructors for the four compared methods
@@ -242,19 +307,25 @@ def _base_config(env, **overrides) -> PolicyConfig:
     return config
 
 
-def _gcn_fc_policy(env, rng: Optional[np.random.Generator] = None, **overrides) -> ActorCriticPolicy:
+def _gcn_fc_policy(
+    env, rng: Optional[np.random.Generator] = None, **overrides
+) -> ActorCriticPolicy:
     """The paper's GCN-FC multimodal policy."""
     config = _base_config(env, use_graph=True, graph_kind="gcn", use_spec_encoder=True, **overrides)
     return ActorCriticPolicy(config, rng)
 
 
-def _gat_fc_policy(env, rng: Optional[np.random.Generator] = None, **overrides) -> ActorCriticPolicy:
+def _gat_fc_policy(
+    env, rng: Optional[np.random.Generator] = None, **overrides
+) -> ActorCriticPolicy:
     """The paper's GAT-FC multimodal policy (best-performing variant)."""
     config = _base_config(env, use_graph=True, graph_kind="gat", use_spec_encoder=True, **overrides)
     return ActorCriticPolicy(config, rng)
 
 
-def _baseline_a_policy(env, rng: Optional[np.random.Generator] = None, **overrides) -> ActorCriticPolicy:
+def _baseline_a_policy(
+    env, rng: Optional[np.random.Generator] = None, **overrides
+) -> ActorCriticPolicy:
     """Baseline A (AutoCkt [10]): FCNN over spec vector + parameters, no graph."""
     config = _base_config(env, use_graph=False, use_spec_encoder=True, **overrides)
     return ActorCriticPolicy(config, rng)
@@ -299,7 +370,9 @@ POLICY_FACTORIES = {
 # ----------------------------------------------------------------------
 # Deprecated entry points (kept importable; use repro.make_policy instead)
 # ----------------------------------------------------------------------
-def make_gcn_fc_policy(env, rng: Optional[np.random.Generator] = None, **overrides) -> ActorCriticPolicy:
+def make_gcn_fc_policy(
+    env, rng: Optional[np.random.Generator] = None, **overrides
+) -> ActorCriticPolicy:
     """Deprecated: use ``repro.make_policy("gcn_fc", env, ...)``."""
     from repro.api.deprecation import warn_deprecated
 
@@ -307,7 +380,9 @@ def make_gcn_fc_policy(env, rng: Optional[np.random.Generator] = None, **overrid
     return _gcn_fc_policy(env, rng, **overrides)
 
 
-def make_gat_fc_policy(env, rng: Optional[np.random.Generator] = None, **overrides) -> ActorCriticPolicy:
+def make_gat_fc_policy(
+    env, rng: Optional[np.random.Generator] = None, **overrides
+) -> ActorCriticPolicy:
     """Deprecated: use ``repro.make_policy("gat_fc", env, ...)``."""
     from repro.api.deprecation import warn_deprecated
 
@@ -315,7 +390,9 @@ def make_gat_fc_policy(env, rng: Optional[np.random.Generator] = None, **overrid
     return _gat_fc_policy(env, rng, **overrides)
 
 
-def make_baseline_a_policy(env, rng: Optional[np.random.Generator] = None, **overrides) -> ActorCriticPolicy:
+def make_baseline_a_policy(
+    env, rng: Optional[np.random.Generator] = None, **overrides
+) -> ActorCriticPolicy:
     """Deprecated: use ``repro.make_policy("baseline_a", env, ...)``."""
     from repro.api.deprecation import warn_deprecated
 
@@ -323,7 +400,9 @@ def make_baseline_a_policy(env, rng: Optional[np.random.Generator] = None, **ove
     return _baseline_a_policy(env, rng, **overrides)
 
 
-def make_baseline_b_policy(env, rng: Optional[np.random.Generator] = None, **overrides) -> ActorCriticPolicy:
+def make_baseline_b_policy(
+    env, rng: Optional[np.random.Generator] = None, **overrides
+) -> ActorCriticPolicy:
     """Deprecated: use ``repro.make_policy("baseline_b", env, ...)``."""
     from repro.api.deprecation import warn_deprecated
 
@@ -331,7 +410,9 @@ def make_baseline_b_policy(env, rng: Optional[np.random.Generator] = None, **ove
     return _baseline_b_policy(env, rng, **overrides)
 
 
-def make_policy(name: str, env, rng: Optional[np.random.Generator] = None, **overrides) -> ActorCriticPolicy:
+def make_policy(
+    name: str, env, rng: Optional[np.random.Generator] = None, **overrides
+) -> ActorCriticPolicy:
     """Deprecated: use ``repro.make_policy(name, env, ...)`` (registry-backed)."""
     from repro.api.catalog import make_policy as _api_make_policy
     from repro.api.deprecation import warn_deprecated

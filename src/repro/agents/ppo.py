@@ -18,7 +18,7 @@ sampled specification groups.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
 import numpy as np
 
@@ -28,7 +28,8 @@ from repro.agents.rollout import RolloutBuffer
 from repro.env.circuit_env import CircuitDesignEnv
 from repro.nn.functional import explained_variance
 from repro.nn.optim import Adam, clip_grad_norm
-from repro.nn.tensor import Tensor, minimum
+from repro.nn.tensor import minimum
+from repro.parallel.vector_env import VectorCircuitEnv
 
 
 @dataclass
@@ -95,22 +96,41 @@ class TrainingHistory:
 
     @property
     def final_deployment_accuracy(self) -> Optional[float]:
-        accuracies = [r.deployment_accuracy for r in self.records if r.deployment_accuracy is not None]
+        accuracies = [
+            r.deployment_accuracy for r in self.records if r.deployment_accuracy is not None
+        ]
         return accuracies[-1] if accuracies else None
 
 
 class PPOTrainer:
-    """PPO training loop binding a policy to a circuit design environment."""
+    """PPO training loop binding a policy to a circuit design environment.
+
+    ``env`` may be a sequential :class:`CircuitDesignEnv` or a
+    :class:`~repro.parallel.VectorCircuitEnv`; with a vector env, rollouts
+    are collected from all sub-environments at once through the policy's
+    batched forward pass while deployment evaluations keep using the first
+    sub-environment (they are single-trajectory by definition).
+    """
 
     def __init__(
         self,
-        env: CircuitDesignEnv,
+        env: Union[CircuitDesignEnv, VectorCircuitEnv],
         policy: ActorCriticPolicy,
         config: Optional[PPOConfig] = None,
         seed: Optional[int] = None,
         method_name: str = "gnn_fc",
     ) -> None:
-        self.env = env
+        if isinstance(env, VectorCircuitEnv):
+            if not env.autoreset:
+                raise ValueError(
+                    "PPOTrainer needs a VectorCircuitEnv with autoreset=True "
+                    "(episodes are collected continuously across the batch)"
+                )
+            self.vector_env: Optional[VectorCircuitEnv] = env
+            self.env = env.envs[0]
+        else:
+            self.vector_env = None
+            self.env = env
         self.policy = policy
         self.config = config or PPOConfig()
         self.rng = np.random.default_rng(seed)
@@ -127,6 +147,8 @@ class PPOTrainer:
         """Run ``num_episodes`` full episodes with the stochastic policy."""
         if num_episodes <= 0:
             raise ValueError("num_episodes must be positive")
+        if self.vector_env is not None:
+            return self._collect_episodes_vector(num_episodes)
         buffer = RolloutBuffer(gamma=self.config.gamma, gae_lambda=self.config.gae_lambda)
         for _ in range(num_episodes):
             observation = self.env.reset()
@@ -137,6 +159,46 @@ class PPOTrainer:
                 buffer.add(observation, action, log_prob, value, reward, done)
                 observation = next_observation
             self._episodes_seen += 1
+        return buffer
+
+    def _collect_episodes_vector(self, num_episodes: int) -> RolloutBuffer:
+        """Collect episodes from all sub-environments of the vector env.
+
+        Sub-environments run continuously (autoreset); whole episodes are
+        flushed into the buffer as they complete, keeping each episode's
+        transitions contiguous with ``done=True`` on the last one — exactly
+        the layout :meth:`RolloutBuffer.compute_returns_and_advantages`
+        expects.  Partial episodes still in flight once the budget is reached
+        are discarded (they would be off-policy by the next update anyway).
+        """
+        vector_env = self.vector_env
+        assert vector_env is not None
+        buffer = RolloutBuffer(gamma=self.config.gamma, gae_lambda=self.config.gae_lambda)
+        pending: List[List[tuple]] = [[] for _ in range(vector_env.num_envs)]
+        flushed = 0
+        observations = vector_env.reset()
+        while flushed < num_episodes:
+            actions, log_probs, values = self.policy.act_batch(observations, self.rng)
+            next_observations, rewards, dones, _ = vector_env.step(actions)
+            for index in range(vector_env.num_envs):
+                pending[index].append(
+                    (
+                        observations[index],
+                        actions[index],
+                        log_probs[index],
+                        values[index],
+                        rewards[index],
+                        dones[index],
+                    )
+                )
+                if dones[index]:
+                    if flushed < num_episodes:
+                        for transition in pending[index]:
+                            buffer.add(*transition)
+                        flushed += 1
+                        self._episodes_seen += 1
+                    pending[index] = []
+            observations = next_observations
         return buffer
 
     # ------------------------------------------------------------------
@@ -166,7 +228,10 @@ class PPOTrainer:
                     value_predictions[index] = float(value.item())
                     ratio = (log_prob - transition.log_prob).exp()
                     unclipped = ratio * advantage
-                    clipped = ratio.clip(1.0 - config.clip_epsilon, 1.0 + config.clip_epsilon) * advantage
+                    clipped = (
+                        ratio.clip(1.0 - config.clip_epsilon, 1.0 + config.clip_epsilon)
+                        * advantage
+                    )
                     policy_loss = -minimum(unclipped, clipped)
                     value_error = value - target_return
                     value_loss = value_error * value_error

@@ -16,7 +16,7 @@ against the accurate HB simulator.  This module packages that workflow:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Optional
 
 import numpy as np
 

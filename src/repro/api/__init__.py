@@ -35,6 +35,7 @@ from repro.api.catalog import (
     register_env,
     register_optimizer,
     register_policy,
+    vectorizable,
 )
 from repro.api.configs import EnvConfig, OptimizerConfig, RunConfig
 from repro.api.optimizers import (
@@ -85,4 +86,5 @@ __all__ = [
     "register_env",
     "register_optimizer",
     "register_policy",
+    "vectorizable",
 ]

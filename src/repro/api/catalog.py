@@ -27,7 +27,8 @@ resolving.  Third parties extend the catalog with the same decorators::
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+import functools
+from typing import Any, Callable, Dict, List, Optional, Union
 
 import numpy as np
 
@@ -36,8 +37,14 @@ from repro.circuits.library.rf_pa import build_rf_pa
 from repro.circuits.library.two_stage_opamp import build_two_stage_opamp
 from repro.env.circuit_env import CircuitDesignEnv
 from repro.env.reward import FomReward, P2SReward
+from repro.parallel.cache import DEFAULT_CACHE_SIZE, SimulationCache
+from repro.parallel.vector_env import VectorCircuitEnv
 from repro.simulation.opamp_sim import OpAmpSimulator
 from repro.simulation.pa_sim import RfPaCoarseSimulator, RfPaFineSimulator
+
+#: What an environment factory may hand back: the sequential environment, or
+#: a vectorized batch of them when ``num_envs > 1`` is requested.
+EnvironmentLike = Union[CircuitDesignEnv, VectorCircuitEnv]
 
 #: The three global registries behind the ``repro.make_*`` helpers.
 ENVS = Registry("environment")
@@ -53,12 +60,49 @@ register_optimizer = OPTIMIZERS.register
 # ----------------------------------------------------------------------
 # Environments
 # ----------------------------------------------------------------------
+def vectorizable(builder: Callable[..., CircuitDesignEnv]) -> Callable[..., EnvironmentLike]:
+    """Give an environment factory the ``num_envs`` / ``cache_size`` knobs.
+
+    ``make_env(id, num_envs=k)`` then returns a
+    :class:`repro.parallel.VectorCircuitEnv` of ``k`` sub-environments
+    (seeded ``seed, seed + 1, ...``) sharing one
+    :class:`~repro.parallel.SimulationCache`; ``num_envs=1`` (the default)
+    returns the plain sequential environment, optionally with a cached
+    simulator when ``cache_size`` is set.  Third-party factories registered
+    via :func:`register_env` can apply the same decorator.
+    """
+
+    @functools.wraps(builder)
+    def factory(
+        seed: Optional[int] = None,
+        num_envs: int = 1,
+        cache_size: Optional[int] = None,
+        **kwargs: Any,
+    ) -> EnvironmentLike:
+        if num_envs < 1:
+            raise ValueError("num_envs must be >= 1")
+        env = builder(seed=seed, **kwargs)
+        if num_envs == 1:
+            if cache_size is not None:
+                env.simulator = SimulationCache(env.simulator, max_entries=cache_size)
+            return env
+        return VectorCircuitEnv.from_env(
+            env,
+            num_envs=num_envs,
+            seed=seed,
+            cache_size=cache_size if cache_size is not None else DEFAULT_CACHE_SIZE,
+        )
+
+    return factory
+
+
 @register_env(
     "opamp-p2s-v0",
     description="Two-stage op-amp, P2S (Eq. 1) reward, analytic simulator, 50-step episodes",
     aliases=("opamp-v0",),
     metadata={"circuit": "two_stage_opamp", "task": "p2s", "fidelity": "fine"},
 )
+@vectorizable
 def _opamp_p2s_v0(
     seed: Optional[int] = None,
     max_steps: int = 50,
@@ -107,6 +151,7 @@ def _rf_pa_env(
     aliases=("rf_pa-p2s-v0", "rf_pa-v0"),
     metadata={"circuit": "rf_pa", "task": "p2s", "fidelity": "fine"},
 )
+@vectorizable
 def _rf_pa_fine_v0(
     seed: Optional[int] = None,
     max_steps: int = 30,
@@ -121,6 +166,7 @@ def _rf_pa_fine_v0(
     description="GaN RF PA, P2S reward, coarse (DC-estimate) training simulator, 30-step episodes",
     metadata={"circuit": "rf_pa", "task": "p2s", "fidelity": "coarse"},
 )
+@vectorizable
 def _rf_pa_coarse_v0(
     seed: Optional[int] = None,
     max_steps: int = 30,
@@ -136,6 +182,7 @@ def _rf_pa_coarse_v0(
     aliases=("rf_pa-fom-fine-v0",),
     metadata={"circuit": "rf_pa", "task": "fom", "fidelity": "fine"},
 )
+@vectorizable
 def _rf_pa_fom_v0(
     seed: Optional[int] = None,
     max_steps: int = 30,
@@ -150,6 +197,7 @@ def _rf_pa_fom_v0(
     description="GaN RF PA, FoM reward, coarse simulator (Fig. 7 transfer training)",
     metadata={"circuit": "rf_pa", "task": "fom", "fidelity": "coarse"},
 )
+@vectorizable
 def _rf_pa_fom_coarse_v0(
     seed: Optional[int] = None,
     max_steps: int = 30,
@@ -240,12 +288,20 @@ _register_optimizers()
 # ----------------------------------------------------------------------
 # Public factory / discovery helpers (re-exported as repro.make_* etc.)
 # ----------------------------------------------------------------------
-def make_env(id: str, **kwargs: Any) -> CircuitDesignEnv:
-    """Build an environment by string ID, e.g. ``make_env("opamp-p2s-v0", seed=0)``."""
+def make_env(id: str, **kwargs: Any) -> EnvironmentLike:
+    """Build an environment by string ID, e.g. ``make_env("opamp-p2s-v0", seed=0)``.
+
+    All built-in environments accept ``num_envs`` and ``cache_size``:
+    ``make_env("opamp-p2s-v0", seed=0, num_envs=8)`` returns an 8-wide
+    :class:`repro.parallel.VectorCircuitEnv` with a shared simulation cache,
+    while ``num_envs=1`` (default) returns the sequential environment.
+    """
     return ENVS.make(id, **kwargs)
 
 
-def make_policy(id: str, env: CircuitDesignEnv, rng: Optional[np.random.Generator] = None, **overrides: Any):
+def make_policy(
+    id: str, env: CircuitDesignEnv, rng: Optional[np.random.Generator] = None, **overrides: Any
+):
     """Build a policy by string ID for an environment, e.g. ``make_policy("gcn_fc", env)``."""
     return POLICIES.make(id, env, rng, **overrides)
 

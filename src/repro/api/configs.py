@@ -74,21 +74,45 @@ class EnvConfig:
 
 @dataclass
 class OptimizerConfig:
-    """A registry optimizer ID plus the constructor keyword arguments."""
+    """A registry optimizer ID plus the constructor keyword arguments.
+
+    ``vectorize`` is the batched-evaluation width of the
+    :mod:`repro.parallel` vector path — the number of parallel environment
+    instances for RL rollouts, and the switch for the shared
+    :class:`repro.parallel.SimulationCache` in the search baselines.  ``None``
+    leaves the optimizer's own default (sequential) in place; any other value
+    is forwarded to the optimizer constructor's ``vectorize`` keyword.
+    """
 
     id: str
     params: Dict[str, Any] = field(default_factory=dict)
+    vectorize: Optional[int] = None
 
     def __post_init__(self) -> None:
         self.params = _require_mapping(self.params, "OptimizerConfig.params")
+        if self.vectorize is not None:
+            self.vectorize = int(self.vectorize)
+            if self.vectorize < 1:
+                raise ValueError("OptimizerConfig.vectorize must be >= 1")
+            if "vectorize" in self.params:
+                raise ValueError(
+                    "pass vectorize either as the OptimizerConfig field or inside "
+                    "params, not both"
+                )
         catalog.OPTIMIZERS.resolve(self.id)
 
     def build(self):
         """Instantiate the optimizer: ``make_optimizer(id, **params)``."""
-        return catalog.make_optimizer(self.id, **self.params)
+        params = dict(self.params)
+        if self.vectorize is not None:
+            params["vectorize"] = self.vectorize
+        return catalog.make_optimizer(self.id, **params)
 
     def to_dict(self) -> Dict[str, Any]:
-        return {"id": self.id, "params": dict(self.params)}
+        data: Dict[str, Any] = {"id": self.id, "params": dict(self.params)}
+        if self.vectorize is not None:
+            data["vectorize"] = self.vectorize
+        return data
 
     @classmethod
     def from_dict(cls, data: Union[str, Mapping[str, Any]]) -> "OptimizerConfig":
@@ -96,12 +120,16 @@ class OptimizerConfig:
         if isinstance(data, str):
             return cls(id=data)
         data = _require_mapping(data, "OptimizerConfig")
-        unknown = set(data) - {"id", "params"}
+        unknown = set(data) - {"id", "params", "vectorize"}
         if unknown:
             raise ValueError(f"unknown OptimizerConfig keys: {sorted(unknown)}")
         if "id" not in data:
             raise ValueError("OptimizerConfig requires an 'id' key")
-        return cls(id=data["id"], params=data.get("params") or {})
+        return cls(
+            id=data["id"],
+            params=data.get("params") or {},
+            vectorize=data.get("vectorize"),
+        )
 
 
 @dataclass
@@ -167,7 +195,9 @@ class RunConfig:
         known = {"name", "env", "optimizer", "budget", "seed", "target_specs"}
         unknown = set(data) - known
         if unknown:
-            raise ValueError(f"unknown RunConfig keys: {sorted(unknown)} (expected {sorted(known)})")
+            raise ValueError(
+                f"unknown RunConfig keys: {sorted(unknown)} (expected {sorted(known)})"
+            )
         missing = {"env", "optimizer"} - set(data)
         if missing:
             raise ValueError(f"RunConfig requires keys: {sorted(missing)}")

@@ -37,28 +37,91 @@ from repro.baselines.genetic import GeneticAlgorithm, GeneticAlgorithmConfig
 from repro.baselines.random_search import RandomSearch, RandomSearchConfig
 from repro.baselines.supervised import SupervisedSizer, SupervisedSizerConfig
 from repro.env.circuit_env import CircuitDesignEnv
+from repro.parallel.cache import DEFAULT_CACHE_SIZE, SimulationCache
+from repro.parallel.vector_env import VectorCircuitEnv
+
+
+def _unwrap_env(env) -> tuple:
+    """Accept either a sequential env or a front-door :class:`VectorCircuitEnv`.
+
+    ``make_env(id, num_envs=k)`` hands back a vector env; optimizers define
+    their objective on a single environment, so they work on the first
+    sub-environment (whose simulator already shares the batch's cache) and
+    reuse the whole vector env for RL rollout collection when present.
+    Returns ``(sequential_env, vector_env_or_None)``.
+    """
+    if isinstance(env, VectorCircuitEnv):
+        return env.envs[0], env
+    return env, None
+
+
+def _resolve_simulator(
+    env: CircuitDesignEnv, vectorize: int, cache_size: Optional[int]
+) -> tuple:
+    """Pick the (possibly cache-wrapped) simulator for an optimization run.
+
+    Returns ``(simulator, cache)`` where ``cache`` is the freshly created
+    :class:`SimulationCache` (None when caching is off or the environment's
+    simulator is already cached).
+    """
+    if vectorize < 1:
+        raise ValueError("vectorize must be >= 1")
+    simulator = env.simulator
+    if isinstance(simulator, SimulationCache) or (vectorize == 1 and cache_size is None):
+        return simulator, None
+    cache = SimulationCache(
+        simulator,
+        max_entries=cache_size if cache_size is not None else DEFAULT_CACHE_SIZE,
+    )
+    return cache, cache
 
 
 def build_problem(
-    env: CircuitDesignEnv, target_specs: Optional[Mapping[str, float]]
+    env: CircuitDesignEnv,
+    target_specs: Optional[Mapping[str, float]],
+    simulator=None,
 ) -> SizingProblem:
-    """Wrap an environment's benchmark/simulator/reward into a :class:`SizingProblem`."""
+    """Wrap an environment's benchmark/simulator/reward into a :class:`SizingProblem`.
+
+    ``simulator`` overrides the environment's simulator — how the vector path
+    substitutes a shared :class:`repro.parallel.SimulationCache`.
+    """
+    env, _ = _unwrap_env(env)
+    simulator = simulator if simulator is not None else env.simulator
     if env.is_fom_mode:
-        return SizingProblem(env.benchmark, env.simulator, fom_reward=env.reward_fn)
+        return SizingProblem(env.benchmark, simulator, fom_reward=env.reward_fn)
     if target_specs is None:
         raise ValueError("a P2S environment needs target_specs to define the objective")
-    return SizingProblem(env.benchmark, env.simulator, targets=target_specs)
+    return SizingProblem(env.benchmark, simulator, targets=target_specs)
 
 
 class _SearchOptimizer:
-    """Shared scaffolding for the direct-search baselines (GA / BO / RS)."""
+    """Shared scaffolding for the direct-search baselines (GA / BO / RS).
+
+    All three score candidate populations through the batched
+    :meth:`SizingProblem.objective_from_unit_batch` vector path;
+    ``vectorize > 1`` (or an explicit ``cache_size``) additionally wraps the
+    environment's simulator in a shared :class:`repro.parallel.SimulationCache`
+    so duplicate candidates across a population cost one simulation.
+    """
 
     id = "search"
 
-    def __init__(self, seed: Optional[int] = None, budget: Optional[int] = None, **overrides: Any) -> None:
+    def __init__(
+        self,
+        seed: Optional[int] = None,
+        budget: Optional[int] = None,
+        vectorize: int = 1,
+        cache_size: Optional[int] = None,
+        **overrides: Any,
+    ) -> None:
         self.seed = seed
         self.budget = budget
+        self.vectorize = int(vectorize)
+        self.cache_size = cache_size
         self.overrides = overrides
+        if self.vectorize < 1:
+            raise ValueError("vectorize must be >= 1")
         self._make_config(**overrides)  # fail fast on bad hyper-parameters
 
     # Subclass hooks ----------------------------------------------------
@@ -88,10 +151,12 @@ class _SearchOptimizer:
         callbacks: Callbacks = (),
         target_specs: Optional[Mapping[str, float]] = None,
     ) -> OptimizationResult:
+        env, _ = _unwrap_env(env)
         budget = budget if budget is not None else self.budget
         seed = seed if seed is not None else self.seed
         target = resolve_target(env, target_specs, seed)
-        problem = build_problem(env, target)
+        simulator, cache = _resolve_simulator(env, self.vectorize, self.cache_size)
+        problem = build_problem(env, target, simulator=simulator)
         problem.trace = NotifyingTrace(callbacks)
         notify(callbacks, "on_start", self.id, env, budget)
         search = self.build_search(budget, seed)
@@ -101,6 +166,8 @@ class _SearchOptimizer:
         result.budget = budget
         if target is not None:
             result.metadata.setdefault("target_specs", dict(target))
+        if cache is not None:
+            result.metadata["simulation_cache"] = cache.stats
         notify(callbacks, "on_result", result)
         return result
 
@@ -169,6 +236,11 @@ class PPOOptimizer:
     deployment steps, matching the paper's accounting where the one-off
     training cost is amortized over every future target group.  The trained
     policy and full training history ride along in ``result.metadata``.
+
+    ``vectorize`` sets the training rollout width: with ``vectorize=k > 1``
+    episodes are collected from a ``k``-wide
+    :class:`repro.parallel.VectorCircuitEnv` (shared simulation cache,
+    batched policy forward); ``vectorize=1`` is the sequential path.
     """
 
     id = "ppo"
@@ -184,6 +256,8 @@ class PPOOptimizer:
         fom_episodes: int = 3,
         ppo: Optional[Mapping[str, Any]] = None,
         policy_overrides: Optional[Mapping[str, Any]] = None,
+        vectorize: int = 1,
+        cache_size: Optional[int] = None,
     ) -> None:
         from repro.agents.ppo import PPOConfig
 
@@ -198,6 +272,10 @@ class PPOOptimizer:
         else:
             self.ppo_config = PPOConfig(**dict(ppo)) if ppo else PPOConfig(learning_rate=1e-3)
         self.policy_overrides = dict(policy_overrides or {})
+        self.vectorize = int(vectorize)
+        self.cache_size = cache_size
+        if self.vectorize < 1:
+            raise ValueError("vectorize must be >= 1")
 
     # ------------------------------------------------------------------
     def optimize(
@@ -212,6 +290,7 @@ class PPOOptimizer:
         from repro.agents.ppo import PPOTrainer
         from repro.api.catalog import make_policy
 
+        env, provided_vector_env = _unwrap_env(env)
         budget = budget if budget is not None else (self.budget or self.DEFAULT_BUDGET)
         seed = seed if seed is not None else self.seed
         target = resolve_target(env, target_specs, seed)
@@ -220,8 +299,23 @@ class PPOOptimizer:
         policy = make_policy(
             self.policy_id, env, np.random.default_rng(seed), **self.policy_overrides
         )
+        train_env: Any = env
+        train_cache = None
+        if provided_vector_env is not None:
+            # make_env(id, num_envs=k) front door: collect rollouts from the
+            # vector env the caller already built.
+            train_env = provided_vector_env
+            train_cache = provided_vector_env.cache
+        elif self.vectorize > 1:
+            train_env = VectorCircuitEnv.from_env(
+                env,
+                num_envs=self.vectorize,
+                seed=seed,
+                cache_size=self.cache_size if self.cache_size is not None else DEFAULT_CACHE_SIZE,
+            )
+            train_cache = train_env.cache
         trainer = PPOTrainer(
-            env, policy, config=self.ppo_config, seed=seed, method_name=self.policy_id
+            train_env, policy, config=self.ppo_config, seed=seed, method_name=self.policy_id
         )
         history = trainer.train(
             total_episodes=budget,
@@ -262,10 +356,13 @@ class PPOOptimizer:
         result.method = self.id
         result.seed = seed
         result.budget = budget
+        num_envs = train_env.num_envs if isinstance(train_env, VectorCircuitEnv) else 1
         result.metadata.update(
             {"policy": policy, "policy_id": self.policy_id, "training_history": history,
-             "training_episodes": budget}
+             "training_episodes": budget, "num_envs": num_envs}
         )
+        if train_cache is not None:
+            result.metadata["simulation_cache"] = train_cache.stats
         notify(callbacks, "on_result", result)
         return result
 
@@ -312,10 +409,21 @@ class SupervisedOptimizer:
 
     id = "supervised"
 
-    def __init__(self, seed: Optional[int] = None, budget: Optional[int] = None, **overrides: Any) -> None:
+    def __init__(
+        self,
+        seed: Optional[int] = None,
+        budget: Optional[int] = None,
+        vectorize: int = 1,
+        cache_size: Optional[int] = None,
+        **overrides: Any,
+    ) -> None:
         self.seed = seed
         self.budget = budget
+        self.vectorize = int(vectorize)
+        self.cache_size = cache_size
         self.overrides = overrides
+        if self.vectorize < 1:
+            raise ValueError("vectorize must be >= 1")
         SupervisedSizerConfig(**overrides)  # fail fast on bad hyper-parameters
 
     def optimize(
@@ -326,6 +434,7 @@ class SupervisedOptimizer:
         callbacks: Callbacks = (),
         target_specs: Optional[Mapping[str, float]] = None,
     ) -> OptimizationResult:
+        env, _ = _unwrap_env(env)
         if env.is_fom_mode:
             raise ValueError(
                 "the supervised sizer regresses parameters from a target specification "
@@ -340,7 +449,8 @@ class SupervisedOptimizer:
         if budget is not None:
             config.num_training_samples = max(10, budget)
         notify(callbacks, "on_start", self.id, env, budget)
-        sizer = SupervisedSizer(env.benchmark, env.simulator, config, seed=seed)
+        simulator, cache = _resolve_simulator(env, self.vectorize, self.cache_size)
+        sizer = SupervisedSizer(env.benchmark, simulator, config, seed=seed)
         sizer.fit()
         design = sizer.design(target)
 
@@ -365,5 +475,7 @@ class SupervisedOptimizer:
                 "training_simulations": config.num_training_samples,
             },
         )
+        if cache is not None:
+            result.metadata["simulation_cache"] = cache.stats
         notify(callbacks, "on_result", result)
         return result

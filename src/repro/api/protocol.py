@@ -79,7 +79,10 @@ class NotifyingTrace(OptimizationTrace):
 
     def record(self, value: float) -> None:
         super().record(value)
-        notify(self._callbacks, "on_evaluation", len(self.objective_values), value, self.best_values[-1])
+        notify(
+            self._callbacks, "on_evaluation", len(self.objective_values), value,
+            self.best_values[-1],
+        )
 
 
 @runtime_checkable

@@ -11,7 +11,7 @@ history of objective values versus simulation count (the Fig. 3 / Fig. 7
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional
+from typing import Dict, List, Mapping, Optional
 
 import numpy as np
 
@@ -102,6 +102,10 @@ class SizingProblem:
         self.reward_fn = P2SReward(benchmark.spec_space)
         self.trace = OptimizationTrace()
         self._evaluations = 0
+        # One reusable working netlist: every evaluation overwrites the full
+        # design-parameter vector, so re-using the copy is equivalent to a
+        # fresh one and removes a deep netlist copy from the hot loop.
+        self._netlist = benchmark.fresh_netlist()
 
     # ------------------------------------------------------------------
     @property
@@ -114,22 +118,22 @@ class SizingProblem:
 
     def simulate(self, parameters: np.ndarray) -> Dict[str, float]:
         """Evaluate a parameter vector into specs (one simulator call)."""
-        netlist = self.benchmark.fresh_netlist()
-        self.benchmark.design_space.apply_to_netlist(netlist, parameters)
-        result = self.simulator.simulate(netlist)
+        self.benchmark.design_space.apply_to_netlist(self._netlist, parameters)
+        result = self.simulator.simulate(self._netlist)
         self._evaluations += 1
         return dict(result.specs)
 
-    def objective(self, parameters: np.ndarray) -> float:
-        """Scalar objective (larger is better, 0 or the FoM maximum is best)."""
-        specs = self.simulate(parameters)
+    def _score(self, specs: Mapping[str, float]) -> float:
         if self.targets is not None:
-            value = float(
+            return float(
                 self.benchmark.spec_space.normalized_errors(specs, self.targets).sum()
             )
-        else:
-            assert self.fom_reward is not None
-            value = self.fom_reward.figure_of_merit(specs)
+        assert self.fom_reward is not None
+        return self.fom_reward.figure_of_merit(specs)
+
+    def objective(self, parameters: np.ndarray) -> float:
+        """Scalar objective (larger is better, 0 or the FoM maximum is best)."""
+        value = self._score(self.simulate(parameters))
         self.trace.record(value)
         return value
 
@@ -137,6 +141,39 @@ class SizingProblem:
         """Objective over the normalized [0, 1]^M search space."""
         parameters = self.benchmark.design_space.denormalize(unit_parameters)
         return self.objective(parameters)
+
+    # ------------------------------------------------------------------
+    # Population (batched) evaluation — the repro.parallel vector path
+    # ------------------------------------------------------------------
+    def objective_batch(self, parameters: np.ndarray) -> np.ndarray:
+        """Objectives of a ``(P, M)`` population of candidate sizings.
+
+        Results (values and trace entries, in row order) are identical to
+        ``P`` sequential :meth:`objective` calls; wrapping the simulator in a
+        :class:`repro.parallel.SimulationCache` makes duplicate rows — elites
+        re-scored each generation, revisited grid points — cost one
+        simulation for the whole population.
+        """
+        parameters = np.asarray(parameters, dtype=np.float64)
+        if parameters.ndim != 2 or parameters.shape[1] != self.num_parameters:
+            raise ValueError(
+                f"expected a (P, {self.num_parameters}) population, "
+                f"got shape {parameters.shape}"
+            )
+        return np.array([self.objective(row) for row in parameters])
+
+    def objective_from_unit_batch(self, unit_parameters: np.ndarray) -> np.ndarray:
+        """Batched :meth:`objective_from_unit` over a ``(P, M)`` population."""
+        unit_parameters = np.asarray(unit_parameters, dtype=np.float64)
+        if unit_parameters.ndim != 2 or unit_parameters.shape[1] != self.num_parameters:
+            raise ValueError(
+                f"expected a (P, {self.num_parameters}) population, "
+                f"got shape {unit_parameters.shape}"
+            )
+        # One vectorized grid-denormalization for the whole population, then
+        # per-candidate simulation (cache-backed when available).
+        parameters = self.benchmark.design_space.denormalize(unit_parameters)
+        return np.array([self.objective(row) for row in parameters])
 
     def is_successful(self, parameters: np.ndarray) -> bool:
         """Whether a parameter vector meets every target specification."""
@@ -155,7 +192,9 @@ class SizingOptimizer:
         raise NotImplementedError
 
     @staticmethod
-    def _build_result(problem: SizingProblem, best_unit: np.ndarray, best_value: float) -> OptimizationResult:
+    def _build_result(
+        problem: SizingProblem, best_unit: np.ndarray, best_value: float
+    ) -> OptimizationResult:
         parameters = problem.benchmark.design_space.denormalize(best_unit)
         specs = problem.simulate(parameters)
         if problem.targets is not None:

@@ -117,7 +117,9 @@ class BayesianOptimization(SizingOptimizer):
         dimension = problem.num_parameters
 
         observed_x = self.rng.random((config.num_initial, dimension))
-        observed_y = np.array([problem.objective_from_unit(x) for x in observed_x])
+        # Initial space-filling design scored through the batched vector path
+        # (identical values/trace to per-point evaluation, cache-friendly).
+        observed_y = problem.objective_from_unit_batch(observed_x)
         best_index = int(np.argmax(observed_y))
         best_x = observed_x[best_index].copy()
         best_y = float(observed_y[best_index])

@@ -76,7 +76,7 @@ class GeneticAlgorithm(SizingOptimizer):
         config = self.config
         dimension = problem.num_parameters
         population = self.rng.random((config.population_size, dimension))
-        fitness = np.array([problem.objective_from_unit(ind) for ind in population])
+        fitness = problem.objective_from_unit_batch(population)
 
         best_index = int(np.argmax(fitness))
         best_individual = population[best_index].copy()
@@ -93,7 +93,7 @@ class GeneticAlgorithm(SizingOptimizer):
                 child = self._mutate(self._crossover(parent_a, parent_b))
                 next_population.append(child)
             population = np.stack(next_population)
-            fitness = np.array([problem.objective_from_unit(ind) for ind in population])
+            fitness = problem.objective_from_unit_batch(population)
             generation_best = int(np.argmax(fitness))
             if fitness[generation_best] > best_fitness:
                 best_fitness = float(fitness[generation_best])

@@ -39,15 +39,26 @@ class RandomSearch(SizingOptimizer):
         self.rng = np.random.default_rng(seed)
 
     def optimize(self, problem: SizingProblem) -> OptimizationResult:
+        # Draw the full candidate population up front (numpy fills C-order,
+        # so the random stream — hence every candidate — is identical to the
+        # previous one-at-a-time draws).
+        candidates = self.rng.random((self.config.num_samples, problem.num_parameters))
+        if not (self.config.stop_when_met and problem.targets is not None):
+            # No early stop: score the whole population through the batched
+            # (cache-friendly) vector path.
+            values = problem.objective_from_unit_batch(candidates)
+            best_index = int(np.argmax(values))
+            return self._build_result(
+                problem, candidates[best_index], float(values[best_index])
+            )
         best_x: Optional[np.ndarray] = None
         best_y = -np.inf
-        for _ in range(self.config.num_samples):
-            candidate = self.rng.random(problem.num_parameters)
+        for candidate in candidates:
             value = problem.objective_from_unit(candidate)
             if value > best_y:
                 best_y = float(value)
                 best_x = candidate
-            if self.config.stop_when_met and problem.targets is not None and best_y >= 0.0:
+            if best_y >= 0.0:
                 break
         assert best_x is not None
         return self._build_result(problem, best_x, best_y)

@@ -90,22 +90,28 @@ class SupervisedSizer:
         i.e. the network learns the inverse mapping the SL papers use.
         """
         count = num_samples or self.config.num_training_samples
+        # Vectorized dataset generation: one batched draw of all candidate
+        # designs, one reusable netlist for the simulation sweep (every
+        # iteration rewrites the full design-parameter vector).
+        population = self.benchmark.design_space.sample_batch(self.rng, count)
+        normalized = self.benchmark.design_space.normalize(population)
+        netlist = self.benchmark.fresh_netlist()
         spec_rows = []
         param_rows = []
-        for _ in range(count):
-            parameters = self.benchmark.design_space.sample(self.rng)
-            netlist = self.benchmark.fresh_netlist()
+        for parameters, unit_parameters in zip(population, normalized):
             self.benchmark.design_space.apply_to_netlist(netlist, parameters)
             result = self.simulator.simulate(netlist)
             if not result.valid:
                 continue
             spec_rows.append(self.benchmark.spec_space.normalize(result.specs))
-            param_rows.append(self.benchmark.design_space.normalize(parameters))
+            param_rows.append(unit_parameters)
         if len(spec_rows) < 10:
             raise RuntimeError("too few valid samples to train the supervised sizer")
         return np.stack(spec_rows), np.stack(param_rows)
 
-    def fit(self, specs: Optional[np.ndarray] = None, parameters: Optional[np.ndarray] = None) -> None:
+    def fit(
+        self, specs: Optional[np.ndarray] = None, parameters: Optional[np.ndarray] = None
+    ) -> None:
         """Train the inverse regressor (generating the dataset if needed)."""
         if specs is None or parameters is None:
             specs, parameters = self.generate_dataset()

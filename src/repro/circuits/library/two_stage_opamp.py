@@ -23,8 +23,6 @@ Specification sampling space (Table 1): gain ``[300, 500]``, bandwidth
 
 from __future__ import annotations
 
-from typing import Dict
-
 from repro.circuits.devices import bias, capacitor, ground, nmos, pmos, supply
 from repro.circuits.library.benchmark import CircuitBenchmark
 from repro.circuits.netlist import Netlist

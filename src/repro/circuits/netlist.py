@@ -12,7 +12,9 @@ simulator.  :class:`Netlist` is that mutable circuit description.  It offers
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Mapping, Tuple
+
+import numpy as np
 
 from repro.circuits.devices import Device, DeviceType
 
@@ -130,10 +132,24 @@ class Netlist:
         lines = [f"* netlist: {self.name}"]
         for device in self._devices.values():
             terminals = " ".join(device.terminals.values())
-            params = " ".join(f"{key}={value:.6g}" for key, value in sorted(device.parameters.items()))
+            params = " ".join(
+                f"{key}={value:.6g}" for key, value in sorted(device.parameters.items())
+            )
             lines.append(f"{device.name} {terminals} {device.dtype.value} {params}".rstrip())
         lines.append(".end")
         return "\n".join(lines)
+
+    def parameter_array(self) -> np.ndarray:
+        """Every device parameter as one flat array (netlist insertion order).
+
+        For a fixed topology the ordering is deterministic, so this array is
+        a complete, cheap fingerprint of the simulator-relevant state — it is
+        what :class:`repro.parallel.SimulationCache` hashes.
+        """
+        values: List[float] = []
+        for device in self._devices.values():
+            values.extend(device.parameters.values())
+        return np.array(values, dtype=np.float64)
 
     def parameter_snapshot(self) -> Dict[Tuple[str, str], float]:
         """Flat copy of every device parameter — useful for diffing steps."""

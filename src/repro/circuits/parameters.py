@@ -16,7 +16,7 @@ parameters":
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -112,6 +112,16 @@ class DesignSpace:
             raise ValueError("design parameter names must be unique")
         self._parameters: List[DesignParameter] = list(parameters)
         self._index: Dict[str, int] = {p.name: i for i, p in enumerate(self._parameters)}
+        # Pre-stacked per-parameter constants so the hot vector operations
+        # (snapping, action application, normalization) run as single numpy
+        # expressions instead of per-parameter Python loops.  All vector
+        # methods are elementwise, so they produce bitwise-identical results
+        # to the scalar DesignParameter methods.
+        self._mins = np.array([p.minimum for p in self._parameters])
+        self._maxs = np.array([p.maximum for p in self._parameters])
+        self._steps = np.array([p.step for p in self._parameters])
+        self._integer_mask = np.array([p.integer for p in self._parameters])
+        self._max_levels = np.array([float(p.num_levels - 1) for p in self._parameters])
 
     # ------------------------------------------------------------------
     # Introspection
@@ -160,50 +170,91 @@ class DesignSpace:
             [netlist.get_parameter(p.device, p.attribute) for p in self._parameters]
         )
 
-    def apply_to_netlist(self, netlist: Netlist, values: np.ndarray) -> None:
-        """Write a parameter vector into a netlist (with clipping/snapping)."""
+    def apply_to_netlist(self, netlist: Netlist, values: np.ndarray) -> np.ndarray:
+        """Write a parameter vector into a netlist (with clipping/snapping).
+
+        Returns the snapped vector actually written, so callers can track the
+        netlist state without re-reading it device by device.
+        """
         values = self.clip_vector(values)
         for parameter, value in zip(self._parameters, values):
             netlist.set_parameter(parameter.device, parameter.attribute, value)
+        return values
+
+    def _check_last_axis(self, values: np.ndarray, what: str) -> np.ndarray:
+        values = np.asarray(values, dtype=np.float64)
+        if values.ndim == 0 or values.shape[-1] != len(self):
+            raise ValueError(
+                f"expected {what} with last axis of length {len(self)}, got shape {values.shape}"
+            )
+        return values
+
+    def snap_vector(self, values: np.ndarray) -> np.ndarray:
+        """Snap values onto the parameter grids; accepts any ``(..., M)`` batch.
+
+        Equivalent to applying :meth:`DesignParameter.snap` per entry — both
+        use the same float64 elementwise operations (round-half-even level
+        rounding, bound clipping, integer rounding), so results are bitwise
+        identical to the scalar path.
+        """
+        values = self._check_last_axis(values, "parameter values")
+        levels = np.clip(np.rint((values - self._mins) / self._steps), 0.0, self._max_levels)
+        snapped = np.clip(self._mins + levels * self._steps, self._mins, self._maxs)
+        return np.where(self._integer_mask, np.rint(snapped), snapped)
 
     def clip_vector(self, values: np.ndarray) -> np.ndarray:
         values = np.asarray(values, dtype=np.float64)
         if values.shape != (len(self),):
             raise ValueError(f"expected vector of length {len(self)}, got shape {values.shape}")
-        return np.array([p.snap(v) for p, v in zip(self._parameters, values)])
+        return self.snap_vector(values)
 
     def apply_actions(self, values: np.ndarray, action_indices: np.ndarray) -> np.ndarray:
-        """Apply a vector of categorical actions (0=−Δx, 1=keep, 2=+Δx)."""
+        """Apply categorical actions (0=−Δx, 1=keep, 2=+Δx); accepts ``(..., M)``."""
         action_indices = np.asarray(action_indices, dtype=np.int64)
-        if action_indices.shape != (len(self),):
+        if action_indices.ndim == 0 or action_indices.shape[-1] != len(self):
             raise ValueError(
-                f"expected {len(self)} actions, got shape {action_indices.shape}"
+                f"expected {len(self)} actions along the last axis, "
+                f"got shape {action_indices.shape}"
             )
         if np.any(action_indices < 0) or np.any(action_indices >= len(ACTION_DELTAS)):
             raise ValueError("action index out of range [0, 2]")
-        result = np.empty(len(self))
-        for row, (parameter, value, action) in enumerate(
-            zip(self._parameters, np.asarray(values, dtype=np.float64), action_indices)
-        ):
-            result[row] = parameter.apply_delta(value, ACTION_DELTAS[action])
-        return result
+        values = np.asarray(values, dtype=np.float64)
+        deltas = np.asarray(ACTION_DELTAS, dtype=np.float64)[action_indices]
+        return self.snap_vector(values + deltas * self._steps)
 
     # ------------------------------------------------------------------
     # Normalization and sampling
     # ------------------------------------------------------------------
     def normalize(self, values: np.ndarray) -> np.ndarray:
-        values = np.asarray(values, dtype=np.float64)
-        return np.array([p.normalize(v) for p, v in zip(self._parameters, values)])
+        """Map values into ``[0, 1]^M``; accepts any ``(..., M)`` batch."""
+        values = self._check_last_axis(values, "parameter values")
+        clipped = np.clip(values, self._mins, self._maxs)
+        clipped = np.where(self._integer_mask, np.rint(clipped), clipped)
+        return (clipped - self._mins) / (self._maxs - self._mins)
 
     def denormalize(self, unit_values: np.ndarray) -> np.ndarray:
-        unit_values = np.asarray(unit_values, dtype=np.float64)
-        return np.array([p.denormalize(v) for p, v in zip(self._parameters, unit_values)])
+        """Inverse of :meth:`normalize`; accepts any ``(..., M)`` batch."""
+        unit_values = self._check_last_axis(unit_values, "unit values")
+        unit_values = np.clip(unit_values, 0.0, 1.0)
+        return self.snap_vector(self._mins + unit_values * (self._maxs - self._mins))
 
     def sample(self, rng: np.random.Generator) -> np.ndarray:
         """Uniformly sample a grid point per parameter."""
         return np.array(
             [p.snap(rng.uniform(p.minimum, p.maximum)) for p in self._parameters]
         )
+
+    def sample_batch(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        """Sample ``count`` grid points as a ``(count, M)`` population.
+
+        Draws the underlying uniforms in the same C order as ``count``
+        successive :meth:`sample` calls, so the sampled designs (and the
+        generator state afterwards) are identical to the sequential path.
+        """
+        if count <= 0:
+            raise ValueError("count must be positive")
+        raw = rng.uniform(self._mins, self._maxs, size=(count, len(self)))
+        return self.snap_vector(raw)
 
     def center(self) -> np.ndarray:
         """Mid-range starting point used as the default initial state."""

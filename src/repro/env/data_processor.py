@@ -44,19 +44,33 @@ class DataProcessor:
         self.netlist = netlist
         self.graph = CircuitGraph(netlist)
         self.technology_constants = technology_constants or {}
+        self._values: Optional[np.ndarray] = None
+        # Static node features and the adjacency depend only on the topology
+        # and the technology constants, both fixed for this processor's
+        # lifetime — compute them once instead of on every observation.
+        self._static_features = self.graph.static_feature_matrix(self.technology_constants)
+        self._adjacency = self.graph.adjacency_matrix
 
     # ------------------------------------------------------------------
     # Parameter handling
     # ------------------------------------------------------------------
     @property
     def parameter_values(self) -> np.ndarray:
-        """Current device-parameter vector read from the netlist."""
-        return self.benchmark.design_space.vector_from_netlist(self.netlist)
+        """Current device-parameter vector of the working netlist.
+
+        Served from a cached copy of the last vector written through
+        :meth:`set_parameters` — every rewrite of this processor's netlist
+        goes through that method, so the cache cannot go stale.  The first
+        access (before any write) reads the netlist directly.
+        """
+        if self._values is None:
+            self._values = self.benchmark.design_space.vector_from_netlist(self.netlist)
+        return self._values.copy()
 
     def set_parameters(self, values: np.ndarray) -> np.ndarray:
         """Write a parameter vector into the netlist (clipped to the grid)."""
-        self.benchmark.design_space.apply_to_netlist(self.netlist, values)
-        return self.parameter_values
+        self._values = self.benchmark.design_space.apply_to_netlist(self.netlist, values)
+        return self._values.copy()
 
     def apply_actions(self, action_indices: np.ndarray) -> np.ndarray:
         """Apply one ``M``-vector of discrete actions and rewrite the netlist."""
@@ -87,11 +101,16 @@ class DataProcessor:
     def observation(
         self, measured: Mapping[str, float], targets: Mapping[str, float]
     ) -> Observation:
-        """Assemble the full observation for the current netlist state."""
+        """Assemble the full observation for the current netlist state.
+
+        The static-feature and adjacency arrays are shared (not copied) across
+        every observation this processor produces — they are constants of the
+        topology and all consumers treat observations as read-only.
+        """
         return Observation(
             node_features=self.graph.node_feature_matrix(),
-            static_node_features=self.graph.static_feature_matrix(self.technology_constants),
-            adjacency=self.graph.adjacency_matrix,
+            static_node_features=self._static_features,
+            adjacency=self._adjacency,
             spec_features=self.spec_feature_vector(measured, targets),
             normalized_parameters=self.benchmark.design_space.normalize(self.parameter_values),
             measured_specs=dict(measured),

@@ -18,7 +18,7 @@ The observation bundles everything any of the compared policies may need:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, List, Sequence
 
 import numpy as np
 
@@ -79,3 +79,81 @@ class Observation:
     def flat_vector(self) -> np.ndarray:
         """Spec context + parameters, the Baseline A (AutoCkt-style) input."""
         return np.concatenate([self.spec_features, self.normalized_parameters])
+
+
+@dataclass
+class BatchedObservation:
+    """``N`` stacked observations from a :class:`~repro.parallel.VectorCircuitEnv`.
+
+    All sub-environments of a vector env share one circuit topology, so the
+    adjacency matrix is stored once while the per-environment quantities are
+    stacked along a leading batch axis:
+
+    * ``node_features`` / ``static_node_features`` — ``(N, nodes, features)``
+    * ``spec_features`` — ``(N, 3 * num_specs)``
+    * ``normalized_parameters`` — ``(N, M)``
+
+    The stacked arrays feed the policy's batched forward pass
+    (:meth:`repro.agents.policy.ActorCriticPolicy.act_batch`) directly;
+    ``__getitem__`` recovers the per-environment :class:`Observation` (rows
+    are bitwise-identical to what the sequential environment would produce,
+    because they are assembled by the very same code and then stacked).
+    """
+
+    node_features: np.ndarray
+    static_node_features: np.ndarray
+    adjacency: np.ndarray
+    spec_features: np.ndarray
+    normalized_parameters: np.ndarray
+    measured_specs: List[Dict[str, float]]
+    target_specs: List[Dict[str, float]]
+
+    @classmethod
+    def stack(cls, observations: Sequence[Observation]) -> "BatchedObservation":
+        """Stack per-environment observations sharing one topology."""
+        if not observations:
+            raise ValueError("cannot stack an empty observation batch")
+        first = observations[0]
+        for other in observations[1:]:
+            if other.adjacency.shape != first.adjacency.shape:
+                raise ValueError("all observations in a batch must share one topology")
+        return cls(
+            node_features=np.stack([o.node_features for o in observations]),
+            static_node_features=np.stack([o.static_node_features for o in observations]),
+            adjacency=first.adjacency,
+            spec_features=np.stack([o.spec_features for o in observations]),
+            normalized_parameters=np.stack([o.normalized_parameters for o in observations]),
+            measured_specs=[dict(o.measured_specs) for o in observations],
+            target_specs=[dict(o.target_specs) for o in observations],
+        )
+
+    @property
+    def num_envs(self) -> int:
+        return self.node_features.shape[0]
+
+    @property
+    def num_nodes(self) -> int:
+        return self.node_features.shape[1]
+
+    @property
+    def num_parameters(self) -> int:
+        return self.normalized_parameters.shape[1]
+
+    def __len__(self) -> int:
+        return self.num_envs
+
+    def __getitem__(self, index: int) -> Observation:
+        """Per-environment view (arrays are slices of the stacked storage)."""
+        return Observation(
+            node_features=self.node_features[index],
+            static_node_features=self.static_node_features[index],
+            adjacency=self.adjacency,
+            spec_features=self.spec_features[index],
+            normalized_parameters=self.normalized_parameters[index],
+            measured_specs=self.measured_specs[index],
+            target_specs=self.target_specs[index],
+        )
+
+    def flat_matrix(self) -> np.ndarray:
+        """Stacked Baseline A inputs, shape ``(N, 3 * num_specs + M)``."""
+        return np.concatenate([self.spec_features, self.normalized_parameters], axis=-1)

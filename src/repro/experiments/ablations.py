@@ -20,7 +20,7 @@ deployment batch, yielding the rows of the ablation bench.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -75,7 +75,9 @@ def run_policy_ablation(
     scale = scale or bench_scale()
     hyper = rl_hyperparameters(circuit)
     episodes = total_episodes or (
-        scale.opamp_training_episodes if circuit == "two_stage_opamp" else scale.rf_pa_training_episodes
+        scale.opamp_training_episodes
+        if circuit == "two_stage_opamp"
+        else scale.rf_pa_training_episodes
     )
     results: List[AblationResult] = []
     for variant in variants:

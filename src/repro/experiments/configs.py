@@ -19,7 +19,7 @@ The per-circuit RL hyper-parameters (episode lengths, PPO settings) live in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Tuple
 
 from repro.agents.ppo import PPOConfig

@@ -79,7 +79,9 @@ DEPLOYMENT_ENV_IDS = {circuit: ids["fine"] for circuit, ids in CIRCUIT_ENV_IDS.i
 
 def _deployment_env(circuit: str, seed: Optional[int] = None) -> CircuitDesignEnv:
     if circuit not in DEPLOYMENT_ENV_IDS:
-        raise ValueError(f"unknown circuit '{circuit}', expected one of {sorted(DEPLOYMENT_ENV_IDS)}")
+        raise ValueError(
+            f"unknown circuit '{circuit}', expected one of {sorted(DEPLOYMENT_ENV_IDS)}"
+        )
     return make_env(DEPLOYMENT_ENV_IDS[circuit], seed=seed)
 
 

@@ -135,7 +135,9 @@ def evaluate_optimizer_accuracy(
         optimizer = _api_make_optimizer(method)
         result = optimizer.optimize(env, seed=seed + index, target_specs=target)
         runs.append(
-            OptimizationCurve(method=method, circuit=circuit, target_specs=dict(target), result=result)
+            OptimizationCurve(
+                method=method, circuit=circuit, target_specs=dict(target), result=result
+            )
         )
     accuracy = float(np.mean([run.success for run in runs]))
     mean_simulations = float(np.mean([run.num_simulations for run in runs]))

@@ -10,12 +10,12 @@ the FoM directly.  The paper reports final FoM values of 3.25 (GAT-FC),
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
 from repro.agents.policy import ActorCriticPolicy
-from repro.agents.ppo import PPOConfig, PPOTrainer, TrainingHistory
+from repro.agents.ppo import PPOTrainer, TrainingHistory
 from repro.api.catalog import make_env, make_optimizer, make_policy
 from repro.env.reward import FomReward
 from repro.experiments.configs import ExperimentScale, RL_METHODS, bench_scale, rl_hyperparameters
@@ -32,7 +32,9 @@ class FomTrainingResult:
     final_specs: Dict[str, float]
 
 
-def _best_fom_from_policy(policy: ActorCriticPolicy, seed: int = 0, episodes: int = 3) -> tuple[float, Dict[str, float]]:
+def _best_fom_from_policy(
+    policy: ActorCriticPolicy, seed: int = 0, episodes: int = 3
+) -> tuple[float, Dict[str, float]]:
     """Greedy roll-outs on the fine FoM environment; return the best FoM seen."""
     env = make_env("rf_pa-fom-v0", seed=seed)
     reward_fn: FomReward = env.reward_fn  # type: ignore[assignment]
@@ -88,7 +90,9 @@ class FomOptimizerResult:
     curve: np.ndarray
 
 
-def run_fom_optimizer(method: str, seed: int = 0, budget: Optional[int] = None) -> FomOptimizerResult:
+def run_fom_optimizer(
+    method: str, seed: int = 0, budget: Optional[int] = None
+) -> FomOptimizerResult:
     """Maximize the PA figure of merit with GA or BO on the fine simulator."""
     env = make_env("rf_pa-fom-v0", seed=seed)
     optimizer = make_optimizer(method)

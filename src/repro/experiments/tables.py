@@ -52,12 +52,14 @@ def format_table1(table: Optional[Dict[str, Dict[str, object]]] = None) -> str:
         lines.append("  design space:")
         for name, bounds in summary["parameters"].items():
             lines.append(
-                f"    {name:<12s} [{bounds['min']:.3g}, {bounds['max']:.3g}] step {bounds['step']:.3g}"
+                f"    {name:<12s} [{bounds['min']:.3g}, {bounds['max']:.3g}] "
+                f"step {bounds['step']:.3g}"
             )
         lines.append("  specification sampling space:")
         for name, bounds in summary["specifications"].items():
             lines.append(
-                f"    {name:<14s} [{bounds['min']:.3g}, {bounds['max']:.3g}] ({bounds['objective']})"
+                f"    {name:<14s} [{bounds['min']:.3g}, {bounds['max']:.3g}] "
+                f"({bounds['objective']})"
             )
     return "\n".join(lines)
 

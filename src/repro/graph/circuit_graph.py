@@ -10,15 +10,16 @@ adjacency matrix and recomputes features on demand.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 import networkx as nx
 import numpy as np
 
-from repro.circuits.devices import Device, DeviceType
+from repro.circuits.devices import DeviceType
 from repro.circuits.netlist import Netlist
 from repro.graph.features import (
     device_feature_vector,
+    dynamic_parameter_reads,
     feature_dimension,
     static_feature_vector,
 )
@@ -53,6 +54,38 @@ class CircuitGraph:
             raise ValueError("circuit graph needs at least two nodes")
         self._index: Dict[str, int] = {name: i for i, name in enumerate(self._node_names)}
         self._adjacency = self._build_adjacency()
+        self._compile_feature_reads()
+
+    def _compile_feature_reads(self) -> None:
+        """Pre-compile the dynamic node-feature assembly.
+
+        The one-hot type block of every node feature is constant, and the
+        dynamic block is a fixed set of ``parameter dict -> (row, column)``
+        reads with fixed scales.  Compiling that plan once turns
+        :meth:`node_feature_matrix` from a per-device Python loop into one
+        gather + one vectorized multiply per step (bitwise-identical values:
+        the same float64 ``value * scale`` products land in the same slots).
+        """
+        one_hot_width = feature_dimension() - 2  # PARAMETER_SLOTS trailing columns
+        base = np.zeros((len(self._node_names), feature_dimension()))
+        rows: List[int] = []
+        cols: List[int] = []
+        scales: List[float] = []
+        reads: List[tuple] = []  # (parameters dict, key) pairs, dicts are stable
+        for row, name in enumerate(self._node_names):
+            device = self._netlist.device(name)
+            base[row] = device_feature_vector(device)
+            base[row, one_hot_width:] = 0.0
+            for key, scale, slot in dynamic_parameter_reads(device):
+                rows.append(row)
+                cols.append(one_hot_width + slot)
+                scales.append(scale)
+                reads.append((device.parameters, key))
+        self._base_features = base
+        self._feature_rows = np.array(rows, dtype=np.intp)
+        self._feature_cols = np.array(cols, dtype=np.intp)
+        self._feature_scales = np.array(scales)
+        self._feature_reads = reads
 
     # ------------------------------------------------------------------
     # Construction
@@ -123,11 +156,18 @@ class CircuitGraph:
     # ------------------------------------------------------------------
     def node_feature_matrix(self) -> np.ndarray:
         """Dynamic ``(n, d)`` node features from the *current* netlist state."""
-        return np.stack(
-            [device_feature_vector(self._netlist.device(name)) for name in self._node_names]
+        matrix = self._base_features.copy()
+        values = np.fromiter(
+            (parameters[key] for parameters, key in self._feature_reads),
+            dtype=np.float64,
+            count=len(self._feature_reads),
         )
+        matrix[self._feature_rows, self._feature_cols] = values * self._feature_scales
+        return matrix
 
-    def static_feature_matrix(self, technology_constants: Optional[Dict[str, float]] = None) -> np.ndarray:
+    def static_feature_matrix(
+        self, technology_constants: Optional[Dict[str, float]] = None
+    ) -> np.ndarray:
         """Baseline B style static features (no device parameters)."""
         constants = technology_constants or {}
         return np.stack(

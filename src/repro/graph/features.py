@@ -17,7 +17,7 @@ Baseline B which only sees static technology constants).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List
 
 import numpy as np
 
@@ -48,18 +48,32 @@ def node_type_one_hot(dtype: DeviceType) -> np.ndarray:
     return encoding
 
 
+def dynamic_parameter_reads(device: Device) -> List[tuple]:
+    """The ``(parameter key, scale, slot)`` triples encoded for one device.
+
+    Single source of truth for which device parameters enter the dynamic
+    node features: :func:`device_parameter_vector` consumes it per device,
+    and :class:`repro.graph.circuit_graph.CircuitGraph` pre-compiles the
+    triples of a whole netlist into one vectorized gather per step.
+    """
+    if device.dtype.is_transistor:
+        return [
+            ("width", PARAMETER_SCALES["width"], 0),
+            ("fingers", PARAMETER_SCALES["fingers"], 1),
+        ]
+    if device.dtype.is_passive:
+        return [("value", PARAMETER_SCALES["value"], 0)]
+    if device.dtype is DeviceType.CURRENT_SOURCE:
+        return [("current", PARAMETER_SCALES["current"], 0)]
+    # supply, ground, bias
+    return [("voltage", PARAMETER_SCALES["voltage"], 0)]
+
+
 def device_parameter_vector(device: Device) -> np.ndarray:
     """Scaled, zero-padded parameter vector ``p`` of one device."""
     vector = np.zeros(PARAMETER_SLOTS)
-    if device.dtype.is_transistor:
-        vector[0] = device.get_parameter("width") * PARAMETER_SCALES["width"]
-        vector[1] = device.get_parameter("fingers") * PARAMETER_SCALES["fingers"]
-    elif device.dtype.is_passive:
-        vector[0] = device.get_parameter("value") * PARAMETER_SCALES["value"]
-    elif device.dtype is DeviceType.CURRENT_SOURCE:
-        vector[0] = device.get_parameter("current") * PARAMETER_SCALES["current"]
-    else:  # supply, ground, bias
-        vector[0] = device.get_parameter("voltage") * PARAMETER_SCALES["voltage"]
+    for key, scale, slot in dynamic_parameter_reads(device):
+        vector[slot] = device.get_parameter(key) * scale
     return vector
 
 

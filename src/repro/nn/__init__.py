@@ -8,7 +8,13 @@ multi-head attention, Adam, categorical action distributions).
 
 from repro.nn.distributions import Categorical, MultiCategorical
 from repro.nn.functional import explained_variance, huber_loss, mse_loss
-from repro.nn.graph_layers import GATLayer, GCNLayer, GraphEncoder, GraphReadout, normalized_adjacency
+from repro.nn.graph_layers import (
+    GATLayer,
+    GCNLayer,
+    GraphEncoder,
+    GraphReadout,
+    normalized_adjacency,
+)
 from repro.nn.initializers import get_initializer, he_normal, orthogonal, xavier_uniform, zeros
 from repro.nn.layers import MLP, Linear, Sequential, get_activation
 from repro.nn.module import Module

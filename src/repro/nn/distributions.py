@@ -11,8 +11,6 @@ quantities PPO needs (Eq. 3).
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 
 from repro.nn.tensor import Tensor
@@ -79,9 +77,9 @@ class MultiCategorical:
         probs = self.probs
         cumulative = probs.cumsum(axis=1)
         draws = rng.random(size=(self.num_parameters, 1))
-        return (draws > cumulative[:, :-1]).sum(axis=1).astype(np.int64) if self.num_choices > 1 else np.zeros(
-            self.num_parameters, dtype=np.int64
-        )
+        if self.num_choices <= 1:
+            return np.zeros(self.num_parameters, dtype=np.int64)
+        return (draws > cumulative[:, :-1]).sum(axis=1).astype(np.int64)
 
     def mode(self) -> np.ndarray:
         """Greedy (most likely) choice per parameter."""
@@ -110,3 +108,73 @@ class MultiCategorical:
         log_p = self._log_probs.data
         log_q = other._log_probs.data
         return float((p * (log_p - log_q)).sum())
+
+
+class BatchedMultiCategorical:
+    """A batch of :class:`MultiCategorical` distributions, one per environment.
+
+    Wraps ``(B, M, K)`` logits — the output of the policy's batched forward
+    pass over a :class:`~repro.env.spaces.BatchedObservation` — and performs
+    sampling, log-probabilities and entropies for the whole batch with single
+    array operations, instead of one Python-level distribution per
+    environment.
+    """
+
+    def __init__(self, logits: Tensor) -> None:
+        if logits.ndim != 3:
+            raise ValueError(
+                f"BatchedMultiCategorical expects (B, M, K) logits, got shape {logits.shape}"
+            )
+        self.logits = logits
+        self._log_probs = logits.log_softmax(axis=-1)
+
+    @property
+    def batch_size(self) -> int:
+        return self.logits.shape[0]
+
+    @property
+    def num_parameters(self) -> int:
+        return self.logits.shape[1]
+
+    @property
+    def num_choices(self) -> int:
+        return self.logits.shape[2]
+
+    @property
+    def probs(self) -> np.ndarray:
+        """Row-stochastic ``(B, M, K)`` probability tensor (detached)."""
+        return np.exp(self._log_probs.data)
+
+    def __getitem__(self, index: int) -> MultiCategorical:
+        """Per-environment distribution (shares the batched graph's logits)."""
+        return MultiCategorical(self.logits[index])
+
+    def sample(self, rng: np.random.Generator) -> np.ndarray:
+        """One ``(B, M)`` action matrix via inverse-CDF sampling."""
+        probs = self.probs
+        cumulative = probs.cumsum(axis=-1)
+        draws = rng.random(size=(self.batch_size, self.num_parameters, 1))
+        if self.num_choices <= 1:
+            return np.zeros((self.batch_size, self.num_parameters), dtype=np.int64)
+        return (draws > cumulative[..., :-1]).sum(axis=-1).astype(np.int64)
+
+    def mode(self) -> np.ndarray:
+        """Greedy ``(B, M)`` action matrix."""
+        return np.argmax(self.probs, axis=-1).astype(np.int64)
+
+    def log_prob(self, actions: np.ndarray) -> Tensor:
+        """Per-environment joint log-probabilities, shape ``(B,)``."""
+        actions = np.asarray(actions, dtype=np.int64)
+        expected = (self.batch_size, self.num_parameters)
+        if actions.shape != expected:
+            raise ValueError(f"actions must have shape {expected}, got {actions.shape}")
+        if np.any(actions < 0) or np.any(actions >= self.num_choices):
+            raise ValueError("action index out of range")
+        batch_index = np.arange(self.batch_size)[:, None]
+        param_index = np.arange(self.num_parameters)[None, :]
+        return self._log_probs[batch_index, param_index, actions].sum(axis=-1)
+
+    def entropy(self) -> Tensor:
+        """Per-environment total entropies, shape ``(B,)``."""
+        probs = Tensor(self.probs)
+        return -(probs * self._log_probs).sum(axis=(-2, -1))

@@ -143,11 +143,11 @@ class GATLayer(Module):
             self.attn_dst.append(attn_dst)
 
     def _head_forward(self, node_features: Tensor, mask: np.ndarray, head: int) -> Tensor:
-        transformed = node_features @ self.head_weights[head]  # (n, d)
-        # e_ij = LeakyReLU(a_src . h_i + a_dst . h_j), dense (n, n) matrix.
-        src_scores = transformed @ self.attn_src[head]  # (n, 1)
-        dst_scores = transformed @ self.attn_dst[head]  # (n, 1)
-        scores = (src_scores + dst_scores.T).leaky_relu(self.negative_slope)
+        transformed = node_features @ self.head_weights[head]  # (..., n, d)
+        # e_ij = LeakyReLU(a_src . h_i + a_dst . h_j), dense (..., n, n) matrix.
+        src_scores = transformed @ self.attn_src[head]  # (..., n, 1)
+        dst_scores = transformed @ self.attn_dst[head]  # (..., n, 1)
+        scores = (src_scores + dst_scores.swapaxes(-1, -2)).leaky_relu(self.negative_slope)
         # Mask non-edges with a large negative constant before the softmax.
         neg_inf = Tensor(np.full(mask.shape, -1e9))
         masked = scores * Tensor(mask) + neg_inf * Tensor(1.0 - mask)
@@ -194,6 +194,16 @@ class GraphReadout(Module):
         self.mode = mode
 
     def forward(self, node_embeddings: Tensor) -> Tensor:
+        """Pool ``(n, f)`` into ``(1, n_out)`` or batched ``(B, n, f)`` into ``(B, n_out)``."""
+        if node_embeddings.ndim == 3:
+            batch = node_embeddings.shape[0]
+            if self.mode == "mean":
+                return node_embeddings.mean(axis=1)
+            if self.mode == "sum":
+                return node_embeddings.sum(axis=1)
+            if self.mode == "max":
+                return node_embeddings.max(axis=1)
+            return node_embeddings.reshape(batch, -1)
         if self.mode == "mean":
             pooled = node_embeddings.mean(axis=0, keepdims=True)
         elif self.mode == "sum":
@@ -242,6 +252,13 @@ class GraphEncoder(Module):
         self.kind = kind
         self.layer_sizes = tuple(int(s) for s in layer_sizes)
         self.num_nodes = num_nodes
+        # One-entry operator cache: policies are driven by one environment
+        # whose adjacency array is a stable object, so re-deriving the
+        # normalized operator (GCN) every forward is pure overhead.  The
+        # source reference is held strongly, which also guards against a
+        # recycled ``id``.
+        self._operator_source: Optional[np.ndarray] = None
+        self._operator: Optional[np.ndarray] = None
         self.layers: list[Module] = []
         for index, (fan_in, fan_out) in enumerate(zip(self.layer_sizes[:-1], self.layer_sizes[1:])):
             if kind == "gcn":
@@ -263,13 +280,19 @@ class GraphEncoder(Module):
         """Return a ``(1, out_features)`` graph embedding.
 
         ``adjacency`` is the raw symmetric adjacency matrix; normalization
-        (GCN) or masking (GAT) is handled internally.
+        (GCN) or masking (GAT) is handled internally.  A batched
+        ``(B, n, features)`` input produces a ``(B, out_features)`` embedding
+        — the topology (one adjacency) is shared across the batch, which is
+        exactly the :class:`~repro.parallel.VectorCircuitEnv` situation.
         """
-        if self.kind == "gcn":
-            operator = normalized_adjacency(adjacency)
-        else:
-            operator = np.asarray(adjacency, dtype=np.float64)
+        if self._operator_source is not adjacency or self._operator is None:
+            if self.kind == "gcn":
+                operator = normalized_adjacency(adjacency)
+            else:
+                operator = np.asarray(adjacency, dtype=np.float64)
+            self._operator_source = adjacency if isinstance(adjacency, np.ndarray) else None
+            self._operator = operator
         hidden = node_features
         for layer in self.layers:
-            hidden = layer(hidden, operator)
+            hidden = layer(hidden, self._operator)
         return self.readout(hidden)

@@ -13,7 +13,9 @@ import numpy as np
 from repro.nn.tensor import Tensor
 
 
-def xavier_uniform(fan_in: int, fan_out: int, rng: np.random.Generator, gain: float = 1.0) -> Tensor:
+def xavier_uniform(
+    fan_in: int, fan_out: int, rng: np.random.Generator, gain: float = 1.0
+) -> Tensor:
     """Glorot/Xavier uniform initialization for a ``(fan_in, fan_out)`` matrix."""
     limit = gain * np.sqrt(6.0 / (fan_in + fan_out))
     data = rng.uniform(-limit, limit, size=(fan_in, fan_out))

@@ -72,7 +72,8 @@ class Module:
             unexpected = set(state) - set(own)
             if missing or unexpected:
                 raise KeyError(
-                    f"state_dict mismatch: missing={sorted(missing)}, unexpected={sorted(unexpected)}"
+                    f"state_dict mismatch: missing={sorted(missing)}, "
+                    f"unexpected={sorted(unexpected)}"
                 )
         for name, param in own.items():
             if name not in state:

@@ -53,7 +53,9 @@ def clip_grad_norm(parameters: Iterable[Tensor], max_norm: float) -> float:
 class SGD(Optimizer):
     """Stochastic gradient descent with optional classical momentum."""
 
-    def __init__(self, parameters: Iterable[Tensor], lr: float = 1e-2, momentum: float = 0.0) -> None:
+    def __init__(
+        self, parameters: Iterable[Tensor], lr: float = 1e-2, momentum: float = 0.0
+    ) -> None:
         super().__init__(parameters)
         if lr <= 0:
             raise ValueError("learning rate must be positive")

@@ -225,17 +225,30 @@ class Tensor:
         out_data = self.data @ other.data
 
         def backward(grad: np.ndarray) -> None:
+            # Transpose only the matrix axes so batched (stacked) matmuls
+            # back-propagate correctly; leading broadcast axes are summed
+            # away by _accumulate/_unbroadcast.  1-D operands keep the plain
+            # 2-D formulas (``.T`` is a no-op for them, matching numpy's
+            # vector matmul semantics as used in this codebase).
             if self.requires_grad:
-                self._accumulate(grad @ other.data.T)
+                if other.data.ndim >= 2:
+                    self._accumulate(grad @ np.swapaxes(other.data, -1, -2))
+                else:
+                    self._accumulate(grad @ other.data.T)
             if other.requires_grad:
-                other._accumulate(self.data.T @ grad)
+                if self.data.ndim >= 2:
+                    other._accumulate(np.swapaxes(self.data, -1, -2) @ grad)
+                else:
+                    other._accumulate(self.data.T @ grad)
 
         return self._make_result(out_data, (self, other), backward)
 
     # ------------------------------------------------------------------
     # Reductions and shape ops
     # ------------------------------------------------------------------
-    def sum(self, axis: Optional[Union[int, tuple[int, ...]]] = None, keepdims: bool = False) -> "Tensor":
+    def sum(
+        self, axis: Optional[Union[int, tuple[int, ...]]] = None, keepdims: bool = False
+    ) -> "Tensor":
         out_data = self.data.sum(axis=axis, keepdims=keepdims)
 
         def backward(grad: np.ndarray) -> None:
@@ -250,7 +263,9 @@ class Tensor:
 
         return self._make_result(out_data, (self,), backward)
 
-    def mean(self, axis: Optional[Union[int, tuple[int, ...]]] = None, keepdims: bool = False) -> "Tensor":
+    def mean(
+        self, axis: Optional[Union[int, tuple[int, ...]]] = None, keepdims: bool = False
+    ) -> "Tensor":
         if axis is None:
             count = self.data.size
         elif isinstance(axis, int):
@@ -281,6 +296,15 @@ class Tensor:
     @property
     def T(self) -> "Tensor":
         return self.transpose()
+
+    def swapaxes(self, axis1: int, axis2: int) -> "Tensor":
+        """Exchange two axes (the batch-safe generalization of ``.T``)."""
+        out_data = np.swapaxes(self.data, axis1, axis2)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(np.swapaxes(grad, axis1, axis2))
+
+        return self._make_result(out_data, (self,), backward)
 
     def __getitem__(self, index) -> "Tensor":
         out_data = self.data[index]

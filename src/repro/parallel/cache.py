@@ -1,0 +1,152 @@
+"""Memoizing simulator wrapper keyed on quantized parameter vectors.
+
+Every optimizer in this codebase — PPO rollouts, the GA/BO/RS baselines, the
+supervised sizer's dataset generation, deployment batches — spends its inner
+loop asking a :class:`~repro.simulation.base.CircuitSimulator` the same
+question for *recurring* parameter vectors: population elites are re-scored
+each generation, every vector-env reset starts from the shared center sizing,
+and search methods revisit grid points.  All simulators in this project are
+deterministic functions of the netlist's device parameters, so those repeats
+are pure waste.
+
+:class:`SimulationCache` wraps any simulator behind the same ``simulate``
+protocol and memoizes results in an LRU table keyed on the netlist's
+parameter snapshot, quantized to a fixed number of significant digits so that
+float noise below simulator resolution (e.g. ``1e-6`` vs ``1.0000000000001e-6``
+from two different arithmetic paths) maps to the same entry.  Parameters that
+the design space snaps onto a discrete grid are exactly representable well
+above the default 12-digit quantization, so distinct design points never
+collide.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuits.netlist import Netlist
+from repro.simulation.base import CircuitSimulator, SimulationResult
+
+#: Default maximum number of memoized simulation results.
+DEFAULT_CACHE_SIZE = 4096
+
+#: Default number of significant digits used to quantize cache keys.
+DEFAULT_KEY_DIGITS = 12
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters of one :class:`SimulationCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+def quantize_significant(values: np.ndarray, digits: int) -> np.ndarray:
+    """Round each entry to ``digits`` significant (not decimal) digits."""
+    values = np.asarray(values, dtype=np.float64)
+    nonzero = values != 0.0
+    exponents = np.zeros(values.shape)
+    np.floor(np.log10(np.abs(values, where=nonzero, out=np.ones_like(values))),
+             where=nonzero, out=exponents)
+    scale = np.power(10.0, digits - 1 - exponents)
+    return np.where(nonzero, np.round(values * scale) / scale, 0.0)
+
+
+class SimulationCache:
+    """LRU-memoizing :class:`CircuitSimulator` wrapper.
+
+    Parameters
+    ----------
+    simulator:
+        The simulator to wrap.  Must be deterministic: identical device
+        parameters must produce identical results (true for every simulator
+        in :mod:`repro.simulation`).
+    max_entries:
+        Capacity of the LRU table; the least-recently-used entry is evicted
+        once it is exceeded.
+    key_digits:
+        Significant digits used when quantizing parameter values into the
+        cache key.
+
+    The wrapper satisfies the :class:`CircuitSimulator` protocol, so it can
+    stand in anywhere a simulator is expected — a whole
+    :class:`~repro.parallel.vector_env.VectorCircuitEnv` shares one instance
+    across its sub-environments.
+    """
+
+    def __init__(
+        self,
+        simulator: CircuitSimulator,
+        max_entries: int = DEFAULT_CACHE_SIZE,
+        key_digits: int = DEFAULT_KEY_DIGITS,
+    ) -> None:
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        if key_digits <= 0:
+            raise ValueError("key_digits must be positive")
+        self.simulator = simulator
+        self.max_entries = int(max_entries)
+        self.key_digits = int(key_digits)
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[bytes, SimulationResult]" = OrderedDict()
+
+    # ------------------------------------------------------------------
+    # CircuitSimulator protocol
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return f"cached({self.simulator.name})"
+
+    def simulate(self, netlist: Netlist) -> SimulationResult:
+        """Evaluate the netlist, serving repeats from the LRU table."""
+        key = self._key(netlist)
+        cached = self._entries.get(key)
+        if cached is not None:
+            self.stats.hits += 1
+            self._entries.move_to_end(key)
+            return self._copy(cached)
+        self.stats.misses += 1
+        result = self.simulator.simulate(netlist)
+        self._entries[key] = self._copy(result)
+        if len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        return result
+
+    # ------------------------------------------------------------------
+    # Cache management
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        """Drop all memoized entries (the stats counters are kept)."""
+        self._entries.clear()
+
+    def _key(self, netlist: Netlist) -> bytes:
+        # Device parameters in netlist insertion order fully determine a
+        # deterministic simulator's output; the order is fixed per topology,
+        # so the quantized value array (plus the circuit name) is the key.
+        values = netlist.parameter_array()
+        return netlist.name.encode() + quantize_significant(values, self.key_digits).tobytes()
+
+    @staticmethod
+    def _copy(result: SimulationResult) -> SimulationResult:
+        # Environments and baselines mutate/keep the spec dicts they receive;
+        # fresh copies keep the memoized entry immutable.
+        return SimulationResult(
+            specs=dict(result.specs), details=dict(result.details), valid=result.valid
+        )

@@ -19,7 +19,7 @@ closed-form circuit theory results.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -294,7 +294,9 @@ class MnaCircuit:
             for r in self._resistors:
                 stamp_conductance(r.n1, r.n2, 1.0 / r.value)
             for g in self._vccs:
-                self._stamp_vccs(matrix, node_idx, g.out_plus, g.out_minus, g.in_plus, g.in_minus, g.gm)
+                self._stamp_vccs(
+                    matrix, node_idx, g.out_plus, g.out_minus, g.in_plus, g.in_minus, g.gm
+                )
             for src in self._isources:
                 stamp_current(src.n_plus, src.n_minus, src.dc)
 

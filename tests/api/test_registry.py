@@ -26,7 +26,9 @@ class TestCatalogRoundTrips:
             assert isinstance(policy, ActorCriticPolicy)
 
     def test_every_listed_optimizer_constructs(self):
-        assert set(repro.list_optimizers()) == {"ppo", "genetic", "bayesian", "random", "supervised"}
+        assert set(repro.list_optimizers()) == {
+            "ppo", "genetic", "bayesian", "random", "supervised",
+        }
         for optimizer_id in repro.list_optimizers():
             optimizer = repro.make_optimizer(optimizer_id)
             assert isinstance(optimizer, Optimizer)

@@ -7,7 +7,6 @@ import json
 import numpy as np
 import pytest
 
-import repro
 from repro.api import EnvConfig, OptimizerConfig, RunConfig, UnknownComponentError
 
 

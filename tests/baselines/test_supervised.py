@@ -45,7 +45,9 @@ class TestTraining:
 class TestOneShotDesign:
     def test_design_returns_in_space_parameters(self, sizer, opamp_benchmark):
         sizer.fit()
-        result = sizer.design({"gain": 400.0, "bandwidth": 1e7, "phase_margin": 57.0, "power": 2e-3})
+        result = sizer.design(
+            {"gain": 400.0, "bandwidth": 1e7, "phase_margin": 57.0, "power": 2e-3}
+        )
         space = opamp_benchmark.design_space
         assert np.all(result.parameters >= space.lower_bounds - 1e-12)
         assert np.all(result.parameters <= space.upper_bounds + 1e-12)

@@ -19,7 +19,9 @@ def width_parameter() -> DesignParameter:
 
 @pytest.fixture
 def finger_parameter() -> DesignParameter:
-    return DesignParameter("M1.fingers", "M1", "fingers", minimum=2, maximum=32, step=1, integer=True)
+    return DesignParameter(
+        "M1.fingers", "M1", "fingers", minimum=2, maximum=32, step=1, integer=True
+    )
 
 
 @pytest.fixture

@@ -8,7 +8,6 @@ import pytest
 from repro import make_env
 from repro.env import GOAL_BONUS
 from repro.env.circuit_env import CircuitDesignEnv
-from repro.env.reward import P2SReward
 
 
 class TestReset:
@@ -70,7 +69,9 @@ class TestStep:
 
     def test_episode_terminates_at_max_steps(self):
         env = make_env("opamp-p2s-v0", seed=0, max_steps=5)
-        env.reset(target_specs={"gain": 1e9, "bandwidth": 1e12, "phase_margin": 90.0, "power": 1e-12})
+        env.reset(
+            target_specs={"gain": 1e9, "bandwidth": 1e12, "phase_margin": 90.0, "power": 1e-12}
+        )
         done = False
         steps = 0
         while not done:

@@ -59,7 +59,8 @@ class TestObservationConstruction:
             processor.num_graph_nodes, processor.num_graph_nodes
         )
         assert observation.normalized_parameters.shape == (len(opamp_benchmark.design_space),)
-        assert np.all((observation.normalized_parameters >= 0) & (observation.normalized_parameters <= 1))
+        normalized = observation.normalized_parameters
+        assert np.all((normalized >= 0) & (normalized <= 1))
         assert observation.measured_specs == measured
         assert observation.target_specs == targets
 

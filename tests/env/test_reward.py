@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -51,7 +50,9 @@ class TestP2SReward:
 
     def test_invalid_simulation_penalty(self, spec_space):
         reward = P2SReward(spec_space)
-        outcome = reward({"gain": 450.0, "power": 1e-3}, {"gain": 400.0, "power": 5e-3}, valid=False)
+        outcome = reward(
+            {"gain": 450.0, "power": 1e-3}, {"gain": 400.0, "power": 5e-3}, valid=False
+        )
         assert outcome.reward == -len(spec_space)
         assert not outcome.goal_reached
 
@@ -72,7 +73,8 @@ class TestFomReward:
     def test_figure_of_merit_definition(self, spec_space):
         reward = FomReward(spec_space)
         # FoM = P + 3 E (paper, Sec. 4).
-        assert reward.figure_of_merit({"output_power": 2.5, "efficiency": 0.6}) == pytest.approx(4.3)
+        fom = reward.figure_of_merit({"output_power": 2.5, "efficiency": 0.6})
+        assert fom == pytest.approx(4.3)
 
     def test_reward_zero_at_references(self, spec_space):
         reward = FomReward(spec_space, power_reference=2.5, efficiency_reference=0.55)

@@ -26,6 +26,10 @@ EXAMPLE_ARGS = {
     "opamp_design.py": ["--episodes", "4", "--eval-targets", "2"],
     "rf_pa_design.py": ["--episodes", "4", "--eval-targets", "2", "--fidelity-samples", "6"],
     "fom_optimization.py": ["--episodes", "4", "--ga-budget", "12", "--bo-budget", "8"],
+    "parallel_optimization.py": [
+        "--num-envs", "4", "--episodes", "4", "--search-budget", "12",
+        "--sl-samples", "40", "--sl-epochs", "2",
+    ],
 }
 
 

@@ -5,7 +5,6 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.circuits import build_rf_pa, build_two_stage_opamp
 from repro.circuits.devices import DeviceType
 from repro.graph import (
     CircuitGraph,

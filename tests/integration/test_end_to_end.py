@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro import make_env, make_policy
 from repro.agents import PPOConfig, PPOTrainer, evaluate_deployment

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.baselines.base import SizingProblem
@@ -23,7 +22,9 @@ class TestOptimizerSimulationBudgets:
     def test_ga_uses_more_simulations_than_bo(self, moderate_target):
         benchmark = build_two_stage_opamp()
         ga_problem = SizingProblem(benchmark, OpAmpSimulator(), targets=moderate_target)
-        ga = GeneticAlgorithm(GeneticAlgorithmConfig(population_size=16, num_generations=25), seed=0)
+        ga = GeneticAlgorithm(
+            GeneticAlgorithmConfig(population_size=16, num_generations=25), seed=0
+        )
         ga_result = ga.optimize(ga_problem)
 
         bo_problem = SizingProblem(benchmark, OpAmpSimulator(), targets=moderate_target)

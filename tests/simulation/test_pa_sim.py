@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.circuits import build_rf_pa
-from repro.simulation.pa_sim import RfPaCoarseSimulator, RfPaFineSimulator
+from repro.simulation.pa_sim import RfPaCoarseSimulator
 
 
 def sized_netlist(overrides=None):
@@ -98,7 +98,8 @@ class TestFineSimulator:
 
     def test_deterministic(self, pa_fine_simulator):
         netlist = sized_netlist()
-        assert pa_fine_simulator.simulate(netlist).specs == pa_fine_simulator.simulate(netlist).specs
+        first = pa_fine_simulator.simulate(netlist).specs
+        assert first == pa_fine_simulator.simulate(netlist).specs
 
 
 class TestCoarseSimulator:
@@ -114,7 +115,8 @@ class TestCoarseSimulator:
         for width in (20e-6, 47e-6, 83e-6):
             netlist = sized_netlist({("M1", "width"): width})
             factor = pa_coarse_simulator._mismatch_factor(netlist)
-            assert 1.0 - pa_coarse_simulator.mismatch <= factor <= 1.0 + pa_coarse_simulator.mismatch
+            mismatch = pa_coarse_simulator.mismatch
+            assert 1.0 - mismatch <= factor <= 1.0 + mismatch
 
     def test_coarse_tracks_fine_on_average(self, pa_coarse_simulator, pa_fine_simulator,
                                             rf_pa_benchmark, rng):
