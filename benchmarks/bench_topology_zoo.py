@@ -1,0 +1,100 @@
+"""Topology zoo: per-topology episode throughput, cached vs uncached.
+
+Every zoo circuit rides the same environment/simulator stack, so its inner
+loop — one simulation plus bookkeeping per step — should run at the same
+order of throughput as the original benchmarks, and the shared
+:class:`repro.parallel.SimulationCache` should serve repeated design points
+(shared center resets, revisited grid points) without re-simulating.  This
+bench records, per topology, raw random-walk episode throughput without a
+cache and with one, plus the cache hit-rate, so the benchmark JSON artifact
+tracks every workload from the day it registers.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+import repro
+
+#: Every P2S workload: the paper's op-amp plus the three zoo circuits.
+ZOO_ENV_IDS = sorted(
+    env_id for env_id in repro.list_envs() if env_id.endswith("-p2s-v0")
+)
+
+#: Episodes per timed measurement (random-action walks, no policy forward, so
+#: the measured quantity is the environment/simulation inner loop itself).
+EPISODES = 20
+
+MAX_STEPS = 12
+
+
+def _episode_throughput(env_id: str, cache_size, seed: int = 0):
+    env = repro.make_env(env_id, seed=seed, max_steps=MAX_STEPS, cache_size=cache_size)
+    rng = np.random.default_rng(seed)
+    steps = 0
+    start = time.perf_counter()
+    for _ in range(EPISODES):
+        env.reset()
+        done = False
+        while not done:
+            _, _, done, _ = env.step(env.action_space.sample(rng))
+            steps += 1
+    elapsed = time.perf_counter() - start
+    stats = env.simulator.stats if cache_size is not None else None
+    return steps / elapsed, stats
+
+
+@pytest.mark.parametrize("env_id", ZOO_ENV_IDS)
+def test_topology_episode_throughput(benchmark, env_id):
+    """Uncached vs cached episode stepping for one zoo workload."""
+
+    def run():
+        uncached, _ = _episode_throughput(env_id, cache_size=None)
+        cached, stats = _episode_throughput(env_id, cache_size=1024)
+        return uncached, cached, stats
+
+    uncached, cached, stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        {
+            "env_id": env_id,
+            "episodes": EPISODES,
+            "max_steps": MAX_STEPS,
+            "uncached_steps_per_s": round(uncached, 1),
+            "cached_steps_per_s": round(cached, 1),
+            "cache_hit_rate": round(stats.hit_rate, 4),
+            "cache_hits": stats.hits,
+            "cache_misses": stats.misses,
+        }
+    )
+    # Random walks revisit the shared center reset plus retraced grid points;
+    # the cache must serve a visible fraction of lookups and must never make
+    # the loop pathologically slower (hit cost ≪ one analytic simulation).
+    assert stats.hits > 0
+    assert cached >= 0.5 * uncached
+
+
+def test_zoo_simulators_stay_fast(benchmark):
+    """One simulate() call per zoo topology stays in the sub-millisecond
+    regime the RL loop is built around (the 'tens of milliseconds' Spectre
+    substitute of the paper, scaled to this pure-python substrate)."""
+    builders = {
+        env_id: repro.make_env(env_id, seed=0) for env_id in ZOO_ENV_IDS
+    }
+
+    def run():
+        timings = {}
+        for env_id, env in builders.items():
+            netlist = env.benchmark.fresh_netlist()
+            start = time.perf_counter()
+            for _ in range(50):
+                env.simulator.simulate(netlist)
+            timings[env_id] = (time.perf_counter() - start) / 50
+        return timings
+
+    timings = benchmark.pedantic(run, rounds=1, iterations=1)
+    for env_id, seconds in timings.items():
+        benchmark.extra_info[f"{env_id}_simulate_us"] = round(seconds * 1e6, 1)
+        assert seconds < 5e-3, f"{env_id} simulate() too slow: {seconds * 1e3:.2f} ms"

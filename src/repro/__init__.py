@@ -61,11 +61,17 @@ from repro.agents import (
     make_gat_fc_policy,
     make_gcn_fc_policy,
 )
-from repro.circuits import build_rf_pa, build_two_stage_opamp
+from repro.circuits import (
+    build_common_source_lna,
+    build_current_mirror_ota,
+    build_folded_cascode,
+    build_rf_pa,
+    build_two_stage_opamp,
+)
 from repro.env import make_opamp_env, make_rf_pa_env, make_rf_pa_fom_env
 from repro.parallel import SimulationCache, VectorCircuitEnv
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "EnvConfig",
@@ -80,6 +86,9 @@ __all__ = [
     "UnknownComponentError",
     "VectorCircuitEnv",
     "__version__",
+    "build_common_source_lna",
+    "build_current_mirror_ota",
+    "build_folded_cascode",
     "build_rf_pa",
     "build_two_stage_opamp",
     "deploy_policy",

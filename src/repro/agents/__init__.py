@@ -23,6 +23,7 @@ from repro.agents.transfer import (
     TransferLearningResult,
     TransferLearningWorkflow,
     reward_fidelity_report,
+    transfer_policy_parameters,
 )
 
 __all__ = [
@@ -48,4 +49,5 @@ __all__ = [
     "make_gcn_fc_policy",
     "make_policy",
     "reward_fidelity_report",
+    "transfer_policy_parameters",
 ]

@@ -1,4 +1,4 @@
-"""Transfer learning between the coarse and fine RF simulation environments.
+"""Transfer learning: across simulator fidelities and across topologies.
 
 Section 3 ("Transfer Learning") of the paper: harmonic-balance simulation of
 the RF PA is too slow to sit inside the RL training loop, so the agent is
@@ -10,13 +10,19 @@ against the accurate HB simulator.  This module packages that workflow:
   over random designs (the paper's ±10 % claim);
 * :class:`TransferLearningWorkflow` trains a policy on the coarse
   environment, optionally fine-tunes it briefly on the fine environment, and
-  evaluates deployment accuracy on the fine environment.
+  evaluates deployment accuracy on the fine environment;
+* :func:`transfer_policy_parameters` is the *cross-topology* primitive: the
+  GNN branch of the paper's policy operates on per-node features whose
+  dimension is topology-independent, so its weights — the "underlying
+  physics" extractor — carry over between circuits even when the action and
+  specification heads must be re-initialized.  The topology-zoo transfer
+  matrix (:mod:`repro.experiments.transfer_matrix`) is built on it.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional
 
 import numpy as np
 
@@ -25,6 +31,28 @@ from repro.agents.policy import ActorCriticPolicy
 from repro.agents.ppo import PPOConfig, PPOTrainer, TrainingHistory
 from repro.env.circuit_env import CircuitDesignEnv
 from repro.env.reward import P2SReward
+from repro.nn.module import Module
+
+
+def transfer_policy_parameters(source: Module, target: Module) -> List[str]:
+    """Copy every parameter whose dotted name *and* shape match.
+
+    Between two :class:`ActorCriticPolicy` instances built for different
+    circuit topologies this transfers the full GNN branch (its layer shapes
+    depend only on the topology-independent node-feature dimension) and any
+    hidden layers whose widths coincide, while the input-size-dependent
+    layers (spec encoder input, action/value heads) keep their fresh
+    initialization.  Returns the names of the copied parameters, so callers
+    can report how much of the network transferred.
+    """
+    source_state = source.state_dict()
+    copied: List[str] = []
+    for name, parameter in target.named_parameters():
+        value = source_state.get(name)
+        if value is not None and value.shape == parameter.data.shape:
+            parameter.data = value.copy()
+            copied.append(name)
+    return copied
 
 
 @dataclass

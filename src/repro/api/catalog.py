@@ -9,7 +9,12 @@ helpers:
 kind           registered IDs
 =============  =====================================================
 environments   ``opamp-p2s-v0``, ``rf_pa-fine-v0``, ``rf_pa-coarse-v0``,
-               ``rf_pa-fom-v0``, ``rf_pa-fom-coarse-v0``
+               ``rf_pa-fom-v0``, ``rf_pa-fom-coarse-v0``, and the
+               topology zoo: ``folded_cascode-p2s-v0``,
+               ``current_mirror_ota-p2s-v0``,
+               ``common_source_lna-p2s-v0`` (each also as a
+               ``*-random-v0`` variant starting episodes from random
+               grid points)
 policies       ``gcn_fc``, ``gat_fc``, ``baseline_a``, ``baseline_b``
 optimizers     ``ppo``, ``genetic``, ``bayesian``, ``random``,
                ``supervised``
@@ -33,13 +38,19 @@ from typing import Any, Callable, Dict, List, Optional, Union
 import numpy as np
 
 from repro.api.registry import Registry
+from repro.circuits.library.common_source_lna import build_common_source_lna
+from repro.circuits.library.current_mirror_ota import build_current_mirror_ota
+from repro.circuits.library.folded_cascode import build_folded_cascode
 from repro.circuits.library.rf_pa import build_rf_pa
 from repro.circuits.library.two_stage_opamp import build_two_stage_opamp
 from repro.env.circuit_env import CircuitDesignEnv
 from repro.env.reward import FomReward, P2SReward
 from repro.parallel.cache import DEFAULT_CACHE_SIZE, SimulationCache
 from repro.parallel.vector_env import VectorCircuitEnv
+from repro.simulation.folded_cascode_sim import FoldedCascodeSimulator
+from repro.simulation.lna_sim import LnaSimulator
 from repro.simulation.opamp_sim import OpAmpSimulator
+from repro.simulation.ota_sim import CmOtaSimulator
 from repro.simulation.pa_sim import RfPaCoarseSimulator, RfPaFineSimulator
 
 #: What an environment factory may hand back: the sequential environment, or
@@ -205,6 +216,64 @@ def _rf_pa_fom_coarse_v0(
     goal_tolerance: float = 0.0,
 ) -> CircuitDesignEnv:
     return _rf_pa_env(RfPaCoarseSimulator(), "fom", seed, max_steps, initial_sizing, goal_tolerance)
+
+
+# ----------------------------------------------------------------------
+# Topology zoo: the three PR 3 circuits, each with a P2S environment that
+# starts episodes from the center sizing and a ``-random-v0`` variant that
+# starts from a uniformly sampled grid point (scenario diversity for
+# training; both accept the usual num_envs / cache_size knobs).
+# ----------------------------------------------------------------------
+def _register_zoo_circuit(
+    circuit: str, builder: Callable[[], Any], simulator_factory: Callable[[], Any],
+    description: str,
+) -> None:
+    def _build_env(
+        seed: Optional[int] = None,
+        max_steps: Optional[int] = None,
+        initial_sizing: str = "center",
+        goal_tolerance: float = 0.0,
+    ) -> CircuitDesignEnv:
+        benchmark = builder()
+        return CircuitDesignEnv(
+            benchmark=benchmark,
+            simulator=simulator_factory(),
+            reward_fn=P2SReward(benchmark.spec_space),
+            max_steps=max_steps,
+            initial_sizing=initial_sizing,
+            goal_tolerance=goal_tolerance,
+            seed=seed,
+        )
+
+    register_env(
+        f"{circuit}-p2s-v0",
+        vectorizable(_build_env),
+        description=description,
+        aliases=(f"{circuit}-v0",),
+        metadata={"circuit": circuit, "task": "p2s", "fidelity": "fine"},
+    )
+    register_env(
+        f"{circuit}-random-v0",
+        vectorizable(_build_env),
+        description=f"{description} (episodes start from random grid points)",
+        defaults={"initial_sizing": "random"},
+        metadata={"circuit": circuit, "task": "p2s", "fidelity": "fine",
+                  "initial_sizing": "random"},
+    )
+
+
+_register_zoo_circuit(
+    "folded_cascode", build_folded_cascode, FoldedCascodeSimulator,
+    "Folded-cascode op-amp, P2S reward, analytic simulator, 50-step episodes",
+)
+_register_zoo_circuit(
+    "current_mirror_ota", build_current_mirror_ota, CmOtaSimulator,
+    "Current-mirror OTA, P2S reward (slew-rate spec), analytic simulator, 40-step episodes",
+)
+_register_zoo_circuit(
+    "common_source_lna", build_common_source_lna, LnaSimulator,
+    "Common-source LNA at 2.4 GHz, P2S reward (noise-figure spec), 30-step episodes",
+)
 
 
 # ----------------------------------------------------------------------

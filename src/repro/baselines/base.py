@@ -10,6 +10,7 @@ history of objective values versus simulation count (the Fig. 3 / Fig. 7
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional
 
@@ -129,7 +130,11 @@ class SizingProblem:
                 self.benchmark.spec_space.normalized_errors(specs, self.targets).sum()
             )
         assert self.fom_reward is not None
-        return self.fom_reward.figure_of_merit(specs)
+        fom = self.fom_reward.figure_of_merit(specs)
+        # figure_of_merit degrades to NaN for spec-incomplete results; a NaN
+        # fitness would win every np.argmax downstream, so score such
+        # candidates as unconditionally worst instead.
+        return fom if math.isfinite(fom) else -math.inf
 
     def objective(self, parameters: np.ndarray) -> float:
         """Scalar objective (larger is better, 0 or the FoM maximum is best)."""

@@ -22,13 +22,22 @@ from repro.circuits.devices import (
     resistor,
     supply,
 )
-from repro.circuits.library import CircuitBenchmark, build_rf_pa, build_two_stage_opamp
+from repro.circuits.library import (
+    BENCHMARK_BUILDERS,
+    CircuitBenchmark,
+    build_common_source_lna,
+    build_current_mirror_ota,
+    build_folded_cascode,
+    build_rf_pa,
+    build_two_stage_opamp,
+)
 from repro.circuits.netlist import Netlist
 from repro.circuits.parameters import ACTION_DELTAS, DesignParameter, DesignSpace
 from repro.circuits.specs import Objective, Specification, SpecificationSpace
 
 __all__ = [
     "ACTION_DELTAS",
+    "BENCHMARK_BUILDERS",
     "CircuitBenchmark",
     "DEVICE_TYPE_ORDER",
     "Device",
@@ -40,6 +49,9 @@ __all__ = [
     "Specification",
     "SpecificationSpace",
     "bias",
+    "build_common_source_lna",
+    "build_current_mirror_ota",
+    "build_folded_cascode",
     "build_rf_pa",
     "build_two_stage_opamp",
     "capacitor",

@@ -1,7 +1,32 @@
-"""Benchmark circuit library: the two evaluation circuits from the paper."""
+"""Benchmark circuit library: the paper's two evaluation circuits plus the
+topology zoo (folded-cascode op-amp, current-mirror OTA, common-source LNA)
+added so transfer learning has a source→target matrix to sweep."""
 
 from repro.circuits.library.benchmark import CircuitBenchmark
+from repro.circuits.library.common_source_lna import build_common_source_lna
+from repro.circuits.library.current_mirror_ota import build_current_mirror_ota
+from repro.circuits.library.folded_cascode import build_folded_cascode
 from repro.circuits.library.rf_pa import build_rf_pa
 from repro.circuits.library.two_stage_opamp import build_two_stage_opamp
 
-__all__ = ["CircuitBenchmark", "build_rf_pa", "build_two_stage_opamp"]
+#: Circuit name -> benchmark builder, in presentation order.  The single
+#: source of truth for "every benchmark circuit in the library" — Table 1,
+#: the README circuit-zoo table and the topology-zoo contract tests all
+#: iterate over it, so a new circuit registered here is automatically swept.
+BENCHMARK_BUILDERS = {
+    "two_stage_opamp": build_two_stage_opamp,
+    "folded_cascode": build_folded_cascode,
+    "current_mirror_ota": build_current_mirror_ota,
+    "common_source_lna": build_common_source_lna,
+    "rf_pa": build_rf_pa,
+}
+
+__all__ = [
+    "BENCHMARK_BUILDERS",
+    "CircuitBenchmark",
+    "build_common_source_lna",
+    "build_current_mirror_ota",
+    "build_folded_cascode",
+    "build_rf_pa",
+    "build_two_stage_opamp",
+]

@@ -9,6 +9,8 @@ RF PA".
 
 from __future__ import annotations
 
+import math
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict
 
@@ -39,6 +41,23 @@ class CircuitBenchmark:
                     f"initial value of {parameter.name} ({value}) lies outside "
                     f"[{parameter.minimum}, {parameter.maximum}]"
                 )
+            # The initial value must also sit *on* the design-space grid —
+            # otherwise the first snap inside the environment silently moves
+            # the design point, and "the initial sizing" the benchmark claims
+            # is never actually simulated.  Representation noise (an initial
+            # value written as a literal the grid arithmetic reproduces only
+            # to ~1e-9 relative) is normalized silently; a genuinely off-grid
+            # value is snapped with a warning.
+            snapped = parameter.snap(value)
+            if snapped != value:
+                if not math.isclose(snapped, value, rel_tol=1e-9, abs_tol=0.0):
+                    warnings.warn(
+                        f"initial value of {parameter.name} ({value!r}) is off the "
+                        f"design-space grid (step {parameter.step!r}); snapping to "
+                        f"{snapped!r}",
+                        stacklevel=2,
+                    )
+                self.netlist.set_parameter(parameter.device, parameter.attribute, snapped)
 
     @property
     def num_parameters(self) -> int:
@@ -58,6 +77,7 @@ class CircuitBenchmark:
             "circuit": self.name,
             "technology": self.technology,
             "num_device_parameters": self.num_parameters,
+            "num_specifications": self.num_specs,
             "design_space_cardinality": self.design_space.cardinality(),
             "parameters": {
                 p.name: {

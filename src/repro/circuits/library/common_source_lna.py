@@ -1,0 +1,159 @@
+"""The 45 nm CMOS inductively degenerated common-source LNA benchmark.
+
+Third entry of the topology zoo (PR 3): a narrow-band low-noise amplifier at
+2.4 GHz.  It is the only zoo circuit with inductors in its graph, with a
+noise specification, and with passive element values among its knobs — the
+agent must trade noise figure against power through the device geometry
+while the two inductors tune gain and input match.
+
+Topology:
+
+* NMOS common-source device ``M1`` with source-degeneration inductor ``LS``;
+* NMOS cascode ``M2`` isolating the input from the load;
+* gate matching inductor ``LG`` from the RF input to the gate, drain load
+  inductor ``LD`` (finite Q) resonating the output;
+* supply ``VP``, ground ``VGND`` and gate bias ``VBIAS`` as explicit graph
+  nodes.
+
+Design space: width ``[5, 100] µm`` (step 1 µm) and fingers ``[1, 16]`` for
+both transistors, ``LS ∈ [0.1, 2] nH`` (step 0.1 nH) and
+``LD ∈ [1, 10] nH`` (step 0.5 nH) — 6 tunable parameters.
+
+Specification sampling space: gain ``[8, 35]`` (V/V), noise figure
+``[4.8, 8] dB`` (smaller is better), power ``[1e-3, 1.5e-2] W`` (smaller is
+better).
+"""
+
+from __future__ import annotations
+
+from repro.circuits.devices import bias, ground, inductor, nmos, supply
+from repro.circuits.library.benchmark import CircuitBenchmark
+from repro.circuits.netlist import Netlist
+from repro.circuits.parameters import DesignParameter, DesignSpace
+from repro.circuits.specs import Objective, Specification, SpecificationSpace
+
+#: Transistor instance names: common-source device, cascode.
+LNA_TRANSISTORS = ("M1", "M2")
+
+#: Tunable inductors: source degeneration and drain load.
+LNA_INDUCTORS = ("LS", "LD")
+
+#: Supply voltage (volts).
+LNA_SUPPLY_VOLTAGE = 1.2
+
+#: Gate bias voltage (volts): 0.20 V of overdrive over the 0.4 V threshold.
+LNA_GATE_BIAS = 0.60
+
+#: Operating (carrier) frequency of the narrow-band design (Hz).
+LNA_FREQUENCY = 2.4e9
+
+#: Fixed gate matching inductance (henries); only LS and LD are tuned.
+LNA_GATE_INDUCTANCE = 4.0e-9
+
+# Design-space bounds.
+WIDTH_MIN, WIDTH_MAX, WIDTH_STEP = 5e-6, 100e-6, 1e-6
+FINGERS_MIN, FINGERS_MAX, FINGERS_STEP = 1, 16, 1
+LS_MIN, LS_MAX, LS_STEP = 0.1e-9, 2.0e-9, 0.1e-9
+LD_MIN, LD_MAX, LD_STEP = 1.0e-9, 10.0e-9, 0.5e-9
+
+
+def _build_netlist(
+    initial_width: float, initial_fingers: int, initial_ls: float, initial_ld: float
+) -> Netlist:
+    netlist = Netlist("common_source_lna")
+    # Signal path: LG couples the input to the gate, M1 amplifies, M2 cascodes.
+    netlist.add_device(inductor("LG", plus="vin", minus="gate", value=LNA_GATE_INDUCTANCE))
+    netlist.add_device(nmos("M1", drain="casc", gate="gate", source="degen", bulk="vgnd",
+                            width=initial_width, fingers=initial_fingers))
+    netlist.add_device(nmos("M2", drain="vout", gate="vdd", source="casc", bulk="vgnd",
+                            width=initial_width, fingers=initial_fingers))
+    # Degeneration and load inductors.
+    netlist.add_device(inductor("LS", plus="degen", minus="vgnd", value=initial_ls))
+    netlist.add_device(inductor("LD", plus="vdd", minus="vout", value=initial_ld))
+    # Supply, ground and gate bias as explicit graph nodes.
+    netlist.add_device(supply("VP", net="vdd", voltage=LNA_SUPPLY_VOLTAGE))
+    netlist.add_device(ground("VGND", net="vgnd"))
+    netlist.add_device(bias("VBIAS", net="gate", voltage=LNA_GATE_BIAS))
+    return netlist
+
+
+def _build_design_space() -> DesignSpace:
+    parameters = []
+    for name in LNA_TRANSISTORS:
+        parameters.append(
+            DesignParameter(
+                name=f"{name}.width", device=name, attribute="width",
+                minimum=WIDTH_MIN, maximum=WIDTH_MAX, step=WIDTH_STEP,
+            )
+        )
+        parameters.append(
+            DesignParameter(
+                name=f"{name}.fingers", device=name, attribute="fingers",
+                minimum=FINGERS_MIN, maximum=FINGERS_MAX, step=FINGERS_STEP, integer=True,
+            )
+        )
+    parameters.append(
+        DesignParameter(
+            name="LS.value", device="LS", attribute="value",
+            minimum=LS_MIN, maximum=LS_MAX, step=LS_STEP,
+        )
+    )
+    parameters.append(
+        DesignParameter(
+            name="LD.value", device="LD", attribute="value",
+            minimum=LD_MIN, maximum=LD_MAX, step=LD_STEP,
+        )
+    )
+    return DesignSpace(parameters)
+
+
+def _build_spec_space() -> SpecificationSpace:
+    return SpecificationSpace(
+        [
+            Specification("gain", 8.0, 35.0, Objective.MAXIMIZE, unit="V/V"),
+            Specification("noise_figure", 4.8, 8.0, Objective.MINIMIZE, unit="dB"),
+            Specification("power", 1.0e-3, 1.5e-2, Objective.MINIMIZE, unit="W",
+                          log_uniform=True),
+        ]
+    )
+
+
+def build_common_source_lna(
+    initial_width: float = 52e-6,
+    initial_fingers: int = 8,
+    initial_ls: float = 1.0e-9,
+    initial_ld: float = 5.5e-9,
+) -> CircuitBenchmark:
+    """Construct the common-source LNA benchmark.
+
+    Parameters
+    ----------
+    initial_width, initial_fingers:
+        Starting sizing applied to both transistors.
+    initial_ls, initial_ld:
+        Starting degeneration / load inductances.  All defaults sit near the
+        middle of the design space.
+    """
+    if not (WIDTH_MIN <= initial_width <= WIDTH_MAX):
+        raise ValueError("initial_width outside the design space")
+    if not (FINGERS_MIN <= initial_fingers <= FINGERS_MAX):
+        raise ValueError("initial_fingers outside the design space")
+    if not (LS_MIN <= initial_ls <= LS_MAX):
+        raise ValueError("initial_ls outside the design space")
+    if not (LD_MIN <= initial_ld <= LD_MAX):
+        raise ValueError("initial_ld outside the design space")
+    netlist = _build_netlist(initial_width, int(initial_fingers), initial_ls, initial_ld)
+    return CircuitBenchmark(
+        name="common_source_lna",
+        technology="45nm CMOS",
+        netlist=netlist,
+        design_space=_build_design_space(),
+        spec_space=_build_spec_space(),
+        metadata={
+            "supply_voltage": LNA_SUPPLY_VOLTAGE,
+            "gate_bias": LNA_GATE_BIAS,
+            "frequency": LNA_FREQUENCY,
+            "gate_inductance": LNA_GATE_INDUCTANCE,
+            "max_episode_steps": 30,
+        },
+    )

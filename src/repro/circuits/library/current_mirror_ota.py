@@ -1,0 +1,145 @@
+"""The 45 nm CMOS current-mirror OTA / comparator-stage benchmark.
+
+Second entry of the topology zoo (PR 3): a mirror-loaded transconductance
+amplifier whose output drive is set by its current-mirror ratios — the knobs
+couple to the specifications through *ratios* of device strengths rather
+than absolute sizes, a qualitatively different landscape from either op-amp.
+
+Topology:
+
+* NMOS input differential pair ``M1``/``M2`` with NMOS tail source ``M3``;
+* PMOS diode loads ``M4``/``M5`` on the two input branches;
+* PMOS output mirror ``M6`` (mirrors ``M5`` onto the output with ratio
+  ``S6/S5``) and PMOS mirror ``M7`` driving the NMOS diode ``M8`` whose
+  current is mirrored to the output sink ``M9`` (ratio ``(S7/S4)(S9/S8)``);
+* fixed load capacitor ``CL``; supply ``VP``, ground ``VGND`` and tail bias
+  ``VBIAS`` as explicit graph nodes.
+
+Design space: width ``[1, 100] µm`` and finger count ``[2, 32]`` for each of
+the 9 transistors — 18 tunable parameters.
+
+Specification sampling space (replaces phase margin with the comparator's
+headline slew-rate figure): gain ``[10, 45]``, bandwidth ``[1e9, 3e10] Hz``,
+slew rate ``[1e8, 5e9] V/s``, power ``[2e-3, 3e-2] W``.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.devices import bias, capacitor, ground, nmos, pmos, supply
+from repro.circuits.library.benchmark import CircuitBenchmark
+from repro.circuits.netlist import Netlist
+from repro.circuits.parameters import DesignParameter, DesignSpace
+from repro.circuits.specs import Objective, Specification, SpecificationSpace
+
+#: Transistor instance names in schematic order: input pair, tail, diode
+#: loads, PMOS mirrors, NMOS mirror pair.
+CM_OTA_TRANSISTORS = ("M1", "M2", "M3", "M4", "M5", "M6", "M7", "M8", "M9")
+
+#: Supply voltage (volts).
+CM_OTA_SUPPLY_VOLTAGE = 1.2
+
+#: Tail-bias gate voltage (volts): 0.15 V of NMOS overdrive.
+CM_OTA_TAIL_BIAS = 0.55
+
+#: Fixed output load capacitance (farads).
+CM_OTA_LOAD_CAPACITANCE = 1.0e-12
+
+# Design-space bounds (same device grid as the op-amps).
+WIDTH_MIN, WIDTH_MAX, WIDTH_STEP = 1e-6, 100e-6, 1e-6
+FINGERS_MIN, FINGERS_MAX, FINGERS_STEP = 2, 32, 1
+
+
+def _build_netlist(initial_width: float, initial_fingers: int) -> Netlist:
+    netlist = Netlist("current_mirror_ota")
+    # Input differential pair with tail source.
+    netlist.add_device(nmos("M1", drain="ld1", gate="vin_p", source="tail", bulk="vgnd",
+                            width=initial_width, fingers=initial_fingers))
+    netlist.add_device(nmos("M2", drain="ld2", gate="vin_n", source="tail", bulk="vgnd",
+                            width=initial_width, fingers=initial_fingers))
+    netlist.add_device(nmos("M3", drain="tail", gate="vbias", source="vgnd", bulk="vgnd",
+                            width=initial_width, fingers=initial_fingers))
+    # PMOS diode loads.
+    netlist.add_device(pmos("M4", drain="ld1", gate="ld1", source="vdd", bulk="vdd",
+                            width=initial_width, fingers=initial_fingers))
+    netlist.add_device(pmos("M5", drain="ld2", gate="ld2", source="vdd", bulk="vdd",
+                            width=initial_width, fingers=initial_fingers))
+    # Output mirrors: M6 sources the output, M7/M8/M9 sink it.
+    netlist.add_device(pmos("M6", drain="vout", gate="ld2", source="vdd", bulk="vdd",
+                            width=initial_width, fingers=initial_fingers))
+    netlist.add_device(pmos("M7", drain="mir", gate="ld1", source="vdd", bulk="vdd",
+                            width=initial_width, fingers=initial_fingers))
+    netlist.add_device(nmos("M8", drain="mir", gate="mir", source="vgnd", bulk="vgnd",
+                            width=initial_width, fingers=initial_fingers))
+    netlist.add_device(nmos("M9", drain="vout", gate="mir", source="vgnd", bulk="vgnd",
+                            width=initial_width, fingers=initial_fingers))
+    # Load capacitor and the explicit source/bias graph nodes.
+    netlist.add_device(capacitor("CL", plus="vout", minus="vgnd",
+                                 value=CM_OTA_LOAD_CAPACITANCE))
+    netlist.add_device(supply("VP", net="vdd", voltage=CM_OTA_SUPPLY_VOLTAGE))
+    netlist.add_device(ground("VGND", net="vgnd"))
+    netlist.add_device(bias("VBIAS", net="vbias", voltage=CM_OTA_TAIL_BIAS))
+    return netlist
+
+
+def _build_design_space() -> DesignSpace:
+    parameters = []
+    for name in CM_OTA_TRANSISTORS:
+        parameters.append(
+            DesignParameter(
+                name=f"{name}.width", device=name, attribute="width",
+                minimum=WIDTH_MIN, maximum=WIDTH_MAX, step=WIDTH_STEP,
+            )
+        )
+        parameters.append(
+            DesignParameter(
+                name=f"{name}.fingers", device=name, attribute="fingers",
+                minimum=FINGERS_MIN, maximum=FINGERS_MAX, step=FINGERS_STEP, integer=True,
+            )
+        )
+    return DesignSpace(parameters)
+
+
+def _build_spec_space() -> SpecificationSpace:
+    return SpecificationSpace(
+        [
+            Specification("gain", 10.0, 45.0, Objective.MAXIMIZE, unit="V/V"),
+            Specification("bandwidth", 1.0e9, 3.0e10, Objective.MAXIMIZE, unit="Hz",
+                          log_uniform=True),
+            Specification("slew_rate", 1.0e8, 5.0e9, Objective.MAXIMIZE, unit="V/s",
+                          log_uniform=True),
+            Specification("power", 2.0e-3, 3.0e-2, Objective.MINIMIZE, unit="W",
+                          log_uniform=True),
+        ]
+    )
+
+
+def build_current_mirror_ota(
+    initial_width: float = 40e-6,
+    initial_fingers: int = 16,
+) -> CircuitBenchmark:
+    """Construct the current-mirror OTA benchmark.
+
+    Parameters
+    ----------
+    initial_width, initial_fingers:
+        Starting sizing applied uniformly to all 9 transistors (unit mirror
+        ratios); the defaults sit near the middle of the design space.
+    """
+    if not (WIDTH_MIN <= initial_width <= WIDTH_MAX):
+        raise ValueError("initial_width outside the design space")
+    if not (FINGERS_MIN <= initial_fingers <= FINGERS_MAX):
+        raise ValueError("initial_fingers outside the design space")
+    netlist = _build_netlist(initial_width, int(initial_fingers))
+    return CircuitBenchmark(
+        name="current_mirror_ota",
+        technology="45nm CMOS",
+        netlist=netlist,
+        design_space=_build_design_space(),
+        spec_space=_build_spec_space(),
+        metadata={
+            "supply_voltage": CM_OTA_SUPPLY_VOLTAGE,
+            "tail_bias": CM_OTA_TAIL_BIAS,
+            "load_capacitance": CM_OTA_LOAD_CAPACITANCE,
+            "max_episode_steps": 40,
+        },
+    )

@@ -1,0 +1,170 @@
+"""The 45 nm CMOS folded-cascode operational amplifier benchmark.
+
+First entry of the topology zoo (PR 3): a single-stage amplifier whose gain
+comes from cascoding rather than from a second stage, so the agent faces a
+different parameter→specification map than the Miller-compensated two-stage
+op-amp while sharing its technology, spec names and episode protocol —
+exactly the setting the paper's transfer-learning claim needs.
+
+Topology (classic NMOS-input folded cascode):
+
+* NMOS input differential pair ``M1``/``M2`` with NMOS tail source ``M11``;
+* PMOS current sources ``M3``/``M4`` feeding the two folding nodes;
+* PMOS cascodes ``M5``/``M6`` folding the signal current down into the
+  output branch;
+* NMOS cascodes ``M7``/``M8`` on top of the NMOS mirror sinks ``M9``/``M10``
+  (diode side on the ``M5``/``M7`` branch, output at the ``M6``/``M8`` drain);
+* fixed load capacitor ``CL`` — the single-stage amplifier is load
+  compensated, so there is no Miller capacitor to tune;
+* supply ``VP``, ground ``VGND`` and four explicit bias nodes (tail bias,
+  PMOS source bias, and the two cascode gate biases).
+
+Design space: width ``[1, 100] µm`` and finger count ``[2, 32]`` for each of
+the 11 transistors — 22 tunable parameters.
+
+Specification sampling space (calibrated so targets are reachable inside the
+design space, see ``tests/circuits/test_topology_zoo.py``): gain
+``[100, 400]``, bandwidth ``[1e8, 5e9] Hz``, phase margin ``[40°, 70°]``,
+power ``[4e-3, 3e-2] W``.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.devices import bias, capacitor, ground, nmos, pmos, supply
+from repro.circuits.library.benchmark import CircuitBenchmark
+from repro.circuits.netlist import Netlist
+from repro.circuits.parameters import DesignParameter, DesignSpace
+from repro.circuits.specs import Objective, Specification, SpecificationSpace
+
+#: Transistor instance names in schematic order: input pair, PMOS sources,
+#: PMOS cascodes, NMOS cascodes, NMOS mirror sinks, tail.
+FOLDED_CASCODE_TRANSISTORS = (
+    "M1", "M2", "M3", "M4", "M5", "M6", "M7", "M8", "M9", "M10", "M11",
+)
+
+#: Supply voltage (volts) — same 45 nm process as the two-stage op-amp.
+FOLDED_CASCODE_SUPPLY_VOLTAGE = 1.2
+
+#: Tail-bias gate voltage (volts): 0.12 V of NMOS overdrive.
+FOLDED_CASCODE_TAIL_BIAS = 0.52
+
+#: PMOS current-source gate voltage (volts): 0.20 V of PMOS overdrive, so the
+#: folding branches keep headroom over half the tail current at equal sizing.
+FOLDED_CASCODE_SOURCE_BIAS = 0.60
+
+#: Cascode gate bias voltages (volts).
+FOLDED_CASCODE_NCASC_BIAS = 0.80
+FOLDED_CASCODE_PCASC_BIAS = 0.40
+
+#: Fixed output load capacitance (farads).
+FOLDED_CASCODE_LOAD_CAPACITANCE = 1.0e-12
+
+# Design-space bounds (same device grid as the two-stage op-amp).
+WIDTH_MIN, WIDTH_MAX, WIDTH_STEP = 1e-6, 100e-6, 1e-6
+FINGERS_MIN, FINGERS_MAX, FINGERS_STEP = 2, 32, 1
+
+
+def _build_netlist(initial_width: float, initial_fingers: int) -> Netlist:
+    netlist = Netlist("folded_cascode")
+    # Input differential pair.
+    netlist.add_device(nmos("M1", drain="fold1", gate="vin_p", source="tail", bulk="vgnd",
+                            width=initial_width, fingers=initial_fingers))
+    netlist.add_device(nmos("M2", drain="fold2", gate="vin_n", source="tail", bulk="vgnd",
+                            width=initial_width, fingers=initial_fingers))
+    # PMOS current sources into the folding nodes.
+    netlist.add_device(pmos("M3", drain="fold1", gate="vbias_p", source="vdd", bulk="vdd",
+                            width=initial_width, fingers=initial_fingers))
+    netlist.add_device(pmos("M4", drain="fold2", gate="vbias_p", source="vdd", bulk="vdd",
+                            width=initial_width, fingers=initial_fingers))
+    # PMOS cascodes folding the signal down (diode branch at cout1, output at vout).
+    netlist.add_device(pmos("M5", drain="cout1", gate="vcasc_p", source="fold1", bulk="vdd",
+                            width=initial_width, fingers=initial_fingers))
+    netlist.add_device(pmos("M6", drain="vout", gate="vcasc_p", source="fold2", bulk="vdd",
+                            width=initial_width, fingers=initial_fingers))
+    # NMOS cascodes over the mirror sinks.
+    netlist.add_device(nmos("M7", drain="cout1", gate="vcasc_n", source="sink1", bulk="vgnd",
+                            width=initial_width, fingers=initial_fingers))
+    netlist.add_device(nmos("M8", drain="vout", gate="vcasc_n", source="sink2", bulk="vgnd",
+                            width=initial_width, fingers=initial_fingers))
+    netlist.add_device(nmos("M9", drain="sink1", gate="cout1", source="vgnd", bulk="vgnd",
+                            width=initial_width, fingers=initial_fingers))
+    netlist.add_device(nmos("M10", drain="sink2", gate="cout1", source="vgnd", bulk="vgnd",
+                            width=initial_width, fingers=initial_fingers))
+    # Tail current source.
+    netlist.add_device(nmos("M11", drain="tail", gate="vbias_n", source="vgnd", bulk="vgnd",
+                            width=initial_width, fingers=initial_fingers))
+    # Load capacitor (the compensation of a single-stage amplifier).
+    netlist.add_device(capacitor("CL", plus="vout", minus="vgnd",
+                                 value=FOLDED_CASCODE_LOAD_CAPACITANCE))
+    # Supply, ground and the four bias voltages as explicit graph nodes.
+    netlist.add_device(supply("VP", net="vdd", voltage=FOLDED_CASCODE_SUPPLY_VOLTAGE))
+    netlist.add_device(ground("VGND", net="vgnd"))
+    netlist.add_device(bias("VBIASN", net="vbias_n", voltage=FOLDED_CASCODE_TAIL_BIAS))
+    netlist.add_device(bias("VBIASP", net="vbias_p", voltage=FOLDED_CASCODE_SOURCE_BIAS))
+    netlist.add_device(bias("VCASCN", net="vcasc_n", voltage=FOLDED_CASCODE_NCASC_BIAS))
+    netlist.add_device(bias("VCASCP", net="vcasc_p", voltage=FOLDED_CASCODE_PCASC_BIAS))
+    return netlist
+
+
+def _build_design_space() -> DesignSpace:
+    parameters = []
+    for name in FOLDED_CASCODE_TRANSISTORS:
+        parameters.append(
+            DesignParameter(
+                name=f"{name}.width", device=name, attribute="width",
+                minimum=WIDTH_MIN, maximum=WIDTH_MAX, step=WIDTH_STEP,
+            )
+        )
+        parameters.append(
+            DesignParameter(
+                name=f"{name}.fingers", device=name, attribute="fingers",
+                minimum=FINGERS_MIN, maximum=FINGERS_MAX, step=FINGERS_STEP, integer=True,
+            )
+        )
+    return DesignSpace(parameters)
+
+
+def _build_spec_space() -> SpecificationSpace:
+    return SpecificationSpace(
+        [
+            Specification("gain", 100.0, 400.0, Objective.MAXIMIZE, unit="V/V"),
+            Specification("bandwidth", 1.0e8, 5.0e9, Objective.MAXIMIZE, unit="Hz",
+                          log_uniform=True),
+            Specification("phase_margin", 40.0, 70.0, Objective.MAXIMIZE, unit="deg"),
+            Specification("power", 4.0e-3, 3.0e-2, Objective.MINIMIZE, unit="W",
+                          log_uniform=True),
+        ]
+    )
+
+
+def build_folded_cascode(
+    initial_width: float = 40e-6,
+    initial_fingers: int = 16,
+) -> CircuitBenchmark:
+    """Construct the folded-cascode op-amp benchmark.
+
+    Parameters
+    ----------
+    initial_width, initial_fingers:
+        Starting sizing applied uniformly to all 11 transistors; the defaults
+        sit near the middle of the design space.
+    """
+    if not (WIDTH_MIN <= initial_width <= WIDTH_MAX):
+        raise ValueError("initial_width outside the design space")
+    if not (FINGERS_MIN <= initial_fingers <= FINGERS_MAX):
+        raise ValueError("initial_fingers outside the design space")
+    netlist = _build_netlist(initial_width, int(initial_fingers))
+    return CircuitBenchmark(
+        name="folded_cascode",
+        technology="45nm CMOS",
+        netlist=netlist,
+        design_space=_build_design_space(),
+        spec_space=_build_spec_space(),
+        metadata={
+            "supply_voltage": FOLDED_CASCODE_SUPPLY_VOLTAGE,
+            "tail_bias": FOLDED_CASCODE_TAIL_BIAS,
+            "source_bias": FOLDED_CASCODE_SOURCE_BIAS,
+            "load_capacitance": FOLDED_CASCODE_LOAD_CAPACITANCE,
+            "max_episode_steps": 50,
+        },
+    )

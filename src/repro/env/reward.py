@@ -17,8 +17,9 @@ Two reward definitions are used in the paper:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Dict, Mapping
+from typing import Dict, Mapping, Tuple
 
 import numpy as np
 
@@ -26,6 +27,45 @@ from repro.circuits.specs import SpecificationSpace
 
 #: Bonus granted when every specification of the target group is satisfied.
 GOAL_BONUS = 10.0
+
+
+def _defensive_errors(
+    spec_space: SpecificationSpace,
+    measured: Mapping[str, float],
+    targets: Mapping[str, float],
+) -> Tuple[Dict[str, float], bool]:
+    """Per-spec clipped normalized errors, tolerating bad *measured* entries.
+
+    A simulator that marks a result ``valid=True`` but omits a required
+    specification (or reports NaN/inf for one) must not crash the reward —
+    it is an invalid outcome in disguise.  Returns the per-spec error dict
+    (worst-case ``-1.0`` for unusable entries, so diagnostics stay fully
+    named) and whether every measurement was present and finite.
+
+    Targets are the *caller's* input: a missing target key is a bug (e.g. a
+    typo'd spec name in a deployment target group) and raises ``KeyError``
+    exactly like the pre-hardening path, rather than silently scoring every
+    step as invalid.  A non-finite target value, which previously poisoned
+    the reward with NaN, takes the invalid path.
+    """
+    missing_targets = [spec.name for spec in spec_space if spec.name not in targets]
+    if missing_targets:
+        raise KeyError(f"missing target specifications: {missing_targets}")
+    errors: Dict[str, float] = {}
+    complete = True
+    for spec in spec_space:
+        measured_value = measured.get(spec.name)
+        target_value = float(targets[spec.name])
+        if (
+            measured_value is None
+            or not math.isfinite(float(measured_value))
+            or not math.isfinite(target_value)
+        ):
+            errors[spec.name] = -1.0
+            complete = False
+        else:
+            errors[spec.name] = spec.normalized_error(float(measured_value), target_value)
+    return errors, complete
 
 
 @dataclass
@@ -72,15 +112,17 @@ class P2SReward:
         targets: Mapping[str, float],
         valid: bool = True,
     ) -> RewardOutcome:
-        errors = self.spec_space.normalized_errors(measured, targets)
-        named_errors = {name: float(e) for name, e in zip(self.spec_space.names, errors)}
-        if not valid:
+        named_errors, complete = _defensive_errors(self.spec_space, measured, targets)
+        if not valid or not complete:
+            # Missing or non-finite required specs are an invalid outcome in
+            # disguise; both take the invalid-penalty path.
             return RewardOutcome(
                 reward=self.invalid_penalty,
                 goal_reached=False,
                 normalized_errors=named_errors,
                 met_fraction=0.0,
             )
+        errors = np.array([named_errors[name] for name in self.spec_space.names])
         raw = float(errors.sum())
         goal_reached = bool(np.all(errors >= 0.0))
         reward = self.goal_bonus if goal_reached else raw
@@ -121,11 +163,32 @@ class FomReward:
         self.efficiency_reference = efficiency_reference
         self.efficiency_weight = efficiency_weight
 
+    #: Specs a simulation result must report for the FoM to be computable.
+    REQUIRED_SPECS = ("output_power", "efficiency")
+
     def figure_of_merit(self, measured: Mapping[str, float]) -> float:
-        """Un-normalized figure of merit ``P + 3 E`` (what Table 2 reports)."""
+        """Un-normalized figure of merit ``P + 3 E`` (what Table 2 reports).
+
+        NaN when the result omits a required spec, so diagnostics consumers
+        (e.g. the environment's ``info`` dict) degrade instead of raising.
+        """
+        if not self._usable(measured):
+            return float("nan")
         return float(measured["output_power"]) + self.efficiency_weight * float(
             measured["efficiency"]
         )
+
+    @classmethod
+    def _usable(cls, measured: Mapping[str, float]) -> bool:
+        return all(
+            measured.get(name) is not None and math.isfinite(float(measured[name]))
+            for name in cls.REQUIRED_SPECS
+        )
+
+    @property
+    def invalid_penalty(self) -> float:
+        """Reward of an invalid (or spec-incomplete) simulation outcome."""
+        return -2.0 * (1.0 + self.efficiency_weight)
 
     def __call__(
         self,
@@ -133,9 +196,12 @@ class FomReward:
         targets: Mapping[str, float] | None = None,
         valid: bool = True,
     ) -> RewardOutcome:
-        if not valid:
+        if not valid or not self._usable(measured):
+            # A result marked valid but missing output_power/efficiency (or
+            # carrying NaN) cannot be scored; treat it as invalid instead of
+            # raising out of the middle of a rollout.
             return RewardOutcome(
-                reward=-2.0 * (1.0 + self.efficiency_weight),
+                reward=self.invalid_penalty,
                 goal_reached=False,
                 normalized_errors={},
                 met_fraction=0.0,

@@ -19,6 +19,7 @@ The per-circuit RL hyper-parameters (episode lengths, PPO settings) live in
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from typing import Dict, Tuple
 
@@ -139,35 +140,40 @@ METHOD_LABELS: Dict[str, str] = {
 }
 
 
+@functools.lru_cache(maxsize=None)
+def _episode_step_budget(circuit: str) -> int:
+    """The circuit's episode step budget, read from its benchmark metadata.
+
+    ``CircuitDesignEnv`` resolves ``max_steps=None`` from the same
+    ``max_episode_steps`` entry, so the builder metadata stays the single
+    source of truth and ``make_env(id)`` and the training harness can never
+    disagree about episode length.
+    """
+    # Imported lazily: repro.circuits is import-cheap but this keeps the
+    # configs module free of a hard circuits dependency at import time.
+    from repro.circuits.library import BENCHMARK_BUILDERS
+
+    if circuit not in BENCHMARK_BUILDERS:
+        raise ValueError(f"unknown circuit '{circuit}'")
+    return int(BENCHMARK_BUILDERS[circuit]().metadata.get("max_episode_steps", 50))
+
+
 def rl_hyperparameters(circuit: str) -> Dict[str, object]:
     """Per-circuit episode length and PPO settings.
 
     The paper fixes the maximum episode length to 50 steps for the op-amp
-    agent and 30 steps for the RF PA agent; PPO hyper-parameters are not
-    reported, so standard values tuned on this substrate are used.
+    agent and 30 steps for the RF PA agent; zoo circuits declare theirs in
+    benchmark metadata.  PPO hyper-parameters are not reported, so standard
+    values tuned on this substrate are used (shared by every circuit).
     """
-    if circuit == "two_stage_opamp":
-        return {
-            "max_steps": 50,
-            "ppo": PPOConfig(
-                learning_rate=1e-3,
-                clip_epsilon=0.2,
-                update_epochs=4,
-                minibatch_size=64,
-                entropy_coef=0.01,
-                value_coef=0.5,
-            ),
-        }
-    if circuit == "rf_pa":
-        return {
-            "max_steps": 30,
-            "ppo": PPOConfig(
-                learning_rate=1e-3,
-                clip_epsilon=0.2,
-                update_epochs=4,
-                minibatch_size=64,
-                entropy_coef=0.01,
-                value_coef=0.5,
-            ),
-        }
-    raise ValueError(f"unknown circuit '{circuit}'")
+    return {
+        "max_steps": _episode_step_budget(circuit),
+        "ppo": PPOConfig(
+            learning_rate=1e-3,
+            clip_epsilon=0.2,
+            update_epochs=4,
+            minibatch_size=64,
+            entropy_coef=0.01,
+            value_coef=0.5,
+        ),
+    }

@@ -46,9 +46,47 @@ FIG6_RF_PA_UNSEEN_TARGET: Dict[str, float] = {
     "efficiency": 0.69,
 }
 
+#: Deployment target per circuit: the paper's Fig. 5 groups for its two
+#: benchmarks, mid-sampling-space groups for the topology-zoo circuits.
+DEPLOYMENT_TARGETS: Dict[str, Dict[str, float]] = {
+    "two_stage_opamp": FIG5_OPAMP_TARGET,
+    "rf_pa": FIG5_RF_PA_TARGET,
+    "folded_cascode": {
+        "gain": 250.0, "bandwidth": 2.0e9, "phase_margin": 45.0, "power": 2.0e-2,
+    },
+    "current_mirror_ota": {
+        "gain": 25.0, "bandwidth": 8.0e9, "slew_rate": 1.5e9, "power": 2.0e-2,
+    },
+    "common_source_lna": {
+        "gain": 15.0, "noise_figure": 5.6, "power": 8.0e-3,
+    },
+}
+
+#: Out-of-distribution target per circuit (each pushes at least one spec
+#: beyond its sampling range, mirroring Fig. 6).
+GENERALIZATION_TARGETS: Dict[str, Dict[str, float]] = {
+    "two_stage_opamp": FIG6_OPAMP_UNSEEN_TARGET,
+    "rf_pa": FIG6_RF_PA_UNSEEN_TARGET,
+    "folded_cascode": {
+        "gain": 500.0, "bandwidth": 6.0e9, "phase_margin": 75.0, "power": 1.5e-2,
+    },
+    "current_mirror_ota": {
+        "gain": 60.0, "bandwidth": 4.0e10, "slew_rate": 8.0e9, "power": 1.5e-2,
+    },
+    "common_source_lna": {
+        "gain": 40.0, "noise_figure": 4.6, "power": 6.0e-3,
+    },
+}
+
 #: Step budgets used in the paper's generalization figure (op-amp 38/49 steps
 #: shown; we allow a slightly larger budget than the training episodes).
-GENERALIZATION_MAX_STEPS = {"two_stage_opamp": 80, "rf_pa": 50}
+GENERALIZATION_MAX_STEPS = {
+    "two_stage_opamp": 80,
+    "folded_cascode": 80,
+    "current_mirror_ota": 64,
+    "common_source_lna": 50,
+    "rf_pa": 50,
+}
 
 
 @dataclass
@@ -86,12 +124,12 @@ def _deployment_env(circuit: str, seed: Optional[int] = None) -> CircuitDesignEn
 
 
 def default_target(circuit: str, unseen: bool = False) -> Dict[str, float]:
-    """The paper's Fig. 5 (or Fig. 6 when ``unseen``) target group."""
-    if circuit == "two_stage_opamp":
-        return dict(FIG6_OPAMP_UNSEEN_TARGET if unseen else FIG5_OPAMP_TARGET)
-    if circuit == "rf_pa":
-        return dict(FIG6_RF_PA_UNSEEN_TARGET if unseen else FIG5_RF_PA_TARGET)
-    raise ValueError(f"unknown circuit '{circuit}'")
+    """The circuit's deployment (or, when ``unseen``, out-of-distribution)
+    target group — Fig. 5 / Fig. 6 for the paper's two benchmarks."""
+    table = GENERALIZATION_TARGETS if unseen else DEPLOYMENT_TARGETS
+    if circuit not in table:
+        raise ValueError(f"unknown circuit '{circuit}', expected one of {sorted(table)}")
+    return dict(table[circuit])
 
 
 def deployment_example(

@@ -22,9 +22,8 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.agents.deployment import evaluate_deployment
-from repro.api.catalog import make_env, make_optimizer
-from repro.circuits.library.rf_pa import build_rf_pa
-from repro.circuits.library.two_stage_opamp import build_two_stage_opamp
+from repro.api.catalog import ENVS, make_env, make_optimizer
+from repro.circuits.library import BENCHMARK_BUILDERS
 from repro.experiments.configs import ExperimentScale, METHOD_LABELS, RL_METHODS, bench_scale
 from repro.experiments.figures import evaluate_optimizer_accuracy
 from repro.experiments.fom import run_fom_optimizer, run_fom_training
@@ -35,11 +34,12 @@ from repro.experiments.training import run_training_experiment
 # Table 1
 # ----------------------------------------------------------------------
 def build_table1() -> Dict[str, Dict[str, object]]:
-    """Regenerate Table 1 from the circuit library definitions."""
-    return {
-        "two_stage_opamp": build_two_stage_opamp().summary(),
-        "rf_pa": build_rf_pa().summary(),
-    }
+    """Regenerate Table 1 from the circuit library definitions.
+
+    Covers every circuit in :data:`repro.circuits.BENCHMARK_BUILDERS` — the
+    paper's two benchmarks plus the topology zoo.
+    """
+    return {name: build().summary() for name, build in BENCHMARK_BUILDERS.items()}
 
 
 def format_table1(table: Optional[Dict[str, Dict[str, object]]] = None) -> str:
@@ -61,6 +61,55 @@ def format_table1(table: Optional[Dict[str, Dict[str, object]]] = None) -> str:
                 f"    {name:<14s} [{bounds['min']:.3g}, {bounds['max']:.3g}] "
                 f"({bounds['objective']})"
             )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Circuit-zoo table (README)
+# ----------------------------------------------------------------------
+def build_circuit_zoo() -> List[Dict[str, object]]:
+    """One row per library circuit: summary counts plus its registered env IDs.
+
+    The registered-ID column is derived from the environment registry's
+    ``circuit`` metadata, so a circuit registered through
+    :func:`repro.register_env` with that metadata shows up automatically.
+    """
+    ids_by_circuit: Dict[str, List[str]] = {}
+    for env_id in ENVS.ids():
+        circuit = ENVS.get(env_id).metadata.get("circuit")
+        if circuit is not None:
+            ids_by_circuit.setdefault(circuit, []).append(env_id)
+    rows: List[Dict[str, object]] = []
+    for name, build in BENCHMARK_BUILDERS.items():
+        summary = build().summary()
+        rows.append(
+            {
+                "circuit": name,
+                "technology": summary["technology"],
+                "num_device_parameters": summary["num_device_parameters"],
+                "num_specifications": summary["num_specifications"],
+                "specifications": list(summary["specifications"]),
+                "env_ids": sorted(ids_by_circuit.get(name, [])),
+            }
+        )
+    return rows
+
+
+def format_circuit_zoo(rows: Optional[List[Dict[str, object]]] = None) -> str:
+    """Render :func:`build_circuit_zoo` as the README's markdown table."""
+    rows = rows if rows is not None else build_circuit_zoo()
+    lines = [
+        "| circuit | technology | params | specs | registered IDs |",
+        "|---|---|---|---|---|",
+    ]
+    for row in rows:
+        specs = ", ".join(row["specifications"])
+        ids = ", ".join(f"`{env_id}`" for env_id in row["env_ids"])
+        lines.append(
+            f"| {row['circuit']} | {row['technology']} "
+            f"| {row['num_device_parameters']} "
+            f"| {row['num_specifications']} ({specs}) | {ids} |"
+        )
     return "\n".join(lines)
 
 

@@ -22,10 +22,20 @@ from repro.env.circuit_env import CircuitDesignEnv
 from repro.experiments.configs import ExperimentScale, RL_METHODS, bench_scale, rl_hyperparameters
 
 #: Training env registry IDs per (circuit, fidelity) — the paper's protocol:
-#: RF PA agents train on the coarse simulator, the op-amp has a single
-#: analytic Spectre-substitute.
+#: RF PA agents train on the coarse simulator, every analytic circuit (the
+#: op-amp and the three topology-zoo circuits) has a single fast evaluator
+#: serving both fidelities.
 CIRCUIT_ENV_IDS = {
     "two_stage_opamp": {"coarse": "opamp-p2s-v0", "fine": "opamp-p2s-v0"},
+    "folded_cascode": {
+        "coarse": "folded_cascode-p2s-v0", "fine": "folded_cascode-p2s-v0",
+    },
+    "current_mirror_ota": {
+        "coarse": "current_mirror_ota-p2s-v0", "fine": "current_mirror_ota-p2s-v0",
+    },
+    "common_source_lna": {
+        "coarse": "common_source_lna-p2s-v0", "fine": "common_source_lna-p2s-v0",
+    },
     "rf_pa": {"coarse": "rf_pa-coarse-v0", "fine": "rf_pa-fine-v0"},
 }
 

@@ -1,0 +1,219 @@
+"""Cross-topology transfer-learning matrix over the circuit zoo.
+
+The paper's central claim is that a GNN policy captures transferable circuit
+knowledge.  With only two benchmarks the repo could test exactly one
+source→target pair (RF PA coarse→fine, a *fidelity* transfer).  The topology
+zoo turns this into a proper matrix: for every ordered pair of zoo circuits,
+a policy trained on the source circuit seeds a policy for the target circuit
+through :func:`repro.agents.transfer.transfer_policy_parameters` (the GNN
+branch transfers; input-size-dependent heads re-initialize), is optionally
+fine-tuned with a small episode budget, and is evaluated by deployment
+accuracy on the target — against a trained-from-scratch baseline with the
+same fine-tune budget when ``include_scratch`` is set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.agents.deployment import evaluate_deployment
+from repro.agents.ppo import PPOTrainer
+from repro.agents.transfer import transfer_policy_parameters
+from repro.api.catalog import make_policy
+from repro.experiments.configs import ExperimentScale, bench_scale, rl_hyperparameters
+from repro.experiments.training import make_environment, run_training_experiment
+
+#: The 4-topology source→target matrix swept by default: the paper's op-amp
+#: plus the three zoo circuits.  (The RF PA keeps its own coarse→fine
+#: fidelity-transfer workflow in :mod:`repro.agents.transfer`.)
+ZOO_TRANSFER_CIRCUITS: Tuple[str, ...] = (
+    "two_stage_opamp",
+    "folded_cascode",
+    "current_mirror_ota",
+    "common_source_lna",
+)
+
+
+@dataclass
+class TransferCell:
+    """One source→target entry of the transfer matrix.
+
+    ``num_transferred`` counts parameter *tensors*; ``transferred_fraction``
+    is the fraction of the target policy's *scalar weights* that were copied
+    (the honest figure — the topology-sized heads hold most scalars, so the
+    GNN branch is most of the tensors but a small share of the weights).
+    """
+
+    source: str
+    target: str
+    num_transferred: int
+    transferred_fraction: float
+    accuracy: float
+    mean_steps: float
+    scratch_accuracy: Optional[float] = None
+
+    @property
+    def transfer_gain(self) -> Optional[float]:
+        """Accuracy delta over the from-scratch baseline (None if not run)."""
+        if self.scratch_accuracy is None:
+            return None
+        return self.accuracy - self.scratch_accuracy
+
+
+@dataclass
+class TransferMatrix:
+    """All swept source→target cells plus per-source training context."""
+
+    method: str
+    circuits: Tuple[str, ...]
+    cells: List[TransferCell] = field(default_factory=list)
+    source_accuracies: Dict[str, float] = field(default_factory=dict)
+
+    def cell(self, source: str, target: str) -> TransferCell:
+        for cell in self.cells:
+            if cell.source == source and cell.target == target:
+                return cell
+        raise KeyError(f"no transfer cell for {source} -> {target}")
+
+    def as_text(self) -> str:
+        """Render the matrix as a source-rows × target-columns grid."""
+        width = max(len(c) for c in self.circuits) + 2
+        header = " " * width + "".join(f"{c:>{width}s}" for c in self.circuits)
+        lines = [header]
+        for source in self.circuits:
+            row = [f"{source:<{width}s}"]
+            for target in self.circuits:
+                if source == target:
+                    own = self.source_accuracies.get(source)
+                    text = f"[{own:.2f}]" if own is not None else "[--]"
+                else:
+                    try:
+                        text = f"{self.cell(source, target).accuracy:.2f}"
+                    except KeyError:
+                        text = "-"
+                row.append(f"{text:>{width}s}")
+            lines.append("".join(row))
+        return "\n".join(lines)
+
+
+def run_transfer_matrix(
+    circuits: Sequence[str] = ZOO_TRANSFER_CIRCUITS,
+    method: str = "gcn_fc",
+    scale: Optional[ExperimentScale] = None,
+    seed: int = 0,
+    fine_tune_episodes: Optional[int] = None,
+    include_scratch: bool = False,
+    eval_targets: Optional[int] = None,
+) -> TransferMatrix:
+    """Sweep the source→target transfer matrix over ``circuits``.
+
+    Parameters
+    ----------
+    circuits:
+        Circuits to sweep (every ordered pair is one cell).
+    method:
+        Policy ID trained on each source and transferred to each target.
+    scale:
+        Episode/evaluation budgets; source training uses the scale's
+        per-circuit training budget, fine-tuning defaults to the RF PA
+        budget (the scale's "small" training figure).
+    fine_tune_episodes:
+        Post-transfer training budget on the target circuit; 0 evaluates the
+        transferred policy zero-shot.
+    include_scratch:
+        Also train a fresh policy per cell with the same fine-tune budget,
+        so every cell reports its ``transfer_gain``.
+    eval_targets:
+        Deployment groups per evaluation (defaults to the scale's
+        ``deployment_specs``).
+    """
+    scale = scale or bench_scale()
+    circuits = tuple(circuits)
+    if len(circuits) < 2:
+        raise ValueError("a transfer matrix needs at least two circuits")
+    if fine_tune_episodes is None:
+        fine_tune_episodes = scale.rf_pa_training_episodes
+    if eval_targets is None:
+        eval_targets = scale.deployment_specs
+
+    matrix = TransferMatrix(method=method, circuits=circuits)
+    for source_index, source in enumerate(circuits):
+        training = run_training_experiment(
+            source, method, scale=scale, seed=seed + source_index, track_accuracy=False
+        )
+        source_eval = evaluate_deployment(
+            training.env, training.policy, num_targets=eval_targets, seed=seed + 1000
+        )
+        matrix.source_accuracies[source] = source_eval.accuracy
+        for target in circuits:
+            if target == source:
+                continue
+            matrix.cells.append(
+                _transfer_cell(
+                    source, target, training.policy, method,
+                    fine_tune_episodes=fine_tune_episodes,
+                    episodes_per_update=scale.episodes_per_update,
+                    eval_targets=eval_targets,
+                    seed=seed,
+                    include_scratch=include_scratch,
+                )
+            )
+    return matrix
+
+
+def _fine_tune_and_evaluate(
+    env, policy, method: str, episodes: int, episodes_per_update: int,
+    eval_targets: int, seed: int,
+):
+    if episodes > 0:
+        hyper = rl_hyperparameters(env.benchmark.name)
+        trainer = PPOTrainer(
+            env, policy, config=hyper["ppo"], seed=seed, method_name=f"{method}_transfer"
+        )
+        trainer.train(
+            total_episodes=episodes,
+            episodes_per_update=min(episodes_per_update, episodes),
+        )
+    return evaluate_deployment(env, policy, num_targets=eval_targets, seed=seed + 1000)
+
+
+def _transfer_cell(
+    source: str,
+    target: str,
+    source_policy,
+    method: str,
+    fine_tune_episodes: int,
+    episodes_per_update: int,
+    eval_targets: int,
+    seed: int,
+    include_scratch: bool,
+) -> TransferCell:
+    env = make_environment(target, seed=seed)
+    policy = make_policy(method, env, np.random.default_rng(seed))
+    parameters_by_name = dict(policy.named_parameters())
+    copied = transfer_policy_parameters(source_policy, policy)
+    copied_scalars = sum(parameters_by_name[name].data.size for name in copied)
+    total_scalars = policy.num_parameters()
+    evaluation = _fine_tune_and_evaluate(
+        env, policy, method, fine_tune_episodes, episodes_per_update, eval_targets, seed
+    )
+    cell = TransferCell(
+        source=source,
+        target=target,
+        num_transferred=len(copied),
+        transferred_fraction=copied_scalars / total_scalars if total_scalars else 0.0,
+        accuracy=evaluation.accuracy,
+        mean_steps=evaluation.mean_steps,
+    )
+    if include_scratch:
+        scratch_env = make_environment(target, seed=seed)
+        scratch_policy = make_policy(method, scratch_env, np.random.default_rng(seed))
+        scratch_eval = _fine_tune_and_evaluate(
+            scratch_env, scratch_policy, method, fine_tune_episodes,
+            episodes_per_update, eval_targets, seed,
+        )
+        cell.scratch_accuracy = scratch_eval.accuracy
+    return cell

@@ -11,16 +11,21 @@ are pure waste.
 
 :class:`SimulationCache` wraps any simulator behind the same ``simulate``
 protocol and memoizes results in an LRU table keyed on the netlist's
-parameter snapshot, quantized to a fixed number of significant digits so that
-float noise below simulator resolution (e.g. ``1e-6`` vs ``1.0000000000001e-6``
-from two different arithmetic paths) maps to the same entry.  Parameters that
+parameter snapshot, quantized so that float noise below simulator resolution
+(e.g. ``1e-6`` vs ``1.0000000000001e-6`` from two different arithmetic paths)
+maps to the same entry.  The key quantizes the *binary* mantissa of each
+parameter to the bit equivalent of ``key_digits`` decimal digits — every
+operation involved is exact in float64, so values straddling a rounding
+boundary can never split into different keys (the failure mode the decimal
+path of :func:`quantize_significant` had to be fixed for).  Parameters that
 the design space snaps onto a discrete grid are exactly representable well
-above the default 12-digit quantization, so distinct design points never
+above the default 12-digit resolution, so distinct design points never
 collide.
 """
 
 from __future__ import annotations
 
+import math
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -54,15 +59,76 @@ class CacheStats:
         return self.hits / self.lookups if self.lookups else 0.0
 
 
+def _scale_by_pow10(values: np.ndarray, exponents: np.ndarray) -> np.ndarray:
+    """``values * 10**exponents`` elementwise, via exact power-of-ten factors.
+
+    ``10.0**k`` is exactly representable in binary only for ``0 <= k <= 22``;
+    a single ``values * 10.0**e`` with ``e`` outside that range (e.g. the
+    ``1e24`` scale quantizing a 0.1 pF capacitance to 12 digits, or any
+    multiplication by an inexact reciprocal like ``1e-13``) injects rounding
+    error into the scaled mantissa.  This helper only ever multiplies or
+    divides by exact non-negative powers, staged in chunks of ``10**22``.
+    """
+    def _chunk(magnitude: np.ndarray) -> np.ndarray:
+        # Remainder-sized chunk first (then full 10**22 chunks): an integer
+        # mantissa divided by the small remainder power usually stays exact,
+        # so e.g. 1e11 * 10**-24 reconstructs as (1e11 / 1e2) / 1e22 — two
+        # exact steps — instead of rounding twice.
+        step = np.mod(magnitude, 22.0)
+        return np.where((step == 0.0) & (magnitude > 0.0), 22.0, step)
+
+    result = np.array(values, dtype=np.float64, copy=True)
+    remaining = np.asarray(exponents, dtype=np.float64).copy()
+    while np.any(remaining > 0.0):
+        step = np.where(remaining > 0.0, _chunk(remaining), 0.0)
+        result *= np.power(10.0, step)
+        remaining -= step
+    while np.any(remaining < 0.0):
+        step = np.where(remaining < 0.0, _chunk(-remaining), 0.0)
+        result /= np.power(10.0, step)
+        remaining += step
+    return result
+
+
 def quantize_significant(values: np.ndarray, digits: int) -> np.ndarray:
-    """Round each entry to ``digits`` significant (not decimal) digits."""
+    """Round each entry to ``digits`` significant (not decimal) digits.
+
+    The result is a pure function of the rounded *decimal* representation
+    ``(mantissa, exponent)``: every float that rounds to the same ``digits``-
+    digit decimal — including values whose rounding carries across a decade
+    boundary, e.g. ``9.99999999999995e-13`` vs ``1.0e-12`` at 12 digits —
+    reconstructs through the identical exact-power-of-ten arithmetic and so
+    maps to the identical cache key.
+    """
     values = np.asarray(values, dtype=np.float64)
-    nonzero = values != 0.0
+    nonzero = (values != 0.0) & np.isfinite(values)
     exponents = np.zeros(values.shape)
     np.floor(np.log10(np.abs(values, where=nonzero, out=np.ones_like(values))),
              where=nonzero, out=exponents)
-    scale = np.power(10.0, digits - 1 - exponents)
-    return np.where(nonzero, np.round(values * scale) / scale, 0.0)
+    # Integer decimal mantissa in [10^(digits-1), 10^digits].
+    mantissa = np.round(_scale_by_pow10(values, digits - 1 - exponents))
+    # A mantissa that rounded up across its decade boundary (|m| == 10^digits)
+    # is renormalized so it shares the representation — and therefore the
+    # cache key — of the next decade's values.
+    carry = np.abs(mantissa) >= 10.0**digits
+    mantissa = np.where(carry, mantissa / 10.0, mantissa)
+    exponents = np.where(carry, exponents + 1.0, exponents)
+    # Factor trailing zeros out of the integer mantissa: grid-like values
+    # (2e-12, 4.0e-05, ...) then reconstruct through one exact division and
+    # come back bitwise equal to their own float literal.  The trailing-zero
+    # count is binary-searched (divisibility by 10^k is monotone in k), and
+    # every factor involved stays an exactly representable integer.
+    trailing = np.zeros(values.shape)
+    candidate_mask = mantissa != 0.0
+    for bit in (8.0, 4.0, 2.0, 1.0):
+        factor = np.power(10.0, trailing + bit)
+        divisible = candidate_mask & (np.round(mantissa / factor) * factor == mantissa)
+        trailing = np.where(divisible, trailing + bit, trailing)
+    mantissa = np.where(candidate_mask, mantissa / np.power(10.0, trailing), mantissa)
+    quantized = _scale_by_pow10(mantissa, exponents - (digits - 1) + trailing)
+    # ``values + 0.0`` normalizes -0.0 to +0.0 so both zeros share one key;
+    # non-finite entries pass through unchanged.
+    return np.where(nonzero, quantized, values + 0.0)
 
 
 class SimulationCache:
@@ -78,8 +144,10 @@ class SimulationCache:
         Capacity of the LRU table; the least-recently-used entry is evicted
         once it is exceeded.
     key_digits:
-        Significant digits used when quantizing parameter values into the
-        cache key.
+        Key resolution, expressed in decimal significant digits; the key
+        quantizes each parameter's *binary* mantissa to the equivalent bit
+        count (``2^ceil(digits / log10 2)``), which collapses the same float
+        noise with exact-in-float64 arithmetic (see :meth:`_key`).
 
     The wrapper satisfies the :class:`CircuitSimulator` protocol, so it can
     stand in anywhere a simulator is expected — a whole
@@ -100,6 +168,9 @@ class SimulationCache:
         self.simulator = simulator
         self.max_entries = int(max_entries)
         self.key_digits = int(key_digits)
+        # Binary mantissa resolution equivalent to ``key_digits`` decimal
+        # digits: 2^ceil(digits / log10(2)) — 2^40 for the default 12.
+        self._mantissa_scale = 2.0 ** math.ceil(self.key_digits / math.log10(2.0))
         self.stats = CacheStats()
         self._entries: "OrderedDict[bytes, SimulationResult]" = OrderedDict()
 
@@ -140,8 +211,23 @@ class SimulationCache:
         # Device parameters in netlist insertion order fully determine a
         # deterministic simulator's output; the order is fixed per topology,
         # so the quantized value array (plus the circuit name) is the key.
+        #
+        # The key quantizes the *binary* mantissa to the bit count matching
+        # ``key_digits`` decimal digits.  Binary quantization collapses the
+        # same float noise as decimal rounding, but every operation (frexp,
+        # mantissa shift, round, carry) is exact in float64 — there is no
+        # decade-boundary failure mode and no inexact power-of-ten scale —
+        # and it costs a tenth of a decimal rounding pass, which matters on
+        # a path that must stay well below one simulator call.
         values = netlist.parameter_array()
-        return netlist.name.encode() + quantize_significant(values, self.key_digits).tobytes()
+        mantissas, exponents = np.frexp(values)
+        scaled = np.round(mantissas * self._mantissa_scale)
+        # A mantissa that rounded up to 1.0 (e.g. 0.999...9 at full precision)
+        # is renormalized so it shares the key of the next binade's values.
+        carry = np.abs(scaled) >= self._mantissa_scale
+        scaled = np.where(carry, scaled * 0.5, scaled)
+        exponents = exponents + carry
+        return netlist.name.encode() + scaled.tobytes() + exponents.tobytes()
 
     @staticmethod
     def _copy(result: SimulationResult) -> SimulationResult:

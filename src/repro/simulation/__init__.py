@@ -11,10 +11,16 @@ with from-scratch equivalents:
 """
 
 from repro.simulation.base import CircuitSimulator, SimulationResult
+from repro.simulation.folded_cascode_sim import (
+    FoldedCascodeOperatingPoint,
+    FoldedCascodeSimulator,
+)
 from repro.simulation.gan_hemt import GanHemtModel, GanOperatingPoint
+from repro.simulation.lna_sim import LnaOperatingPoint, LnaSimulator
 from repro.simulation.mna import AcSolution, ConvergenceError, DcSolution, MnaCircuit
 from repro.simulation.mosfet import MosfetModel, OperatingPoint, Region
 from repro.simulation.opamp_sim import OpAmpOperatingPoint, OpAmpSimulator
+from repro.simulation.ota_sim import CmOtaOperatingPoint, CmOtaSimulator
 from repro.simulation.pa_sim import (
     DriverChainResult,
     PaOperatingPoint,
@@ -27,14 +33,20 @@ __all__ = [
     "AcSolution",
     "CMOS_45NM",
     "CircuitSimulator",
+    "CmOtaOperatingPoint",
+    "CmOtaSimulator",
     "CmosTechnology",
     "ConvergenceError",
     "DcSolution",
     "DriverChainResult",
+    "FoldedCascodeOperatingPoint",
+    "FoldedCascodeSimulator",
     "GAN_150NM",
     "GanHemtModel",
     "GanOperatingPoint",
     "GanTechnology",
+    "LnaOperatingPoint",
+    "LnaSimulator",
     "MnaCircuit",
     "MosfetModel",
     "OpAmpOperatingPoint",

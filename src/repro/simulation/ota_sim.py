@@ -1,0 +1,146 @@
+"""Current-mirror OTA performance evaluator.
+
+Analytical square-law evaluator for the topology of
+:mod:`repro.circuits.library.current_mirror_ota`.  The defining property of
+the mirror-loaded OTA is that its output behaviour is set by *strength
+ratios*:
+
+* the PMOS output mirror ratio ``B_up = S6 / S5`` multiplies the signal
+  current sourced into the load, and
+* the three-device sink path ``B_down = (S7 / S4) · (S9 / S8)`` multiplies
+  the current pulled out of it,
+
+so the effective transconductance is ``gm1 · (B_up + B_down) / 2``, the slew
+rate is the smaller mirrored tail current over the load capacitance, and the
+power grows with *both* ratios — the classic drive-versus-power trade-off the
+RL agent must discover.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.circuits.netlist import Netlist
+from repro.simulation.base import SimulationResult
+from repro.simulation.mosfet import MosfetModel
+from repro.simulation.opamp_sim import _parallel
+from repro.simulation.technology import CMOS_45NM, CmosTechnology
+
+#: PMOS devices of the current-mirror OTA netlist (the rest are NMOS).
+_PMOS_DEVICES = ("M4", "M5", "M6", "M7")
+
+
+@dataclass
+class CmOtaOperatingPoint:
+    """Intermediate analog quantities exposed for debugging and tests."""
+
+    tail_current: float
+    mirror_ratio_up: float
+    mirror_ratio_down: float
+    output_source_current: float
+    output_sink_current: float
+    gm1: float
+    effective_gm: float
+    output_resistance: float
+    gain: float
+    unity_gain_bandwidth_hz: float
+    slew_rate: float
+    power_w: float
+
+
+class CmOtaSimulator:
+    """Evaluate the current-mirror OTA netlist into its four specifications."""
+
+    name = "cm_ota_analytic"
+
+    def __init__(
+        self,
+        technology: CmosTechnology = CMOS_45NM,
+        bias_overhead_current: float = 2e-6,
+    ) -> None:
+        self.technology = technology
+        #: Fixed bias-generation overhead added to the supply current (A).
+        self.bias_overhead_current = bias_overhead_current
+
+    def simulate(self, netlist: Netlist) -> SimulationResult:
+        """Return gain, bandwidth (Hz), slew rate (V/s) and power (W)."""
+        op = self.operating_point(netlist)
+        valid = op.tail_current > 0.0 and op.gain > 1.0 and op.slew_rate > 0.0
+        specs = {
+            "gain": float(op.gain),
+            "bandwidth": float(op.unity_gain_bandwidth_hz),
+            "slew_rate": float(op.slew_rate),
+            "power": float(op.power_w),
+        }
+        details = {
+            "tail_current": op.tail_current,
+            "mirror_ratio_up": op.mirror_ratio_up,
+            "mirror_ratio_down": op.mirror_ratio_down,
+            "gm1": op.gm1,
+            "effective_gm": op.effective_gm,
+            "output_resistance": op.output_resistance,
+            "output_source_current": op.output_source_current,
+            "output_sink_current": op.output_sink_current,
+        }
+        return SimulationResult(specs=specs, details=details, valid=valid)
+
+    def operating_point(self, netlist: Netlist) -> CmOtaOperatingPoint:
+        """Compute bias currents, mirror ratios and small-signal parameters."""
+        tech = self.technology
+        models = {
+            name: MosfetModel(
+                tech,
+                "pmos" if name in _PMOS_DEVICES else "nmos",
+                netlist.get_parameter(name, "width"),
+                netlist.get_parameter(name, "fingers"),
+            )
+            for name in ("M1", "M2", "M3", "M4", "M5", "M6", "M7", "M8", "M9")
+        }
+        supply_voltage = netlist.get_parameter("VP", "voltage")
+        tail_bias = netlist.get_parameter("VBIAS", "voltage")
+        load_cap = netlist.get_parameter("CL", "value")
+
+        # --- DC bias: the tail splits evenly, the mirrors scale it --------
+        tail_current = models["M3"].saturation_current(tail_bias - tech.vth_n)
+        branch_current = tail_current / 2.0
+        ratio_up = models["M6"].strength / models["M5"].strength
+        ratio_down = (models["M7"].strength / models["M4"].strength) * (
+            models["M9"].strength / models["M8"].strength
+        )
+        source_current = ratio_up * branch_current
+        sink_current = ratio_down * branch_current
+        power = supply_voltage * (
+            tail_current + source_current + sink_current + self.bias_overhead_current
+        )
+
+        # --- Small signal -------------------------------------------------
+        gm1 = models["M1"].gm_at_current(branch_current)
+        effective_gm = gm1 * 0.5 * (ratio_up + ratio_down)
+        output_resistance = _parallel(
+            models["M6"].ro_at_current(source_current),
+            models["M9"].ro_at_current(sink_current),
+        )
+        gain = (
+            effective_gm * output_resistance if math.isfinite(output_resistance) else 0.0
+        )
+        total_load = load_cap + 20e-15
+        unity_gain_bandwidth = effective_gm / (2.0 * math.pi * total_load)
+        # Large-signal drive: the weaker mirror path limits the output swing
+        # rate into the load capacitor.
+        slew_rate = min(ratio_up, ratio_down) * tail_current / total_load
+
+        return CmOtaOperatingPoint(
+            tail_current=tail_current,
+            mirror_ratio_up=ratio_up,
+            mirror_ratio_down=ratio_down,
+            output_source_current=source_current,
+            output_sink_current=sink_current,
+            gm1=gm1,
+            effective_gm=effective_gm,
+            output_resistance=output_resistance,
+            gain=gain,
+            unity_gain_bandwidth_hz=unity_gain_bandwidth,
+            slew_rate=slew_rate,
+            power_w=power,
+        )

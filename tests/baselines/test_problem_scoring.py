@@ -1,0 +1,50 @@
+"""Spec-incomplete FoM results must score as worst, never as NaN.
+
+``FomReward.figure_of_merit`` degrades to NaN when a simulator omits a
+required spec; a NaN fitness would win every ``np.argmax`` in the search
+baselines, silently reporting the broken candidate as the best design.
+``SizingProblem._score`` therefore maps non-finite FoMs to ``-inf``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import SizingProblem
+from repro.circuits import build_rf_pa
+from repro.env.reward import FomReward
+from repro.simulation.base import SimulationResult
+
+
+class _SpecDroppingSimulator:
+    """Marks results valid but omits 'efficiency' for one parameter value."""
+
+    name = "spec_dropping"
+
+    def simulate(self, netlist):
+        width = netlist.get_parameter("M1", "width")
+        specs = {"output_power": 2.5, "efficiency": 0.55}
+        if width > 50e-6:
+            del specs["efficiency"]
+        return SimulationResult(specs=specs, details={}, valid=True)
+
+
+def test_incomplete_fom_scores_minus_inf_not_nan():
+    benchmark = build_rf_pa()
+    problem = SizingProblem(
+        benchmark, _SpecDroppingSimulator(), fom_reward=FomReward(benchmark.spec_space)
+    )
+    width_index = benchmark.design_space.names.index("M1.width")
+    healthy = benchmark.design_space.center()
+    healthy[width_index] = 20e-6
+    broken = healthy.copy()
+    broken[width_index] = 100e-6
+
+    good = problem.objective(healthy)
+    bad = problem.objective(broken)
+    assert np.isfinite(good)
+    assert bad == -np.inf
+
+    # The argmax selection every baseline uses must pick the healthy design.
+    fitness = np.array([bad, good])
+    assert int(np.argmax(fitness)) == 1

@@ -1,0 +1,88 @@
+"""Construction-time validation of benchmark initial sizings (PR 3 bugfix).
+
+``CircuitBenchmark.__post_init__`` must reject out-of-range initial values
+(pre-existing behaviour) and additionally ensure the initial sizing sits on
+the design-space grid — an off-grid start would be silently moved by the
+environment's first snap, so the benchmark's claimed initial design would
+never actually be simulated.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.circuits import BENCHMARK_BUILDERS, CircuitBenchmark, Netlist, nmos
+from repro.circuits.parameters import DesignParameter, DesignSpace
+from repro.circuits.specs import Objective, Specification, SpecificationSpace
+
+
+def _benchmark_with_initial_width(width: float) -> CircuitBenchmark:
+    netlist = Netlist("grid_probe")
+    netlist.add_device(nmos("M1", drain="d", gate="g", source="s", width=width, fingers=2))
+    space = DesignSpace(
+        [
+            DesignParameter(
+                name="M1.width", device="M1", attribute="width",
+                minimum=1e-6, maximum=100e-6, step=1e-6,
+            )
+        ]
+    )
+    specs = SpecificationSpace([Specification("gain", 1.0, 2.0, Objective.MAXIMIZE)])
+    return CircuitBenchmark(
+        name="grid_probe", technology="45nm CMOS",
+        netlist=netlist, design_space=space, spec_space=specs,
+    )
+
+
+class TestGridValidation:
+    def test_on_grid_initial_accepted_silently(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            benchmark = _benchmark_with_initial_width(40e-6)
+        stored = benchmark.netlist.get_parameter("M1", "width")
+        # The stored value is the grid's own arithmetic for the point (the
+        # literal 40e-6 differs from min + 39*step by representation noise),
+        # so the environment's first snap is a no-op.
+        parameter = benchmark.design_space["M1.width"]
+        assert stored == parameter.snap(stored) == parameter.snap(40e-6)
+
+    def test_representation_noise_normalized_silently(self):
+        # One ulp off the grid point is representation noise: normalized
+        # without a warning.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            benchmark = _benchmark_with_initial_width(np.nextafter(40e-6, 1.0))
+        stored = benchmark.netlist.get_parameter("M1", "width")
+        assert stored == benchmark.design_space["M1.width"].snap(40e-6)
+
+    def test_off_grid_initial_snaps_with_warning(self):
+        with pytest.warns(UserWarning, match="off the design-space grid"):
+            benchmark = _benchmark_with_initial_width(40.4e-6)
+        # The netlist now holds the snapped value, so the first environment
+        # snap is a no-op.
+        snapped = benchmark.netlist.get_parameter("M1", "width")
+        assert snapped == benchmark.design_space["M1.width"].snap(40.4e-6)
+
+    def test_out_of_range_initial_still_rejected(self):
+        with pytest.raises(ValueError, match="outside"):
+            _benchmark_with_initial_width(500e-6)
+
+    @pytest.mark.parametrize("circuit", sorted(BENCHMARK_BUILDERS))
+    def test_every_library_circuit_constructs_warning_free(self, circuit):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            benchmark = BENCHMARK_BUILDERS[circuit]()
+        values = benchmark.design_space.vector_from_netlist(benchmark.netlist)
+        assert np.array_equal(values, benchmark.design_space.snap_vector(values))
+
+    @pytest.mark.parametrize("circuit", sorted(BENCHMARK_BUILDERS))
+    def test_first_environment_snap_is_a_noop(self, circuit):
+        """The historical symptom: reset()'s snap must not move the point."""
+        benchmark = BENCHMARK_BUILDERS[circuit]()
+        initial = benchmark.design_space.vector_from_netlist(benchmark.netlist)
+        netlist = benchmark.fresh_netlist()
+        written = benchmark.design_space.apply_to_netlist(netlist, initial)
+        assert np.array_equal(written, initial)

@@ -103,6 +103,83 @@ class TestFomReward:
             FomReward(spec_space, power_reference=0.0)
 
 
+class TestMissingAndNanSpecs:
+    """A result marked valid but missing/NaN on required specs must take the
+    invalid-penalty path instead of raising (simulation-cache and reward
+    hardening, PR 3)."""
+
+    def test_p2s_empty_measured_dict(self, spec_space):
+        reward = P2SReward(spec_space)
+        outcome = reward({}, {"gain": 400.0, "power": 5e-3}, valid=True)
+        assert outcome.reward == -len(spec_space)
+        assert not outcome.goal_reached
+        assert outcome.met_fraction == 0.0
+        assert outcome.normalized_errors == {"gain": -1.0, "power": -1.0}
+
+    def test_p2s_partially_missing_specs(self, spec_space):
+        reward = P2SReward(spec_space)
+        outcome = reward({"gain": 450.0}, {"gain": 400.0, "power": 5e-3})
+        assert outcome.reward == -len(spec_space)
+        assert outcome.normalized_errors["gain"] >= 0.0
+        assert outcome.normalized_errors["power"] == -1.0
+
+    def test_p2s_nan_measured_value(self, spec_space):
+        reward = P2SReward(spec_space)
+        outcome = reward(
+            {"gain": float("nan"), "power": 1e-3}, {"gain": 400.0, "power": 5e-3}
+        )
+        assert outcome.reward == -len(spec_space)
+        assert not outcome.goal_reached
+
+    def test_p2s_infinite_measured_value(self, spec_space):
+        reward = P2SReward(spec_space)
+        outcome = reward(
+            {"gain": float("inf"), "power": 1e-3}, {"gain": 400.0, "power": 5e-3}
+        )
+        assert outcome.reward == -len(spec_space)
+
+    def test_p2s_nan_target_value(self, spec_space):
+        reward = P2SReward(spec_space)
+        outcome = reward(
+            {"gain": 450.0, "power": 1e-3}, {"gain": float("nan"), "power": 5e-3}
+        )
+        assert outcome.reward == -len(spec_space)
+
+    def test_p2s_missing_target_key_raises(self, spec_space):
+        """Targets are caller input: a typo'd spec name must stay loud."""
+        reward = P2SReward(spec_space)
+        with pytest.raises(KeyError, match="missing target"):
+            reward({"gain": 450.0, "power": 1e-3}, {"gian": 400.0, "power": 5e-3})
+
+    def test_fom_empty_measured_dict(self, spec_space):
+        reward = FomReward(spec_space)
+        outcome = reward({}, valid=True)
+        assert outcome.reward == reward.invalid_penalty
+        assert not outcome.goal_reached
+
+    def test_fom_missing_efficiency(self, spec_space):
+        reward = FomReward(spec_space)
+        outcome = reward({"output_power": 2.5}, valid=True)
+        assert outcome.reward == reward.invalid_penalty
+
+    def test_fom_nan_spec_value(self, spec_space):
+        reward = FomReward(spec_space)
+        outcome = reward({"output_power": float("nan"), "efficiency": 0.55})
+        assert outcome.reward == reward.invalid_penalty
+
+    def test_fom_figure_of_merit_nan_on_missing(self, spec_space):
+        import math
+
+        reward = FomReward(spec_space)
+        assert math.isnan(reward.figure_of_merit({"output_power": 2.5}))
+        assert math.isnan(reward.figure_of_merit({}))
+
+    def test_valid_path_unchanged(self, spec_space):
+        reward = P2SReward(spec_space)
+        outcome = reward({"gain": 450.0, "power": 1e-3}, {"gain": 400.0, "power": 5e-3})
+        assert outcome.reward == GOAL_BONUS
+
+
 @settings(max_examples=40, deadline=None)
 @given(
     gain=st.floats(min_value=1.0, max_value=1e4),

@@ -30,6 +30,10 @@ EXAMPLE_ARGS = {
         "--num-envs", "4", "--episodes", "4", "--search-budget", "12",
         "--sl-samples", "40", "--sl-epochs", "2",
     ],
+    "topology_zoo.py": [
+        "--episodes", "4", "--search-budget", "8",
+        "--circuits", "two_stage_opamp", "common_source_lna",
+    ],
 }
 
 

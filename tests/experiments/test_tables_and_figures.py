@@ -6,13 +6,16 @@ import numpy as np
 import pytest
 
 from repro import make_optimizer
+from repro.circuits import BENCHMARK_BUILDERS
 from repro.experiments import (
     FIG5_OPAMP_TARGET,
     FIG5_RF_PA_TARGET,
     FIG6_OPAMP_UNSEEN_TARGET,
     FIG6_RF_PA_UNSEEN_TARGET,
+    build_circuit_zoo,
     build_table1,
     default_target,
+    format_circuit_zoo,
     format_table1,
     run_optimization_curves,
     smoke_scale,
@@ -23,7 +26,9 @@ from repro.experiments.figures import evaluate_optimizer_accuracy
 class TestTable1:
     def test_structure_and_values(self):
         table = build_table1()
-        assert set(table) == {"two_stage_opamp", "rf_pa"}
+        # Table 1 now covers the whole library: the paper's two benchmarks
+        # plus the topology zoo.
+        assert set(table) == set(BENCHMARK_BUILDERS)
         assert table["two_stage_opamp"]["num_device_parameters"] == 15
         assert table["rf_pa"]["num_device_parameters"] == 14
         assert table["two_stage_opamp"]["technology"] == "45nm CMOS"
@@ -33,11 +38,37 @@ class TestTable1:
         pa_specs = table["rf_pa"]["specifications"]
         assert pa_specs["output_power"]["min"] == 2.0 and pa_specs["output_power"]["max"] == 3.0
 
-    def test_format_table1_mentions_both_circuits(self):
+    def test_format_table1_mentions_every_circuit(self):
         text = format_table1()
-        assert "two_stage_opamp" in text
-        assert "rf_pa" in text
+        for circuit in BENCHMARK_BUILDERS:
+            assert circuit in text
         assert "45nm CMOS" in text and "150nm GaN" in text
+
+
+class TestCircuitZooTable:
+    def test_rows_cover_the_library(self):
+        rows = build_circuit_zoo()
+        assert [row["circuit"] for row in rows] == list(BENCHMARK_BUILDERS)
+        by_name = {row["circuit"]: row for row in rows}
+        assert by_name["folded_cascode"]["num_device_parameters"] == 22
+        assert by_name["current_mirror_ota"]["num_device_parameters"] == 18
+        assert by_name["common_source_lna"]["num_device_parameters"] == 6
+        assert by_name["common_source_lna"]["num_specifications"] == 3
+        for row in rows:
+            assert row["env_ids"], f"{row['circuit']} has no registered env IDs"
+
+    def test_env_id_column_tracks_the_registry(self):
+        rows = {row["circuit"]: row for row in build_circuit_zoo()}
+        assert "folded_cascode-p2s-v0" in rows["folded_cascode"]["env_ids"]
+        assert "folded_cascode-random-v0" in rows["folded_cascode"]["env_ids"]
+        assert "rf_pa-fine-v0" in rows["rf_pa"]["env_ids"]
+
+    def test_markdown_rendering(self):
+        text = format_circuit_zoo()
+        assert text.startswith("| circuit |")
+        for circuit in BENCHMARK_BUILDERS:
+            assert circuit in text
+        assert "`common_source_lna-p2s-v0`" in text
 
 
 class TestFigureTargets:

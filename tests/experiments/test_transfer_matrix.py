@@ -1,0 +1,95 @@
+"""Cross-topology transfer: weight-transfer primitive and matrix harness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.agents.transfer import transfer_policy_parameters
+from repro.experiments import ZOO_TRANSFER_CIRCUITS, run_transfer_matrix, smoke_scale
+from repro.experiments.training import CIRCUIT_ENV_IDS
+
+
+class TestTransferPolicyParameters:
+    def _policies(self):
+        source_env = repro.make_env("opamp-p2s-v0", seed=0)
+        target_env = repro.make_env("folded_cascode-p2s-v0", seed=0)
+        source = repro.make_policy("gcn_fc", source_env, np.random.default_rng(0))
+        target = repro.make_policy("gcn_fc", target_env, np.random.default_rng(1))
+        return source, target
+
+    def test_graph_branch_transfers_across_topologies(self):
+        source, target = self._policies()
+        copied = transfer_policy_parameters(source, target)
+        assert any("graph_encoder" in name for name in copied)
+        source_state = source.state_dict()
+        for name in copied:
+            value = dict(target.named_parameters())[name].data
+            assert np.array_equal(value, source_state[name])
+
+    def test_shape_mismatched_heads_keep_initialization(self):
+        source, target = self._policies()
+        before = {
+            name: parameter.data.copy() for name, parameter in target.named_parameters()
+        }
+        copied = set(transfer_policy_parameters(source, target))
+        for name, parameter in target.named_parameters():
+            if name not in copied:
+                assert np.array_equal(parameter.data, before[name])
+
+    def test_identical_topologies_transfer_everything(self):
+        env = repro.make_env("folded_cascode-p2s-v0", seed=0)
+        source = repro.make_policy("gcn_fc", env, np.random.default_rng(0))
+        target = repro.make_policy("gcn_fc", env, np.random.default_rng(1))
+        copied = transfer_policy_parameters(source, target)
+        assert len(copied) == len(list(target.named_parameters()))
+
+
+class TestTransferMatrix:
+    def test_zoo_matrix_covers_four_topologies(self):
+        assert len(ZOO_TRANSFER_CIRCUITS) == 4
+        for circuit in ZOO_TRANSFER_CIRCUITS:
+            assert circuit in CIRCUIT_ENV_IDS
+
+    def test_smoke_matrix_run(self):
+        matrix = run_transfer_matrix(
+            circuits=("two_stage_opamp", "common_source_lna"),
+            method="gcn_fc",
+            scale=smoke_scale(),
+            seed=0,
+            fine_tune_episodes=4,
+            include_scratch=True,
+            eval_targets=2,
+        )
+        assert len(matrix.cells) == 2
+        for cell in matrix.cells:
+            assert cell.num_transferred > 0
+            assert 0.0 < cell.transferred_fraction <= 1.0
+            assert 0.0 <= cell.accuracy <= 1.0
+            assert cell.scratch_accuracy is not None
+            assert cell.transfer_gain is not None
+        text = matrix.as_text()
+        assert "two_stage_opamp" in text and "common_source_lna" in text
+        assert matrix.cell("two_stage_opamp", "common_source_lna").target == (
+            "common_source_lna"
+        )
+        with pytest.raises(KeyError):
+            matrix.cell("two_stage_opamp", "rf_pa")
+
+    def test_zero_shot_matrix_skips_fine_tuning(self):
+        matrix = run_transfer_matrix(
+            circuits=("two_stage_opamp", "common_source_lna"),
+            method="baseline_a",
+            scale=smoke_scale(),
+            seed=0,
+            fine_tune_episodes=0,
+            eval_targets=2,
+        )
+        for cell in matrix.cells:
+            assert cell.scratch_accuracy is None
+            assert cell.transfer_gain is None
+
+    def test_requires_two_circuits(self):
+        with pytest.raises(ValueError):
+            run_transfer_matrix(circuits=("two_stage_opamp",), scale=smoke_scale())
