@@ -1,0 +1,90 @@
+"""Orchestrated sweep wall-clock: cold vs warm persistent simulation cache.
+
+The ``repro.orchestrate`` value proposition for repeated experimentation is
+that the :class:`repro.parallel.DiskSimulationCache` outlives processes and
+runs: a re-executed sweep (fresh artifact store, so every unit really runs
+again) should spend almost nothing in the simulator because every design
+point it visits was persisted by the previous run.  This bench records, on
+the RF PA fine simulator (the most expensive evaluator in the repo, so the
+cache margin is physical rather than noise):
+
+* ``cold_s``   — sweep wall-clock with an empty disk cache,
+* ``warm_s``   — same sweep, fresh store, pre-populated disk cache,
+* ``resume_s`` — same sweep, same store: every unit skipped via artifacts,
+
+plus the warm run's cache hit statistics, into the CI benchmark JSON.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.orchestrate import SweepConfig, run_sweep
+
+#: Simulator-call budget per search unit (RF PA fine: ~0.3 ms per call, so
+#: the sweep's simulation time dominates per-unit fixed costs).
+BUDGET = 150
+
+
+def _sweep(disk_cache) -> SweepConfig:
+    return SweepConfig(
+        name="bench-orchestrator",
+        optimizers=["random", {"id": "genetic", "params": {"population_size": 10}}],
+        envs=["rf_pa-fine-v0"],
+        seeds=[0, 1],
+        budget=BUDGET,
+        disk_cache=str(disk_cache),
+    )
+
+
+def test_warm_disk_cache_sweep_beats_cold(benchmark, tmp_path):
+    cache_dir = tmp_path / "sim_cache"
+
+    def run():
+        timings = {}
+        start = time.perf_counter()
+        cold = run_sweep(_sweep(cache_dir), store=tmp_path / "store_cold",
+                         workers=1)
+        timings["cold_s"] = time.perf_counter() - start
+        assert cold.ok
+
+        start = time.perf_counter()
+        warm = run_sweep(_sweep(cache_dir), store=tmp_path / "store_warm",
+                         workers=1)
+        timings["warm_s"] = time.perf_counter() - start
+        assert warm.ok
+
+        start = time.perf_counter()
+        resume = run_sweep(_sweep(cache_dir), store=tmp_path / "store_warm",
+                           workers=1)
+        timings["resume_s"] = time.perf_counter() - start
+        assert resume.ok and not resume.executed
+
+        # Warm-run correctness: bit-identical results, zero real simulations.
+        warm_cache = {}
+        for cold_record, warm_record in zip(cold.records, warm.records):
+            assert warm_record.result["result"] == cold_record.result["result"]
+            stats = warm_record.result["cache"]
+            warm_cache[warm_record.unit_id] = stats
+            assert stats["misses"] == 0, "warm sweep must simulate nothing"
+            assert stats["disk_hits"] > 0
+        timings["warm_cache"] = warm_cache
+        return timings
+
+    timings = benchmark.pedantic(run, rounds=1, iterations=1)
+    total_disk_hits = sum(s["disk_hits"] for s in timings["warm_cache"].values())
+    benchmark.extra_info.update(
+        {
+            "budget": BUDGET,
+            "num_units": 4,
+            "cold_s": round(timings["cold_s"], 4),
+            "warm_s": round(timings["warm_s"], 4),
+            "resume_s": round(timings["resume_s"], 4),
+            "warm_speedup": round(timings["cold_s"] / timings["warm_s"], 2),
+            "warm_disk_hits": total_disk_hits,
+        }
+    )
+    # The acceptance bar: a warm (disk-cache-hit) sweep is faster than a cold
+    # one, and serving units from the artifact store is faster still.
+    assert timings["warm_s"] < timings["cold_s"]
+    assert timings["resume_s"] < timings["warm_s"]

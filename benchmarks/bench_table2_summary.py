@@ -18,7 +18,6 @@ require the full training budget — see EXPERIMENTS.md.
 from __future__ import annotations
 
 from repro.experiments import build_table2
-from repro.experiments.configs import RL_METHODS
 
 
 def test_table2_regeneration(benchmark, scale):

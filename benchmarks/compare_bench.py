@@ -1,0 +1,145 @@
+"""Benchmark-regression gate: diff a fresh bench.json against the baseline.
+
+CI's ``benchmarks-smoke`` job runs the reduced benchmark suite with
+``--benchmark-json=bench.json`` and then::
+
+    python benchmarks/compare_bench.py BENCH_baseline.json bench.json
+
+The gate fails (exit 1) when any benchmark's throughput (pytest-benchmark's
+``stats.ops``, operations per second) regresses by more than ``--threshold``
+(default 25 %) relative to the committed ``BENCH_baseline.json``.  Speedups
+and sub-threshold drift only update the printed trajectory; benchmarks added
+since the baseline are reported as new (not failures), and benchmarks that
+*disappeared* fail the gate — deleting a workload should be deliberate
+(regenerate the baseline in the same PR).
+
+Hardware normalization: raw ops ratios are divided by the *median* ratio
+across the suite before gating, so a uniformly faster or slower machine
+(baseline measured on one box, CI measuring on another, runner-generation
+churn) cancels out and only benchmarks that regressed *relative to the rest
+of the suite* trip the gate.  The deliberate blind spot: a change that
+slows every benchmark by the same factor is attributed to hardware — pass
+``--absolute`` to gate on raw ratios instead, appropriate once the baseline
+is regenerated on the runner class that executes the gate.
+
+Numeric ``extra_info`` metrics (the per-benchmark measured quantities like
+``cached_steps_per_s`` or ``warm_speedup``) are printed for context but not
+gated: they track shapes and ratios whose variance CI runners cannot bound
+as tightly as whole-benchmark wall-clock.
+
+Update the baseline::
+
+    python -m pytest benchmarks -q --benchmark-json=BENCH_baseline.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from statistics import median
+from typing import Dict, Optional, Sequence
+
+
+def load_benchmarks(path: str) -> Dict[str, dict]:
+    """fullname -> benchmark entry of one pytest-benchmark JSON document."""
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    benchmarks = document.get("benchmarks")
+    if not isinstance(benchmarks, list):
+        raise ValueError(f"{path}: not a pytest-benchmark JSON document")
+    return {entry["fullname"]: entry for entry in benchmarks}
+
+
+def throughput(entry: dict) -> Optional[float]:
+    ops = entry.get("stats", {}).get("ops")
+    return float(ops) if ops else None
+
+
+def compare(
+    baseline: Dict[str, dict],
+    fresh: Dict[str, dict],
+    threshold: float,
+    absolute: bool = False,
+) -> int:
+    """Print the trajectory; return the number of gate violations."""
+    ratios = {}
+    for name in set(baseline) & set(fresh):
+        base_ops, fresh_ops = throughput(baseline[name]), throughput(fresh[name])
+        if base_ops and fresh_ops:
+            ratios[name] = fresh_ops / base_ops
+    # The suite-wide median ratio estimates the machine-speed difference
+    # between the baseline box and this one; gating on the normalized ratio
+    # catches benchmarks that regressed relative to the rest of the suite.
+    scale = 1.0 if absolute or not ratios else median(ratios.values())
+    if not absolute and ratios:
+        print(f"suite median throughput ratio {scale:.2f}x "
+              "(machine-speed normalization; --absolute disables)")
+
+    violations = 0
+    width = max((len(name) for name in baseline), default=20) + 2
+    print(f"{'benchmark':<{width}s} {'baseline':>12s} {'fresh':>12s} {'rel':>8s}")
+    for name in sorted(set(baseline) | set(fresh)):
+        if name not in fresh:
+            print(f"{name:<{width}s} {'(missing from fresh run)':>34s}  FAIL")
+            violations += 1
+            continue
+        if name not in baseline:
+            print(f"{name:<{width}s} {'(new, no baseline)':>34s}")
+            continue
+        if name not in ratios:
+            print(f"{name:<{width}s} {'(no throughput stats)':>34s}")
+            continue
+        relative = ratios[name] / scale
+        verdict = ""
+        if relative < 1.0 - threshold:
+            verdict = f"  FAIL (>{threshold:.0%} regression)"
+            violations += 1
+        base_ops, fresh_ops = throughput(baseline[name]), throughput(fresh[name])
+        print(f"{name:<{width}s} {base_ops:>10.3f}/s {fresh_ops:>10.3f}/s "
+              f"{relative:>7.2f}x{verdict}")
+        extra = {
+            key: value
+            for key, value in fresh[name].get("extra_info", {}).items()
+            if isinstance(value, (int, float))
+        }
+        if extra:
+            rendered = ", ".join(f"{key}={value:g}" for key, value in sorted(extra.items()))
+            print(f"{'':<{width}s}   {rendered}")
+    return violations
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed baseline JSON (BENCH_baseline.json)")
+    parser.add_argument("fresh", help="freshly measured JSON (bench.json)")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="maximum tolerated throughput regression "
+                             "(fraction, default 0.25)")
+    parser.add_argument("--absolute", action="store_true",
+                        help="gate on raw ops ratios instead of "
+                             "median-normalized ones (requires a baseline "
+                             "measured on the same runner class)")
+    args = parser.parse_args(argv)
+    if not 0.0 < args.threshold < 1.0:
+        print("error: --threshold must be a fraction in (0, 1)", file=sys.stderr)
+        return 2
+    try:
+        baseline = load_benchmarks(args.baseline)
+        fresh = load_benchmarks(args.fresh)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    violations = compare(baseline, fresh, args.threshold, absolute=args.absolute)
+    if violations:
+        print(f"\n{violations} benchmark(s) regressed beyond the "
+              f"{args.threshold:.0%} threshold", file=sys.stderr)
+        return 1
+    print(f"\nno regressions beyond {args.threshold:.0%} "
+          f"({len(fresh)} benchmarks checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,23 +1,28 @@
-"""Head-to-head: every method family through ONE shared optimize() loop.
+"""Head-to-head: every method family through ONE orchestrated sweep.
 
 For a single target specification group on the two-stage op-amp, every
 registered optimizer — genetic algorithm, Bayesian optimization, random
 search, the supervised one-shot sizer, and the PPO-trained RL policy — runs
-through the identical :class:`repro.api.Optimizer` protocol::
+as one work unit of a declarative :class:`repro.SweepConfig`, executed by
+the ``repro.orchestrate`` run manager::
 
-    result = repro.make_optimizer(method).optimize(env, budget, seed, target_specs=TARGET)
+    sweep = repro.SweepConfig(optimizers=[...], envs=["opamp-p2s-v0"], ...)
+    result = repro.run_sweep(sweep, store=..., workers=...)
 
 and reports how many simulator calls it needed and whether the design met
 all specifications — the per-design view of Table 2's accuracy/efficiency
-trade-off.  Per-method knobs are data (the ``METHODS`` table below), not
-separate code paths.
+trade-off.  Per-method knobs are data (the ``METHODS`` table below, with
+each method's budget riding in its ``OptimizerConfig.params``), not separate
+code paths.  Re-running with the same ``--store`` skips every completed
+method via the artifact store.
 
-Run with:  python examples/baselines_comparison.py [--episodes N] [--search-budget N]
+Run with:  python examples/baselines_comparison.py [--episodes N] [--workers N]
 """
 
 from __future__ import annotations
 
 import argparse
+import tempfile
 
 import repro
 
@@ -36,24 +41,59 @@ def method_table(args: argparse.Namespace):
 
 
 def main(args: argparse.Namespace) -> None:
-    env = repro.make_env("opamp-p2s-v0", seed=0)
+    repro.seed_everything(args.seed)
     methods = method_table(args)
-    rows = []
+    labels = {method: label for method, label, _, _ in methods}
 
-    print(f"Target specification group: {TARGET}\n")
-    for index, (method, label, budget, params) in enumerate(methods, start=1):
-        print(f"[{index}/{len(methods)}] {label} (budget {budget}) ...")
-        optimizer = repro.make_optimizer(method, **params)
-        result = optimizer.optimize(env, budget=budget, seed=0, target_specs=TARGET)
-        rows.append((label, result.num_simulations, result.success))
+    sweep = repro.SweepConfig(
+        name="baselines-comparison",
+        optimizers=[
+            repro.OptimizerConfig(method, {**params, "budget": budget})
+            for method, _, budget, params in methods
+        ],
+        envs=[repro.EnvConfig("opamp-p2s-v0", {"seed": args.seed})],
+        seeds=[args.seed],
+        target_specs=TARGET,
+    )
+    store = args.store or tempfile.mkdtemp(prefix="baselines_comparison_")
+
+    print(f"Target specification group: {TARGET}")
+    print(f"Sweep: {sweep.num_units} units -> artifact store {store}\n")
+
+    progress = {"done": 0}
+
+    def on_progress(event, record):
+        progress["done"] += 1
+        method = record.payload["run"]["optimizer"]["id"]
+        state = "skipped (artifact store)" if event == "skipped" else event
+        print(f"[{progress['done']}/{sweep.num_units}] "
+              f"{labels.get(method, method)} ... {state}")
+
+    result = repro.run_sweep(
+        sweep, store=store, workers=args.workers, on_progress=on_progress
+    )
 
     print("\nPer-design comparison (simulator calls to produce one design):")
     print(f"  {'method':<26s} {'simulator calls':>16s} {'all specs met':>14s}")
-    for name, calls, success in rows:
-        print(f"  {name:<26s} {calls:>16d} {str(bool(success)):>14s}")
+    for record in result.records:
+        method = record.payload["run"]["optimizer"]["id"]
+        if not record.completed:
+            print(f"  {labels.get(method, method):<26s} {'FAILED':>16s} {'-':>14s}")
+            continue
+        summary = record.result["result"]
+        print(f"  {labels.get(method, method):<26s} "
+              f"{summary['num_simulations']:>16d} "
+              f"{str(bool(summary['success'])):>14s}")
+    if result.failed:
+        for unit_id in result.failed:
+            error = (result.record(unit_id).error or "").strip().splitlines()
+            print(f"\n{unit_id} failed: {error[-1] if error else 'unknown error'}")
+        raise SystemExit(1)
     print("\nNote: the RL row excludes the one-off training cost, exactly as in the paper —")
     print("once trained, the policy is reused for every new specification group.")
     print("The supervised row likewise excludes its offline dataset generation.")
+    print(f"\nArtifacts: {result.store_root} — re-run with --store {store!r} to skip "
+          "completed methods.")
 
 
 if __name__ == "__main__":
@@ -66,4 +106,10 @@ if __name__ == "__main__":
                         help="training designs for the supervised sizer")
     parser.add_argument("--sl-epochs", type=int, default=60,
                         help="training epochs for the supervised sizer")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="seed routed through repro.seed_everything")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes for the sweep")
+    parser.add_argument("--store", default=None,
+                        help="artifact-store directory (default: fresh temp dir)")
     main(parser.parse_args())

@@ -16,26 +16,28 @@ from __future__ import annotations
 
 import argparse
 
+from repro.api import seed_everything
 from repro.experiments import run_fom_optimizer, run_fom_training
 from repro.experiments.configs import bench_scale
 
 
-def main(episodes: int, ga_budget: int, bo_budget: int) -> None:
+def main(episodes: int, ga_budget: int, bo_budget: int, seed: int = 0) -> None:
+    seed_everything(seed)
     scale = bench_scale()
     print(f"FoM definition: P + 3*E (paper Sec. 4); upper bound with this substrate ~6.1")
 
     print(f"\n[1/3] Training GCN-FC with the FoM reward for {episodes} episodes ...")
-    rl_result = run_fom_training("gcn_fc", scale=scale, seed=0, total_episodes=episodes)
+    rl_result = run_fom_training("gcn_fc", scale=scale, seed=seed, total_episodes=episodes)
     print(f"  best FoM (fine simulator)   : {rl_result.best_fom:.3f}")
     print(f"  at Pout = {rl_result.final_specs.get('output_power', float('nan')):.2f} W, "
           f"efficiency = {rl_result.final_specs.get('efficiency', float('nan')):.1%}")
 
     print("\n[2/3] Genetic Algorithm maximizing the FoM ...")
-    ga = run_fom_optimizer("genetic_algorithm", seed=0, budget=ga_budget)
+    ga = run_fom_optimizer("genetic_algorithm", seed=seed, budget=ga_budget)
     print(f"  best FoM: {ga.best_fom:.3f}   ({ga.num_simulations} simulations)")
 
     print("\n[3/3] Bayesian Optimization maximizing the FoM ...")
-    bo = run_fom_optimizer("bayesian_optimization", seed=0, budget=bo_budget)
+    bo = run_fom_optimizer("bayesian_optimization", seed=seed, budget=bo_budget)
     print(f"  best FoM: {bo.best_fom:.3f}   ({bo.num_simulations} simulations)")
 
     print("\nSummary (paper-scale reference values: GAT-FC 3.25, GCN-FC 3.18, "
@@ -56,5 +58,7 @@ if __name__ == "__main__":
                         help="simulator-call budget for the genetic algorithm")
     parser.add_argument("--bo-budget", type=int, default=60,
                         help="simulator-call budget for Bayesian optimization")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="seed routed through repro.seed_everything")
     args = parser.parse_args()
-    main(args.episodes, args.ga_budget, args.bo_budget)
+    main(args.episodes, args.ga_budget, args.bo_budget, args.seed)

@@ -14,32 +14,32 @@ import argparse
 
 import numpy as np
 
-from repro import make_env, make_policy
+from repro import make_env, make_policy, seed_everything
 from repro.agents import PPOTrainer, deploy_policy, evaluate_deployment
 from repro.experiments import FIG5_OPAMP_TARGET, rl_hyperparameters
 
 
-def main(episodes: int, eval_targets: int) -> None:
-    env = make_env("opamp-p2s-v0", seed=0)
-    rng = np.random.default_rng(0)
+def main(episodes: int, eval_targets: int, seed: int = 0) -> None:
+    rng = seed_everything(seed)
+    env = make_env("opamp-p2s-v0", seed=seed)
     policy = make_policy("gcn_fc", env, rng)
     hyper = rl_hyperparameters("two_stage_opamp")
 
     print(f"Training GCN-FC policy for {episodes} episodes "
           f"(paper scale: 35,000 episodes) ...")
-    trainer = PPOTrainer(env, policy, config=hyper["ppo"], seed=0, method_name="gcn_fc")
+    trainer = PPOTrainer(env, policy, config=hyper["ppo"], seed=seed, method_name="gcn_fc")
     history = trainer.train(total_episodes=episodes, episodes_per_update=10)
     print(f"  final mean episode reward : {history.final_mean_reward:8.2f}")
     print(f"  final mean episode length : {history.final_mean_length:8.1f}")
 
     print(f"\nEvaluating deployment accuracy on {eval_targets} sampled spec groups ...")
-    evaluation = evaluate_deployment(env, policy, num_targets=eval_targets, seed=123)
+    evaluation = evaluate_deployment(env, policy, num_targets=eval_targets, seed=seed + 123)
     print(f"  design accuracy  : {evaluation.accuracy:.0%}")
     print(f"  mean design steps: {evaluation.mean_steps:.1f}")
 
     print("\nDeployment example toward the Fig. 5 target group:")
     print(f"  targets: {FIG5_OPAMP_TARGET}")
-    result = deploy_policy(env, policy, FIG5_OPAMP_TARGET, rng=np.random.default_rng(1))
+    result = deploy_policy(env, policy, FIG5_OPAMP_TARGET, rng=np.random.default_rng(seed + 1))
     header = f"  {'step':>4s} {'gain':>9s} {'bandwidth':>12s} {'PM (deg)':>9s} {'power (W)':>11s}"
     print(header)
     for record in result.trajectory.records:
@@ -56,5 +56,7 @@ if __name__ == "__main__":
                         help="training episodes (default 200; paper uses 35000)")
     parser.add_argument("--eval-targets", type=int, default=20,
                         help="number of spec groups for the accuracy evaluation")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="seed routed through repro.seed_everything")
     args = parser.parse_args()
-    main(args.episodes, args.eval_targets)
+    main(args.episodes, args.eval_targets, args.seed)

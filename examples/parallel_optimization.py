@@ -57,7 +57,8 @@ def cache_column(result) -> str:
 
 
 def main(args: argparse.Namespace) -> None:
-    env = repro.make_env("opamp-p2s-v0", seed=0)
+    repro.seed_everything(args.seed)
+    env = repro.make_env("opamp-p2s-v0", seed=args.seed)
     rows = []
 
     print(f"Vector path: every optimizer with vectorize={args.num_envs}")
@@ -65,7 +66,7 @@ def main(args: argparse.Namespace) -> None:
     for index, (method, label, budget, params) in enumerate(method_table(args), start=1):
         print(f"[{index}/5] {label} (budget {budget}, vectorize {args.num_envs}) ...")
         optimizer = repro.make_optimizer(method, vectorize=args.num_envs, **params)
-        result = optimizer.optimize(env, budget=budget, seed=0, target_specs=TARGET)
+        result = optimizer.optimize(env, budget=budget, seed=args.seed, target_specs=TARGET)
         rows.append((label, result.num_simulations, result.success, cache_column(result)))
 
     print("\nPer-design comparison through the num_envs=%d vector path:" % args.num_envs)
@@ -95,4 +96,6 @@ if __name__ == "__main__":
                         help="training designs for the supervised sizer")
     parser.add_argument("--sl-epochs", type=int, default=60,
                         help="training epochs for the supervised sizer")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="seed routed through repro.seed_everything")
     main(parser.parse_args())

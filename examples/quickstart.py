@@ -22,13 +22,12 @@ from __future__ import annotations
 
 import argparse
 
-import numpy as np
-
 import repro
 from repro.experiments import format_table1
 
 
-def main(budget: int) -> None:
+def main(budget: int, seed: int = 0) -> None:
+    rng = repro.seed_everything(seed)
     print("=" * 72)
     print("Discovery: the component catalog")
     print("=" * 72)
@@ -47,11 +46,10 @@ def main(budget: int) -> None:
     print("=" * 72)
     print("Interacting with an environment built by string ID")
     print("=" * 72)
-    env = repro.make_env("opamp-p2s-v0", seed=0)
+    env = repro.make_env("opamp-p2s-v0", seed=seed)
     env.reset()
     print(f"  target specs : { {k: round(v, 4) for k, v in env.target_specs.items()} }")
     print(f"  graph nodes  : {env.num_graph_nodes}, tunable parameters: {env.num_parameters}")
-    rng = np.random.default_rng(0)
     for step in range(3):
         action = env.action_space.sample(rng)
         _, reward, _, info = env.step(action)
@@ -66,7 +64,7 @@ def main(budget: int) -> None:
     print(f"One optimization through the shared protocol (random, budget {budget})")
     print("=" * 72)
     optimizer = repro.make_optimizer("random")
-    result = optimizer.optimize(env, budget=budget, seed=0)
+    result = optimizer.optimize(env, budget=budget, seed=seed)
     print(f"  method          : {result.method}")
     print(f"  simulator calls : {result.num_simulations}")
     print(f"  best objective  : {result.best_objective:+.3f} (0 means every spec met)")
@@ -77,10 +75,10 @@ def main(budget: int) -> None:
     print("The same run as a serializable RunConfig (JSON round-trip)")
     print("=" * 72)
     config = repro.RunConfig(
-        env=repro.EnvConfig("opamp-p2s-v0", {"seed": 0}),
+        env=repro.EnvConfig("opamp-p2s-v0", {"seed": seed}),
         optimizer=repro.OptimizerConfig("random"),
         budget=budget,
-        seed=0,
+        seed=seed,
         name="quickstart",
     )
     print(config.to_json())
@@ -98,5 +96,7 @@ if __name__ == "__main__":
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--budget", type=int, default=30,
                         help="simulator-call budget for the demo optimization")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="seed routed through repro.seed_everything")
     args = parser.parse_args()
-    main(args.budget)
+    main(args.budget, args.seed)

@@ -14,29 +14,32 @@ import argparse
 
 import numpy as np
 
-from repro import make_env, make_policy
+from repro import make_env, make_policy, seed_everything
 from repro.agents import PPOConfig, deploy_policy
 from repro.agents.transfer import TransferLearningWorkflow, reward_fidelity_report
 from repro.experiments import FIG5_RF_PA_TARGET
 
 
-def main(episodes: int, eval_targets: int, fidelity_samples: int) -> None:
-    coarse_env = make_env("rf_pa-coarse-v0", seed=0)
-    fine_env = make_env("rf_pa-fine-v0", seed=0)
+def main(episodes: int, eval_targets: int, fidelity_samples: int, seed: int = 0) -> None:
+    rng = seed_everything(seed)
+    coarse_env = make_env("rf_pa-coarse-v0", seed=seed)
+    fine_env = make_env("rf_pa-fine-v0", seed=seed)
 
     print("Coarse vs fine simulator reward fidelity (random designs/targets):")
-    report = reward_fidelity_report(coarse_env, fine_env, num_samples=fidelity_samples, seed=0)
+    report = reward_fidelity_report(
+        coarse_env, fine_env, num_samples=fidelity_samples, seed=seed
+    )
     print(f"  mean |reward error|          : {report.mean_abs_error:.3f}")
     print(f"  90th percentile |error|      : {report.p90_abs_error:.3f}")
     print(f"  mean relative reward error   : {report.mean_abs_relative_error:.1%}")
 
     print(f"\nTraining GAT-FC policy on the COARSE simulator for {episodes} episodes "
           f"(paper scale: 3,500) ...")
-    policy = make_policy("gat_fc", coarse_env, np.random.default_rng(0))
+    policy = make_policy("gat_fc", coarse_env, rng)
     workflow = TransferLearningWorkflow(
         coarse_env, fine_env, policy,
         config=PPOConfig(learning_rate=1e-3, minibatch_size=64, update_epochs=4),
-        seed=0, method_name="gat_fc_transfer",
+        seed=seed, method_name="gat_fc_transfer",
     )
     result = workflow.run(coarse_episodes=episodes, episodes_per_update=10,
                           eval_targets=eval_targets)
@@ -46,7 +49,7 @@ def main(episodes: int, eval_targets: int, fidelity_samples: int) -> None:
     print("\nDeployment example toward the Fig. 5 PA target group (fine simulator):")
     print(f"  targets: {FIG5_RF_PA_TARGET}")
     deployment = deploy_policy(fine_env, policy, FIG5_RF_PA_TARGET,
-                               rng=np.random.default_rng(1))
+                               rng=np.random.default_rng(seed + 1))
     print(f"  {'step':>4s} {'Pout (W)':>10s} {'efficiency':>11s}")
     for record in deployment.trajectory.records:
         print(f"  {record.step:>4d} {record.specs['output_power']:>10.3f} "
@@ -63,5 +66,7 @@ if __name__ == "__main__":
                         help="number of spec groups for the accuracy evaluation")
     parser.add_argument("--fidelity-samples", type=int, default=150,
                         help="random designs for the coarse-vs-fine fidelity report")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="seed routed through repro.seed_everything")
     args = parser.parse_args()
-    main(args.episodes, args.eval_targets, args.fidelity_samples)
+    main(args.episodes, args.eval_targets, args.fidelity_samples, args.seed)

@@ -32,7 +32,9 @@ ZOO_ENV_IDS = (
 )
 
 
-def main(episodes: int, search_budget: int, circuits: tuple) -> None:
+def main(episodes: int, search_budget: int, circuits: tuple, seed: int = 0,
+         workers: int = 1) -> None:
+    repro.seed_everything(seed)
     print("=" * 72)
     print("The circuit zoo")
     print("=" * 72)
@@ -43,10 +45,10 @@ def main(episodes: int, search_budget: int, circuits: tuple) -> None:
     print("One optimize() call per zoo environment (shared protocol)")
     print("=" * 72)
     for env_id in ZOO_ENV_IDS:
-        env = repro.make_env(env_id, seed=0)
+        env = repro.make_env(env_id, seed=seed)
         target = env.sample_target()
         result = repro.make_optimizer("random").optimize(
-            env, budget=search_budget, seed=0, target_specs=target
+            env, budget=search_budget, seed=seed, target_specs=target
         )
         print(
             f"  {env_id:<28s} random search: best objective {result.best_objective:+.3f} "
@@ -74,9 +76,10 @@ def main(episodes: int, search_budget: int, circuits: tuple) -> None:
         circuits=circuits,
         method="gcn_fc",
         scale=scale,
-        seed=0,
+        seed=seed,
         fine_tune_episodes=episodes,
         include_scratch=True,
+        workers=workers,
     )
     print(matrix.as_text())
     print()
@@ -99,5 +102,9 @@ if __name__ == "__main__":
                         help="simulator-call budget of the random-search smoke runs")
     parser.add_argument("--circuits", nargs="+", default=list(ZOO_TRANSFER_CIRCUITS[:3]),
                         help="circuits swept by the transfer matrix")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="seed routed through repro.seed_everything")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes for the transfer-matrix source rows")
     args = parser.parse_args()
-    main(args.episodes, args.search_budget, tuple(args.circuits))
+    main(args.episodes, args.search_budget, tuple(args.circuits), args.seed, args.workers)

@@ -23,6 +23,7 @@ Package map
 ``repro.simulation``  technology models, MNA mini-SPICE, op-amp / PA evaluators
 ``repro.env``         the P2S / FoM circuit design environment
 ``repro.parallel``    vectorized env batches and simulation caching
+``repro.orchestrate`` process-parallel sweeps, artifact store, resumable runs
 ``repro.agents``      GNN-FC multimodal policy, PPO, deployment, transfer
 ``repro.baselines``   genetic algorithm, Bayesian optimization, SL sizer
 ``repro.experiments`` harnesses regenerating every paper table and figure
@@ -46,6 +47,7 @@ from repro.api import (
     register_env,
     register_optimizer,
     register_policy,
+    seed_everything,
 )
 
 # Legacy entry points: importable for backward compatibility; calling the
@@ -69,11 +71,14 @@ from repro.circuits import (
     build_two_stage_opamp,
 )
 from repro.env import make_opamp_env, make_rf_pa_env, make_rf_pa_fom_env
-from repro.parallel import SimulationCache, VectorCircuitEnv
+from repro.orchestrate import ArtifactStore, SweepConfig, SweepResult, run_sweep
+from repro.parallel import DiskSimulationCache, SimulationCache, VectorCircuitEnv
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
+    "ArtifactStore",
+    "DiskSimulationCache",
     "EnvConfig",
     "OptimizationCallback",
     "OptimizationResult",
@@ -83,6 +88,8 @@ __all__ = [
     "PPOTrainer",
     "RunConfig",
     "SimulationCache",
+    "SweepConfig",
+    "SweepResult",
     "UnknownComponentError",
     "VectorCircuitEnv",
     "__version__",
@@ -110,4 +117,6 @@ __all__ = [
     "register_env",
     "register_optimizer",
     "register_policy",
+    "run_sweep",
+    "seed_everything",
 ]

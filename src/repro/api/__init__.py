@@ -54,6 +54,7 @@ from repro.api.protocol import (
     Optimizer,
 )
 from repro.api.registry import Registry, RegistryEntry, UnknownComponentError
+from repro.api.seeding import seed_everything
 
 __all__ = [
     "BayesianOptimizer",
@@ -86,5 +87,6 @@ __all__ = [
     "register_env",
     "register_optimizer",
     "register_policy",
+    "seed_everything",
     "vectorizable",
 ]

@@ -21,7 +21,7 @@ deployment batch, yielding the rows of the ablation bench.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 

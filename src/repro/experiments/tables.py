@@ -16,8 +16,8 @@ count) is preserved.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -28,6 +28,8 @@ from repro.experiments.configs import ExperimentScale, METHOD_LABELS, RL_METHODS
 from repro.experiments.figures import evaluate_optimizer_accuracy
 from repro.experiments.fom import run_fom_optimizer, run_fom_training
 from repro.experiments.training import run_training_experiment
+from repro.orchestrate.runner import execute_with_store
+from repro.orchestrate.units import WorkUnit
 
 
 # ----------------------------------------------------------------------
@@ -248,6 +250,57 @@ def _supervised_row(scale: ExperimentScale, seed: int, circuits: Sequence[str]) 
     return row
 
 
+#: Row-kind dispatch used by :func:`table2_row_unit`.
+_ROW_BUILDERS = {
+    "optimizer": lambda a, scale: _optimizer_row(
+        a["method"], scale, a["seed"], a["circuits"], a["include_fom"]
+    ),
+    "supervised": lambda a, scale: _supervised_row(scale, a["seed"], a["circuits"]),
+    "rl": lambda a, scale: _rl_row(
+        a["method"], scale, a["seed"], a["circuits"], a["include_fom"]
+    ),
+}
+
+
+def table2_row_unit(arguments: Dict[str, Any]) -> Dict[str, Any]:
+    """Regenerate one Table 2 row from its JSON payload (worker contract)."""
+    kind = arguments["kind"]
+    if kind not in _ROW_BUILDERS:
+        raise ValueError(f"unknown Table 2 row kind {kind!r}")
+    scale = ExperimentScale(**arguments["scale"])
+    return asdict(_ROW_BUILDERS[kind](arguments, scale))
+
+
+def table2_units(
+    scale: ExperimentScale,
+    seed: int,
+    circuits: Sequence[str],
+    rl_methods: Sequence[str],
+    optimizer_methods: Sequence[str],
+    include_supervised: bool,
+    include_fom: bool,
+) -> List[WorkUnit]:
+    """One independent work unit per Table 2 row, in presentation order."""
+    base: Dict[str, Any] = {
+        "scale": asdict(scale),
+        "seed": seed,
+        "circuits": list(circuits),
+        "include_fom": include_fom,
+    }
+    rows = [("optimizer", method) for method in optimizer_methods]
+    if include_supervised:
+        rows.append(("supervised", "supervised_learning"))
+    rows.extend(("rl", method) for method in rl_methods)
+    return [
+        WorkUnit(
+            unit_id=f"table2+{method}",
+            runner="repro.experiments.tables:table2_row_unit",
+            payload={**base, "kind": kind, "method": method},
+        )
+        for kind, method in rows
+    ]
+
+
 def build_table2(
     scale: Optional[ExperimentScale] = None,
     seed: int = 0,
@@ -256,19 +309,29 @@ def build_table2(
     optimizer_methods: Sequence[str] = ("genetic_algorithm", "bayesian_optimization"),
     include_supervised: bool = True,
     include_fom: bool = False,
+    workers: int = 1,
+    store: Optional[Union[str, "object"]] = None,
+    resume: bool = True,
 ) -> Table2:
     """Regenerate Table 2 (or a subset of its columns/rows).
 
     At bench scale the defaults restrict the expensive columns (RF PA and
     FoM) — pass ``circuits=("two_stage_opamp", "rf_pa")`` and
     ``include_fom=True`` to regenerate the full table.
+
+    Each row is an independent work unit executed through the orchestrator:
+    ``workers=k`` regenerates rows across ``k`` processes, and ``store=...``
+    (an :class:`repro.orchestrate.ArtifactStore` or directory) persists rows
+    so an interrupted regeneration resumes where it stopped.  Row values are
+    identical for any worker count.
     """
     scale = scale or bench_scale()
+    units = table2_units(
+        scale, seed, circuits, rl_methods, optimizer_methods,
+        include_supervised, include_fom,
+    )
+    report = execute_with_store(units, store=store, workers=workers, resume=resume)
+    report.raise_on_failure()
     table = Table2(scale_name=scale.name)
-    for method in optimizer_methods:
-        table.rows.append(_optimizer_row(method, scale, seed, circuits, include_fom))
-    if include_supervised:
-        table.rows.append(_supervised_row(scale, seed, circuits))
-    for method in rl_methods:
-        table.rows.append(_rl_row(method, scale, seed, circuits, include_fom))
+    table.rows.extend(Table2Row(**record.result) for record in report.records)
     return table

@@ -10,12 +10,19 @@ branch transfers; input-size-dependent heads re-initialize), is optionally
 fine-tuned with a small episode budget, and is evaluated by deployment
 accuracy on the target — against a trained-from-scratch baseline with the
 same fine-tune budget when ``include_scratch`` is set.
+
+Orchestration: the matrix shards by *source row* — each row trains one
+source policy and sweeps every target, so rows are independent work units
+(:func:`transfer_source_unit`) executed through
+:func:`repro.orchestrate.execute_with_store`.  ``workers=k`` trains the
+sources in parallel processes; ``store=...`` makes the matrix resumable and
+shares rows with any other sweep over the same payloads.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -25,6 +32,8 @@ from repro.agents.transfer import transfer_policy_parameters
 from repro.api.catalog import make_policy
 from repro.experiments.configs import ExperimentScale, bench_scale, rl_hyperparameters
 from repro.experiments.training import make_environment, run_training_experiment
+from repro.orchestrate.runner import execute_with_store
+from repro.orchestrate.units import WorkUnit
 
 #: The 4-topology source→target matrix swept by default: the paper's op-amp
 #: plus the three zoo circuits.  (The RF PA keeps its own coarse→fine
@@ -99,6 +108,75 @@ class TransferMatrix:
         return "\n".join(lines)
 
 
+def transfer_matrix_units(
+    circuits: Sequence[str],
+    method: str,
+    scale: ExperimentScale,
+    seed: int,
+    fine_tune_episodes: int,
+    include_scratch: bool,
+    eval_targets: int,
+) -> List[WorkUnit]:
+    """One work unit per source row of the matrix (train once, sweep targets)."""
+    circuits = tuple(circuits)
+    units = []
+    for source_index, source in enumerate(circuits):
+        payload: Dict[str, Any] = {
+            "source": source,
+            "targets": [target for target in circuits if target != source],
+            "method": method,
+            "scale": asdict(scale),
+            "seed": seed,
+            "source_seed": seed + source_index,
+            "fine_tune_episodes": fine_tune_episodes,
+            "include_scratch": include_scratch,
+            "eval_targets": eval_targets,
+        }
+        units.append(
+            WorkUnit(
+                unit_id=f"transfer+{method}+{source}",
+                runner="repro.experiments.transfer_matrix:transfer_source_unit",
+                payload=payload,
+            )
+        )
+    return units
+
+
+def transfer_source_unit(arguments: Dict[str, Any]) -> Dict[str, Any]:
+    """Execute one source row: train the source policy, sweep every target.
+
+    Pure function of its JSON payload (the orchestrator's worker contract);
+    returns the row as JSON — the source's own deployment accuracy plus one
+    :class:`TransferCell` dict per target.
+    """
+    scale = ExperimentScale(**arguments["scale"])
+    method = arguments["method"]
+    source = arguments["source"]
+    seed = int(arguments["seed"])
+    training = run_training_experiment(
+        source, method, scale=scale, seed=int(arguments["source_seed"]),
+        track_accuracy=False,
+    )
+    source_eval = evaluate_deployment(
+        training.env, training.policy,
+        num_targets=int(arguments["eval_targets"]), seed=seed + 1000,
+    )
+    cells = [
+        asdict(
+            _transfer_cell(
+                source, target, training.policy, method,
+                fine_tune_episodes=int(arguments["fine_tune_episodes"]),
+                episodes_per_update=scale.episodes_per_update,
+                eval_targets=int(arguments["eval_targets"]),
+                seed=seed,
+                include_scratch=bool(arguments["include_scratch"]),
+            )
+        )
+        for target in arguments["targets"]
+    ]
+    return {"source": source, "source_accuracy": source_eval.accuracy, "cells": cells}
+
+
 def run_transfer_matrix(
     circuits: Sequence[str] = ZOO_TRANSFER_CIRCUITS,
     method: str = "gcn_fc",
@@ -107,6 +185,9 @@ def run_transfer_matrix(
     fine_tune_episodes: Optional[int] = None,
     include_scratch: bool = False,
     eval_targets: Optional[int] = None,
+    workers: int = 1,
+    store: Optional[Union[str, "object"]] = None,
+    resume: bool = True,
 ) -> TransferMatrix:
     """Sweep the source→target transfer matrix over ``circuits``.
 
@@ -129,6 +210,16 @@ def run_transfer_matrix(
     eval_targets:
         Deployment groups per evaluation (defaults to the scale's
         ``deployment_specs``).
+    workers:
+        Worker processes for the source rows (each row is one independent
+        work unit; results are identical for any worker count).
+    store:
+        Optional :class:`repro.orchestrate.ArtifactStore` (or directory)
+        persisting each row; a re-run with the same store skips completed
+        rows.
+    resume:
+        Skip rows whose completed artifact exists (only meaningful with a
+        store).
     """
     scale = scale or bench_scale()
     circuits = tuple(circuits)
@@ -139,28 +230,17 @@ def run_transfer_matrix(
     if eval_targets is None:
         eval_targets = scale.deployment_specs
 
+    units = transfer_matrix_units(
+        circuits, method, scale, seed, fine_tune_episodes, include_scratch, eval_targets
+    )
+    report = execute_with_store(units, store=store, workers=workers, resume=resume)
+    report.raise_on_failure()
+
     matrix = TransferMatrix(method=method, circuits=circuits)
-    for source_index, source in enumerate(circuits):
-        training = run_training_experiment(
-            source, method, scale=scale, seed=seed + source_index, track_accuracy=False
-        )
-        source_eval = evaluate_deployment(
-            training.env, training.policy, num_targets=eval_targets, seed=seed + 1000
-        )
-        matrix.source_accuracies[source] = source_eval.accuracy
-        for target in circuits:
-            if target == source:
-                continue
-            matrix.cells.append(
-                _transfer_cell(
-                    source, target, training.policy, method,
-                    fine_tune_episodes=fine_tune_episodes,
-                    episodes_per_update=scale.episodes_per_update,
-                    eval_targets=eval_targets,
-                    seed=seed,
-                    include_scratch=include_scratch,
-                )
-            )
+    for record in report.records:
+        row = record.result
+        matrix.source_accuracies[row["source"]] = float(row["source_accuracy"])
+        matrix.cells.extend(TransferCell(**cell) for cell in row["cells"])
     return matrix
 
 

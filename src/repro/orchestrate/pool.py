@@ -1,0 +1,78 @@
+"""Process-pool execution of work units.
+
+``workers=1`` runs units inline in the orchestrator process — no pickling,
+no pool, the reference execution path.  ``workers>1`` fans units out over a
+``multiprocessing.Pool``; results stream back as units finish
+(``imap_unordered``, so a slow unit never blocks progress reporting) and are
+re-sorted into expansion order before returning, which keeps downstream
+consumers order-independent of scheduling.
+
+Because every unit is executed through
+:func:`repro.orchestrate.worker.execute_unit` — which converts runner
+exceptions into failed records — a raising unit cannot poison the pool.
+
+Start method: ``fork`` where the platform offers it (workers inherit the
+already-imported library, microsecond startup), otherwise the platform
+default (``spawn`` re-imports :mod:`repro` per worker).  Results are
+bit-identical either way: each unit's randomness is fully derived from its
+own payload seed, never from worker state.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Callable, List, Optional, Sequence
+
+from repro.orchestrate.units import UnitRecord, WorkUnit
+from repro.orchestrate.worker import execute_unit
+
+#: Callback fired as each record arrives (progress reporting).
+RecordCallback = Callable[[UnitRecord], None]
+
+
+def _pool_context(start_method: Optional[str] = None):
+    if start_method is not None:
+        return multiprocessing.get_context(start_method)
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+
+def execute_units(
+    units: Sequence[WorkUnit],
+    workers: int = 1,
+    on_record: Optional[RecordCallback] = None,
+    start_method: Optional[str] = None,
+) -> List[UnitRecord]:
+    """Execute ``units`` and return their records in input order.
+
+    ``workers`` caps the process count (clamped to ``len(units)``); 1 means
+    inline execution.  ``on_record`` observes records in *completion* order.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    units = list(units)
+    if not units:
+        return []
+
+    if workers == 1 or len(units) == 1:
+        records = []
+        for unit in units:
+            record = UnitRecord.from_dict(execute_unit(unit.to_dict()))
+            if on_record is not None:
+                on_record(record)
+            records.append(record)
+        return records
+
+    context = _pool_context(start_method)
+    unit_dicts = [unit.to_dict() for unit in units]
+    by_key = {}
+    with context.Pool(processes=min(workers, len(units))) as pool:
+        for record_dict in pool.imap_unordered(execute_unit, unit_dicts):
+            record = UnitRecord.from_dict(record_dict)
+            if on_record is not None:
+                on_record(record)
+            by_key[record.key] = record
+    # Unit keys may legitimately repeat (identical payloads); indexing by key
+    # still returns a correct record for each occurrence because identical
+    # units produce interchangeable results.
+    return [by_key[unit.key()] for unit in units]

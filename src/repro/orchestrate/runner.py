@@ -1,0 +1,241 @@
+"""The sweep run manager: expand, skip, execute, persist.
+
+:func:`run_sweep` is the orchestration entry point behind
+``python -m repro.run``:
+
+1. expand the :class:`~repro.orchestrate.sweep.SweepConfig` into work units;
+2. skip every unit whose *completed* artifact already exists in the
+   :class:`~repro.orchestrate.store.ArtifactStore` (resume — failed and
+   missing units run again);
+3. execute the remainder across the worker pool;
+4. persist each record (successes and failures both) plus a sweep manifest
+   tying the config's content key to its unit keys and statuses.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from repro.orchestrate.pool import execute_units
+from repro.orchestrate.store import ArtifactStore
+from repro.orchestrate.sweep import SweepConfig
+from repro.orchestrate.units import UnitRecord, WorkUnit
+
+#: Progress observer: ``(event, record_or_unit)`` with event in
+#: ``{"skipped", "completed", "failed"}``.
+ProgressCallback = Callable[[str, UnitRecord], None]
+
+
+@dataclass
+class ExecutionReport:
+    """Outcome of one store-aware batch execution (any unit kind)."""
+
+    records: List[UnitRecord] = field(default_factory=list)
+    executed: List[str] = field(default_factory=list)
+    skipped: List[str] = field(default_factory=list)
+    failed: List[str] = field(default_factory=list)
+    wall_time_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failed
+
+    def raise_on_failure(self) -> None:
+        """Raise a summary ``RuntimeError`` when any unit failed."""
+        if self.ok:
+            return
+        failed = [record for record in self.records if not record.completed]
+        details = "\n".join(
+            f"--- {record.unit_id} ---\n{(record.error or '').strip()}" for record in failed
+        )
+        raise RuntimeError(
+            f"{len(failed)} of {len(self.records)} work units failed:\n{details}"
+        )
+
+
+def execute_with_store(
+    units: Sequence[WorkUnit],
+    store: Optional[Union[str, ArtifactStore]] = None,
+    workers: int = 1,
+    resume: bool = True,
+    on_progress: Optional[ProgressCallback] = None,
+) -> ExecutionReport:
+    """Execute units, skipping those whose completed artifact already exists.
+
+    The generic core under :func:`run_sweep`, usable by any harness that
+    shards into :class:`WorkUnit`\\ s (the transfer matrix and Table 2
+    harnesses route through it).  ``store=None`` disables persistence and
+    resume; otherwise completed records are served from the store and fresh
+    records (including failures) are persisted into it.
+    """
+    start = time.perf_counter()
+    if store is not None and not isinstance(store, ArtifactStore):
+        store = ArtifactStore(store)
+
+    units = list(units)
+    pending: List[WorkUnit] = []
+    reused: Dict[str, UnitRecord] = {}
+    for unit in units:
+        existing = store.get(unit.key()) if (store is not None and resume) else None
+        if existing is not None and existing.completed:
+            reused[unit.key()] = existing
+            if on_progress is not None:
+                on_progress("skipped", existing)
+        else:
+            pending.append(unit)
+
+    def _observe(record: UnitRecord) -> None:
+        # Persist as records stream back from the pool: a crash or Ctrl-C
+        # mid-sweep keeps every finished unit for the next resume.  The
+        # manifest (a rebuildable index) is refreshed once at the end.
+        if store is not None:
+            store.put(record, update_manifest=False)
+        if on_progress is not None:
+            on_progress("completed" if record.completed else "failed", record)
+
+    fresh = execute_units(pending, workers=workers, on_record=_observe)
+    if store is not None:
+        store.update_manifest(fresh)
+
+    fresh_by_key = {record.key: record for record in fresh}
+    report = ExecutionReport()
+    for unit in units:
+        key = unit.key()
+        if key in reused:
+            record = reused[key]
+            report.skipped.append(record.unit_id)
+        else:
+            record = fresh_by_key[key]
+            report.executed.append(record.unit_id)
+            if not record.completed:
+                report.failed.append(record.unit_id)
+        report.records.append(record)
+    report.wall_time_s = time.perf_counter() - start
+    return report
+
+
+@dataclass
+class SweepResult:
+    """Everything one :func:`run_sweep` invocation did (and did not) run."""
+
+    config: SweepConfig
+    records: List[UnitRecord] = field(default_factory=list)
+    executed: List[str] = field(default_factory=list)
+    skipped: List[str] = field(default_factory=list)
+    failed: List[str] = field(default_factory=list)
+    wall_time_s: float = 0.0
+    store_root: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return not self.failed
+
+    @property
+    def num_units(self) -> int:
+        return len(self.records)
+
+    def record(self, unit_id: str) -> UnitRecord:
+        for record in self.records:
+            if record.unit_id == unit_id:
+                return record
+        raise KeyError(f"no record for unit '{unit_id}'")
+
+    def results(self) -> Dict[str, Optional[Dict]]:
+        """unit_id -> runner result dict (None for failed units)."""
+        return {record.unit_id: record.result for record in self.records}
+
+    def summary_table(self) -> str:
+        """Fixed-width per-unit digest (what the CLI prints)."""
+        header = (
+            f"{'unit':<44s} {'status':>9s} {'time':>8s} "
+            f"{'sims':>6s} {'best':>12s} {'ok':>3s}"
+        )
+        lines = [header, "-" * len(header)]
+        for record in self.records:
+            summary = (record.result or {}).get("result", {})
+            sims = summary.get("num_simulations")
+            best = summary.get("best_objective")
+            success = summary.get("success")
+            lines.append(
+                f"{record.unit_id:<44s} {record.status:>9s} "
+                f"{record.wall_time_s:>7.2f}s "
+                f"{sims if sims is not None else '-':>6} "
+                f"{f'{best:.4g}' if best is not None else '-':>12s} "
+                f"{('yes' if success else 'no') if success is not None else '-':>3s}"
+            )
+        lines.append(
+            f"{len(self.records)} units: {len(self.executed)} executed, "
+            f"{len(self.skipped)} skipped (artifact store), {len(self.failed)} failed "
+            f"[{self.wall_time_s:.2f}s]"
+        )
+        return "\n".join(lines)
+
+
+def run_sweep(
+    config: SweepConfig,
+    store: Optional[Union[str, ArtifactStore]] = None,
+    workers: Optional[int] = None,
+    resume: bool = True,
+    on_progress: Optional[ProgressCallback] = None,
+) -> SweepResult:
+    """Execute (the missing part of) a sweep and return every unit record.
+
+    Parameters
+    ----------
+    config:
+        The declarative sweep.
+    store:
+        Artifact store or its directory; defaults to ``config.store``.
+    workers:
+        Process count; defaults to ``config.workers``.
+    resume:
+        When True (default), units whose completed artifact exists are
+        skipped and their stored record is returned; failed and missing
+        units re-run.  ``False`` re-executes everything (artifacts are
+        overwritten in place).
+    on_progress:
+        Observer for per-unit events (``"skipped"`` fires during the scan,
+        ``"completed"``/``"failed"`` as pool results arrive).
+    """
+    if not isinstance(store, ArtifactStore):
+        store = ArtifactStore(store if store is not None else config.store)
+    workers = int(workers) if workers is not None else config.workers
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+
+    report = execute_with_store(
+        config.expand(),
+        store=store,
+        workers=workers,
+        resume=resume,
+        on_progress=on_progress,
+    )
+    result = SweepResult(
+        config=config,
+        records=report.records,
+        executed=report.executed,
+        skipped=report.skipped,
+        failed=report.failed,
+        wall_time_s=report.wall_time_s,
+        store_root=str(store.root),
+    )
+
+    store.put_sweep(
+        config.sweep_key(),
+        {
+            "name": config.name,
+            "sweep_key": config.sweep_key(),
+            "config": config.to_dict(),
+            "units": {
+                record.unit_id: {"key": record.key, "status": record.status}
+                for record in result.records
+            },
+            "executed": list(result.executed),
+            "skipped": list(result.skipped),
+            "failed": list(result.failed),
+            "wall_time_s": result.wall_time_s,
+        },
+    )
+    return result

@@ -1,0 +1,151 @@
+"""Content-addressed on-disk artifact store for sweep results.
+
+Layout (all JSON, all atomically replaced)::
+
+    <root>/
+      manifest.json                  # key -> {unit_id, status, wall_time_s}
+      units/<key[:2]>/<key>.json     # full UnitRecord, one per executed unit
+      sweeps/<sweep_key>.json        # sweep config + its unit keys/statuses
+
+The unit file name is the unit's content address
+(:meth:`~repro.orchestrate.units.WorkUnit.key`), so *any* sweep that expands
+to the same (runner, payload) pair finds the artifact — resuming a sweep,
+re-running it after a crash, or running a second sweep that overlaps the
+first all skip the completed units.  Failed units are persisted too (their
+traceback is worth keeping) but never satisfy a resume check.
+
+Only the orchestrator process writes the store — workers hand records back
+over the pool — so the manifest needs no cross-process locking; it is a
+derived index and can always be rebuilt from the unit files with
+:meth:`ArtifactStore.rebuild_manifest`.
+"""
+
+from __future__ import annotations
+
+import functools
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Iterator, Mapping, Optional, Union
+
+from repro.orchestrate.units import UnitRecord
+from repro.utils import atomic_write_json
+
+MANIFEST_NAME = "manifest.json"
+
+_atomic_write_json = functools.partial(atomic_write_json, indent=2, sort_keys=True)
+
+
+class ArtifactStore:
+    """Directory of unit artifacts addressed by content key."""
+
+    def __init__(self, root: Union[str, os.PathLike]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._units_dir = self.root / "units"
+        self._sweeps_dir = self.root / "sweeps"
+
+    # ------------------------------------------------------------------
+    # Unit records
+    # ------------------------------------------------------------------
+    def unit_path(self, key: str) -> Path:
+        return self._units_dir / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[UnitRecord]:
+        """Load the record for ``key`` (None when absent or unreadable)."""
+        path = self.unit_path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                return UnitRecord.from_dict(json.load(handle))
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def has_completed(self, key: str) -> bool:
+        record = self.get(key)
+        return record is not None and record.completed
+
+    def put(self, record: UnitRecord, update_manifest: bool = True) -> Path:
+        """Persist one record (and, by default, refresh the manifest index).
+
+        Batch writers pass ``update_manifest=False`` and call
+        :meth:`update_manifest` once for the whole batch — the manifest is a
+        full-file rewrite, so per-record updates are quadratic in sweep size.
+        """
+        path = self.unit_path(record.key)
+        _atomic_write_json(path, record.to_dict())
+        if update_manifest:
+            self.update_manifest([record])
+        return path
+
+    def update_manifest(self, records) -> None:
+        """Merge ``records`` into the manifest index in one write."""
+        records = list(records)
+        if not records:
+            return
+        manifest = self.load_manifest()
+        for record in records:
+            manifest[record.key] = {
+                "unit_id": record.unit_id,
+                "status": record.status,
+                "wall_time_s": record.wall_time_s,
+            }
+        _atomic_write_json(self.root / MANIFEST_NAME, manifest)
+
+    def records(self) -> Iterator[UnitRecord]:
+        """Iterate every stored unit record (manifest-independent)."""
+        if not self._units_dir.is_dir():
+            return
+        for path in sorted(self._units_dir.glob("*/*.json")):
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    yield UnitRecord.from_dict(json.load(handle))
+            except (OSError, ValueError, KeyError, TypeError):
+                continue
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.records())
+
+    # ------------------------------------------------------------------
+    # Manifest
+    # ------------------------------------------------------------------
+    def load_manifest(self) -> Dict[str, Dict[str, Any]]:
+        try:
+            with open(self.root / MANIFEST_NAME, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+            return dict(data) if isinstance(data, dict) else {}
+        except (OSError, ValueError):
+            return {}
+
+    def rebuild_manifest(self) -> Dict[str, Dict[str, Any]]:
+        """Regenerate the manifest from the unit files (source of truth)."""
+        manifest = {
+            record.key: {
+                "unit_id": record.unit_id,
+                "status": record.status,
+                "wall_time_s": record.wall_time_s,
+            }
+            for record in self.records()
+        }
+        _atomic_write_json(self.root / MANIFEST_NAME, manifest)
+        return manifest
+
+    # ------------------------------------------------------------------
+    # Sweep manifests
+    # ------------------------------------------------------------------
+    def sweep_path(self, sweep_key: str) -> Path:
+        return self._sweeps_dir / f"{sweep_key}.json"
+
+    def put_sweep(self, sweep_key: str, manifest: Mapping[str, Any]) -> Path:
+        path = self.sweep_path(sweep_key)
+        _atomic_write_json(path, dict(manifest))
+        return path
+
+    def get_sweep(self, sweep_key: str) -> Optional[Dict[str, Any]]:
+        try:
+            with open(self.sweep_path(sweep_key), "r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except (OSError, ValueError):
+            return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"ArtifactStore({str(self.root)!r})"

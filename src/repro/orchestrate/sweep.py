@@ -1,0 +1,301 @@
+"""Declarative experiment sweeps: optimizers × environments × seeds.
+
+:class:`SweepConfig` is the grid analogue of :class:`repro.api.RunConfig` —
+the same JSON-round-trip discipline (one document reproduces the whole
+sweep), expanded into independent :class:`~repro.orchestrate.units.WorkUnit`
+instances by :meth:`SweepConfig.expand`.
+
+Seeding
+-------
+Per-unit seeds are derived with ``np.random.SeedSequence.spawn`` from the
+grid *coordinates*, never from execution order or position: the entropy of
+a (sweep seed, env) cell is the sweep-seed entry plus a digest of the env
+config itself.  Consequences:
+
+* results are bit-identical for any worker count — a unit's randomness is a
+  pure function of its payload;
+* optimizers are *paired*: within a cell they pursue the same sampled
+  target group, so cross-method comparisons are apples-to-apples;
+* cells are position-independent: adding, removing, or reordering grid
+  entries never changes any other unit's seed, so overlapping sweeps keep
+  sharing artifacts through the content-addressed store;
+* distinct cells get well-separated streams even for adjacent sweep seeds
+  (SeedSequence spawning, not ``seed + i`` arithmetic).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Union
+
+import numpy as np
+
+from repro.api.configs import EnvConfig, OptimizerConfig, RunConfig
+from repro.orchestrate.units import DEFAULT_RUNNER, WorkUnit, canonical_json
+
+#: Default artifact-store directory of ``python -m repro.run``.
+DEFAULT_STORE_DIR = "sweep_artifacts"
+
+
+def _as_config_list(values, cls, what: str):
+    if values is None:
+        raise ValueError(f"SweepConfig.{what} must be a non-empty list")
+    items = []
+    for value in values:
+        if isinstance(value, cls):
+            items.append(value)
+        else:
+            items.append(cls.from_dict(value))
+    if not items:
+        raise ValueError(f"SweepConfig.{what} must be a non-empty list")
+    return items
+
+
+@dataclass
+class SweepConfig:
+    """A JSON-round-trippable (optimizers × envs × seeds) experiment grid.
+
+    Attributes
+    ----------
+    optimizers / envs:
+        Component configs (or bare registry IDs / dicts, coerced on
+        construction exactly like :class:`repro.api.RunConfig` fields).
+    seeds:
+        Sweep-seed entries; each spawns one child seed per environment (see
+        module docstring).
+    budget:
+        Per-unit budget forwarded to every optimizer (``None`` lets each
+        optimizer's own configured/default budget apply, so per-method
+        budgets can ride in ``OptimizerConfig.params``).
+    target_specs:
+        Optional fixed target group broadcast to every unit; ``None``
+        samples per-unit targets deterministically from the unit seed.
+    workers:
+        Default process count for :func:`repro.orchestrate.run_sweep`
+        (overridable at call/CLI time; not part of the sweep identity).
+    store:
+        Default artifact-store directory (not part of the identity).
+    disk_cache:
+        Directory of the shared persistent simulation cache, or ``None`` to
+        disable (not part of the identity — cached simulations are
+        bit-identical to fresh ones by construction).
+    disk_cache_entries:
+        Optional bound on persisted cache entries.
+    derive_seeds:
+        When True (default), unit seeds are spawned from the grid
+        coordinates as described above; False passes each sweep-seed entry
+        through literally (what a wrapped single ``RunConfig`` document
+        needs to stay bit-identical with ``RunConfig.run()``).
+    """
+
+    optimizers: List[OptimizerConfig] = field(default_factory=list)
+    envs: List[EnvConfig] = field(default_factory=list)
+    seeds: List[int] = field(default_factory=lambda: [0])
+    budget: Optional[int] = None
+    target_specs: Optional[Dict[str, float]] = None
+    name: str = ""
+    workers: int = 1
+    store: str = DEFAULT_STORE_DIR
+    disk_cache: Optional[str] = None
+    disk_cache_entries: Optional[int] = None
+    derive_seeds: bool = True
+
+    def __post_init__(self) -> None:
+        self.optimizers = _as_config_list(self.optimizers, OptimizerConfig, "optimizers")
+        self.envs = _as_config_list(self.envs, EnvConfig, "envs")
+        self.seeds = [int(seed) for seed in self.seeds]
+        if not self.seeds:
+            raise ValueError("SweepConfig.seeds must be a non-empty list")
+        if len(set(self.seeds)) != len(self.seeds):
+            raise ValueError("SweepConfig.seeds must not contain duplicates")
+        if any(seed < 0 for seed in self.seeds):
+            # np.random.SeedSequence rejects negative entropy at expand time;
+            # fail at construction instead, like every other config error.
+            raise ValueError("SweepConfig.seeds must be non-negative")
+        if self.budget is not None and int(self.budget) <= 0:
+            raise ValueError("budget must be positive (or None for method defaults)")
+        if self.target_specs is not None:
+            self.target_specs = {
+                name: float(value) for name, value in dict(self.target_specs).items()
+            }
+        self.workers = int(self.workers)
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.disk_cache_entries is not None and int(self.disk_cache_entries) <= 0:
+            raise ValueError("disk_cache_entries must be positive (or None)")
+
+    # ------------------------------------------------------------------
+    # Grid expansion
+    # ------------------------------------------------------------------
+    @property
+    def num_units(self) -> int:
+        return len(self.optimizers) * len(self.envs) * len(self.seeds)
+
+    def unit_seed(self, env: EnvConfig, sweep_seed: int) -> int:
+        """Derived seed of the (sweep_seed, env) cell (optimizer-independent).
+
+        The entropy is the sweep-seed entry plus a digest of the env config
+        — *what* the cell is, not *where* it sits in the grid — so two
+        sweeps that overlap on a cell derive the identical seed and hence
+        the identical unit content key.
+        """
+        if not self.derive_seeds:
+            return sweep_seed
+        env_entropy = int.from_bytes(
+            hashlib.sha256(canonical_json(env.to_dict()).encode("utf-8")).digest()[:4],
+            "big",
+        )
+        child = np.random.SeedSequence([sweep_seed, env_entropy]).spawn(1)[0]
+        return int(child.generate_state(1, dtype=np.uint32)[0])
+
+    def expand(self) -> List[WorkUnit]:
+        """Expand the grid into independent work units (deterministic order).
+
+        Order is optimizers (outer) × envs × seeds (inner); each unit's
+        payload is one complete, standalone :class:`repro.api.RunConfig`
+        dict, so any unit can be reproduced outside the orchestrator with
+        ``RunConfig.from_dict(unit.payload["run"]).run()``.
+        """
+        execution: Dict[str, Any] = {}
+        if self.disk_cache is not None:
+            execution["disk_cache"] = {
+                "dir": str(self.disk_cache),
+                "max_disk_entries": self.disk_cache_entries,
+            }
+        units: List[WorkUnit] = []
+        for optimizer in self.optimizers:
+            for env in self.envs:
+                for sweep_seed in self.seeds:
+                    unit_id = f"{optimizer.id}+{env.id}+s{sweep_seed}"
+                    run = RunConfig(
+                        env=EnvConfig(env.id, dict(env.params)),
+                        optimizer=OptimizerConfig(
+                            optimizer.id, dict(optimizer.params), optimizer.vectorize
+                        ),
+                        budget=self.budget,
+                        seed=self.unit_seed(env, sweep_seed),
+                        target_specs=self.target_specs,
+                        name=unit_id,
+                    )
+                    units.append(
+                        WorkUnit(
+                            unit_id=unit_id,
+                            runner=DEFAULT_RUNNER,
+                            payload={"run": run.to_dict()},
+                            execution=dict(execution),
+                        )
+                    )
+        return units
+
+    # ------------------------------------------------------------------
+    # Identity & serialization
+    # ------------------------------------------------------------------
+    def identity_dict(self) -> Dict[str, Any]:
+        """The fields that define *what* the sweep computes (not how)."""
+        return {
+            "name": self.name,
+            "optimizers": [optimizer.to_dict() for optimizer in self.optimizers],
+            "envs": [env.to_dict() for env in self.envs],
+            "seeds": list(self.seeds),
+            "budget": self.budget,
+            "target_specs": dict(self.target_specs) if self.target_specs else None,
+            "derive_seeds": self.derive_seeds,
+        }
+
+    def sweep_key(self) -> str:
+        """Content address of the sweep (used for the sweep manifest)."""
+        return hashlib.sha256(
+            canonical_json(self.identity_dict()).encode("utf-8")
+        ).hexdigest()
+
+    def to_dict(self) -> Dict[str, Any]:
+        data = self.identity_dict()
+        data.update(
+            {
+                "workers": self.workers,
+                "store": self.store,
+                "disk_cache": self.disk_cache,
+                "disk_cache_entries": self.disk_cache_entries,
+            }
+        )
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SweepConfig":
+        if not isinstance(data, Mapping):
+            raise TypeError(f"SweepConfig must be a mapping, got {type(data).__name__}")
+        known = {
+            "name", "optimizers", "envs", "seeds", "budget", "target_specs",
+            "workers", "store", "disk_cache", "disk_cache_entries", "derive_seeds",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown SweepConfig keys: {sorted(unknown)} (expected {sorted(known)})"
+            )
+        missing = {"optimizers", "envs"} - set(data)
+        if missing:
+            raise ValueError(f"SweepConfig requires keys: {sorted(missing)}")
+        seeds = data.get("seeds")
+        return cls(
+            optimizers=data["optimizers"],
+            envs=data["envs"],
+            # Only an *absent*/null seeds key defaults; an explicit empty
+            # list must hit the non-empty validation, not silently become [0].
+            seeds=[0] if seeds is None else seeds,
+            budget=data.get("budget"),
+            target_specs=data.get("target_specs"),
+            name=data.get("name", ""),
+            workers=data.get("workers", 1),
+            store=data.get("store", DEFAULT_STORE_DIR),
+            disk_cache=data.get("disk_cache"),
+            disk_cache_entries=data.get("disk_cache_entries"),
+            derive_seeds=data.get("derive_seeds", True),
+        )
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SweepConfig":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json() + "\n")
+
+    @classmethod
+    def load(cls, path) -> "SweepConfig":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(handle.read())
+
+
+def sweep_from_document(data: Union[Mapping[str, Any], str]) -> SweepConfig:
+    """Coerce a JSON document into a sweep.
+
+    Accepts either a :class:`SweepConfig` dict or a single
+    :class:`repro.api.RunConfig` dict (detected by its ``env``/``optimizer``
+    keys), which becomes a one-unit sweep — so ``python -m repro.run`` is a
+    front door for both.  A single-run document keeps its literal seed (no
+    spawning) to stay bit-identical with ``RunConfig.run()``.
+    """
+    if isinstance(data, str):
+        data = json.loads(data)
+    if not isinstance(data, Mapping):
+        raise TypeError(f"expected a JSON object, got {type(data).__name__}")
+    if "env" in data and "optimizer" in data:
+        run = RunConfig.from_dict(data)
+        # derive_seeds=False pins the literal seed: a RunConfig document must
+        # reproduce RunConfig.run() exactly, not a spawned derivation of it.
+        return SweepConfig(
+            optimizers=[run.optimizer],
+            envs=[run.env],
+            seeds=[run.seed],
+            budget=run.budget,
+            target_specs=run.target_specs,
+            name=run.name,
+            derive_seeds=False,
+        )
+    return SweepConfig.from_dict(data)

@@ -1,0 +1,33 @@
+"""Deterministic unit runners for exercising orchestrator failure paths.
+
+Shipped inside the package (rather than under ``tests/``) so the dotted
+``runner`` paths resolve in *worker processes* under every multiprocessing
+start method — spawned workers import runners by module name and cannot see
+test modules.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict
+
+
+def echo_unit(arguments: Dict[str, Any]) -> Dict[str, Any]:
+    """Succeed, echoing the payload tag and the executing process id."""
+    return {"echo": arguments.get("tag"), "pid": os.getpid()}
+
+
+def marker_unit(arguments: Dict[str, Any]) -> Dict[str, Any]:
+    """Fail while ``fail_while_exists`` names an existing file.
+
+    The marker file lets a test flip a unit from failing to succeeding
+    *without changing its payload* — exactly the situation a resumed sweep
+    faces: the content key is unchanged, so resume must re-run the unit
+    because its stored record is failed, not because its identity moved.
+    """
+    marker = arguments.get("fail_while_exists")
+    if marker and os.path.exists(marker):
+        raise RuntimeError(f"unit {arguments.get('tag', '?')} failed: marker present")
+    if arguments.get("always_fail"):
+        raise RuntimeError(f"unit {arguments.get('tag', '?')} failed: always_fail")
+    return echo_unit(arguments)

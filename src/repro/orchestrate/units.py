@@ -1,0 +1,156 @@
+"""Work units: the serializable quantum of orchestrated execution.
+
+A sweep is sharded into independent :class:`WorkUnit`\\ s.  Each unit is pure
+data — a dotted-path ``runner`` naming a top-level function importable in any
+worker process, plus a JSON ``payload`` the runner consumes — so units cross
+process boundaries by value and never drag live objects through pickle.
+
+Content addressing
+------------------
+``WorkUnit.key()`` is the SHA-256 of the canonical JSON of
+``{"runner", "payload"}``.  Two units with the same runner and payload are
+*the same experiment*, whoever expanded them and whenever: the artifact store
+uses the key as the file name, which is what makes sweeps resumable (re-built
+units rediscover their previous results) and deduplicated (two overlapping
+sweeps share artifacts).  Runtime knobs that cannot change the result — the
+disk-cache directory, worker counts — travel in the separate ``execution``
+mapping, which is deliberately excluded from the key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional
+
+
+def canonical_json(data: Any) -> str:
+    """Deterministic JSON rendering (sorted keys, no whitespace drift)."""
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+def _require_mapping(value: Any, what: str) -> Dict[str, Any]:
+    if value is None:
+        return {}
+    if not isinstance(value, Mapping):
+        raise TypeError(f"{what} must be a mapping, got {type(value).__name__}")
+    return dict(value)
+
+
+#: Runner executing one serialized :class:`repro.api.RunConfig` (the default
+#: unit kind a :class:`~repro.orchestrate.sweep.SweepConfig` expands into).
+DEFAULT_RUNNER = "repro.orchestrate.worker:run_config_unit"
+
+
+@dataclass
+class WorkUnit:
+    """One independent, serializable piece of a sweep.
+
+    Attributes
+    ----------
+    unit_id:
+        Human-readable name (``"random+opamp-p2s-v0+s0"``); used in progress
+        output and manifests.  Not part of the content address.
+    runner:
+        ``"package.module:function"`` dotted path of the executing function,
+        resolved inside the worker process.  The function receives one dict:
+        ``{**payload, **execution}``.
+    payload:
+        JSON data that *defines* the experiment (hashed into the key).
+    execution:
+        JSON data that only affects *how* the unit runs — cache directories
+        and similar — excluded from the key.
+    """
+
+    unit_id: str
+    runner: str = DEFAULT_RUNNER
+    payload: Dict[str, Any] = field(default_factory=dict)
+    execution: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.unit_id:
+            raise ValueError("WorkUnit.unit_id must be non-empty")
+        if ":" not in self.runner:
+            raise ValueError(
+                f"runner must be a 'package.module:function' path, got {self.runner!r}"
+            )
+        self.payload = _require_mapping(self.payload, "WorkUnit.payload")
+        self.execution = _require_mapping(self.execution, "WorkUnit.execution")
+
+    def key(self) -> str:
+        """Content address of the unit (SHA-256 over runner + payload)."""
+        identity = canonical_json({"runner": self.runner, "payload": self.payload})
+        return hashlib.sha256(identity.encode("utf-8")).hexdigest()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "unit_id": self.unit_id,
+            "runner": self.runner,
+            "payload": dict(self.payload),
+            "execution": dict(self.execution),
+            "key": self.key(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "WorkUnit":
+        data = _require_mapping(data, "WorkUnit")
+        return cls(
+            unit_id=data["unit_id"],
+            runner=data.get("runner", DEFAULT_RUNNER),
+            payload=data.get("payload") or {},
+            execution=data.get("execution") or {},
+        )
+
+
+@dataclass
+class UnitRecord:
+    """Outcome of executing one :class:`WorkUnit` (what artifacts persist).
+
+    ``status`` is ``"completed"`` or ``"failed"``; failed records carry the
+    worker's full traceback in ``error`` and are *not* treated as done by the
+    resume logic — a re-invoked sweep re-runs exactly the failed and missing
+    units.
+    """
+
+    unit_id: str
+    key: str
+    runner: str
+    payload: Dict[str, Any]
+    status: str
+    result: Optional[Dict[str, Any]] = None
+    error: Optional[str] = None
+    wall_time_s: float = 0.0
+
+    @property
+    def completed(self) -> bool:
+        return self.status == "completed"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "unit_id": self.unit_id,
+            "key": self.key,
+            "runner": self.runner,
+            "payload": dict(self.payload),
+            "status": self.status,
+            "result": self.result,
+            "error": self.error,
+            "wall_time_s": self.wall_time_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "UnitRecord":
+        data = _require_mapping(data, "UnitRecord")
+        status = data.get("status")
+        if status not in ("completed", "failed"):
+            raise ValueError(f"UnitRecord.status must be completed|failed, got {status!r}")
+        return cls(
+            unit_id=data["unit_id"],
+            key=data["key"],
+            runner=data.get("runner", DEFAULT_RUNNER),
+            payload=data.get("payload") or {},
+            status=status,
+            result=data.get("result"),
+            error=data.get("error"),
+            wall_time_s=float(data.get("wall_time_s", 0.0)),
+        )

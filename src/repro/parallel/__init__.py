@@ -7,6 +7,10 @@ of candidate sizings in batches instead of one at a time.
   :class:`~repro.simulation.base.CircuitSimulator`, keyed on quantized
   parameter vectors, so repeated candidate evaluations (population elites,
   shared reset sizings, revisited grid points) are simulated once.
+* :class:`DiskSimulationCache` — the persistent tier: the same quantized
+  keys backed by a directory of atomic JSON entries, shared across worker
+  processes and across runs (the :mod:`repro.orchestrate` sweep runner's
+  ``disk_cache`` option points every work unit at one directory).
 * :class:`VectorCircuitEnv` — ``N`` circuit-design environments stepped as
   one batch behind stacked ``reset``/``step``, sharing one topology and one
   simulation cache, and producing
@@ -26,12 +30,14 @@ from repro.parallel.cache import (
     SimulationCache,
     quantize_significant,
 )
+from repro.parallel.disk_cache import DiskSimulationCache
 from repro.parallel.vector_env import VectorCircuitEnv
 
 __all__ = [
     "CacheStats",
     "DEFAULT_CACHE_SIZE",
     "DEFAULT_KEY_DIGITS",
+    "DiskSimulationCache",
     "SimulationCache",
     "VectorCircuitEnv",
     "quantize_significant",

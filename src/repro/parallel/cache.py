@@ -43,11 +43,19 @@ DEFAULT_KEY_DIGITS = 12
 
 @dataclass
 class CacheStats:
-    """Hit/miss/eviction counters of one :class:`SimulationCache`."""
+    """Hit/miss/eviction counters of one :class:`SimulationCache`.
+
+    ``hits`` counts every lookup served without running the simulator;
+    ``disk_hits`` is the subset of those served from the persistent tier of a
+    :class:`~repro.parallel.disk_cache.DiskSimulationCache` (always 0 for the
+    purely in-memory cache).  ``misses`` therefore equals the number of real
+    simulator calls.
+    """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    disk_hits: int = 0
 
     @property
     def lookups(self) -> int:
@@ -57,6 +65,16 @@ class CacheStats:
     def hit_rate(self) -> float:
         """Fraction of lookups served from the cache (0.0 when unused)."""
         return self.hits / self.lookups if self.lookups else 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-serializable digest (what sweep artifacts record)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "disk_hits": self.disk_hits,
+            "hit_rate": self.hit_rate,
+        }
 
 
 def _scale_by_pow10(values: np.ndarray, exponents: np.ndarray) -> np.ndarray:
@@ -189,13 +207,22 @@ class SimulationCache:
             self.stats.hits += 1
             self._entries.move_to_end(key)
             return self._copy(cached)
-        self.stats.misses += 1
-        result = self.simulator.simulate(netlist)
+        result = self._simulate_miss(key, netlist)
         self._entries[key] = self._copy(result)
         if len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
         return result
+
+    def _simulate_miss(self, key: bytes, netlist: Netlist) -> SimulationResult:
+        """Produce the result for a key absent from the in-memory table.
+
+        Subclasses (the persistent :class:`DiskSimulationCache`) interpose
+        additional lookup tiers here; the base implementation is one real
+        simulator call.
+        """
+        self.stats.misses += 1
+        return self.simulator.simulate(netlist)
 
     # ------------------------------------------------------------------
     # Cache management

@@ -1,0 +1,113 @@
+"""``python -m repro.run`` — the sweep CLI front door.
+
+Drive a whole experiment grid from one JSON document::
+
+    python -m repro.run sweep.json                  # run (resumes by default)
+    python -m repro.run sweep.json --workers 4      # shard across 4 processes
+    python -m repro.run sweep.json --expand         # list units, run nothing
+    python -m repro.run sweep.json --no-resume      # re-execute everything
+
+The document is either a :class:`repro.orchestrate.SweepConfig` (grid) or a
+single :class:`repro.api.RunConfig` (detected by its ``env``/``optimizer``
+keys and wrapped as a one-unit sweep with its literal seed).  CLI flags
+override the document's runtime knobs (``workers``, ``store``,
+``disk_cache``); the scientific content of the sweep lives only in the JSON.
+
+Exit status: 0 when every unit completed (or was skipped via the artifact
+store), 1 when any unit failed, 2 on bad input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from repro.orchestrate import SweepConfig, UnitRecord, run_sweep, sweep_from_document
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.run",
+        description="Run an experiment sweep (or a single run config) from a JSON document.",
+    )
+    parser.add_argument("config", help="path to a SweepConfig or RunConfig JSON document")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker processes (default: the document's 'workers', else 1)")
+    parser.add_argument("--store", default=None,
+                        help="artifact-store directory (default: the document's 'store')")
+    parser.add_argument("--disk-cache", default=None, dest="disk_cache",
+                        help="persistent simulation-cache directory "
+                             "(default: the document's 'disk_cache', else disabled)")
+    parser.add_argument("--no-resume", action="store_true",
+                        help="re-execute every unit even when its artifact exists")
+    parser.add_argument("--expand", action="store_true",
+                        help="print the expanded unit list and exit without running")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-unit progress lines (summary still prints)")
+    return parser
+
+
+def load_sweep(path: str) -> SweepConfig:
+    with open(path, "r", encoding="utf-8") as handle:
+        return sweep_from_document(json.load(handle))
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.workers is not None and args.workers < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
+        return 2
+    try:
+        sweep = load_sweep(args.config)
+        if args.disk_cache is not None:
+            sweep.disk_cache = args.disk_cache
+        if args.expand:
+            # The only eager expansion: the run path below leaves it to
+            # run_sweep (expanding twice would re-derive every unit seed).
+            for unit in sweep.expand():
+                print(f"{unit.unit_id:<44s} seed={unit.payload['run']['seed']:<12d} "
+                      f"key={unit.key()[:12]}")
+            print(f"{sweep.num_units} units "
+                  f"({len(sweep.optimizers)} optimizers x {len(sweep.envs)} envs "
+                  f"x {len(sweep.seeds)} seeds)")
+            return 0
+    except (OSError, ValueError, TypeError, KeyError) as exc:
+        print(f"error: could not load sweep from {args.config!r}: {exc}", file=sys.stderr)
+        return 2
+
+    total = sweep.num_units
+    progress_state = {"done": 0}
+
+    def on_progress(event: str, record: UnitRecord) -> None:
+        progress_state["done"] += 1
+        if args.quiet:
+            return
+        label = {"skipped": "skipped (artifact store)", "completed": "completed",
+                 "failed": "FAILED"}[event]
+        print(f"[{progress_state['done']}/{total}] {record.unit_id:<44s} "
+              f"{label} ({record.wall_time_s:.2f}s)", flush=True)
+
+    name = sweep.name or "sweep"
+    print(f"{name}: {total} units -> store {args.store or sweep.store!r}"
+          + (f", disk cache {sweep.disk_cache!r}" if sweep.disk_cache else ""))
+    result = run_sweep(
+        sweep,
+        store=args.store,
+        workers=args.workers,
+        resume=not args.no_resume,
+        on_progress=on_progress,
+    )
+    print()
+    print(result.summary_table())
+    for unit_id in result.failed:
+        record = result.record(unit_id)
+        last_line = (record.error or "").strip().splitlines()[-1:] or ["unknown error"]
+        print(f"failed: {unit_id}: {last_line[0]}", file=sys.stderr)
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

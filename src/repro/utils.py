@@ -1,0 +1,39 @@
+"""Small shared utilities with no domain dependencies."""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Optional, Union
+
+
+def atomic_write_json(
+    path: Union[str, os.PathLike],
+    data: Any,
+    indent: Optional[int] = None,
+    sort_keys: bool = False,
+) -> None:
+    """Write ``data`` as JSON so readers never observe a partial file.
+
+    Writes to a temporary file in the destination directory and publishes it
+    with ``os.replace`` — atomic on POSIX — so concurrent readers (cache
+    workers, resumed sweeps) see either the old complete document or the new
+    one, never a torn write.  The temporary file is removed on failure.
+    Used by both the :mod:`repro.orchestrate` artifact store and the
+    :class:`repro.parallel.DiskSimulationCache` persistent tier.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, temp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(data, handle, indent=indent, sort_keys=sort_keys)
+        os.replace(temp_name, path)
+    except OSError:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise

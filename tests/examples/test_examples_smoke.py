@@ -34,6 +34,7 @@ EXAMPLE_ARGS = {
         "--episodes", "4", "--search-budget", "8",
         "--circuits", "two_stage_opamp", "common_source_lna",
     ],
+    "sweep_orchestration.py": ["--budget", "6", "--workers", "2"],
 }
 
 

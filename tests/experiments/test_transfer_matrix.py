@@ -93,3 +93,41 @@ class TestTransferMatrix:
     def test_requires_two_circuits(self):
         with pytest.raises(ValueError):
             run_transfer_matrix(circuits=("two_stage_opamp",), scale=smoke_scale())
+
+    def test_workers2_matches_workers1(self):
+        kwargs = dict(
+            circuits=("two_stage_opamp", "common_source_lna"),
+            method="baseline_a",
+            scale=smoke_scale(),
+            seed=0,
+            fine_tune_episodes=0,
+            eval_targets=2,
+        )
+        sequential = run_transfer_matrix(workers=1, **kwargs)
+        parallel = run_transfer_matrix(workers=2, **kwargs)
+        assert sequential.source_accuracies == parallel.source_accuracies
+        assert [(c.source, c.target, c.accuracy, c.mean_steps) for c in sequential.cells] \
+            == [(c.source, c.target, c.accuracy, c.mean_steps) for c in parallel.cells]
+
+    def test_store_resumes_rows_without_retraining(self, tmp_path, monkeypatch):
+        kwargs = dict(
+            circuits=("two_stage_opamp", "common_source_lna"),
+            method="baseline_a",
+            scale=smoke_scale(),
+            seed=0,
+            fine_tune_episodes=0,
+            eval_targets=2,
+            store=tmp_path / "matrix_store",
+        )
+        first = run_transfer_matrix(**kwargs)
+        # Sabotage the row runner: if any row re-executed, the rerun fails —
+        # passing proves every row was served from the artifact store.
+        import repro.experiments.transfer_matrix as tm
+
+        def boom(arguments):
+            raise AssertionError("row re-executed despite stored artifact")
+
+        monkeypatch.setattr(tm, "transfer_source_unit", boom)
+        second = run_transfer_matrix(**kwargs)
+        assert second.source_accuracies == first.source_accuracies
+        assert [c.accuracy for c in second.cells] == [c.accuracy for c in first.cells]

@@ -1,0 +1,119 @@
+"""``python -m repro.run``: the acceptance-criteria sweep through the CLI.
+
+A 2-optimizer x 2-circuit x 2-seed sweep run with ``--workers 4`` must be
+bit-identical to the same sweep at ``--workers 1``, and re-invoking it must
+complete with zero units re-executed (all served from the artifact store).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.orchestrate import ArtifactStore, SweepConfig
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def make_sweep(tmp_path: Path, store_name: str) -> SweepConfig:
+    return SweepConfig(
+        name="cli-acceptance",
+        optimizers=["random", {"id": "genetic", "params": {"population_size": 4}}],
+        envs=["opamp-p2s-v0", "common_source_lna-p2s-v0"],
+        seeds=[0, 1],
+        budget=6,
+        store=str(tmp_path / store_name),
+        disk_cache=str(tmp_path / "sim_cache"),
+    )
+
+
+def run_cli(config_path: Path, *flags: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.run", str(config_path), *flags],
+        cwd=REPO_ROOT, env=env, capture_output=True, text=True, timeout=600,
+    )
+
+
+def stored_results(sweep: SweepConfig) -> dict:
+    store = ArtifactStore(sweep.store)
+    results = {}
+    for unit in sweep.expand():
+        record = store.get(unit.key())
+        assert record is not None and record.completed, unit.unit_id
+        results[unit.unit_id] = record.result
+    return results
+
+
+@pytest.fixture(scope="module")
+def cli_runs(tmp_path_factory):
+    """One workers=1 and one workers=4 CLI invocation over the same sweep."""
+    tmp_path = tmp_path_factory.mktemp("cli")
+    outputs = {}
+    for workers, store_name in ((1, "store_w1"), (4, "store_w4")):
+        sweep = make_sweep(tmp_path, store_name)
+        config_path = tmp_path / f"sweep_w{workers}.json"
+        sweep.save(config_path)
+        completed = run_cli(config_path, "--workers", str(workers))
+        outputs[workers] = (sweep, config_path, completed)
+    return outputs
+
+
+def test_cli_runs_the_full_grid(cli_runs):
+    for workers, (_, _, completed) in cli_runs.items():
+        assert completed.returncode == 0, completed.stderr
+        assert "8 units: 8 executed, 0 skipped" in completed.stdout, completed.stdout
+
+
+def test_workers4_bit_identical_to_workers1(cli_runs):
+    results_w1 = stored_results(cli_runs[1][0])
+    results_w4 = stored_results(cli_runs[4][0])
+    assert set(results_w1) == set(results_w4)
+    for unit_id, result in results_w1.items():
+        assert result["result"] == results_w4[unit_id]["result"], unit_id
+        assert result["trace"] == results_w4[unit_id]["trace"], unit_id
+
+
+def test_reinvocation_executes_zero_units(cli_runs):
+    _, config_path, _ = cli_runs[4]
+    again = run_cli(config_path, "--workers", "4")
+    assert again.returncode == 0, again.stderr
+    assert "8 units: 0 executed, 8 skipped" in again.stdout, again.stdout
+
+
+def test_expand_lists_units_without_running(tmp_path):
+    sweep = make_sweep(tmp_path, "store_expand")
+    config_path = tmp_path / "sweep.json"
+    sweep.save(config_path)
+    completed = run_cli(config_path, "--expand")
+    assert completed.returncode == 0, completed.stderr
+    assert "8 units (2 optimizers x 2 envs x 2 seeds)" in completed.stdout
+    assert not (tmp_path / "store_expand").exists()
+
+
+def test_failed_unit_sets_exit_code(tmp_path):
+    # An optimizer params typo fails at unit build time inside the worker.
+    sweep_doc = {
+        "optimizers": [{"id": "random", "params": {"definitely_not_a_knob": 1}}],
+        "envs": ["common_source_lna-p2s-v0"],
+        "seeds": [0],
+        "budget": 4,
+        "store": str(tmp_path / "store"),
+    }
+    config_path = tmp_path / "bad.json"
+    config_path.write_text(json.dumps(sweep_doc), encoding="utf-8")
+    completed = run_cli(config_path)
+    assert completed.returncode == 1
+    assert "failed" in completed.stdout or "failed" in completed.stderr
+
+
+def test_missing_file_is_usage_error(tmp_path):
+    completed = run_cli(tmp_path / "nope.json")
+    assert completed.returncode == 2
+    assert "could not load sweep" in completed.stderr

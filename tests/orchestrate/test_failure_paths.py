@@ -1,0 +1,109 @@
+"""Orchestrator failure paths: failed units, pool survival, exact resume."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.orchestrate import (
+    ArtifactStore,
+    WorkUnit,
+    execute_units,
+    execute_with_store,
+)
+
+MARKER_RUNNER = "repro.orchestrate.testing:marker_unit"
+
+
+def marker_units(tmp_path, tags, failing):
+    """Units that fail while ``<tmp_path>/marker-<tag>`` exists."""
+    units = []
+    for tag in tags:
+        marker = tmp_path / f"marker-{tag}"
+        if tag in failing:
+            marker.write_text("fail", encoding="utf-8")
+        units.append(
+            WorkUnit(
+                unit_id=f"unit-{tag}",
+                runner=MARKER_RUNNER,
+                payload={"tag": tag},
+                execution={"fail_while_exists": str(marker)},
+            )
+        )
+    return units
+
+
+@pytest.mark.parametrize("workers", [1, 3])
+def test_raising_unit_fails_without_poisoning_the_pool(tmp_path, workers):
+    units = marker_units(tmp_path, "abcd", failing={"b"})
+    records = execute_units(units, workers=workers)
+    by_id = {record.unit_id: record for record in records}
+    assert by_id["unit-b"].status == "failed"
+    assert "marker present" in by_id["unit-b"].error
+    assert by_id["unit-b"].result is None
+    # Every sibling unit still completed on the same pool.
+    for tag in "acd":
+        assert by_id[f"unit-{tag}"].status == "completed"
+        assert by_id[f"unit-{tag}"].result["echo"] == tag
+
+
+def test_bad_runner_path_is_a_failed_record_not_a_crash():
+    unit = WorkUnit(unit_id="ghost", runner="repro.no_such_module:nope", payload={})
+    record = execute_units([unit], workers=1)[0]
+    assert record.status == "failed"
+    assert "no_such_module" in record.error
+
+
+def test_failed_units_are_persisted_with_traceback(tmp_path):
+    store = ArtifactStore(tmp_path / "store")
+    units = marker_units(tmp_path, "ab", failing={"a"})
+    report = execute_with_store(units, store=store, workers=1)
+    assert report.failed == ["unit-a"]
+    stored = store.get(units[0].key())
+    assert stored is not None and stored.status == "failed"
+    assert "RuntimeError" in stored.error
+
+
+def test_resume_reruns_exactly_the_failed_and_missing_units(tmp_path):
+    store = ArtifactStore(tmp_path / "store")
+    units = marker_units(tmp_path, "abcde", failing={"b", "d"})
+
+    first = execute_with_store(units, store=store, workers=2)
+    assert sorted(first.failed) == ["unit-b", "unit-d"]
+    assert len(first.executed) == 5
+
+    # Drop one completed artifact entirely (simulates a lost/partial store).
+    store.unit_path(units[4].key()).unlink()
+    # Clear the failure condition WITHOUT changing any payload: the units'
+    # content keys are identical to the first attempt.
+    (tmp_path / "marker-b").unlink()
+    (tmp_path / "marker-d").unlink()
+
+    second = execute_with_store(units, store=store, workers=2)
+    # Exactly the failed (b, d) and missing (e) units re-ran.
+    assert sorted(second.executed) == ["unit-b", "unit-d", "unit-e"]
+    assert sorted(second.skipped) == ["unit-a", "unit-c"]
+    assert second.ok
+    assert all(record.completed for record in second.records)
+
+
+def test_records_persist_as_each_unit_completes(tmp_path):
+    # Crash-resume contract: by the time the progress observer sees a
+    # record, its artifact is already on disk — killing the orchestrator
+    # after any unit completes loses nothing.
+    store = ArtifactStore(tmp_path / "store")
+    units = marker_units(tmp_path, "abc", failing=set())
+    observed = []
+
+    def on_progress(event, record):
+        observed.append((record.unit_id, store.has_completed(record.key)))
+
+    execute_with_store(units, store=store, workers=1, on_progress=on_progress)
+    assert len(observed) == 3
+    assert all(persisted for _, persisted in observed)
+
+
+def test_raise_on_failure_summarizes_every_failed_unit(tmp_path):
+    units = marker_units(tmp_path, "ab", failing={"a", "b"})
+    report = execute_with_store(units, workers=1)
+    with pytest.raises(RuntimeError, match="2 of 2 work units failed"):
+        report.raise_on_failure()

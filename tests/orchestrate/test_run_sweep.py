@@ -1,0 +1,112 @@
+"""run_sweep: worker-count parity, resume semantics, artifact contents."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import RunConfig
+from repro.orchestrate import ArtifactStore, SweepConfig, run_sweep
+
+
+@pytest.fixture(scope="module")
+def sweep() -> SweepConfig:
+    return SweepConfig(
+        name="parity",
+        optimizers=["random", {"id": "genetic", "params": {"population_size": 4}}],
+        envs=["opamp-p2s-v0", "common_source_lna-p2s-v0"],
+        seeds=[0, 1],
+        budget=6,
+    )
+
+
+@pytest.fixture(scope="module")
+def sequential(sweep, tmp_path_factory):
+    """The workers=1 reference run (shared across the parity tests)."""
+    store = tmp_path_factory.mktemp("seq_store")
+    return run_sweep(sweep, store=store, workers=1)
+
+
+class TestWorkerParity:
+    def test_sequential_run_completes_everything(self, sweep, sequential):
+        assert sequential.ok
+        assert len(sequential.executed) == sweep.num_units
+        assert not sequential.skipped and not sequential.failed
+
+    def test_workers4_bit_identical_to_workers1(self, sweep, sequential, tmp_path):
+        parallel = run_sweep(sweep, store=tmp_path / "par_store", workers=4)
+        assert parallel.ok
+        for seq_record, par_record in zip(sequential.records, parallel.records):
+            assert seq_record.unit_id == par_record.unit_id
+            assert seq_record.result["result"] == par_record.result["result"]
+            assert seq_record.result["trace"] == par_record.result["trace"]
+
+    def test_unit_matches_standalone_run_config(self, sweep, sequential):
+        # Any unit replayed outside the orchestrator reproduces its artifact.
+        unit = sweep.expand()[0]
+        standalone = RunConfig.from_dict(unit.payload["run"]).run()
+        stored = sequential.record(unit.unit_id).result["result"]
+        assert standalone.summary() == stored
+
+
+class TestResume:
+    def test_rerun_skips_every_completed_unit(self, sweep, tmp_path):
+        store = tmp_path / "store"
+        first = run_sweep(sweep, store=store, workers=2)
+        assert first.ok and len(first.executed) == sweep.num_units
+        second = run_sweep(sweep, store=store, workers=2)
+        assert second.ok
+        assert not second.executed
+        assert len(second.skipped) == sweep.num_units
+        # Skipped units return the stored records verbatim.
+        for first_record, second_record in zip(first.records, second.records):
+            assert first_record.result == second_record.result
+
+    def test_no_resume_reexecutes(self, sweep, tmp_path):
+        store = tmp_path / "store"
+        run_sweep(sweep, store=store, workers=1)
+        again = run_sweep(sweep, store=store, workers=1, resume=False)
+        assert len(again.executed) == sweep.num_units and not again.skipped
+
+    def test_partial_store_runs_only_missing_units(self, sweep, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        units = sweep.expand()
+        half = [unit.unit_id for unit in units[: len(units) // 2]]
+        # Run everything, then delete the second half's artifacts.
+        run_sweep(sweep, store=store, workers=1)
+        for unit in units[len(units) // 2:]:
+            store.unit_path(unit.key()).unlink()
+        result = run_sweep(sweep, store=store, workers=1)
+        assert sorted(result.skipped) == sorted(half)
+        assert sorted(result.executed) == sorted(
+            unit.unit_id for unit in units[len(units) // 2:]
+        )
+
+    def test_sweep_manifest_written(self, sweep, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        run_sweep(sweep, store=store, workers=1)
+        manifest = store.get_sweep(sweep.sweep_key())
+        assert manifest is not None
+        assert manifest["config"] == sweep.to_dict()
+        assert set(manifest["units"]) == {unit.unit_id for unit in sweep.expand()}
+        assert all(entry["status"] == "completed" for entry in manifest["units"].values())
+
+
+class TestDiskCacheIntegration:
+    def test_units_record_cache_stats_and_share_the_directory(self, tmp_path):
+        sweep = SweepConfig(
+            optimizers=["random"],
+            envs=["opamp-p2s-v0"],
+            seeds=[0],
+            budget=6,
+            disk_cache=str(tmp_path / "cache"),
+        )
+        cold = run_sweep(sweep, store=tmp_path / "store_a", workers=1)
+        stats = cold.records[0].result["cache"]
+        assert stats["misses"] > 0 and stats["disk_hits"] == 0
+        # Same sweep into a fresh store: every simulation now comes off disk.
+        warm = run_sweep(sweep, store=tmp_path / "store_b", workers=1)
+        warm_stats = warm.records[0].result["cache"]
+        assert warm_stats["misses"] == 0
+        assert warm_stats["disk_hits"] > 0
+        # And the results are bit-identical to the cold run.
+        assert warm.records[0].result["result"] == cold.records[0].result["result"]

@@ -1,0 +1,142 @@
+"""SweepConfig: JSON round trips, grid expansion, and seed derivation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import RunConfig
+from repro.orchestrate import SweepConfig, sweep_from_document
+
+
+def small_sweep(**overrides) -> SweepConfig:
+    base = dict(
+        name="test-sweep",
+        optimizers=["random", {"id": "genetic", "params": {"population_size": 4}}],
+        envs=["opamp-p2s-v0", "common_source_lna-p2s-v0"],
+        seeds=[0, 1],
+        budget=6,
+    )
+    base.update(overrides)
+    return SweepConfig(**base)
+
+
+class TestSweepConfigSerialization:
+    def test_json_round_trip(self):
+        sweep = small_sweep(disk_cache="cache_dir", workers=3)
+        clone = SweepConfig.from_json(sweep.to_json())
+        assert clone == sweep
+
+    def test_save_load(self, tmp_path):
+        sweep = small_sweep()
+        path = tmp_path / "sweep.json"
+        sweep.save(path)
+        assert SweepConfig.load(path) == sweep
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown SweepConfig keys"):
+            SweepConfig.from_dict({"optimizers": ["random"], "envs": ["opamp-p2s-v0"],
+                                   "sedes": [0]})
+
+    def test_empty_grid_axes_rejected(self):
+        with pytest.raises(ValueError, match="optimizers"):
+            SweepConfig(optimizers=[], envs=["opamp-p2s-v0"])
+        with pytest.raises(ValueError, match="envs"):
+            SweepConfig(optimizers=["random"], envs=[])
+        with pytest.raises(ValueError, match="seeds"):
+            small_sweep(seeds=[])
+
+    def test_duplicate_seeds_rejected(self):
+        with pytest.raises(ValueError, match="duplicates"):
+            small_sweep(seeds=[0, 0])
+
+    def test_negative_seeds_rejected_at_construction(self):
+        # SeedSequence would reject them at expand time; fail fast instead.
+        with pytest.raises(ValueError, match="non-negative"):
+            small_sweep(seeds=[-1])
+
+    def test_explicit_empty_seeds_in_document_rejected(self):
+        document = small_sweep().to_dict()
+        document["seeds"] = []
+        with pytest.raises(ValueError, match="non-empty"):
+            SweepConfig.from_dict(document)
+        # An absent (or null) seeds key defaults to [0].
+        document.pop("seeds")
+        assert SweepConfig.from_dict(document).seeds == [0]
+
+    def test_unknown_component_ids_fail_fast(self):
+        with pytest.raises(Exception, match="nonexistent"):
+            small_sweep(envs=["nonexistent-env-v0"])
+
+
+class TestSweepExpansion:
+    def test_grid_size_and_ids(self):
+        units = small_sweep().expand()
+        assert len(units) == 8
+        assert units[0].unit_id == "random+opamp-p2s-v0+s0"
+        assert len({unit.unit_id for unit in units}) == 8
+        assert len({unit.key() for unit in units}) == 8
+
+    def test_units_are_standalone_run_configs(self):
+        unit = small_sweep().expand()[0]
+        run = RunConfig.from_dict(unit.payload["run"])
+        assert run.budget == 6
+        assert run.env.id == "opamp-p2s-v0"
+
+    def test_expansion_is_deterministic(self):
+        first = [(u.unit_id, u.key()) for u in small_sweep().expand()]
+        second = [(u.unit_id, u.key()) for u in small_sweep().expand()]
+        assert first == second
+
+    def test_unit_seeds_shared_across_optimizers(self):
+        # Paired comparisons: within one (seed, env) cell every optimizer
+        # must pursue the same derived seed (hence the same sampled target).
+        sweep = small_sweep()
+        by_id = {unit.unit_id: unit.payload["run"]["seed"] for unit in sweep.expand()}
+        assert by_id["random+opamp-p2s-v0+s0"] == by_id["genetic+opamp-p2s-v0+s0"]
+
+    def test_unit_seeds_distinct_across_cells(self):
+        sweep = small_sweep()
+        seeds = {
+            (unit.payload["run"]["env"]["id"], unit.payload["run"]["seed"])
+            for unit in sweep.expand()
+        }
+        # 2 envs x 2 sweep seeds -> 4 distinct (env, derived-seed) cells.
+        assert len(seeds) == 4
+
+    def test_unit_seeds_position_independent(self):
+        # Cross-sweep artifact sharing: a cell's derived seed (and hence its
+        # content key) must not depend on where it sits in the grid, so
+        # adding/removing/reordering entries never invalidates other cells.
+        full = small_sweep()
+        narrowed = small_sweep(envs=["common_source_lna-p2s-v0"],
+                               optimizers=["random"], seeds=[1])
+        full_keys = {unit.unit_id: unit.key() for unit in full.expand()}
+        narrow_unit = narrowed.expand()[0]
+        assert full_keys[narrow_unit.unit_id] == narrow_unit.key()
+
+    def test_derive_seeds_false_passes_literal_seeds(self):
+        sweep = small_sweep(derive_seeds=False)
+        seeds = {unit.payload["run"]["seed"] for unit in sweep.expand()}
+        assert seeds == {0, 1}
+
+    def test_disk_cache_rides_in_execution_not_identity(self):
+        plain = small_sweep()
+        cached = small_sweep(disk_cache="some_dir")
+        for unit_a, unit_b in zip(plain.expand(), cached.expand()):
+            assert unit_a.key() == unit_b.key()
+            assert unit_b.execution["disk_cache"]["dir"] == "some_dir"
+        assert plain.sweep_key() == cached.sweep_key()
+
+
+class TestSweepFromDocument:
+    def test_sweep_document(self):
+        document = small_sweep().to_dict()
+        assert sweep_from_document(document) == small_sweep()
+
+    def test_run_config_document_becomes_one_unit_sweep(self):
+        run = RunConfig(env="opamp-p2s-v0", optimizer="random", budget=5, seed=42)
+        sweep = sweep_from_document(run.to_dict())
+        units = sweep.expand()
+        assert len(units) == 1
+        # Literal seed preserved: the CLI must reproduce RunConfig.run().
+        assert units[0].payload["run"]["seed"] == 42

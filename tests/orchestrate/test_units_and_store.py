@@ -1,0 +1,113 @@
+"""WorkUnit content addressing and the ArtifactStore."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.orchestrate import ArtifactStore, UnitRecord, WorkUnit
+
+
+def _unit(tag="a", runner="repro.orchestrate.testing:echo_unit", **execution):
+    return WorkUnit(
+        unit_id=f"unit-{tag}", runner=runner, payload={"tag": tag}, execution=execution
+    )
+
+
+def _record(unit, status="completed", **kwargs):
+    return UnitRecord(
+        unit_id=unit.unit_id,
+        key=unit.key(),
+        runner=unit.runner,
+        payload=dict(unit.payload),
+        status=status,
+        **kwargs,
+    )
+
+
+class TestWorkUnitKey:
+    def test_key_is_stable_and_payload_sensitive(self):
+        assert _unit("a").key() == _unit("a").key()
+        assert _unit("a").key() != _unit("b").key()
+
+    def test_key_ignores_execution_details(self):
+        # Cache directories etc. do not change what the unit computes.
+        assert _unit("a").key() == _unit("a", disk_cache={"dir": "/tmp/x"}).key()
+
+    def test_key_depends_on_runner(self):
+        other = _unit("a", runner="repro.orchestrate.testing:marker_unit")
+        assert _unit("a").key() != other.key()
+
+    def test_key_insensitive_to_dict_ordering(self):
+        first = WorkUnit(unit_id="u", payload={"x": 1, "y": 2})
+        second = WorkUnit(unit_id="u", payload={"y": 2, "x": 1})
+        assert first.key() == second.key()
+
+    def test_round_trip(self):
+        unit = _unit("a", disk_cache={"dir": "d"})
+        clone = WorkUnit.from_dict(unit.to_dict())
+        assert clone == unit
+
+    def test_rejects_bad_runner_path(self):
+        with pytest.raises(ValueError, match="package.module:function"):
+            WorkUnit(unit_id="u", runner="no-colon-here")
+
+
+class TestArtifactStore:
+    def test_put_get_round_trip(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        unit = _unit("a")
+        record = _record(unit, result={"echo": "a"}, wall_time_s=0.5)
+        store.put(record)
+        loaded = store.get(unit.key())
+        assert loaded == record
+        assert store.has_completed(unit.key())
+
+    def test_missing_and_corrupt_entries_are_none(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        unit = _unit("a")
+        assert store.get(unit.key()) is None
+        path = store.unit_path(unit.key())
+        path.parent.mkdir(parents=True)
+        path.write_text("{not json", encoding="utf-8")
+        assert store.get(unit.key()) is None
+        assert not store.has_completed(unit.key())
+
+    def test_failed_records_never_satisfy_resume(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        unit = _unit("a")
+        store.put(_record(unit, status="failed", error="boom"))
+        assert store.get(unit.key()) is not None
+        assert not store.has_completed(unit.key())
+
+    def test_manifest_tracks_and_rebuilds(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        units = [_unit(tag) for tag in "abc"]
+        for unit in units:
+            store.put(_record(unit))
+        manifest = store.load_manifest()
+        assert set(manifest) == {unit.key() for unit in units}
+        # Deleting the manifest loses nothing: the unit files are the truth.
+        (store.root / "manifest.json").unlink()
+        rebuilt = store.rebuild_manifest()
+        assert rebuilt == manifest
+
+    def test_records_iterates_everything(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        for tag in "abcd":
+            store.put(_record(_unit(tag)))
+        assert len(store) == 4
+        assert {record.unit_id for record in store.records()} == {
+            "unit-a", "unit-b", "unit-c", "unit-d"
+        }
+
+    def test_sweep_manifest_round_trip(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        manifest = {"name": "demo", "units": {"u": {"key": "k", "status": "completed"}}}
+        store.put_sweep("deadbeef", manifest)
+        assert store.get_sweep("deadbeef") == manifest
+        assert store.get_sweep("feedface") is None
+        # The file itself is valid JSON on disk.
+        with open(store.sweep_path("deadbeef"), encoding="utf-8") as handle:
+            assert json.load(handle) == manifest
