@@ -14,6 +14,8 @@ To run a full paper-scale experiment use the harnesses in
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 # The bench suite imports the library exactly like the test suite does: from
@@ -57,4 +59,17 @@ def benchmark_scale() -> ExperimentScale:
 
 @pytest.fixture(scope="session")
 def scale() -> ExperimentScale:
-    return benchmark_scale()
+    """Budgets for the suite; ``REPRO_BENCH_SCALE`` selects larger ones.
+
+    The default is the reduced per-PR configuration above.  The nightly
+    workflow exports ``REPRO_BENCH_SCALE=bench`` to run the full
+    (non-reduced) suite at :func:`repro.experiments.configs.bench_scale`
+    budgets; ``paper`` selects the paper-scale budgets for long offline
+    runs.
+    """
+    name = os.environ.get("REPRO_BENCH_SCALE", "").strip().lower()
+    if not name or name == "benchmark":
+        return benchmark_scale()
+    from repro.experiments.configs import get_scale
+
+    return get_scale(name)

@@ -24,7 +24,8 @@ Package map
 ``repro.env``         the P2S / FoM circuit design environment
 ``repro.parallel``    vectorized env batches and simulation caching
 ``repro.orchestrate`` process-parallel sweeps, artifact store, resumable runs
-``repro.agents``      GNN-FC multimodal policy, PPO, deployment, transfer
+``repro.agents``      GNN-FC multimodal policy, PPO, deployment, checkpoints
+``repro.serve``       micro-batched deployment service over checkpoints
 ``repro.baselines``   genetic algorithm, Bayesian optimization, SL sizer
 ``repro.experiments`` harnesses regenerating every paper table and figure
 """
@@ -54,14 +55,19 @@ from repro.api import (
 # factory functions emits a DeprecationWarning (see repro.api for the
 # replacements).
 from repro.agents import (
+    CheckpointError,
+    PolicyCheckpoint,
     PPOConfig,
     PPOTrainer,
     deploy_policy,
+    deploy_policy_batch,
     evaluate_deployment,
+    load_checkpoint,
     make_baseline_a_policy,
     make_baseline_b_policy,
     make_gat_fc_policy,
     make_gcn_fc_policy,
+    save_checkpoint,
 )
 from repro.circuits import (
     build_common_source_lna,
@@ -71,13 +77,17 @@ from repro.circuits import (
     build_two_stage_opamp,
 )
 from repro.env import make_opamp_env, make_rf_pa_env, make_rf_pa_fom_env
+from repro.nn import inference_mode
 from repro.orchestrate import ArtifactStore, SweepConfig, SweepResult, run_sweep
 from repro.parallel import DiskSimulationCache, SimulationCache, VectorCircuitEnv
+from repro.serve import DeploymentService, ServeRequest, ServeResponse
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "ArtifactStore",
+    "CheckpointError",
+    "DeploymentService",
     "DiskSimulationCache",
     "EnvConfig",
     "OptimizationCallback",
@@ -86,7 +96,10 @@ __all__ = [
     "OptimizerConfig",
     "PPOConfig",
     "PPOTrainer",
+    "PolicyCheckpoint",
     "RunConfig",
+    "ServeRequest",
+    "ServeResponse",
     "SimulationCache",
     "SweepConfig",
     "SweepResult",
@@ -99,9 +112,12 @@ __all__ = [
     "build_rf_pa",
     "build_two_stage_opamp",
     "deploy_policy",
+    "deploy_policy_batch",
     "describe_components",
     "evaluate_deployment",
+    "inference_mode",
     "list_envs",
+    "load_checkpoint",
     "list_optimizers",
     "list_policies",
     "make_baseline_a_policy",
@@ -118,5 +134,6 @@ __all__ = [
     "register_optimizer",
     "register_policy",
     "run_sweep",
+    "save_checkpoint",
     "seed_everything",
 ]

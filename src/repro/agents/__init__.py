@@ -1,9 +1,16 @@
 """RL agents: the GNN-FC multimodal policy, prior-art policies, PPO, deployment."""
 
+from repro.agents.checkpoint import (
+    CheckpointError,
+    PolicyCheckpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
 from repro.agents.deployment import (
     DeploymentEvaluation,
     DeploymentResult,
     deploy_policy,
+    deploy_policy_batch,
     evaluate_deployment,
 )
 from repro.agents.policy import (
@@ -28,9 +35,11 @@ from repro.agents.transfer import (
 
 __all__ = [
     "ActorCriticPolicy",
+    "CheckpointError",
     "DeploymentEvaluation",
     "DeploymentResult",
     "POLICY_FACTORIES",
+    "PolicyCheckpoint",
     "PPOConfig",
     "PPOTrainer",
     "PolicyConfig",
@@ -42,12 +51,15 @@ __all__ = [
     "TransferLearningResult",
     "TransferLearningWorkflow",
     "deploy_policy",
+    "deploy_policy_batch",
     "evaluate_deployment",
+    "load_checkpoint",
     "make_baseline_a_policy",
     "make_baseline_b_policy",
     "make_gat_fc_policy",
     "make_gcn_fc_policy",
     "make_policy",
     "reward_fidelity_report",
+    "save_checkpoint",
     "transfer_policy_parameters",
 ]

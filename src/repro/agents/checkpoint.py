@@ -1,0 +1,286 @@
+"""Versioned on-disk policy checkpoints: train once, serve many times.
+
+A checkpoint is a single ``.npz`` file holding every policy parameter (one
+array per dotted parameter name, prefixed ``param.``) plus one JSON metadata
+blob carrying everything needed to rebuild the policy in a fresh process:
+
+* the checkpoint format name and version,
+* the :class:`~repro.agents.policy.PolicyConfig` (fully JSON-serializable),
+* the library version (``repro.__version__``) that wrote the file,
+* optionally the policy registry ID, the environment ID the policy was
+  trained for, a :class:`repro.RunConfig` document, and free-form extras
+  (training progress, metrics, ...).
+
+``save_checkpoint`` / ``load_checkpoint`` round-trip bitwise: the restored
+policy produces exactly the deployment trajectories of the saved one
+(``tests/agents/test_checkpoint.py`` verifies this across processes for
+every registered policy ID).  Mismatched or corrupt files raise
+:class:`CheckpointError` with enough context to tell *what* is wrong —
+wrong file type, wrong architecture, missing parameters — instead of a bare
+KeyError deep inside ``load_state_dict``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import warnings
+import zipfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Union
+
+import numpy as np
+
+from repro.agents.policy import ActorCriticPolicy, PolicyConfig
+
+#: Identifies a repro policy checkpoint among arbitrary ``.npz`` files.
+CHECKPOINT_FORMAT = "repro.policy-checkpoint"
+
+#: Bump when the on-disk layout changes incompatibly.
+CHECKPOINT_VERSION = 1
+
+#: npz entry holding the JSON metadata blob.
+_METADATA_KEY = "__checkpoint__"
+
+#: Prefix of npz entries holding parameter arrays.
+_PARAM_PREFIX = "param."
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint file is missing, corrupt, or incompatible."""
+
+
+def _repro_version() -> str:
+    from repro import __version__  # local: repro.__init__ imports this module's package
+
+    return __version__
+
+
+def _config_to_dict(config: PolicyConfig) -> Dict[str, Any]:
+    data = dataclasses.asdict(config)
+    for key, value in data.items():
+        if isinstance(value, tuple):
+            data[key] = list(value)
+    return data
+
+
+def _config_from_dict(data: Mapping[str, Any]) -> PolicyConfig:
+    fields = {field.name for field in dataclasses.fields(PolicyConfig)}
+    unknown = set(data) - fields
+    if unknown:
+        raise CheckpointError(
+            f"checkpoint policy_config has unknown keys {sorted(unknown)} "
+            f"(written by a newer repro version?)"
+        )
+    kwargs = dict(data)
+    for key in ("graph_hidden", "spec_hidden", "head_hidden"):
+        if key in kwargs:
+            kwargs[key] = tuple(kwargs[key])
+    return PolicyConfig(**kwargs)
+
+
+@dataclass
+class PolicyCheckpoint:
+    """A loaded checkpoint: the restored policy plus its metadata."""
+
+    policy: ActorCriticPolicy
+    metadata: Dict[str, Any]
+    path: Optional[Path] = None
+
+    @property
+    def policy_id(self) -> Optional[str]:
+        """Registry ID of the policy architecture, when recorded."""
+        return self.metadata.get("policy_id")
+
+    @property
+    def env_id(self) -> Optional[str]:
+        """Environment ID the policy was trained for, when recorded."""
+        return self.metadata.get("env_id")
+
+    @property
+    def repro_version(self) -> Optional[str]:
+        return self.metadata.get("repro_version")
+
+    @property
+    def policy_config(self) -> Dict[str, Any]:
+        return dict(self.metadata.get("policy_config", {}))
+
+    @property
+    def extra(self) -> Dict[str, Any]:
+        """Free-form extras recorded at save time (training progress etc.)."""
+        return dict(self.metadata.get("extra", {}))
+
+    def run_config(self):
+        """The saved :class:`repro.RunConfig`, rebuilt on demand (or None)."""
+        document = self.metadata.get("run_config")
+        if document is None:
+            return None
+        from repro.api.configs import RunConfig
+
+        return RunConfig.from_dict(document)
+
+
+def save_checkpoint(
+    path: Union[str, Path],
+    policy: ActorCriticPolicy,
+    policy_id: Optional[str] = None,
+    env_id: Optional[str] = None,
+    run_config: Optional[Any] = None,
+    extra: Optional[Mapping[str, Any]] = None,
+) -> Path:
+    """Write ``policy`` (weights + rebuild metadata) to ``path``.
+
+    Parameters
+    ----------
+    path:
+        Destination file (conventionally ``*.npz``; written exactly as
+        given, no suffix magic).
+    policy:
+        The actor-critic policy to persist.
+    policy_id / env_id:
+        Optional registry IDs recorded for provenance and for
+        :class:`repro.serve.DeploymentService` to pick the right environment.
+    run_config:
+        Optional :class:`repro.RunConfig` (or an equivalent dict) describing
+        the run that produced the weights.
+    extra:
+        Free-form JSON-serializable extras (training progress, metrics).
+
+    Returns the path written.  The file content is a pure function of the
+    arguments — no timestamps — so identical policies write identical bytes.
+    The write is atomic (temp file + ``os.replace``): a concurrent reader of
+    e.g. a trainer-refreshed ``latest.npz`` always sees a complete archive.
+    """
+    path = Path(path)
+    metadata: Dict[str, Any] = {
+        "format": CHECKPOINT_FORMAT,
+        "version": CHECKPOINT_VERSION,
+        "repro_version": _repro_version(),
+        "policy_config": _config_to_dict(policy.config),
+        "num_parameters": policy.num_parameters(),
+        "policy_id": policy_id,
+        "env_id": env_id,
+        "run_config": run_config.to_dict() if hasattr(run_config, "to_dict") else run_config,
+        "extra": dict(extra) if extra else {},
+    }
+    arrays = {
+        f"{_PARAM_PREFIX}{name}": value for name, value in policy.state_dict().items()
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    scratch = path.with_name(path.name + f".tmp-{os.getpid()}")
+    try:
+        with open(scratch, "wb") as handle:
+            np.savez(
+                handle,
+                **{_METADATA_KEY: np.array(json.dumps(metadata, sort_keys=True))},
+                **arrays,
+            )
+        os.replace(scratch, path)
+    finally:
+        if scratch.exists():  # pragma: no cover - only on a failed write
+            scratch.unlink()
+    return path
+
+
+def _read_archive(path: Path):
+    if not path.exists():
+        raise CheckpointError(f"checkpoint file not found: {path}")
+    try:
+        archive = np.load(path, allow_pickle=False)
+    except (OSError, ValueError, zipfile.BadZipFile) as exc:
+        raise CheckpointError(f"{path} is not a readable checkpoint archive: {exc}") from exc
+    if _METADATA_KEY not in archive.files:
+        archive.close()
+        raise CheckpointError(
+            f"{path} is a .npz archive but not a repro policy checkpoint "
+            f"(missing its '{_METADATA_KEY}' metadata entry)"
+        )
+    return archive
+
+
+def _read_metadata(archive, path: Path) -> Dict[str, Any]:
+    try:
+        metadata = json.loads(str(archive[_METADATA_KEY][()]))
+    except (json.JSONDecodeError, KeyError, ValueError) as exc:
+        raise CheckpointError(f"{path} has a corrupt metadata entry: {exc}") from exc
+    if not isinstance(metadata, dict) or metadata.get("format") != CHECKPOINT_FORMAT:
+        raise CheckpointError(
+            f"{path} metadata does not identify a '{CHECKPOINT_FORMAT}' file"
+        )
+    version = metadata.get("version")
+    if version != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"{path} uses checkpoint format version {version!r}; this repro "
+            f"release reads version {CHECKPOINT_VERSION}"
+        )
+    saved_with = metadata.get("repro_version")
+    if saved_with != _repro_version():
+        warnings.warn(
+            f"checkpoint {path.name} was written by repro {saved_with}, "
+            f"loading with repro {_repro_version()}",
+            stacklevel=3,
+        )
+    return metadata
+
+
+def load_checkpoint(
+    path: Union[str, Path],
+    policy: Optional[ActorCriticPolicy] = None,
+) -> PolicyCheckpoint:
+    """Restore a policy (weights + config) saved by :func:`save_checkpoint`.
+
+    Without ``policy`` the architecture is rebuilt from the stored
+    :class:`PolicyConfig` and the weights loaded into it.  With ``policy``
+    the weights are loaded into the given instance instead — its
+    configuration must match the checkpoint's, otherwise a
+    :class:`CheckpointError` explains the difference (e.g. a ``gat_fc``
+    checkpoint loaded into a ``gcn_fc`` policy, or a policy sized for a
+    different circuit).
+    """
+    path = Path(path)
+    archive = _read_archive(path)
+    try:
+        metadata = _read_metadata(archive, path)
+        # Materialize the arrays while the archive is open; NpzFile entries
+        # are lazy zip members, and the handle is closed on return.
+        state = {
+            name[len(_PARAM_PREFIX) :]: archive[name]
+            for name in archive.files
+            if name.startswith(_PARAM_PREFIX)
+        }
+    except (OSError, ValueError, zipfile.BadZipFile) as exc:
+        raise CheckpointError(f"{path} has a corrupt parameter archive: {exc}") from exc
+    finally:
+        archive.close()
+    config = _config_from_dict(metadata.get("policy_config", {}))
+
+    if policy is not None:
+        ours = _config_to_dict(policy.config)
+        theirs = _config_to_dict(config)
+        if ours != theirs:
+            differing = sorted(
+                key for key in set(ours) | set(theirs) if ours.get(key) != theirs.get(key)
+            )
+            saved_as = metadata.get("policy_id") or "unknown policy id"
+            raise CheckpointError(
+                f"{path} was saved for a different policy architecture "
+                f"({saved_as}); differing config fields: "
+                + ", ".join(
+                    f"{key} (checkpoint={theirs.get(key)!r}, target={ours.get(key)!r})"
+                    for key in differing
+                )
+            )
+    else:
+        policy = ActorCriticPolicy(config)
+
+    try:
+        policy.load_state_dict(state, strict=True)
+    except (KeyError, ValueError) as exc:
+        raise CheckpointError(
+            f"{path} parameter arrays do not match the policy "
+            f"(expected {policy.num_parameters()} parameters over "
+            f"{len(policy.parameter_shapes())} tensors): {exc}"
+        ) from exc
+    return PolicyCheckpoint(policy=policy, metadata=metadata, path=path)

@@ -35,11 +35,11 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.env.spaces import NUM_ACTION_CHOICES, BatchedObservation, Observation
-from repro.nn.distributions import BatchedMultiCategorical, MultiCategorical
+from repro.nn.distributions import BatchedMultiCategorical, MultiCategorical, sample_from_probs
 from repro.nn.graph_layers import GraphEncoder
-from repro.nn.layers import MLP
+from repro.nn.layers import MLP, log_softmax_array
 from repro.nn.module import Module
-from repro.nn.tensor import Tensor, concatenate
+from repro.nn.tensor import Tensor, concatenate, inference_mode
 
 
 @dataclass
@@ -152,6 +152,50 @@ class _FeatureTrunk(Module):
             return pieces[0]
         return concatenate(pieces, axis=-1)
 
+    def forward_array(self, observation: Observation) -> np.ndarray:
+        """Pure-numpy trunk forward (grad-free inference fast path).
+
+        Mirrors :meth:`forward` operation-for-operation, so the returned
+        ``(1, output_dim)`` features are bitwise identical to
+        ``forward(observation).numpy()`` — without building any tensors.
+        """
+        pieces = []
+        if self.config.use_graph:
+            if self.config.use_dynamic_node_features:
+                node_features = observation.node_features
+            else:
+                node_features = observation.static_node_features
+            pieces.append(self.graph_encoder.forward_array(node_features, observation.adjacency))
+        parts = [observation.spec_features]
+        if self.config.include_parameters:
+            parts.append(observation.normalized_parameters)
+        flat = np.concatenate(parts).reshape(1, -1)
+        if self.config.use_spec_encoder:
+            pieces.append(self.spec_encoder.forward_array(flat))
+        else:
+            pieces.append(flat)
+        if len(pieces) == 1:
+            return pieces[0]
+        return np.concatenate(pieces, axis=-1)
+
+    def forward_array_batch(self, batch: BatchedObservation) -> np.ndarray:
+        """Pure-numpy twin of :meth:`forward_batch`, shape ``(B, output_dim)``."""
+        pieces = []
+        if self.config.use_graph:
+            if self.config.use_dynamic_node_features:
+                node_features = batch.node_features
+            else:
+                node_features = batch.static_node_features
+            pieces.append(self.graph_encoder.forward_array(node_features, batch.adjacency))
+        flat = batch.flat_matrix() if self.config.include_parameters else batch.spec_features
+        if self.config.use_spec_encoder:
+            pieces.append(self.spec_encoder.forward_array(flat))
+        else:
+            pieces.append(flat)
+        if len(pieces) == 1:
+            return pieces[0]
+        return np.concatenate(pieces, axis=-1)
+
     def forward_batch(self, batch: BatchedObservation) -> Tensor:
         """Batched trunk features, shape ``(B, output_dim)``.
 
@@ -230,8 +274,20 @@ class ActorCriticPolicy(Module):
         observation: Observation,
         rng: np.random.Generator,
         deterministic: bool = False,
+        inference: bool = True,
     ) -> Tuple[np.ndarray, float, float]:
-        """Select an action; returns ``(action, log_prob, value)`` (detached)."""
+        """Select an action; returns ``(action, log_prob, value)`` (detached).
+
+        All three outputs are plain floats/arrays, so by default the forward
+        passes run under :func:`repro.nn.inference_mode` (no graph recording;
+        identical numbers).  Pass ``inference=False`` to force the
+        grad-recording path — PPO re-evaluates actions during its update via
+        :meth:`evaluate_actions`, so this is only useful for benchmarking the
+        two paths against each other.
+        """
+        if inference:
+            with inference_mode():
+                return self.act(observation, rng, deterministic=deterministic, inference=False)
         distribution = self.action_distribution(observation)
         if deterministic:
             action = distribution.mode()
@@ -272,6 +328,7 @@ class ActorCriticPolicy(Module):
         batch: BatchedObservation,
         rng: np.random.Generator,
         deterministic: bool = False,
+        inference: bool = True,
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Batched :meth:`act`: ``(actions (B, M), log_probs (B,), values (B,))``.
 
@@ -280,7 +337,12 @@ class ActorCriticPolicy(Module):
         network-forward overhead once per batch.  Stochastic sampling draws
         from ``rng`` in batch order, so the random stream differs from B
         sequential :meth:`act` calls — seed accounting, not results quality.
+        By default the forward runs under :func:`repro.nn.inference_mode`
+        (see :meth:`act`).
         """
+        if inference:
+            with inference_mode():
+                return self.act_batch(batch, rng, deterministic=deterministic, inference=False)
         distribution = self.action_distribution_batch(batch)
         if deterministic:
             actions = distribution.mode()
@@ -289,6 +351,73 @@ class ActorCriticPolicy(Module):
         log_probs = distribution.log_prob(actions).numpy().copy()
         values = self.value_batch(batch).numpy().copy()
         return actions, log_probs, values
+
+    # ------------------------------------------------------------------
+    # Grad-free action selection (the deployment fast path)
+    # ------------------------------------------------------------------
+    def actor_logits_array(self, observation: Observation) -> np.ndarray:
+        """Actor logits ``(M, 3)`` via the pure-numpy forward (no tensors).
+
+        Bitwise identical to ``action_distribution(observation).logits`` —
+        every layer mirrors its graded arithmetic exactly — at a fraction of
+        the cost: no critic, no graph bookkeeping, no tensor wrappers.
+        """
+        features = self.actor_trunk.forward_array(observation)
+        return self.actor_head.forward_array(features).reshape(
+            self.config.num_parameters, NUM_ACTION_CHOICES
+        )
+
+    def actor_logits_array_batch(self, batch: BatchedObservation) -> np.ndarray:
+        """Batched actor logits ``(B, M, 3)`` via the pure-numpy forward."""
+        features = self.actor_trunk.forward_array_batch(batch)
+        return self.actor_head.forward_array(features).reshape(
+            len(batch), self.config.num_parameters, NUM_ACTION_CHOICES
+        )
+
+    def select_action(
+        self,
+        observation: Observation,
+        rng: Optional[np.random.Generator] = None,
+        deterministic: bool = True,
+    ) -> np.ndarray:
+        """Action selection without log-prob/value bookkeeping or any graph.
+
+        This is what deployment actually needs: the greedy (or sampled)
+        action, nothing else.  Actions are identical to
+        ``act(..., deterministic=...)[0]`` — greedy selection argmaxes the
+        same probability array :class:`MultiCategorical` builds (identical
+        tie-breaking), and sampling shares its
+        :func:`~repro.nn.distributions.sample_from_probs` implementation,
+        consuming the same draws from ``rng``.
+        """
+        # The probabilities are derived exactly as MultiCategorical does
+        # (exp of the log-softmax twin), so greedy tie-breaking and sampled
+        # draws match the distribution-based act() path bit for bit.
+        probs = np.exp(log_softmax_array(self.actor_logits_array(observation)))
+        if deterministic:
+            return np.argmax(probs, axis=-1).astype(np.int64)
+        if rng is None:
+            raise ValueError("stochastic action selection requires an rng")
+        return sample_from_probs(probs, rng)
+
+    def select_action_batch(
+        self,
+        batch: BatchedObservation,
+        rng: Optional[np.random.Generator] = None,
+        deterministic: bool = True,
+    ) -> np.ndarray:
+        """Batched :meth:`select_action`: one ``(B, M)`` action matrix.
+
+        Sampling mirrors :class:`BatchedMultiCategorical` (one ``(B, M, 1)``
+        draw block from ``rng``); greedy selection is a per-row argmax of the
+        batched logits.
+        """
+        probs = np.exp(log_softmax_array(self.actor_logits_array_batch(batch)))
+        if deterministic:
+            return np.argmax(probs, axis=-1).astype(np.int64)
+        if rng is None:
+            raise ValueError("stochastic action selection requires an rng")
+        return sample_from_probs(probs, rng)
 
 
 # ----------------------------------------------------------------------

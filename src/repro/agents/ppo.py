@@ -17,7 +17,9 @@ sampled specification groups.
 
 from __future__ import annotations
 
+import shutil
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, List, Optional, Union
 
 import numpy as np
@@ -110,6 +112,13 @@ class PPOTrainer:
     are collected from all sub-environments at once through the policy's
     batched forward pass while deployment evaluations keep using the first
     sub-environment (they are single-trajectory by definition).
+
+    With ``checkpoint_dir`` set, the trainer persists the policy as an
+    on-disk checkpoint (:func:`repro.agents.checkpoint.save_checkpoint`)
+    every ``checkpoint_interval`` updates — ``update_00004.npz``, ... — plus
+    a ``latest.npz`` refreshed at each emission and once more when
+    :meth:`train` returns, so an interrupted training run always leaves a
+    servable policy behind.
     """
 
     def __init__(
@@ -119,6 +128,9 @@ class PPOTrainer:
         config: Optional[PPOConfig] = None,
         seed: Optional[int] = None,
         method_name: str = "gnn_fc",
+        checkpoint_dir: Optional[Union[str, "Path"]] = None,
+        checkpoint_interval: int = 10,
+        env_id: Optional[str] = None,
     ) -> None:
         if isinstance(env, VectorCircuitEnv):
             if not env.autoreset:
@@ -137,8 +149,57 @@ class PPOTrainer:
         self.method_name = method_name
         self.optimizer = Adam(policy.parameters(), lr=self.config.learning_rate)
         self.history = TrainingHistory(method=method_name, circuit=env.benchmark.name)
+        if checkpoint_interval <= 0:
+            raise ValueError("checkpoint_interval must be positive")
+        self.checkpoint_dir = Path(checkpoint_dir) if checkpoint_dir is not None else None
+        self.checkpoint_interval = int(checkpoint_interval)
+        self.env_id = env_id
         self._episodes_seen = 0
         self._updates_done = 0
+        self._last_checkpoint_update = -1
+
+    # ------------------------------------------------------------------
+    # Checkpoint emission
+    # ------------------------------------------------------------------
+    def save_checkpoint(self, path: Optional[Union[str, "Path"]] = None) -> "Path":
+        """Persist the current policy; default path is under ``checkpoint_dir``."""
+        from repro.agents.checkpoint import save_checkpoint
+
+        if path is None:
+            if self.checkpoint_dir is None:
+                raise ValueError("no path given and the trainer has no checkpoint_dir")
+            path = self.checkpoint_dir / f"update_{self._updates_done:05d}.npz"
+        return save_checkpoint(
+            path,
+            self.policy,
+            policy_id=self.method_name,
+            env_id=self.env_id,
+            extra={
+                "update": self._updates_done,
+                "episodes_seen": self._episodes_seen,
+                "circuit": self.env.benchmark.name,
+            },
+        )
+
+    def _emit_checkpoints(self, final: bool = False) -> None:
+        if self.checkpoint_dir is None:
+            return
+        if self._last_checkpoint_update == self._updates_done:
+            return  # this update's checkpoint is already on disk
+        latest = self.checkpoint_dir / "latest.npz"
+        # The numbered periodic file is only written for a *completed*
+        # update; an interruption before the first update still refreshes
+        # latest.npz (extra["update"] == 0 marks it untrained) via `final`.
+        if self._updates_done > 0 and self._updates_done % self.checkpoint_interval == 0:
+            # Serialize once; latest.npz is a byte-for-byte copy, swapped in
+            # atomically so a concurrent reader never sees a partial file.
+            scratch = latest.with_name(latest.name + ".tmp")
+            shutil.copyfile(self.save_checkpoint(), scratch)
+            scratch.replace(latest)
+            self._last_checkpoint_update = self._updates_done
+        elif final:
+            self.save_checkpoint(latest)  # atomic (temp + replace) internally
+            self._last_checkpoint_update = self._updates_done
 
     # ------------------------------------------------------------------
     # Rollout collection
@@ -292,12 +353,36 @@ class PPOTrainer:
         """
         if total_episodes <= 0:
             raise ValueError("total_episodes must be positive")
+        try:
+            self._train_loop(total_episodes, episodes_per_update, eval_interval,
+                             eval_specs, eval_seed)
+        except BaseException:
+            # Best-effort emission on interruption, so a checkpoint_dir ends
+            # up with a servable latest.npz reflecting the newest completed
+            # update — without a failed write masking the real exception.
+            try:
+                self._emit_checkpoints(final=True)
+            except OSError:
+                pass
+            raise
+        self._emit_checkpoints(final=True)
+        return self.history
+
+    def _train_loop(
+        self,
+        total_episodes: int,
+        episodes_per_update: int,
+        eval_interval: Optional[int],
+        eval_specs: int,
+        eval_seed: int,
+    ) -> None:
         while self._episodes_seen < total_episodes:
             remaining = total_episodes - self._episodes_seen
             batch = min(episodes_per_update, remaining)
             buffer = self.collect_episodes(batch)
             stats = self.update(buffer)
             self._updates_done += 1
+            self._emit_checkpoints()
 
             accuracy: Optional[float] = None
             if eval_interval is not None and self._updates_done % eval_interval == 0:
@@ -321,4 +406,3 @@ class PPOTrainer:
                     deployment_accuracy=accuracy,
                 )
             )
-        return self.history

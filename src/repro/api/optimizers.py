@@ -19,6 +19,10 @@ run is reconstructable from :class:`repro.api.configs.RunConfig`.
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
+import json
+from pathlib import Path
 from typing import Any, Dict, Mapping, Optional
 
 import numpy as np
@@ -241,6 +245,16 @@ class PPOOptimizer:
     episodes are collected from a ``k``-wide
     :class:`repro.parallel.VectorCircuitEnv` (shared simulation cache,
     batched policy forward); ``vectorize=1`` is the sequential path.
+
+    ``checkpoint_dir`` (a plain path string, so it serializes through
+    :class:`repro.OptimizerConfig` and sweep documents) makes the underlying
+    :class:`~repro.agents.ppo.PPOTrainer` emit on-disk policy checkpoints
+    every ``checkpoint_interval`` updates plus a final ``latest.npz`` — the
+    train-once half of the ``repro.serve`` deployment workflow.  Each run
+    writes into a ``<policy>-seed<seed>-<digest>`` subdirectory (digest over
+    the optimizer's serializable knobs), so sweep units sharing one
+    configured directory — other seeds, or a differently-tuned PPO with the
+    same policy — never clobber each other's files.
     """
 
     id = "ppo"
@@ -258,6 +272,9 @@ class PPOOptimizer:
         policy_overrides: Optional[Mapping[str, Any]] = None,
         vectorize: int = 1,
         cache_size: Optional[int] = None,
+        checkpoint_dir: Optional[str] = None,
+        checkpoint_interval: int = 10,
+        env_id: Optional[str] = None,
     ) -> None:
         from repro.agents.ppo import PPOConfig
 
@@ -267,6 +284,9 @@ class PPOOptimizer:
         self.episodes_per_update = episodes_per_update
         self.deployment_max_steps = deployment_max_steps
         self.fom_episodes = fom_episodes
+        self.checkpoint_dir = checkpoint_dir
+        self.checkpoint_interval = int(checkpoint_interval)
+        self.env_id = env_id
         if isinstance(ppo, PPOConfig):
             self.ppo_config = ppo
         else:
@@ -314,8 +334,31 @@ class PPOOptimizer:
                 cache_size=self.cache_size if self.cache_size is not None else DEFAULT_CACHE_SIZE,
             )
             train_cache = train_env.cache
+        checkpoint_dir = None
+        if self.checkpoint_dir is not None:
+            # Per-run subdirectory: parallel sweep units sharing one
+            # configured directory must not overwrite each other, including
+            # same-policy same-seed units that differ only in hyperparameters
+            # — hence the digest over the run-defining knobs.
+            fingerprint = json.dumps(
+                {
+                    "policy": self.policy_id,
+                    "ppo": dataclasses.asdict(self.ppo_config),
+                    "overrides": self.policy_overrides,
+                    "episodes_per_update": self.episodes_per_update,
+                    "budget": budget,
+                    "env": env.benchmark.name,
+                },
+                sort_keys=True, default=str,
+            )
+            digest = hashlib.sha256(fingerprint.encode()).hexdigest()[:8]
+            checkpoint_dir = (
+                Path(self.checkpoint_dir) / f"{self.policy_id}-seed{seed}-{digest}"
+            )
         trainer = PPOTrainer(
-            train_env, policy, config=self.ppo_config, seed=seed, method_name=self.policy_id
+            train_env, policy, config=self.ppo_config, seed=seed, method_name=self.policy_id,
+            checkpoint_dir=checkpoint_dir, checkpoint_interval=self.checkpoint_interval,
+            env_id=self.env_id,
         )
         history = trainer.train(
             total_episodes=budget,

@@ -140,21 +140,37 @@ def deployment_example(
     unseen: bool = False,
     scale: Optional[ExperimentScale] = None,
     seed: int = 0,
+    checkpoint: Optional[str] = None,
 ) -> DeploymentExample:
     """Produce one Fig. 5 (or, with ``unseen=True``, Fig. 6) trajectory.
 
-    If no trained ``policy`` is supplied, one is trained from scratch at the
+    The policy comes from, in order of precedence: the ``policy`` argument,
+    a ``checkpoint`` file saved with :func:`repro.save_checkpoint` (the
+    train-once / deploy-many workflow), or a from-scratch training run at the
     given ``scale`` (the paper uses its GCN-FC policy for these figures).
-    Deployment runs on the accurate simulator and, for the generalization
-    case, with the enlarged step budget the paper uses.
+    Deployment runs grad-free on the accurate simulator and, for the
+    generalization case, with the enlarged step budget the paper uses.
     """
     scale = scale or bench_scale()
+    env = _deployment_env(circuit, seed=seed)
+    if policy is None and checkpoint is not None:
+        from repro.agents.checkpoint import CheckpointError, load_checkpoint
+
+        loaded = load_checkpoint(checkpoint)
+        if loaded.policy.config.num_parameters != env.num_parameters:
+            raise CheckpointError(
+                f"checkpoint {checkpoint} holds a policy sized for "
+                f"{loaded.policy.config.num_parameters} parameters "
+                f"(env_id={loaded.env_id!r}), but circuit '{circuit}' has "
+                f"{env.num_parameters} tunable parameters"
+            )
+        policy = loaded.policy
+        method = loaded.policy_id or method
     if policy is None:
         training = run_training_experiment(
             circuit, method, scale=scale, seed=seed, track_accuracy=False
         )
         policy = training.policy
-    env = _deployment_env(circuit, seed=seed)
     target_specs = dict(target) if target is not None else default_target(circuit, unseen=unseen)
     max_steps = GENERALIZATION_MAX_STEPS[circuit] if unseen else None
     result = deploy_policy(
@@ -172,8 +188,10 @@ def generalization_example(
     method: str = "gcn_fc",
     scale: Optional[ExperimentScale] = None,
     seed: int = 0,
+    checkpoint: Optional[str] = None,
 ) -> DeploymentExample:
     """Fig. 6: deployment toward an out-of-distribution specification group."""
     return deployment_example(
-        circuit, policy=policy, method=method, unseen=True, scale=scale, seed=seed
+        circuit, policy=policy, method=method, unseen=True, scale=scale, seed=seed,
+        checkpoint=checkpoint,
     )

@@ -31,6 +31,12 @@ from repro.experiments.training import run_training_experiment
 from repro.orchestrate.runner import execute_with_store
 from repro.orchestrate.units import WorkUnit
 
+#: Episodes deployed lock-step per Table 2 deployment evaluation.  The
+#: batched engine is episode-level identical to sequential deployment for
+#: the deterministic Table 2 setting, so this only changes wall-clock (see
+#: ``repro.agents.deploy_policy_batch``).
+DEPLOYMENT_BATCH_SIZE = 8
+
 
 # ----------------------------------------------------------------------
 # Table 1
@@ -180,7 +186,8 @@ def _rl_row(
             "two_stage_opamp", method, scale=scale, seed=seed, track_accuracy=False
         )
         evaluation = evaluate_deployment(
-            training.env, training.policy, num_targets=scale.deployment_specs, seed=seed + 1000
+            training.env, training.policy, num_targets=scale.deployment_specs,
+            seed=seed + 1000, batch_size=DEPLOYMENT_BATCH_SIZE,
         )
         row.opamp_accuracy = evaluation.accuracy
         row.opamp_mean_steps = evaluation.mean_steps
@@ -191,7 +198,8 @@ def _rl_row(
         # Deployment on the fine simulator, per the transfer-learning protocol.
         fine_env = make_env("rf_pa-fine-v0", seed=seed)
         evaluation = evaluate_deployment(
-            fine_env, training.policy, num_targets=scale.deployment_specs, seed=seed + 1000
+            fine_env, training.policy, num_targets=scale.deployment_specs,
+            seed=seed + 1000, batch_size=DEPLOYMENT_BATCH_SIZE,
         )
         row.rf_pa_accuracy = evaluation.accuracy
         row.rf_pa_mean_steps = evaluation.mean_steps

@@ -19,7 +19,17 @@ from repro.nn.initializers import get_initializer, he_normal, orthogonal, xavier
 from repro.nn.layers import MLP, Linear, Sequential, get_activation
 from repro.nn.module import Module
 from repro.nn.optim import SGD, Adam, Optimizer, clip_grad_norm
-from repro.nn.tensor import Tensor, concatenate, maximum, minimum, stack, where
+from repro.nn.tensor import (
+    Tensor,
+    concatenate,
+    inference_mode,
+    is_grad_enabled,
+    maximum,
+    minimum,
+    set_grad_enabled,
+    stack,
+    where,
+)
 
 __all__ = [
     "Adam",
@@ -43,11 +53,14 @@ __all__ = [
     "get_initializer",
     "he_normal",
     "huber_loss",
+    "inference_mode",
+    "is_grad_enabled",
     "maximum",
     "minimum",
     "mse_loss",
     "normalized_adjacency",
     "orthogonal",
+    "set_grad_enabled",
     "stack",
     "where",
     "xavier_uniform",

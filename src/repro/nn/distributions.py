@@ -16,6 +16,23 @@ import numpy as np
 from repro.nn.tensor import Tensor
 
 
+def sample_from_probs(probs: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """Inverse-CDF categorical sampling over the last axis of ``probs``.
+
+    One draw block of shape ``probs.shape[:-1] + (1,)`` is consumed from
+    ``rng``.  This is the single sampling implementation behind
+    :class:`MultiCategorical`, :class:`BatchedMultiCategorical`, and the
+    policy's grad-free ``select_action`` fast paths — sharing it is what
+    keeps their "same draws from the same rng" parity contract safe against
+    drift.
+    """
+    cumulative = probs.cumsum(axis=-1)
+    draws = rng.random(size=probs.shape[:-1] + (1,))
+    if probs.shape[-1] <= 1:
+        return np.zeros(probs.shape[:-1], dtype=np.int64)
+    return (draws > cumulative[..., :-1]).sum(axis=-1).astype(np.int64)
+
+
 class Categorical:
     """Single categorical distribution over ``K`` classes from logits."""
 
@@ -74,12 +91,7 @@ class MultiCategorical:
 
     def sample(self, rng: np.random.Generator) -> np.ndarray:
         """Sample one choice index per parameter; returns an ``(M,)`` int array."""
-        probs = self.probs
-        cumulative = probs.cumsum(axis=1)
-        draws = rng.random(size=(self.num_parameters, 1))
-        if self.num_choices <= 1:
-            return np.zeros(self.num_parameters, dtype=np.int64)
-        return (draws > cumulative[:, :-1]).sum(axis=1).astype(np.int64)
+        return sample_from_probs(self.probs, rng)
 
     def mode(self) -> np.ndarray:
         """Greedy (most likely) choice per parameter."""
@@ -151,12 +163,7 @@ class BatchedMultiCategorical:
 
     def sample(self, rng: np.random.Generator) -> np.ndarray:
         """One ``(B, M)`` action matrix via inverse-CDF sampling."""
-        probs = self.probs
-        cumulative = probs.cumsum(axis=-1)
-        draws = rng.random(size=(self.batch_size, self.num_parameters, 1))
-        if self.num_choices <= 1:
-            return np.zeros((self.batch_size, self.num_parameters), dtype=np.int64)
-        return (draws > cumulative[..., :-1]).sum(axis=-1).astype(np.int64)
+        return sample_from_probs(self.probs, rng)
 
     def mode(self) -> np.ndarray:
         """Greedy ``(B, M)`` action matrix."""

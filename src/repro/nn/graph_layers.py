@@ -23,7 +23,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.nn.initializers import get_initializer, zeros
-from repro.nn.layers import get_activation
+from repro.nn.layers import get_activation, get_array_activation, softmax_array
 from repro.nn.module import Module
 from repro.nn.tensor import Tensor, concatenate
 
@@ -74,6 +74,7 @@ class GCNLayer(Module):
         if bias:
             self.bias = zeros(out_features)
         self.activation = get_activation(activation)
+        self._activation_array = get_array_activation(activation)
         self.in_features = in_features
         self.out_features = out_features
 
@@ -89,6 +90,13 @@ class GCNLayer(Module):
         if self.use_bias:
             out = out + self.bias
         return self.activation(out)
+
+    def forward_array(self, node_features: np.ndarray, norm_adjacency: np.ndarray) -> np.ndarray:
+        """Grad-free forward over plain arrays (same arithmetic as ``forward``)."""
+        out = (norm_adjacency @ node_features) @ self.weight.data
+        if self.use_bias:
+            out = out + self.bias.data
+        return self._activation_array(out)
 
 
 class GATLayer(Module):
@@ -122,6 +130,7 @@ class GATLayer(Module):
         self.head_dim = out_features // num_heads if concat_heads else out_features
         self.negative_slope = negative_slope
         self.activation = get_activation(activation)
+        self._activation_array = get_array_activation(activation)
         self.in_features = in_features
         self.out_features = out_features
 
@@ -154,6 +163,19 @@ class GATLayer(Module):
         attention = masked.softmax(axis=-1)
         return Tensor(mask) * attention @ transformed
 
+    def _head_forward_array(
+        self, node_features: np.ndarray, mask: np.ndarray, head: int
+    ) -> np.ndarray:
+        """Pure-numpy twin of :meth:`_head_forward` (bitwise-equal arithmetic)."""
+        transformed = node_features @ self.head_weights[head].data
+        src_scores = transformed @ self.attn_src[head].data
+        dst_scores = transformed @ self.attn_dst[head].data
+        scores = src_scores + np.swapaxes(dst_scores, -1, -2)
+        scores = scores * np.where(scores > 0, 1.0, self.negative_slope)
+        masked = scores * mask + np.full(mask.shape, -1e9) * (1.0 - mask)
+        attention = softmax_array(masked, axis=-1)
+        return mask * attention @ transformed
+
     def forward(self, node_features: Tensor, adjacency: np.ndarray) -> Tensor:
         """Apply multi-head attention over the (unnormalized) adjacency.
 
@@ -171,6 +193,22 @@ class GATLayer(Module):
                 combined = combined + other
             combined = combined * (1.0 / self.num_heads)
         return self.activation(combined)
+
+    def forward_array(self, node_features: np.ndarray, adjacency: np.ndarray) -> np.ndarray:
+        """Grad-free forward over plain arrays (same arithmetic as ``forward``)."""
+        adjacency = np.asarray(adjacency, dtype=np.float64)
+        mask = ((adjacency + np.eye(adjacency.shape[0])) > 0).astype(np.float64)
+        head_outputs = [
+            self._head_forward_array(node_features, mask, h) for h in range(self.num_heads)
+        ]
+        if self.concat_heads:
+            combined = np.concatenate(head_outputs, axis=-1)
+        else:
+            combined = head_outputs[0]
+            for other in head_outputs[1:]:
+                combined = combined + other
+            combined = combined * (1.0 / self.num_heads)
+        return self._activation_array(combined)
 
 
 class GraphReadout(Module):
@@ -213,6 +251,28 @@ class GraphReadout(Module):
         else:
             pooled = node_embeddings.reshape(1, -1)
         return pooled
+
+    def forward_array(self, node_embeddings: np.ndarray) -> np.ndarray:
+        """Grad-free pooling over a plain array (same arithmetic as ``forward``).
+
+        ``mean`` mirrors ``Tensor.mean`` — ``sum * (1 / count)`` — rather than
+        ``ndarray.mean`` so the result is bitwise equal to the graded path.
+        """
+        if node_embeddings.ndim == 3:
+            if self.mode == "mean":
+                return node_embeddings.sum(axis=1) * (1.0 / node_embeddings.shape[1])
+            if self.mode == "sum":
+                return node_embeddings.sum(axis=1)
+            if self.mode == "max":
+                return node_embeddings.max(axis=1)
+            return node_embeddings.reshape(node_embeddings.shape[0], -1)
+        if self.mode == "mean":
+            return node_embeddings.sum(axis=0, keepdims=True) * (1.0 / node_embeddings.shape[0])
+        if self.mode == "sum":
+            return node_embeddings.sum(axis=0, keepdims=True)
+        if self.mode == "max":
+            return node_embeddings.max(axis=0, keepdims=True)
+        return node_embeddings.reshape(1, -1)
 
 
 class GraphEncoder(Module):
@@ -276,6 +336,21 @@ class GraphEncoder(Module):
             return self.layer_sizes[-1] * self.num_nodes
         return self.layer_sizes[-1]
 
+    def _resolve_operator(self, adjacency: np.ndarray) -> np.ndarray:
+        """The layer-ready operator for ``adjacency``, via the one-entry cache.
+
+        Shared by the graded and grad-free forwards so both always derive
+        (and cache) the operator identically.
+        """
+        if self._operator_source is not adjacency or self._operator is None:
+            if self.kind == "gcn":
+                operator = normalized_adjacency(adjacency)
+            else:
+                operator = np.asarray(adjacency, dtype=np.float64)
+            self._operator_source = adjacency if isinstance(adjacency, np.ndarray) else None
+            self._operator = operator
+        return self._operator
+
     def forward(self, node_features: Tensor, adjacency: np.ndarray) -> Tensor:
         """Return a ``(1, out_features)`` graph embedding.
 
@@ -285,14 +360,21 @@ class GraphEncoder(Module):
         — the topology (one adjacency) is shared across the batch, which is
         exactly the :class:`~repro.parallel.VectorCircuitEnv` situation.
         """
-        if self._operator_source is not adjacency or self._operator is None:
-            if self.kind == "gcn":
-                operator = normalized_adjacency(adjacency)
-            else:
-                operator = np.asarray(adjacency, dtype=np.float64)
-            self._operator_source = adjacency if isinstance(adjacency, np.ndarray) else None
-            self._operator = operator
+        operator = self._resolve_operator(adjacency)
         hidden = node_features
         for layer in self.layers:
-            hidden = layer(hidden, self._operator)
+            hidden = layer(hidden, operator)
         return self.readout(hidden)
+
+    def forward_array(self, node_features: np.ndarray, adjacency: np.ndarray) -> np.ndarray:
+        """Grad-free encoder forward over plain arrays (inference fast path).
+
+        Shares the one-entry normalized-operator cache with :meth:`forward`,
+        and produces bitwise-identical embeddings (every layer mirrors its
+        graded arithmetic exactly).
+        """
+        operator = self._resolve_operator(adjacency)
+        hidden = np.asarray(node_features, dtype=np.float64)
+        for layer in self.layers:
+            hidden = layer.forward_array(hidden, operator)
+        return self.readout.forward_array(hidden)

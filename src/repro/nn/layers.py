@@ -51,6 +51,36 @@ _ACTIVATIONS: dict[str, Activation] = {
 }
 
 
+def _array_identity(x: np.ndarray) -> np.ndarray:
+    return x
+
+
+def _array_tanh(x: np.ndarray) -> np.ndarray:
+    return np.tanh(x)
+
+
+def _array_relu(x: np.ndarray) -> np.ndarray:
+    # Mirrors Tensor.relu exactly: multiply by the boolean mask.
+    return x * (x > 0)
+
+
+def _array_sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-x))
+
+
+#: Pure-numpy twins of :data:`_ACTIVATIONS`, used by the grad-free inference
+#: fast path (:meth:`MLP.forward_array`).  Each formula mirrors the forward
+#: arithmetic of the corresponding ``Tensor`` op exactly so inference-mode
+#: outputs are bitwise identical to the grad-recording forward.
+_ARRAY_ACTIVATIONS: dict[str, Callable[[np.ndarray], np.ndarray]] = {
+    "identity": _array_identity,
+    "linear": _array_identity,
+    "tanh": _array_tanh,
+    "relu": _array_relu,
+    "sigmoid": _array_sigmoid,
+}
+
+
 def get_activation(name: str) -> Activation:
     """Resolve an activation function from its name."""
     try:
@@ -58,6 +88,30 @@ def get_activation(name: str) -> Activation:
     except KeyError as exc:
         raise ValueError(
             f"unknown activation '{name}', expected one of {sorted(_ACTIVATIONS)}"
+        ) from exc
+
+
+def softmax_array(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Pure-numpy twin of ``Tensor.softmax`` (bitwise-equal arithmetic)."""
+    shifted = x - x.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax_array(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Pure-numpy twin of ``Tensor.log_softmax`` (bitwise-equal arithmetic)."""
+    shifted = x - x.max(axis=axis, keepdims=True)
+    log_sum = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    return shifted - log_sum
+
+
+def get_array_activation(name: str) -> Callable[[np.ndarray], np.ndarray]:
+    """Resolve the pure-numpy twin of an activation (inference fast path)."""
+    try:
+        return _ARRAY_ACTIVATIONS[name]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown activation '{name}', expected one of {sorted(_ARRAY_ACTIVATIONS)}"
         ) from exc
 
 
@@ -106,6 +160,13 @@ class Linear(Module):
             out = out + self.bias
         return out
 
+    def forward_array(self, x: np.ndarray) -> np.ndarray:
+        """Grad-free forward over a plain array (same arithmetic as ``forward``)."""
+        out = x @ self.weight.data
+        if self.use_bias:
+            out = out + self.bias.data
+        return out
+
 
 class MLP(Module):
     """Multi-layer perceptron (the paper's "FCNN" and "FC" blocks).
@@ -135,6 +196,8 @@ class MLP(Module):
         self.layer_sizes = tuple(int(s) for s in layer_sizes)
         self.hidden_activation = get_activation(hidden_activation)
         self.output_activation = get_activation(output_activation)
+        self._hidden_activation_array = get_array_activation(hidden_activation)
+        self._output_activation_array = get_array_activation(output_activation)
         self.layers: list[Linear] = []
         for index, (fan_in, fan_out) in enumerate(zip(self.layer_sizes[:-1], self.layer_sizes[1:])):
             is_last = index == len(self.layer_sizes) - 2
@@ -158,6 +221,15 @@ class MLP(Module):
             if index < len(self.layers) - 1:
                 out = self.hidden_activation(out)
         return self.output_activation(out)
+
+    def forward_array(self, x: np.ndarray) -> np.ndarray:
+        """Grad-free forward over a plain array, bitwise equal to ``forward``."""
+        out = x
+        for index, layer in enumerate(self.layers):
+            out = layer.forward_array(out)
+            if index < len(self.layers) - 1:
+                out = self._hidden_activation_array(out)
+        return self._output_activation_array(out)
 
 
 class Sequential(Module):

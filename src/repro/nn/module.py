@@ -53,6 +53,10 @@ class Module:
         """Total number of scalar learnable parameters."""
         return int(sum(param.size for param in self.parameters()))
 
+    def parameter_shapes(self) -> Dict[str, Tuple[int, ...]]:
+        """Dotted parameter name -> shape (checkpoint compatibility checks)."""
+        return {name: tuple(param.data.shape) for name, param in self.named_parameters()}
+
     def zero_grad(self) -> None:
         for param in self.parameters():
             param.zero_grad()

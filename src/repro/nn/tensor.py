@@ -25,11 +25,59 @@ array([[1., 1.],
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Optional, Sequence, Union
+import threading
+from contextlib import contextmanager
+from typing import Callable, Iterable, Iterator, Optional, Sequence, Union
 
 import numpy as np
 
 ArrayLike = Union[np.ndarray, float, int, Sequence[float], "Tensor"]
+
+
+class _GradState(threading.local):
+    """Per-thread autograd switch (single attribute for cheap hot-path reads).
+
+    Thread-local so ``inference_mode()`` in e.g. a serving thread cannot
+    silently disable gradient recording for a concurrently training thread;
+    the class attribute is the per-thread default until first written.
+    """
+
+    enabled: bool = True
+
+
+_GRAD = _GradState()
+
+
+def is_grad_enabled() -> bool:
+    """Whether tensor operations currently record the autograd graph."""
+    return _GRAD.enabled
+
+
+def set_grad_enabled(enabled: bool) -> bool:
+    """Set the global autograd switch; returns the previous value."""
+    previous = _GRAD.enabled
+    _GRAD.enabled = bool(enabled)
+    return previous
+
+
+@contextmanager
+def inference_mode() -> Iterator[None]:
+    """Disable autograd graph recording inside the ``with`` block.
+
+    Under inference mode every tensor operation returns a plain
+    :class:`Tensor` — no parent tracking, no backward closure, no
+    ``requires_grad`` propagation — so a forward pass is ordinary numpy math
+    plus a thin wrapper.  This is the deployment / rollout action-selection
+    fast path: results are bitwise identical to the grad-recording path
+    (the forward arithmetic is unchanged), only the graph bookkeeping is
+    skipped.  Nesting is safe; the previous state is restored on exit.
+    """
+    previous = _GRAD.enabled
+    _GRAD.enabled = False
+    try:
+        yield
+    finally:
+        _GRAD.enabled = previous
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -108,8 +156,14 @@ class Tensor:
         return float(self.data.reshape(()))
 
     def detach(self) -> "Tensor":
-        """Return a new tensor sharing data but cut from the graph."""
-        return Tensor(self.data, requires_grad=False)
+        """Return a graph-free tensor holding a *copy* of the data.
+
+        The copy means a detached tensor can be mutated (or handed to
+        checkpoint / inference buffers) without aliasing back into the
+        autograd graph's forward values.  Use :meth:`numpy` when a zero-copy
+        read-only view is wanted instead.
+        """
+        return Tensor(self.data.copy(), requires_grad=False)
 
     def zero_grad(self) -> None:
         self.grad = None
@@ -134,6 +188,8 @@ class Tensor:
         parents: tuple["Tensor", ...],
         backward: Callable[[np.ndarray], None],
     ) -> "Tensor":
+        if not _GRAD.enabled:
+            return Tensor(data)
         requires = any(p.requires_grad for p in parents)
         result = Tensor(data, requires_grad=requires, _parents=parents)
         if requires:
@@ -155,6 +211,8 @@ class Tensor:
     def __add__(self, other: ArrayLike) -> "Tensor":
         other = self._ensure(other)
         out_data = self.data + other.data
+        if not _GRAD.enabled:
+            return Tensor(out_data)
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad)
@@ -166,6 +224,8 @@ class Tensor:
 
     def __neg__(self) -> "Tensor":
         out_data = -self.data
+        if not _GRAD.enabled:
+            return Tensor(out_data)
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(-grad)
@@ -175,6 +235,8 @@ class Tensor:
     def __sub__(self, other: ArrayLike) -> "Tensor":
         other = self._ensure(other)
         out_data = self.data - other.data
+        if not _GRAD.enabled:
+            return Tensor(out_data)
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad)
@@ -188,6 +250,8 @@ class Tensor:
     def __mul__(self, other: ArrayLike) -> "Tensor":
         other = self._ensure(other)
         out_data = self.data * other.data
+        if not _GRAD.enabled:
+            return Tensor(out_data)
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * other.data)
@@ -200,6 +264,8 @@ class Tensor:
     def __truediv__(self, other: ArrayLike) -> "Tensor":
         other = self._ensure(other)
         out_data = self.data / other.data
+        if not _GRAD.enabled:
+            return Tensor(out_data)
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad / other.data)
@@ -214,6 +280,8 @@ class Tensor:
         if not isinstance(exponent, (int, float)):
             raise TypeError("Tensor.__pow__ only supports scalar exponents")
         out_data = self.data**exponent
+        if not _GRAD.enabled:
+            return Tensor(out_data)
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * exponent * self.data ** (exponent - 1))
@@ -223,6 +291,8 @@ class Tensor:
     def __matmul__(self, other: ArrayLike) -> "Tensor":
         other = self._ensure(other)
         out_data = self.data @ other.data
+        if not _GRAD.enabled:
+            return Tensor(out_data)
 
         def backward(grad: np.ndarray) -> None:
             # Transpose only the matrix axes so batched (stacked) matmuls
@@ -250,6 +320,8 @@ class Tensor:
         self, axis: Optional[Union[int, tuple[int, ...]]] = None, keepdims: bool = False
     ) -> "Tensor":
         out_data = self.data.sum(axis=axis, keepdims=keepdims)
+        if not _GRAD.enabled:
+            return Tensor(out_data)
 
         def backward(grad: np.ndarray) -> None:
             grad = np.asarray(grad, dtype=np.float64)
@@ -278,6 +350,8 @@ class Tensor:
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
             shape = tuple(shape[0])
         out_data = self.data.reshape(shape)
+        if not _GRAD.enabled:
+            return Tensor(out_data)
         original_shape = self.data.shape
 
         def backward(grad: np.ndarray) -> None:
@@ -287,6 +361,8 @@ class Tensor:
 
     def transpose(self) -> "Tensor":
         out_data = self.data.T
+        if not _GRAD.enabled:
+            return Tensor(out_data)
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad.T)
@@ -300,6 +376,8 @@ class Tensor:
     def swapaxes(self, axis1: int, axis2: int) -> "Tensor":
         """Exchange two axes (the batch-safe generalization of ``.T``)."""
         out_data = np.swapaxes(self.data, axis1, axis2)
+        if not _GRAD.enabled:
+            return Tensor(out_data)
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(np.swapaxes(grad, axis1, axis2))
@@ -308,6 +386,8 @@ class Tensor:
 
     def __getitem__(self, index) -> "Tensor":
         out_data = self.data[index]
+        if not _GRAD.enabled:
+            return Tensor(out_data)
 
         def backward(grad: np.ndarray) -> None:
             full = np.zeros_like(self.data)
@@ -321,6 +401,8 @@ class Tensor:
     # ------------------------------------------------------------------
     def exp(self) -> "Tensor":
         out_data = np.exp(self.data)
+        if not _GRAD.enabled:
+            return Tensor(out_data)
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * out_data)
@@ -329,6 +411,8 @@ class Tensor:
 
     def log(self) -> "Tensor":
         out_data = np.log(self.data)
+        if not _GRAD.enabled:
+            return Tensor(out_data)
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad / self.data)
@@ -337,6 +421,8 @@ class Tensor:
 
     def tanh(self) -> "Tensor":
         out_data = np.tanh(self.data)
+        if not _GRAD.enabled:
+            return Tensor(out_data)
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * (1.0 - out_data**2))
@@ -346,6 +432,8 @@ class Tensor:
     def relu(self) -> "Tensor":
         mask = self.data > 0
         out_data = self.data * mask
+        if not _GRAD.enabled:
+            return Tensor(out_data)
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * mask)
@@ -356,6 +444,8 @@ class Tensor:
         mask = self.data > 0
         scale = np.where(mask, 1.0, negative_slope)
         out_data = self.data * scale
+        if not _GRAD.enabled:
+            return Tensor(out_data)
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * scale)
@@ -364,6 +454,8 @@ class Tensor:
 
     def sigmoid(self) -> "Tensor":
         out_data = 1.0 / (1.0 + np.exp(-self.data))
+        if not _GRAD.enabled:
+            return Tensor(out_data)
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * out_data * (1.0 - out_data))
@@ -372,6 +464,8 @@ class Tensor:
 
     def clip(self, low: float, high: float) -> "Tensor":
         out_data = np.clip(self.data, low, high)
+        if not _GRAD.enabled:
+            return Tensor(out_data)
         pass_through = (self.data >= low) & (self.data <= high)
 
         def backward(grad: np.ndarray) -> None:
@@ -382,6 +476,8 @@ class Tensor:
     def abs(self) -> "Tensor":
         sign = np.sign(self.data)
         out_data = np.abs(self.data)
+        if not _GRAD.enabled:
+            return Tensor(out_data)
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * sign)
@@ -398,6 +494,8 @@ class Tensor:
         shifted = self.data - self.data.max(axis=axis, keepdims=True)
         exp = np.exp(shifted)
         out_data = exp / exp.sum(axis=axis, keepdims=True)
+        if not _GRAD.enabled:
+            return Tensor(out_data)
 
         def backward(grad: np.ndarray) -> None:
             # d softmax_i / d x_j = s_i (delta_ij - s_j)
@@ -410,6 +508,8 @@ class Tensor:
         shifted = self.data - self.data.max(axis=axis, keepdims=True)
         log_sum = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
         out_data = shifted - log_sum
+        if not _GRAD.enabled:
+            return Tensor(out_data)
         softmax = np.exp(out_data)
 
         def backward(grad: np.ndarray) -> None:
@@ -419,6 +519,8 @@ class Tensor:
 
     def max(self, axis: Optional[int] = None, keepdims: bool = False) -> "Tensor":
         out_data = self.data.max(axis=axis, keepdims=keepdims)
+        if not _GRAD.enabled:
+            return Tensor(out_data)
 
         def backward(grad: np.ndarray) -> None:
             grad = np.asarray(grad, dtype=np.float64)
@@ -481,6 +583,8 @@ def concatenate(tensors: Sequence[Tensor], axis: int = -1) -> Tensor:
     """Concatenate tensors along ``axis`` with gradient support."""
     tensors = [Tensor._ensure(t) for t in tensors]
     out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    if not _GRAD.enabled:
+        return Tensor(out_data)
     sizes = [t.data.shape[axis] for t in tensors]
     boundaries = np.cumsum(sizes)[:-1]
 
@@ -500,6 +604,8 @@ def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     """Stack tensors along a new ``axis`` with gradient support."""
     tensors = [Tensor._ensure(t) for t in tensors]
     out_data = np.stack([t.data for t in tensors], axis=axis)
+    if not _GRAD.enabled:
+        return Tensor(out_data)
 
     def backward(grad: np.ndarray) -> None:
         pieces = np.split(grad, len(tensors), axis=axis)
@@ -519,6 +625,8 @@ def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
     b = Tensor._ensure(b)
     condition = np.asarray(condition, dtype=bool)
     out_data = np.where(condition, a.data, b.data)
+    if not _GRAD.enabled:
+        return Tensor(out_data)
 
     def backward(grad: np.ndarray) -> None:
         a._accumulate(grad * condition)

@@ -28,7 +28,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.env.circuit_env import CircuitDesignEnv, EpisodeTrajectory
-from repro.env.spaces import BatchedObservation
+from repro.env.spaces import BatchedObservation, Observation
 from repro.parallel.cache import DEFAULT_CACHE_SIZE, SimulationCache
 
 #: Targets accepted by ``reset``: nothing (each sub-env samples its own), one
@@ -261,6 +261,42 @@ class VectorCircuitEnv:
             dones[index] = done
             infos.append(info)
         return BatchedObservation.stack(observations), rewards, dones, infos
+
+    def step_selected(
+        self, indices: Sequence[int], actions: np.ndarray
+    ) -> Tuple[List["Observation"], np.ndarray, np.ndarray, List[Dict[str, object]]]:
+        """Step only the sub-environments named by ``indices``.
+
+        ``actions`` rows align with ``indices`` (``actions[row]`` goes to
+        sub-environment ``indices[row]``).  Autoreset is *not* applied —
+        a finished sub-environment keeps its terminal state, exactly like the
+        sequential environment — which is what lock-step batched deployment
+        needs: episodes in one micro-batch finish at different steps, and the
+        finished ones must simply drop out of the batch.
+
+        Returns ``(observations, rewards, dones, infos)`` with one entry per
+        requested index (observations as per-environment
+        :class:`~repro.env.spaces.Observation` objects, ready to be
+        re-stacked over whichever subset is still active).
+        """
+        indices = list(indices)
+        actions = np.asarray(actions, dtype=np.int64)
+        if actions.shape != (len(indices), self.num_parameters):
+            raise ValueError(
+                f"expected actions of shape ({len(indices)}, {self.num_parameters}), "
+                f"got {actions.shape}"
+            )
+        observations: List[Observation] = []
+        rewards = np.zeros(len(indices))
+        dones = np.zeros(len(indices), dtype=bool)
+        infos: List[Dict[str, object]] = []
+        for row, index in enumerate(indices):
+            observation, reward, done, info = self.envs[index].step(actions[row])
+            observations.append(observation)
+            rewards[row] = reward
+            dones[row] = done
+            infos.append(info)
+        return observations, rewards, dones, infos
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return (

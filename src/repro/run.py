@@ -1,4 +1,4 @@
-"""``python -m repro.run`` — the sweep CLI front door.
+"""``python -m repro.run`` — the sweep and deployment CLI front door.
 
 Drive a whole experiment grid from one JSON document::
 
@@ -7,11 +7,17 @@ Drive a whole experiment grid from one JSON document::
     python -m repro.run sweep.json --expand         # list units, run nothing
     python -m repro.run sweep.json --no-resume      # re-execute everything
 
-The document is either a :class:`repro.orchestrate.SweepConfig` (grid) or a
-single :class:`repro.api.RunConfig` (detected by its ``env``/``optimizer``
-keys and wrapped as a one-unit sweep with its literal seed).  CLI flags
-override the document's runtime knobs (``workers``, ``store``,
-``disk_cache``); the scientific content of the sweep lives only in the JSON.
+or serve specification targets from a trained policy checkpoint::
+
+    python -m repro.run deploy ckpt/latest.npz specs.json [--batch-size N]
+
+The sweep document is either a :class:`repro.orchestrate.SweepConfig`
+(grid) or a single :class:`repro.api.RunConfig` (detected by its
+``env``/``optimizer`` keys and wrapped as a one-unit sweep with its literal
+seed).  CLI flags override the document's runtime knobs (``workers``,
+``store``, ``disk_cache``); the scientific content of the sweep lives only
+in the JSON.  The ``deploy`` subcommand is documented in
+:mod:`repro.serve.cli`.
 
 Exit status: 0 when every unit completed (or was skipped via the artifact
 store), 1 when any unit failed, 2 on bad input.
@@ -55,6 +61,13 @@ def load_sweep(path: str) -> SweepConfig:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "deploy":
+        # Deployment serving is its own parser (and pulls in the nn/agents
+        # stack only when used); everything else is the sweep path.
+        from repro.serve.cli import main_deploy
+
+        return main_deploy(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.workers is not None and args.workers < 1:

@@ -1,0 +1,47 @@
+"""``repro.serve`` — the policy deployment service.
+
+The paper's headline claim is deployment: a trained policy automatically
+finds device parameters for *given specifications* (Sec. 4, Table 2,
+Figs. 5-6).  This package turns that into a train-once / serve-many
+subsystem:
+
+* :class:`DeploymentService` — holds checkpointed policies (one per
+  environment/topology), accepts many specification targets, groups them by
+  topology, and micro-batches the episodes through a shared cached simulator
+  via the grad-free batched deployment engine
+  (:func:`repro.agents.deploy_policy_batch`);
+* :class:`ServeRequest` / :class:`ServeResponse` — the request/response
+  records, carrying the designed device parameters back to the caller;
+* :func:`load_spec_requests` — parse the ``specs.json`` documents consumed
+  by the ``python -m repro.run deploy`` CLI (see :mod:`repro.serve.cli`).
+
+Quickstart::
+
+    import repro
+    from repro.serve import DeploymentService
+
+    service = DeploymentService.from_checkpoint("ckpt/latest.npz", batch_size=8)
+    responses = service.serve([
+        {"gain": 350.0, "bandwidth": 1.8e7, "phase_margin": 55.0, "power": 4e-3},
+        {"gain": 400.0, "bandwidth": 1.2e7, "phase_margin": 60.0, "power": 3e-3},
+    ])
+    for response in responses:
+        print(response.success, response.steps, response.final_parameters)
+"""
+
+from repro.serve.service import (
+    DeploymentService,
+    ServeRequest,
+    ServeResponse,
+    ServeStats,
+)
+from repro.serve.specs import load_spec_requests, parse_spec_requests
+
+__all__ = [
+    "DeploymentService",
+    "ServeRequest",
+    "ServeResponse",
+    "ServeStats",
+    "load_spec_requests",
+    "parse_spec_requests",
+]

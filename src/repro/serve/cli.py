@@ -1,0 +1,114 @@
+"""``python -m repro.run deploy`` — serve specification targets from a checkpoint.
+
+Usage::
+
+    python -m repro.run deploy ckpt/latest.npz specs.json
+    python -m repro.run deploy ckpt/latest.npz specs.json --batch-size 16
+    python -m repro.run deploy ckpt/latest.npz specs.json --output results.json
+
+``specs.json`` formats are documented in :mod:`repro.serve.specs`.  Exit
+status: 0 when every target was served (designs that miss their specs are
+results, not errors), 2 on bad input (unreadable checkpoint/specs, unknown
+environment ID).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Optional, Sequence
+
+from repro.agents.checkpoint import CheckpointError
+from repro.serve.service import DeploymentService
+from repro.serve.specs import load_spec_requests
+
+
+def build_deploy_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.run deploy",
+        description="Deploy a checkpointed policy over a batch of specification targets.",
+    )
+    parser.add_argument("checkpoint", help="path to a policy checkpoint (.npz)")
+    parser.add_argument("specs", help="path to the specification-targets JSON document")
+    parser.add_argument("--batch-size", type=int, default=8, dest="batch_size",
+                        help="episodes run lock-step per topology (default 8; "
+                             "1 = sequential deployment)")
+    parser.add_argument("--env", default=None,
+                        help="environment ID override (default: the checkpoint's "
+                             "recorded env id)")
+    parser.add_argument("--max-steps", type=int, default=None, dest="max_steps",
+                        help="episode step budget override for every target")
+    parser.add_argument("--output", default=None,
+                        help="write per-target results as JSON to this file")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-target lines (summary still prints)")
+    return parser
+
+
+def main_deploy(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_deploy_parser()
+    args = parser.parse_args(argv)
+    if args.batch_size < 1:
+        print("error: --batch-size must be >= 1", file=sys.stderr)
+        return 2
+    if args.max_steps is not None and args.max_steps < 1:
+        print("error: --max-steps must be >= 1", file=sys.stderr)
+        return 2
+    try:
+        requests = load_spec_requests(args.specs)
+        if args.max_steps is not None:
+            for request in requests:
+                request.max_steps = int(args.max_steps)
+        service = DeploymentService.from_checkpoint(
+            args.checkpoint, env_id=args.env, batch_size=args.batch_size
+        )
+    except (OSError, ValueError, CheckpointError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    env_ids = ", ".join(service.env_ids)
+    print(f"deploy: {len(requests)} targets -> {env_ids} (batch size {args.batch_size})")
+    start = time.perf_counter()
+    try:
+        responses = service.serve(requests)
+    except ValueError as exc:  # e.g. a target routed to an unregistered env id
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    elapsed = time.perf_counter() - start
+
+    if not args.quiet:
+        for response in responses:
+            status = "MET " if response.success else "miss"
+            specs = ", ".join(
+                f"{name}={value:.4g}" for name, value in response.target_specs.items()
+            )
+            print(f"[{response.index:>3d}] {status} in {response.steps:>3d} steps  ({specs})")
+
+    stats = service.stats
+    cache = service.cache_stats()
+    print()
+    print(
+        f"served {stats.episodes} episodes in {elapsed:.2f}s "
+        f"({stats.episodes / elapsed:.1f} episodes/s, "
+        f"{stats.design_steps} design steps) | "
+        f"accuracy {stats.accuracy:.2%}, mean steps "
+        f"{stats.design_steps / stats.episodes:.1f} | "
+        f"simulation cache hit rate {cache.hit_rate:.2%}"
+    )
+
+    if args.output is not None:
+        document = {
+            "checkpoint": args.checkpoint,
+            "batch_size": args.batch_size,
+            "accuracy": stats.accuracy,
+            "mean_steps": stats.design_steps / stats.episodes,
+            "wall_time_s": elapsed,
+            "results": [response.to_dict() for response in responses],
+        }
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.output}")
+    return 0

@@ -1,0 +1,288 @@
+"""The micro-batched policy deployment service.
+
+:class:`DeploymentService` is the serving front end over the PR's three
+lower layers: on-disk checkpoints rebuild the policy, the grad-free
+inference mode makes each forward pure numpy, and the batched deployment
+engine runs up to ``batch_size`` specification-group episodes lock-step on
+one :class:`~repro.parallel.VectorCircuitEnv` whose sub-environments share a
+:class:`~repro.parallel.SimulationCache`.  The vector environments (and
+their caches) persist across :meth:`DeploymentService.serve` calls, so a
+long-lived service keeps getting cheaper as traffic repeats designs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.agents.checkpoint import CheckpointError, load_checkpoint
+from repro.agents.deployment import DeploymentResult, deploy_policy_batch
+from repro.agents.policy import ActorCriticPolicy
+from repro.api.catalog import make_env
+from repro.env.circuit_env import CircuitDesignEnv
+from repro.parallel.cache import DEFAULT_CACHE_SIZE
+from repro.parallel.vector_env import VectorCircuitEnv
+
+
+@dataclass
+class ServeRequest:
+    """One deployment request: a specification group plus optional routing.
+
+    ``env_id`` picks the topology (defaults to the service's default
+    environment — usually the one recorded in the checkpoint);
+    ``max_steps`` overrides the episode step budget (Fig. 6-style
+    out-of-distribution targets need longer budgets).
+    """
+
+    target_specs: Dict[str, float]
+    env_id: Optional[str] = None
+    max_steps: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.target_specs:
+            raise ValueError("ServeRequest needs a non-empty target_specs mapping")
+        self.target_specs = {
+            name: float(value) for name, value in dict(self.target_specs).items()
+        }
+        if self.max_steps is not None and int(self.max_steps) <= 0:
+            raise ValueError("max_steps must be positive")
+
+
+@dataclass
+class ServeResponse:
+    """The designed circuit for one request."""
+
+    index: int
+    env_id: str
+    target_specs: Dict[str, float]
+    success: bool
+    steps: int
+    final_specs: Dict[str, float]
+    final_parameters: Dict[str, float]
+    result: DeploymentResult
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready summary (what the deploy CLI writes with ``--output``)."""
+        return {
+            "index": self.index,
+            "env_id": self.env_id,
+            "target_specs": dict(self.target_specs),
+            "success": self.success,
+            "steps": self.steps,
+            "final_specs": dict(self.final_specs),
+            "final_parameters": dict(self.final_parameters),
+        }
+
+
+@dataclass
+class ServeStats:
+    """Cumulative counters over the lifetime of a service.
+
+    One request is one deployment episode, so ``episodes`` is also the
+    number of requests served.
+    """
+
+    episodes: int = 0
+    design_steps: int = 0
+    successes: int = 0
+    wall_time_s: float = 0.0
+    by_env: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, env_id: str, results: Sequence[DeploymentResult], elapsed: float) -> None:
+        self.episodes += len(results)
+        self.design_steps += sum(result.steps for result in results)
+        self.successes += sum(bool(result.success) for result in results)
+        self.wall_time_s += elapsed
+        self.by_env[env_id] = self.by_env.get(env_id, 0) + len(results)
+
+    @property
+    def accuracy(self) -> float:
+        return self.successes / self.episodes if self.episodes else 0.0
+
+    @property
+    def episodes_per_second(self) -> float:
+        return self.episodes / self.wall_time_s if self.wall_time_s > 0 else 0.0
+
+
+class DeploymentService:
+    """Serve specification targets with checkpointed policies, micro-batched.
+
+    Parameters
+    ----------
+    batch_size:
+        Maximum number of episodes run lock-step per topology (the width of
+        each per-environment :class:`VectorCircuitEnv`).
+    cache_size:
+        Entry budget of each topology's shared simulation cache.
+    deterministic:
+        Greedy (mode) actions when True — the paper's deployment setting.
+    seed:
+        Seed for the service RNG (only consulted for stochastic serving).
+    """
+
+    def __init__(
+        self,
+        batch_size: int = 8,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+        deterministic: bool = True,
+        seed: Optional[int] = None,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.batch_size = int(batch_size)
+        self.cache_size = int(cache_size)
+        self.deterministic = bool(deterministic)
+        self.rng = np.random.default_rng(seed)
+        self.stats = ServeStats()
+        self._policies: Dict[str, ActorCriticPolicy] = {}
+        self._vector_envs: Dict[str, VectorCircuitEnv] = {}
+        self._default_env_id: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # Policy registration
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_checkpoint(
+        cls,
+        path: Union[str, Path],
+        env_id: Optional[str] = None,
+        **kwargs: Any,
+    ) -> "DeploymentService":
+        """Build a service around one checkpoint (the CLI entry path)."""
+        service = cls(**kwargs)
+        service.add_checkpoint(path, env_id=env_id)
+        return service
+
+    def add_checkpoint(
+        self, path: Union[str, Path], env_id: Optional[str] = None
+    ) -> str:
+        """Load a checkpoint and register its policy; returns the env ID used."""
+        checkpoint = load_checkpoint(path)
+        env_id = env_id or checkpoint.env_id
+        if env_id is None:
+            raise CheckpointError(
+                f"checkpoint {path} does not record an environment ID; pass "
+                "env_id=... (e.g. 'opamp-p2s-v0') to route its requests"
+            )
+        self.register_policy(env_id, checkpoint.policy)
+        return env_id
+
+    def register_policy(self, env_id: str, policy: ActorCriticPolicy) -> None:
+        """Register a (possibly freshly trained) policy for an environment ID."""
+        # Resolve now so an unknown ID fails at registration, not mid-serve.
+        template = make_env(env_id)
+        if not isinstance(template, CircuitDesignEnv):  # pragma: no cover - defensive
+            raise ValueError(f"environment {env_id!r} is not a sequential CircuitDesignEnv")
+        if policy.config.num_parameters != template.num_parameters:
+            raise ValueError(
+                f"policy sized for {policy.config.num_parameters} parameters cannot "
+                f"serve environment {env_id!r} ({template.num_parameters} parameters)"
+            )
+        self._policies[env_id] = policy
+        self._vector_envs[env_id] = VectorCircuitEnv.from_env(
+            template,
+            num_envs=self.batch_size,
+            cache_size=self.cache_size,
+            autoreset=False,
+        )
+        if self._default_env_id is None:
+            self._default_env_id = env_id
+
+    @property
+    def env_ids(self) -> List[str]:
+        """Environment IDs this service can currently route to."""
+        return sorted(self._policies)
+
+    def cache_stats(self, env_id: Optional[str] = None):
+        """Simulation-cache statistics for one topology (default: the default)."""
+        vector_env = self._vector_envs[self._resolve_env_id(env_id)]
+        assert vector_env.cache is not None
+        return vector_env.cache.stats
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def _resolve_env_id(self, env_id: Optional[str]) -> str:
+        if env_id is None:
+            if self._default_env_id is None:
+                raise ValueError(
+                    "the service has no registered policy; call add_checkpoint() "
+                    "or register_policy() first"
+                )
+            return self._default_env_id
+        if env_id not in self._policies:
+            registered = ", ".join(self.env_ids) or "none"
+            raise ValueError(
+                f"no policy registered for environment {env_id!r} "
+                f"(registered: {registered})"
+            )
+        return env_id
+
+    @staticmethod
+    def _normalize(
+        requests: Sequence[Union[ServeRequest, Mapping[str, Any]]],
+    ) -> List[ServeRequest]:
+        normalized: List[ServeRequest] = []
+        for request in requests:
+            if isinstance(request, ServeRequest):
+                normalized.append(request)
+            elif isinstance(request, Mapping):
+                normalized.append(ServeRequest(target_specs=dict(request)))
+            else:
+                raise TypeError(
+                    "requests must be ServeRequest objects or spec mappings, "
+                    f"got {type(request).__name__}"
+                )
+        return normalized
+
+    def serve(
+        self, requests: Sequence[Union[ServeRequest, Mapping[str, Any]]]
+    ) -> List[ServeResponse]:
+        """Design every requested specification group; responses keep request order.
+
+        Requests are grouped by ``(env_id, max_steps)`` so each group runs as
+        lock-step micro-batches of at most ``batch_size`` episodes on that
+        topology's persistent vector environment and shared simulation cache.
+        """
+        normalized = self._normalize(requests)
+        groups: Dict[Tuple[str, Optional[int]], List[int]] = {}
+        for index, request in enumerate(normalized):
+            key = (self._resolve_env_id(request.env_id), request.max_steps)
+            groups.setdefault(key, []).append(index)
+
+        responses: List[Optional[ServeResponse]] = [None] * len(normalized)
+        for (env_id, max_steps), indices in groups.items():
+            vector_env = self._vector_envs[env_id]
+            policy = self._policies[env_id]
+            targets = [normalized[index].target_specs for index in indices]
+            start = time.perf_counter()
+            results = deploy_policy_batch(
+                vector_env,
+                policy,
+                targets,
+                deterministic=self.deterministic,
+                rng=self.rng,
+                max_steps=max_steps,
+            )
+            self.stats.record(env_id, results, time.perf_counter() - start)
+            names = vector_env.benchmark.design_space.names
+            for index, result in zip(indices, results):
+                final = result.trajectory.records[-1].parameters
+                responses[index] = ServeResponse(
+                    index=index,
+                    env_id=env_id,
+                    target_specs=dict(result.target_specs),
+                    success=result.success,
+                    steps=result.steps,
+                    final_specs=dict(result.final_specs),
+                    final_parameters={
+                        name: float(value) for name, value in zip(names, final)
+                    },
+                    result=result,
+                )
+        assert all(response is not None for response in responses)
+        return responses  # type: ignore[return-value]

@@ -1,0 +1,264 @@
+"""On-disk policy checkpoints: round trips, fresh-process identity, errors."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+import repro
+from repro.agents.checkpoint import CheckpointError, load_checkpoint, save_checkpoint
+from repro.agents.deployment import deploy_policy
+from repro.agents.ppo import PPOConfig, PPOTrainer
+
+POLICY_IDS = sorted(repro.list_policies())
+
+#: Run in a *fresh interpreter*: load a checkpoint, deploy toward a fixed
+#: target, print the per-step parameter trajectory as JSON.
+_FRESH_PROCESS_DEPLOY = """
+import json, sys
+import numpy as np
+import repro
+from repro.agents.deployment import deploy_policy
+
+checkpoint = repro.load_checkpoint(sys.argv[1])
+env = repro.make_env(checkpoint.env_id, seed=0, max_steps=8)
+target = json.loads(sys.argv[2])
+result = deploy_policy(env, checkpoint.policy, target)
+print(json.dumps({
+    "steps": result.steps,
+    "success": bool(result.success),
+    "parameters": [record.parameters.tolist() for record in result.trajectory.records],
+    "final_specs": result.final_specs,
+}))
+"""
+
+
+@pytest.fixture
+def env():
+    return repro.make_env("opamp-p2s-v0", seed=0, max_steps=8)
+
+
+@pytest.fixture
+def target(env):
+    return env.benchmark.spec_space.sample(np.random.default_rng(7))
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("policy_id", POLICY_IDS)
+    def test_in_process_round_trip_is_bitwise(self, tmp_path, env, target, policy_id):
+        policy = repro.make_policy(policy_id, env, np.random.default_rng(3))
+        path = save_checkpoint(
+            tmp_path / f"{policy_id}.npz", policy,
+            policy_id=policy_id, env_id="opamp-p2s-v0",
+        )
+        restored = load_checkpoint(path)
+        assert restored.policy_id == policy_id
+        assert restored.env_id == "opamp-p2s-v0"
+        for (name_a, param_a), (name_b, param_b) in zip(
+            policy.named_parameters(), restored.policy.named_parameters()
+        ):
+            assert name_a == name_b
+            np.testing.assert_array_equal(param_a.data, param_b.data)
+        original = deploy_policy(env, policy, target)
+        reloaded = deploy_policy(env, restored.policy, target)
+        assert original.steps == reloaded.steps
+        for record_a, record_b in zip(
+            original.trajectory.records, reloaded.trajectory.records
+        ):
+            np.testing.assert_array_equal(record_a.parameters, record_b.parameters)
+
+    @pytest.mark.parametrize("policy_id", POLICY_IDS)
+    def test_fresh_process_round_trip_is_bitwise(self, tmp_path, env, target, policy_id):
+        """Save -> load in a *fresh interpreter* reproduces the trajectory."""
+        policy = repro.make_policy(policy_id, env, np.random.default_rng(3))
+        path = save_checkpoint(
+            tmp_path / f"{policy_id}.npz", policy,
+            policy_id=policy_id, env_id="opamp-p2s-v0",
+        )
+        reference = deploy_policy(env, policy, target)
+
+        process_env = dict(os.environ)
+        repo_src = str(Path(repro.__file__).resolve().parents[1])
+        process_env["PYTHONPATH"] = repo_src + os.pathsep + process_env.get("PYTHONPATH", "")
+        completed = subprocess.run(
+            [sys.executable, "-c", _FRESH_PROCESS_DEPLOY, str(path), json.dumps(target)],
+            capture_output=True, text=True, env=process_env, timeout=300,
+        )
+        assert completed.returncode == 0, completed.stderr[-2000:]
+        observed = json.loads(completed.stdout)
+        assert observed["steps"] == reference.steps
+        assert observed["success"] == reference.success
+        expected = [record.parameters.tolist() for record in reference.trajectory.records]
+        assert observed["parameters"] == expected
+        assert observed["final_specs"] == reference.final_specs
+
+    def test_identical_policies_write_identical_bytes(self, tmp_path, env):
+        policy = repro.make_policy("gcn_fc", env, np.random.default_rng(0))
+        a = save_checkpoint(tmp_path / "a.npz", policy, env_id="opamp-p2s-v0")
+        b = save_checkpoint(tmp_path / "b.npz", policy, env_id="opamp-p2s-v0")
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_run_config_rides_along(self, tmp_path, env):
+        policy = repro.make_policy("baseline_a", env, np.random.default_rng(0))
+        config = repro.RunConfig(
+            env={"id": "opamp-p2s-v0", "params": {"seed": 0}},
+            optimizer="ppo", budget=16, seed=4,
+        )
+        path = save_checkpoint(tmp_path / "c.npz", policy, run_config=config)
+        restored = load_checkpoint(path)
+        assert restored.run_config() == config
+
+    def test_load_into_matching_policy_instance(self, tmp_path, env):
+        policy = repro.make_policy("gcn_fc", env, np.random.default_rng(5))
+        path = save_checkpoint(tmp_path / "d.npz", policy)
+        other = repro.make_policy("gcn_fc", env, np.random.default_rng(99))
+        load_checkpoint(path, policy=other)
+        for (_, param_a), (_, param_b) in zip(
+            policy.named_parameters(), other.named_parameters()
+        ):
+            np.testing.assert_array_equal(param_a.data, param_b.data)
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CheckpointError, match="not found"):
+            load_checkpoint(tmp_path / "nope.npz")
+
+    def test_corrupt_file(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"this is not a zip archive at all")
+        with pytest.raises(CheckpointError, match="not a readable checkpoint"):
+            load_checkpoint(path)
+
+    def test_truncated_archive(self, tmp_path, env):
+        policy = repro.make_policy("baseline_a", env, np.random.default_rng(0))
+        path = save_checkpoint(tmp_path / "t.npz", policy)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+
+    def test_foreign_npz(self, tmp_path):
+        path = tmp_path / "foreign.npz"
+        with open(path, "wb") as handle:
+            np.savez(handle, weights=np.zeros(3))
+        with pytest.raises(CheckpointError, match="not a repro policy checkpoint"):
+            load_checkpoint(path)
+
+    def test_mismatched_policy_architecture(self, tmp_path, env):
+        gat = repro.make_policy("gat_fc", env, np.random.default_rng(0))
+        path = save_checkpoint(tmp_path / "gat.npz", gat, policy_id="gat_fc")
+        gcn = repro.make_policy("gcn_fc", env, np.random.default_rng(0))
+        with pytest.raises(CheckpointError, match="gat_fc") as excinfo:
+            load_checkpoint(path, policy=gcn)
+        assert "graph_kind" in str(excinfo.value)
+
+    def test_mismatched_circuit_size(self, tmp_path, env):
+        policy = repro.make_policy("gcn_fc", env, np.random.default_rng(0))
+        path = save_checkpoint(tmp_path / "opamp.npz", policy)
+        lna_env = repro.make_env("common_source_lna-p2s-v0", seed=0)
+        lna_policy = repro.make_policy("gcn_fc", lna_env, np.random.default_rng(0))
+        with pytest.raises(CheckpointError, match="differing config fields"):
+            load_checkpoint(path, policy=lna_policy)
+
+    def test_unsupported_version(self, tmp_path, env):
+        policy = repro.make_policy("baseline_a", env, np.random.default_rng(0))
+        path = save_checkpoint(tmp_path / "v.npz", policy)
+        archive = dict(np.load(path, allow_pickle=False))
+        metadata = json.loads(str(archive["__checkpoint__"][()]))
+        metadata["version"] = 999
+        archive["__checkpoint__"] = np.array(json.dumps(metadata))
+        with open(path, "wb") as handle:
+            np.savez(handle, **archive)
+        with pytest.raises(CheckpointError, match="version"):
+            load_checkpoint(path)
+
+    def test_version_skew_warns(self, tmp_path, env):
+        policy = repro.make_policy("baseline_a", env, np.random.default_rng(0))
+        path = save_checkpoint(tmp_path / "w.npz", policy)
+        archive = dict(np.load(path, allow_pickle=False))
+        metadata = json.loads(str(archive["__checkpoint__"][()]))
+        metadata["repro_version"] = "0.0.1"
+        archive["__checkpoint__"] = np.array(json.dumps(metadata))
+        with open(path, "wb") as handle:
+            np.savez(handle, **archive)
+        with pytest.warns(UserWarning, match="0.0.1"):
+            load_checkpoint(path)
+
+
+class TestTrainerEmission:
+    def test_periodic_and_final_checkpoints(self, tmp_path, env):
+        policy = repro.make_policy("baseline_a", env, np.random.default_rng(0))
+        trainer = PPOTrainer(
+            env, policy, config=PPOConfig(minibatch_size=16), seed=0,
+            method_name="baseline_a", checkpoint_dir=tmp_path / "ckpt",
+            checkpoint_interval=2, env_id="opamp-p2s-v0",
+        )
+        trainer.train(total_episodes=12, episodes_per_update=4, eval_interval=None)
+        names = sorted(path.name for path in (tmp_path / "ckpt").glob("*.npz"))
+        assert names == ["latest.npz", "update_00002.npz"]
+        latest = load_checkpoint(tmp_path / "ckpt" / "latest.npz")
+        assert latest.policy_id == "baseline_a"
+        assert latest.env_id == "opamp-p2s-v0"
+        assert latest.extra["episodes_seen"] == 12
+        # latest.npz always matches the policy the trainer ended with.
+        for (_, param_a), (_, param_b) in zip(
+            policy.named_parameters(), latest.policy.named_parameters()
+        ):
+            np.testing.assert_array_equal(param_a.data, param_b.data)
+
+    def test_interrupted_training_still_leaves_latest(self, tmp_path, env):
+        """The finally-block emission covers mid-training exceptions."""
+        policy = repro.make_policy("baseline_a", env, np.random.default_rng(0))
+        trainer = PPOTrainer(
+            env, policy, config=PPOConfig(minibatch_size=16), seed=0,
+            method_name="baseline_a", checkpoint_dir=tmp_path / "ckpt",
+            checkpoint_interval=50, env_id="opamp-p2s-v0",
+        )
+
+        class Boom(RuntimeError):
+            pass
+
+        original_update = trainer.update
+        calls = []
+
+        def exploding_update(buffer):
+            calls.append(None)
+            if len(calls) == 2:
+                raise Boom()
+            return original_update(buffer)
+
+        trainer.update = exploding_update
+        with pytest.raises(Boom):
+            trainer.train(total_episodes=20, episodes_per_update=4, eval_interval=None)
+        latest = load_checkpoint(tmp_path / "ckpt" / "latest.npz")
+        assert latest.extra["update"] == 1  # the newest completed update
+
+    def test_deployment_example_rejects_mismatched_checkpoint(self, tmp_path):
+        from repro.experiments.evaluation import deployment_example
+
+        lna_env = repro.make_env("common_source_lna-p2s-v0", seed=0)
+        lna_policy = repro.make_policy("gcn_fc", lna_env, np.random.default_rng(0))
+        path = save_checkpoint(
+            tmp_path / "lna.npz", lna_policy,
+            policy_id="gcn_fc", env_id="common_source_lna-p2s-v0",
+        )
+        with pytest.raises(CheckpointError, match="two_stage_opamp"):
+            deployment_example("two_stage_opamp", checkpoint=str(path))
+
+    def test_save_checkpoint_needs_dir_or_path(self, env):
+        policy = repro.make_policy("baseline_a", env, np.random.default_rng(0))
+        trainer = PPOTrainer(env, policy, seed=0)
+        with pytest.raises(ValueError, match="checkpoint_dir"):
+            trainer.save_checkpoint()
+
+    def test_rejects_bad_interval(self, env):
+        policy = repro.make_policy("baseline_a", env, np.random.default_rng(0))
+        with pytest.raises(ValueError, match="checkpoint_interval"):
+            PPOTrainer(env, policy, checkpoint_interval=0)

@@ -5,7 +5,8 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.agents.deployment import deploy_policy, evaluate_deployment
+from repro.agents.deployment import deploy_policy, deploy_policy_batch, evaluate_deployment
+from repro.parallel import VectorCircuitEnv
 from repro import make_env, make_policy
 
 
@@ -48,6 +49,72 @@ class TestDeployPolicy:
         assert first.final_specs == second.final_specs
 
 
+class TestInferenceFastPath:
+    def test_inference_and_grad_paths_deploy_identically(self, env, policy):
+        targets = env.benchmark.spec_space.sample_batch(np.random.default_rng(9), 3)
+        for target in targets:
+            grad = deploy_policy(env, policy, target, inference=False)
+            fast = deploy_policy(env, policy, target)
+            assert grad.steps == fast.steps
+            assert grad.success == fast.success
+            assert grad.final_specs == fast.final_specs
+            for record_a, record_b in zip(
+                grad.trajectory.records, fast.trajectory.records
+            ):
+                np.testing.assert_array_equal(record_a.parameters, record_b.parameters)
+
+    def test_stochastic_paths_share_the_rng_stream(self, env, policy):
+        target = {"gain": 400.0, "bandwidth": 1e7, "phase_margin": 57.0, "power": 2e-3}
+        grad = deploy_policy(
+            env, policy, target, deterministic=False,
+            rng=np.random.default_rng(4), inference=False,
+        )
+        fast = deploy_policy(
+            env, policy, target, deterministic=False, rng=np.random.default_rng(4)
+        )
+        assert grad.steps == fast.steps
+        for record_a, record_b in zip(grad.trajectory.records, fast.trajectory.records):
+            np.testing.assert_array_equal(record_a.parameters, record_b.parameters)
+
+
+class TestDeployPolicyBatch:
+    @pytest.mark.parametrize("policy_id", ["gcn_fc", "gat_fc", "baseline_a", "baseline_b"])
+    def test_batched_results_identical_to_sequential(self, env, policy_id):
+        policy = make_policy(policy_id, env, np.random.default_rng(1))
+        targets = env.benchmark.spec_space.sample_batch(np.random.default_rng(2), 5)
+        sequential = [deploy_policy(env, policy, target) for target in targets]
+        vector_env = VectorCircuitEnv.from_env(env, num_envs=3, autoreset=False)
+        batched = deploy_policy_batch(vector_env, policy, targets)
+        assert len(batched) == len(sequential)
+        for a, b in zip(sequential, batched):
+            assert a.steps == b.steps
+            assert a.success == b.success
+            assert a.final_specs == b.final_specs
+            assert a.target_specs == b.target_specs
+            for record_a, record_b in zip(a.trajectory.records, b.trajectory.records):
+                np.testing.assert_array_equal(record_a.parameters, record_b.parameters)
+                assert record_a.specs == record_b.specs
+
+    def test_batch_wider_than_targets(self, env, policy):
+        targets = env.benchmark.spec_space.sample_batch(np.random.default_rng(2), 2)
+        vector_env = VectorCircuitEnv.from_env(env, num_envs=6, autoreset=False)
+        results = deploy_policy_batch(vector_env, policy, targets)
+        assert [r.steps for r in results] == [
+            deploy_policy(env, policy, t).steps for t in targets
+        ]
+
+    def test_max_steps_override_restored(self, env, policy):
+        vector_env = VectorCircuitEnv.from_env(env, num_envs=2, autoreset=False)
+        target = {"gain": 1e9, "bandwidth": 1e12, "phase_margin": 90.0, "power": 1e-12}
+        results = deploy_policy_batch(vector_env, policy, [target, target], max_steps=3)
+        assert [r.steps for r in results] == [3, 3]
+        assert all(sub.max_steps == env.max_steps for sub in vector_env.envs)
+
+    def test_rejects_non_vector_env(self, env, policy):
+        with pytest.raises(TypeError, match="VectorCircuitEnv"):
+            deploy_policy_batch(env, policy, [{"gain": 1.0}])
+
+
 class TestEvaluateDeployment:
     def test_accuracy_and_steps_statistics(self, env, policy):
         evaluation = evaluate_deployment(env, policy, num_targets=5, seed=42)
@@ -71,6 +138,30 @@ class TestEvaluateDeployment:
         assert not evaluation.results[1].success
         assert evaluation.accuracy == pytest.approx(0.5)
         assert evaluation.mean_successful_steps == pytest.approx(1.0)
+
+    def test_batched_evaluation_matches_sequential(self, env, policy):
+        sequential = evaluate_deployment(env, policy, num_targets=6, seed=11)
+        batched = evaluate_deployment(env, policy, num_targets=6, seed=11, batch_size=4)
+        assert batched.accuracy == sequential.accuracy
+        assert batched.mean_steps == sequential.mean_steps
+        assert [r.steps for r in batched.results] == [r.steps for r in sequential.results]
+        assert [r.target_specs for r in batched.results] == [
+            r.target_specs for r in sequential.results
+        ]
+
+    def test_batched_evaluation_is_seed_reproducible_for_random_starts(self):
+        env = make_env("opamp-p2s-v0", seed=0, max_steps=6, initial_sizing="random")
+        policy = make_policy("baseline_a", env, np.random.default_rng(0))
+        first = evaluate_deployment(env, policy, num_targets=5, seed=13, batch_size=3)
+        second = evaluate_deployment(env, policy, num_targets=5, seed=13, batch_size=3)
+        assert [r.steps for r in first.results] == [r.steps for r in second.results]
+        assert [r.final_specs for r in first.results] == [
+            r.final_specs for r in second.results
+        ]
+
+    def test_batched_evaluation_rejects_grad_path(self, env, policy):
+        with pytest.raises(ValueError, match="grad-free"):
+            evaluate_deployment(env, policy, num_targets=4, batch_size=4, inference=False)
 
     def test_empty_evaluation_degenerate_values(self):
         from repro.agents.deployment import DeploymentEvaluation

@@ -35,6 +35,7 @@ EXAMPLE_ARGS = {
         "--circuits", "two_stage_opamp", "common_source_lna",
     ],
     "sweep_orchestration.py": ["--budget", "6", "--workers", "2"],
+    "serve_policy.py": ["--episodes", "4", "--targets", "3", "--batch-size", "2"],
 }
 
 

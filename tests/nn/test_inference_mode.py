@@ -1,0 +1,116 @@
+"""Inference mode: no graph recording, identical numbers, restored state."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import MLP
+from repro.nn.tensor import (
+    Tensor,
+    concatenate,
+    inference_mode,
+    is_grad_enabled,
+    set_grad_enabled,
+    stack,
+    where,
+)
+
+
+class TestModeSwitch:
+    def test_enabled_by_default(self):
+        assert is_grad_enabled()
+
+    def test_context_disables_and_restores(self):
+        with inference_mode():
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_context_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with inference_mode():
+                raise RuntimeError("boom")
+        assert is_grad_enabled()
+
+    def test_nesting(self):
+        with inference_mode():
+            with inference_mode():
+                assert not is_grad_enabled()
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_set_grad_enabled_round_trip(self):
+        previous = set_grad_enabled(False)
+        try:
+            assert previous is True
+            assert not is_grad_enabled()
+        finally:
+            set_grad_enabled(previous)
+        assert is_grad_enabled()
+
+
+class TestNoGraphRecording:
+    def test_ops_produce_detached_results(self):
+        w = Tensor(np.ones((3, 3)), requires_grad=True)
+        x = Tensor(np.arange(3.0).reshape(1, 3))
+        with inference_mode():
+            results = [
+                x @ w,
+                x + w[0],
+                (x * 2.0).tanh(),
+                x.sum(),
+                x.reshape(3, 1),
+                x.log_softmax(axis=-1),
+                concatenate([x, x], axis=-1),
+                stack([x, x]),
+                where(np.array([True, False, True]), x[0], w[0]),
+            ]
+        for result in results:
+            assert not result.requires_grad
+            assert result._backward is None
+            assert result._parents == ()
+
+    def test_backward_raises_on_inference_result(self):
+        w = Tensor(np.ones(4), requires_grad=True)
+        with inference_mode():
+            loss = (w * 2.0).sum()
+        with pytest.raises(RuntimeError):
+            loss.backward()
+
+    def test_graph_recording_resumes_after_exit(self):
+        w = Tensor(np.ones(4), requires_grad=True)
+        with inference_mode():
+            (w * 3.0).sum()
+        (w * 2.0).sum().backward()
+        np.testing.assert_array_equal(w.grad, np.full(4, 2.0))
+
+
+class TestNumericalParity:
+    def test_forward_values_bitwise_identical(self):
+        rng = np.random.default_rng(0)
+        mlp = MLP((6, 16, 8, 3), rng=rng, hidden_activation="tanh")
+        x = Tensor(rng.normal(size=(5, 6)))
+        graded = mlp(x).numpy()
+        with inference_mode():
+            inferred = mlp(x).numpy()
+        np.testing.assert_array_equal(graded, inferred)
+
+    def test_forward_array_matches_tensor_forward(self):
+        rng = np.random.default_rng(1)
+        mlp = MLP((4, 12, 2), rng=rng, hidden_activation="relu",
+                  output_activation="sigmoid")
+        x = rng.normal(size=(7, 4))
+        np.testing.assert_array_equal(mlp(Tensor(x)).numpy(), mlp.forward_array(x))
+
+
+class TestDetachCopies:
+    def test_detach_returns_an_independent_copy(self):
+        x = Tensor(np.array([1.0, 2.0, 3.0]), requires_grad=True)
+        detached = x.detach()
+        detached.data[0] = 99.0
+        assert x.data[0] == 1.0
+        assert not detached.requires_grad
+
+    def test_numpy_still_aliases(self):
+        x = Tensor(np.array([1.0, 2.0]))
+        assert x.numpy() is x.data
