@@ -1,0 +1,138 @@
+"""Surrogate pre-screening: the same answer for a quarter of the simulations.
+
+Every exact simulation a run performs can be banked into a corpus directory
+and recycled as surrogate training data.  This script closes that loop on
+the two-stage op-amp:
+
+1. run an unscreened random search whose :class:`repro.TieredSimulator`
+   persists every exact (parameters -> specs) pair into a corpus directory,
+2. harvest the corpus and train the ensemble surrogate (the same thing
+   ``python -m repro.run surrogate train CORPUS model.npz`` does),
+3. re-run the identical search with the surrogate pre-screening each
+   population: it ranks all candidates, only the top quarter is exactly
+   verified, and the final answer is still exact — bitwise the same sizing
+   as the unscreened run,
+4. on a second topology (the 4-parameter LNA, whose spec surface a few
+   hundred points pin down), bank a corpus through a
+   :class:`repro.TieredSimulator`, refit its surrogate online, and watch the
+   calibrated trust gate answer fresh in-distribution queries without
+   touching the exact simulator.
+
+Run with:  python examples/surrogate_prescreen.py [--budget N] [--epochs N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+import repro
+from repro.surrogate import (
+    SurrogateConfig,
+    SurrogatePrescreener,
+    TieredSimulator,
+    harvest_corpus,
+    train_surrogate,
+)
+
+ENV_ID = "opamp-p2s-v0"
+
+
+def run_search(budget: int, seed: int, prescreen=None, surrogate_dir=None):
+    env = repro.make_env(ENV_ID, seed=0, surrogate_dir=surrogate_dir)
+    optimizer = repro.make_optimizer(
+        "random", budget=budget, stop_when_met=False, prescreen=prescreen
+    )
+    return optimizer.optimize(env, seed=seed)
+
+
+def main(budget: int, epochs: int, tier_points: int = 400, seed: int = 7) -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="repro-surrogate-"))
+    corpus = workdir / "corpus"
+
+    print("=" * 72)
+    print("1. Unscreened search (every candidate exactly simulated)")
+    print("=" * 72)
+    reference = run_search(budget, seed, surrogate_dir=corpus)
+    print(f"  exact simulations : {reference.num_simulations}")
+    print(f"  best objective    : {reference.best_objective:.6f}")
+    print(f"  corpus entries    : {len(list(corpus.glob('*.json')))} -> {corpus}")
+
+    print()
+    print("=" * 72)
+    print("2. Train the ensemble surrogate on the banked corpus")
+    print("=" * 72)
+    dataset = harvest_corpus(corpus)
+    config = SurrogateConfig(epochs=epochs)
+    surrogate, report = train_surrogate(dataset, config=config, seed=0)
+    print(f"  harvested points  : {len(dataset)} ({dataset.circuit!r})")
+    print(f"  held-out error    : mean {report.val_error_mean:.4f} / "
+          f"max {report.val_error_max:.4f} (standardized)")
+    gate = "rejects everything (grow the corpus)"
+    if report.threshold is not None:
+        gate = f"threshold {report.threshold:.4g}"
+    print(f"  trust gate        : {gate}")
+
+    print()
+    print("=" * 72)
+    print("3. Pre-screened search (surrogate ranks, exact verifies the top 25%)")
+    print("=" * 72)
+    prescreener = SurrogatePrescreener(surrogate, top_fraction=0.25)
+    screened = run_search(budget, seed, prescreen=prescreener)
+    stats = prescreener.stats
+    identical = (
+        np.array_equal(screened.best_parameters, reference.best_parameters)
+        and screened.best_objective == reference.best_objective
+        and screened.best_specs == reference.best_specs
+    )
+    ratio = reference.num_simulations / max(screened.num_simulations, 1)
+    print(f"  exact simulations : {screened.num_simulations} "
+          f"(of {stats.candidates} candidates; {ratio:.1f}x fewer)")
+    print(f"  best objective    : {screened.best_objective:.6f}")
+    print(f"  identical answer  : {identical} (parameters, objective and specs)")
+
+    print()
+    print("=" * 72)
+    print("4. The trust-gated simulation tier (LNA, corpus banked online)")
+    print("=" * 72)
+    env = repro.make_env("common_source_lna-p2s-v0", seed=0)
+    tier_config = SurrogateConfig(epochs=epochs, trust_tolerance=0.25)
+    tier = TieredSimulator(env.simulator, config=tier_config, seed=0)
+    rng = np.random.default_rng(seed)
+    space = env.benchmark.design_space
+
+    def query(count):
+        for _ in range(count):
+            netlist = env.benchmark.fresh_netlist()
+            space.apply_to_netlist(netlist, space.sample(rng))
+            tier.simulate(netlist)
+
+    query(tier_points)  # every one exact: the tier banks its training set
+    tier_report = tier.refit()
+    gate = "rejects everything (bank more points)"
+    if tier_report is not None and tier_report.threshold is not None:
+        gate = f"threshold {tier_report.threshold:.4g}"
+    print(f"  banked corpus     : {tier_points} exact points | trust gate: {gate}")
+    before = tier.stats.surrogate_hits
+    query(48)  # fresh queries: trusted ones never reach the exact simulator
+    tier_stats = tier.stats
+    print("  fresh queries     : 48")
+    print(f"  surrogate answers : {tier_stats.surrogate_hits - before}")
+    print(f"  trust rejections  : {tier_stats.trust_rejections} "
+          f"(fell back to exact; never a silent wrong answer)")
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--budget", type=int, default=240,
+                        help="candidate evaluations per search (default 240)")
+    parser.add_argument("--epochs", type=int, default=400,
+                        help="surrogate training epochs (default 400)")
+    parser.add_argument("--tier-points", type=int, default=400, dest="tier_points",
+                        help="exact points banked before the LNA tier refits (default 400)")
+    parser.add_argument("--seed", type=int, default=7, help="search seed (default 7)")
+    args = parser.parse_args()
+    main(args.budget, args.epochs, tier_points=args.tier_points, seed=args.seed)

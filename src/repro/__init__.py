@@ -26,6 +26,7 @@ Package map
 ``repro.orchestrate`` process-parallel sweeps, artifact store, resumable runs
 ``repro.agents``      GNN-FC multimodal policy, PPO, deployment, checkpoints
 ``repro.serve``       micro-batched deployment service over checkpoints
+``repro.surrogate``   learned simulation tier with trust-gated exact fallback
 ``repro.baselines``   genetic algorithm, Bayesian optimization, SL sizer
 ``repro.experiments`` harnesses regenerating every paper table and figure
 """
@@ -81,6 +82,15 @@ from repro.nn import inference_mode
 from repro.orchestrate import ArtifactStore, SweepConfig, SweepResult, run_sweep
 from repro.parallel import DiskSimulationCache, SimulationCache, VectorCircuitEnv
 from repro.serve import DeploymentService, ServeRequest, ServeResponse
+from repro.surrogate import (
+    SpecSurrogate,
+    SurrogatePrescreener,
+    TieredSimulator,
+    harvest_corpus,
+    load_surrogate,
+    save_surrogate,
+    train_surrogate,
+)
 
 __version__ = "1.5.0"
 
@@ -101,8 +111,11 @@ __all__ = [
     "ServeRequest",
     "ServeResponse",
     "SimulationCache",
+    "SpecSurrogate",
+    "SurrogatePrescreener",
     "SweepConfig",
     "SweepResult",
+    "TieredSimulator",
     "UnknownComponentError",
     "VectorCircuitEnv",
     "__version__",
@@ -115,9 +128,11 @@ __all__ = [
     "deploy_policy_batch",
     "describe_components",
     "evaluate_deployment",
+    "harvest_corpus",
     "inference_mode",
     "list_envs",
     "load_checkpoint",
+    "load_surrogate",
     "list_optimizers",
     "list_policies",
     "make_baseline_a_policy",
@@ -135,5 +150,7 @@ __all__ = [
     "register_policy",
     "run_sweep",
     "save_checkpoint",
+    "save_surrogate",
     "seed_everything",
+    "train_surrogate",
 ]

@@ -72,15 +72,23 @@ register_optimizer = OPTIMIZERS.register
 # Environments
 # ----------------------------------------------------------------------
 def vectorizable(builder: Callable[..., CircuitDesignEnv]) -> Callable[..., EnvironmentLike]:
-    """Give an environment factory the ``num_envs`` / ``cache_size`` knobs.
+    """Give an environment factory the ``num_envs`` / ``cache_size`` /
+    ``surrogate`` / ``surrogate_dir`` knobs.
 
     ``make_env(id, num_envs=k)`` then returns a
     :class:`repro.parallel.VectorCircuitEnv` of ``k`` sub-environments
     (seeded ``seed, seed + 1, ...``) sharing one
     :class:`~repro.parallel.SimulationCache`; ``num_envs=1`` (the default)
     returns the plain sequential environment, optionally with a cached
-    simulator when ``cache_size`` is set.  Third-party factories registered
-    via :func:`register_env` can apply the same decorator.
+    simulator when ``cache_size`` is set.
+
+    ``surrogate`` (a trained :class:`repro.surrogate.SpecSurrogate` or a
+    checkpoint path) and/or ``surrogate_dir`` (a persistent corpus
+    directory) wrap the simulator in a
+    :class:`repro.surrogate.TieredSimulator` instead — the learned tier
+    answers trusted queries, exact results are persisted into the corpus —
+    and a vectorized batch shares that one tier.  Third-party factories
+    registered via :func:`register_env` can apply the same decorator.
     """
 
     @functools.wraps(builder)
@@ -88,15 +96,30 @@ def vectorizable(builder: Callable[..., CircuitDesignEnv]) -> Callable[..., Envi
         seed: Optional[int] = None,
         num_envs: int = 1,
         cache_size: Optional[int] = None,
+        surrogate: Any = None,
+        surrogate_dir: Optional[str] = None,
         **kwargs: Any,
     ) -> EnvironmentLike:
         if num_envs < 1:
             raise ValueError("num_envs must be >= 1")
         env = builder(seed=seed, **kwargs)
+        if surrogate is not None or surrogate_dir is not None:
+            # Local import: the surrogate package pulls the nn stack, which
+            # plain environment construction should not pay for.
+            from repro.surrogate import TieredSimulator
+
+            env.simulator = TieredSimulator(
+                env.simulator,
+                surrogate=surrogate,
+                directory=surrogate_dir,
+                max_entries=cache_size if cache_size is not None else DEFAULT_CACHE_SIZE,
+            )
+        elif num_envs == 1 and cache_size is not None:
+            env.simulator = SimulationCache(env.simulator, max_entries=cache_size)
         if num_envs == 1:
-            if cache_size is not None:
-                env.simulator = SimulationCache(env.simulator, max_entries=cache_size)
             return env
+        # from_env reuses an existing SimulationCache (which the tiered
+        # simulator is) rather than double-wrapping it.
         return VectorCircuitEnv.from_env(
             env,
             num_envs=num_envs,

@@ -84,19 +84,51 @@ def build_problem(
     env: CircuitDesignEnv,
     target_specs: Optional[Mapping[str, float]],
     simulator=None,
+    prescreener=None,
 ) -> SizingProblem:
     """Wrap an environment's benchmark/simulator/reward into a :class:`SizingProblem`.
 
     ``simulator`` overrides the environment's simulator — how the vector path
     substitutes a shared :class:`repro.parallel.SimulationCache`.
+    ``prescreener`` attaches a :class:`repro.surrogate.SurrogatePrescreener`
+    so population batches are surrogate-ranked and only the top candidates
+    exactly verified.
     """
     env, _ = _unwrap_env(env)
     simulator = simulator if simulator is not None else env.simulator
     if env.is_fom_mode:
-        return SizingProblem(env.benchmark, simulator, fom_reward=env.reward_fn)
+        return SizingProblem(
+            env.benchmark, simulator, fom_reward=env.reward_fn, prescreener=prescreener
+        )
     if target_specs is None:
         raise ValueError("a P2S environment needs target_specs to define the objective")
-    return SizingProblem(env.benchmark, simulator, targets=target_specs)
+    return SizingProblem(env.benchmark, simulator, targets=target_specs, prescreener=prescreener)
+
+
+def resolve_prescreener(prescreen):
+    """Coerce the ``prescreen`` knob into a live ``SurrogatePrescreener``.
+
+    Accepts ``None`` (off), a ready prescreener, a checkpoint path saved by
+    :func:`repro.surrogate.save_surrogate`, or a JSON-friendly mapping
+    ``{"surrogate": <path>, "top_fraction": ..., "min_exact": ...}`` (the
+    form an :class:`~repro.api.configs.OptimizerConfig` carries).
+    """
+    if prescreen is None:
+        return None
+    from repro.surrogate.prescreen import SurrogatePrescreener
+
+    if isinstance(prescreen, SurrogatePrescreener):
+        return prescreen
+    if isinstance(prescreen, Mapping):
+        options = dict(prescreen)
+        try:
+            surrogate = options.pop("surrogate")
+        except KeyError:
+            raise ValueError(
+                "a prescreen mapping needs a 'surrogate' key (checkpoint path)"
+            ) from None
+        return SurrogatePrescreener(surrogate, **options)
+    return SurrogatePrescreener(prescreen)
 
 
 class _SearchOptimizer:
@@ -107,6 +139,12 @@ class _SearchOptimizer:
     ``vectorize > 1`` (or an explicit ``cache_size``) additionally wraps the
     environment's simulator in a shared :class:`repro.parallel.SimulationCache`
     so duplicate candidates across a population cost one simulation.
+
+    ``prescreen`` enables surrogate pre-screening of those populations: a
+    trained :mod:`repro.surrogate` model ranks every candidate and only the
+    top fraction is verified with the exact simulator (the final answer is
+    always exactly verified; see :func:`resolve_prescreener` for the
+    accepted forms).
     """
 
     id = "search"
@@ -117,12 +155,14 @@ class _SearchOptimizer:
         budget: Optional[int] = None,
         vectorize: int = 1,
         cache_size: Optional[int] = None,
+        prescreen: Any = None,
         **overrides: Any,
     ) -> None:
         self.seed = seed
         self.budget = budget
         self.vectorize = int(vectorize)
         self.cache_size = cache_size
+        self.prescreen = prescreen
         self.overrides = overrides
         if self.vectorize < 1:
             raise ValueError("vectorize must be >= 1")
@@ -160,7 +200,8 @@ class _SearchOptimizer:
         seed = seed if seed is not None else self.seed
         target = resolve_target(env, target_specs, seed)
         simulator, cache = _resolve_simulator(env, self.vectorize, self.cache_size)
-        problem = build_problem(env, target, simulator=simulator)
+        prescreener = resolve_prescreener(self.prescreen)
+        problem = build_problem(env, target, simulator=simulator, prescreener=prescreener)
         problem.trace = NotifyingTrace(callbacks)
         notify(callbacks, "on_start", self.id, env, budget)
         search = self.build_search(budget, seed)
@@ -172,6 +213,8 @@ class _SearchOptimizer:
             result.metadata.setdefault("target_specs", dict(target))
         if cache is not None:
             result.metadata["simulation_cache"] = cache.stats
+        if prescreener is not None:
+            result.metadata["prescreen"] = prescreener.describe()
         notify(callbacks, "on_result", result)
         return result
 

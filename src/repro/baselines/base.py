@@ -12,13 +12,16 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
 from repro.circuits.library.benchmark import CircuitBenchmark
 from repro.env.reward import FomReward, P2SReward
 from repro.simulation.base import CircuitSimulator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations only
+    from repro.surrogate.prescreen import SurrogatePrescreener
 
 
 @dataclass
@@ -93,6 +96,7 @@ class SizingProblem:
         simulator: CircuitSimulator,
         targets: Optional[Mapping[str, float]] = None,
         fom_reward: Optional[FomReward] = None,
+        prescreener: Optional["SurrogatePrescreener"] = None,
     ) -> None:
         if targets is None and fom_reward is None:
             raise ValueError("either targets (P2S) or fom_reward (FoM) must be provided")
@@ -107,6 +111,12 @@ class SizingProblem:
         # design-parameter vector, so re-using the copy is equivalent to a
         # fresh one and removes a deep netlist copy from the hot loop.
         self._netlist = benchmark.fresh_netlist()
+        # Optional surrogate pre-screening of population batches.  While a
+        # prescreener is attached, every exact evaluation also updates the
+        # best-exact record that _build_result reports from, so the final
+        # answer can never be a surrogate estimate.
+        self._prescreener = prescreener
+        self._best_exact: Optional[Tuple[np.ndarray, float, Dict[str, float]]] = None
 
     # ------------------------------------------------------------------
     @property
@@ -138,9 +148,27 @@ class SizingProblem:
 
     def objective(self, parameters: np.ndarray) -> float:
         """Scalar objective (larger is better, 0 or the FoM maximum is best)."""
-        value = self._score(self.simulate(parameters))
+        specs = self.simulate(parameters)
+        value = self._score(specs)
         self.trace.record(value)
+        if self._prescreener is not None and (
+            self._best_exact is None or value > self._best_exact[1]
+        ):
+            # Strict > keeps first-row-wins ties, matching an unscreened
+            # argmax over the same exact values.
+            self._best_exact = (np.array(parameters, dtype=np.float64), value, dict(specs))
         return value
+
+    def best_exact_record(self) -> Optional[Tuple[np.ndarray, float, Dict[str, float]]]:
+        """Best exactly-simulated ``(parameters, objective, specs)`` so far.
+
+        ``None`` unless surrogate pre-screening actually engaged — an
+        attached-but-inactive prescreener leaves result construction bitwise
+        identical to the unscreened path.
+        """
+        if self._prescreener is None or self._prescreener.stats.populations == 0:
+            return None
+        return self._best_exact
 
     def objective_from_unit(self, unit_parameters: np.ndarray) -> float:
         """Objective over the normalized [0, 1]^M search space."""
@@ -165,6 +193,9 @@ class SizingProblem:
                 f"expected a (P, {self.num_parameters}) population, "
                 f"got shape {parameters.shape}"
             )
+        screened = self._screened_batch(parameters)
+        if screened is not None:
+            return screened
         return np.array([self.objective(row) for row in parameters])
 
     def objective_from_unit_batch(self, unit_parameters: np.ndarray) -> np.ndarray:
@@ -178,7 +209,52 @@ class SizingProblem:
         # One vectorized grid-denormalization for the whole population, then
         # per-candidate simulation (cache-backed when available).
         parameters = self.benchmark.design_space.denormalize(unit_parameters)
+        screened = self._screened_batch(parameters)
+        if screened is not None:
+            return screened
         return np.array([self.objective(row) for row in parameters])
+
+    def _screened_batch(self, parameters: np.ndarray) -> Optional[np.ndarray]:
+        """Surrogate-rank the population, exactly verify the top candidates.
+
+        Returns the optimizer-visible values — exact objectives for the
+        verified top-k, surrogate estimates for the rest — or ``None`` when
+        pre-screening does not apply (no/inactive prescreener, population no
+        larger than the verified set, or a foreign topology), in which case
+        the caller runs the plain all-exact loop.
+        """
+        prescreener = self._prescreener
+        if prescreener is None:
+            return None
+        count = parameters.shape[0]
+        if not prescreener.active or prescreener.num_exact(count) >= count:
+            prescreener.stats.bypassed += count
+            return None
+        # The surrogate consumes full device-parameter vectors (the corpus
+        # layout); writing each candidate into the working netlist is the
+        # same design-space -> netlist mapping simulate() applies.
+        full = np.stack(
+            [
+                self._full_parameters_for(row)
+                for row in parameters
+            ]
+        )
+        if not prescreener.matches(self._netlist.name, full.shape[1]):
+            prescreener.stats.bypassed += count
+            return None
+        values = prescreener.predicted_objectives(full, self._score)
+        top = prescreener.top_indices(values, count)
+        for index in top:
+            values[index] = self.objective(parameters[index])
+        prescreener.stats.populations += 1
+        prescreener.stats.candidates += count
+        prescreener.stats.exact_verified += len(top)
+        prescreener.stats.surrogate_ranked += count - len(top)
+        return values
+
+    def _full_parameters_for(self, parameters: np.ndarray) -> np.ndarray:
+        self.benchmark.design_space.apply_to_netlist(self._netlist, parameters)
+        return self._netlist.parameter_array()
 
     def is_successful(self, parameters: np.ndarray) -> bool:
         """Whether a parameter vector meets every target specification."""
@@ -200,8 +276,17 @@ class SizingOptimizer:
     def _build_result(
         problem: SizingProblem, best_unit: np.ndarray, best_value: float
     ) -> OptimizationResult:
-        parameters = problem.benchmark.design_space.denormalize(best_unit)
-        specs = problem.simulate(parameters)
+        exact = problem.best_exact_record()
+        if exact is not None:
+            # Pre-screening engaged: the optimizer's argmax may point at an
+            # unverified surrogate estimate, so the reported answer is the
+            # best *exactly simulated* candidate instead — parameters, value
+            # and specs all straight from the exact simulator.
+            parameters, best_value, specs = exact
+            specs = dict(specs)
+        else:
+            parameters = problem.benchmark.design_space.denormalize(best_unit)
+            specs = problem.simulate(parameters)
         if problem.targets is not None:
             success = problem.benchmark.spec_space.all_met(specs, problem.targets)
         else:

@@ -30,15 +30,25 @@ from repro.parallel.cache import (
     SimulationCache,
     quantize_significant,
 )
-from repro.parallel.disk_cache import DiskSimulationCache
+from repro.parallel.disk_cache import (
+    DiskEntry,
+    DiskSimulationCache,
+    iter_disk_entries,
+    read_disk_entry,
+    write_disk_entry,
+)
 from repro.parallel.vector_env import VectorCircuitEnv
 
 __all__ = [
     "CacheStats",
     "DEFAULT_CACHE_SIZE",
     "DEFAULT_KEY_DIGITS",
+    "DiskEntry",
     "DiskSimulationCache",
     "SimulationCache",
     "VectorCircuitEnv",
+    "iter_disk_entries",
     "quantize_significant",
+    "read_disk_entry",
+    "write_disk_entry",
 ]

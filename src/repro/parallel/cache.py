@@ -50,21 +50,33 @@ class CacheStats:
     :class:`~repro.parallel.disk_cache.DiskSimulationCache` (always 0 for the
     purely in-memory cache).  ``misses`` therefore equals the number of real
     simulator calls.
+
+    The three tier counters belong to the learned-surrogate tier of a
+    :class:`~repro.surrogate.TieredSimulator` (always 0 otherwise):
+    ``surrogate_hits`` counts queries answered by the surrogate model,
+    ``trust_rejections`` counts queries where the surrogate was consulted but
+    its trust gate refused (low confidence, or an untrained model), and
+    ``exact_fallbacks`` counts the exact simulator calls made after such a
+    consult.  Surrogate answers are *not* misses: ``misses`` keeps meaning
+    "exact simulator calls".
     """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
     disk_hits: int = 0
+    surrogate_hits: int = 0
+    trust_rejections: int = 0
+    exact_fallbacks: int = 0
 
     @property
     def lookups(self) -> int:
-        return self.hits + self.misses
+        return self.hits + self.misses + self.surrogate_hits
 
     @property
     def hit_rate(self) -> float:
-        """Fraction of lookups served from the cache (0.0 when unused)."""
-        return self.hits / self.lookups if self.lookups else 0.0
+        """Fraction of lookups served without an exact simulation (0.0 when unused)."""
+        return (self.hits + self.surrogate_hits) / self.lookups if self.lookups else 0.0
 
     def to_dict(self) -> dict:
         """JSON-serializable digest (what sweep artifacts record)."""
@@ -73,6 +85,9 @@ class CacheStats:
             "misses": self.misses,
             "evictions": self.evictions,
             "disk_hits": self.disk_hits,
+            "surrogate_hits": self.surrogate_hits,
+            "trust_rejections": self.trust_rejections,
+            "exact_fallbacks": self.exact_fallbacks,
             "hit_rate": self.hit_rate,
         }
 

@@ -32,8 +32,11 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Optional, Union
+from typing import Iterator, Optional, Tuple, Union
+
+import numpy as np
 
 from repro.circuits.netlist import Netlist
 from repro.parallel.cache import DEFAULT_CACHE_SIZE, DEFAULT_KEY_DIGITS, SimulationCache
@@ -43,6 +46,95 @@ from repro.utils import atomic_write_json
 #: How many writes between directory-size checks when ``max_disk_entries``
 #: is set (a full listdir per write would be quadratic in sweep size).
 PRUNE_CHECK_INTERVAL = 64
+
+
+@dataclass
+class DiskEntry:
+    """One decoded persistent cache entry.
+
+    ``circuit`` and ``parameters`` record the design point that produced the
+    result (the netlist name and its full ``parameter_array()``), making the
+    directory a harvestable (parameters -> specs) corpus for
+    :mod:`repro.surrogate`.  Entries written before the corpus fields existed
+    decode with both set to ``None``; the cache still serves them.
+    """
+
+    result: SimulationResult
+    circuit: Optional[str] = None
+    parameters: Optional[np.ndarray] = None
+
+
+def read_disk_entry(path: Union[str, os.PathLike]) -> Optional[DiskEntry]:
+    """Decode one entry file; ``None`` for a missing/torn/hand-edited file.
+
+    This is the single corrupt-entry policy shared by cache lookups (a bad
+    file is a miss, healed by the atomic rewrite after the fresh simulation)
+    and by the :mod:`repro.surrogate` corpus harvester (a bad file is skipped
+    and reported) — one decoder, so the two paths can never disagree on what
+    counts as readable.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+        result = SimulationResult(
+            specs={str(k): float(v) for k, v in data["specs"].items()},
+            details={str(k): float(v) for k, v in data.get("details", {}).items()},
+            valid=bool(data.get("valid", True)),
+        )
+        parameters = data.get("parameters")
+        if parameters is not None:
+            parameters = np.asarray([float(v) for v in parameters], dtype=np.float64)
+        circuit = data.get("circuit")
+        return DiskEntry(
+            result=result,
+            circuit=None if circuit is None else str(circuit),
+            parameters=parameters,
+        )
+    except (OSError, ValueError, KeyError, TypeError, AttributeError):
+        return None
+
+
+def write_disk_entry(
+    path: Union[str, os.PathLike],
+    result: SimulationResult,
+    circuit: Optional[str] = None,
+    parameters: Optional[np.ndarray] = None,
+) -> None:
+    """Atomically publish one entry file (complete even with concurrent writers)."""
+    payload = {
+        "specs": {str(k): float(v) for k, v in result.specs.items()},
+        "details": _float_dict(result.details),
+        "valid": bool(result.valid),
+    }
+    if circuit is not None:
+        payload["circuit"] = str(circuit)
+    if parameters is not None:
+        # repr-exact floats: json round-trips Python floats bitwise, so the
+        # harvested corpus reproduces the simulated design points exactly.
+        payload["parameters"] = [float(v) for v in np.asarray(parameters).ravel()]
+    atomic_write_json(path, payload)
+
+
+def entry_path(directory: Union[str, os.PathLike], key: bytes) -> Path:
+    """Entry file for a quantized cache key (shared by every disk-backed tier).
+
+    The raw key is the full quantized parameter snapshot (hundreds of bytes);
+    the file name is its SHA-256, keeping names filesystem-safe while
+    preserving the no-false-sharing property of the key.
+    """
+    return Path(directory) / f"{hashlib.sha256(key).hexdigest()}.json"
+
+
+def iter_disk_entries(
+    directory: Union[str, os.PathLike],
+) -> Iterator[Tuple[Path, Optional[DiskEntry]]]:
+    """Yield ``(path, entry)`` for every entry file, ``entry=None`` when corrupt.
+
+    Files are visited in sorted-name order so a harvest over a fixed
+    directory is deterministic regardless of filesystem listing order.
+    """
+    for path in sorted(Path(directory).glob("*.json")):
+        yield path, read_disk_entry(path)
 
 
 class DiskSimulationCache(SimulationCache):
@@ -98,41 +190,27 @@ class DiskSimulationCache(SimulationCache):
             return cached
         self.stats.misses += 1
         result = self.simulator.simulate(netlist)
-        self._write_entry(path, result)
+        self._write_entry(path, result, netlist)
         return result
 
     def _entry_path(self, key: bytes) -> Path:
-        # The raw key is the full quantized parameter snapshot (hundreds of
-        # bytes); the file name is its SHA-256, keeping names filesystem-safe
-        # while preserving the no-false-sharing property of the key.
-        return self.directory / f"{hashlib.sha256(key).hexdigest()}.json"
+        return entry_path(self.directory, key)
 
     @staticmethod
     def _read_entry(path: Path) -> Optional[SimulationResult]:
-        try:
-            with open(path, "r", encoding="utf-8") as handle:
-                data = json.load(handle)
-            return SimulationResult(
-                specs={str(k): float(v) for k, v in data["specs"].items()},
-                details={str(k): float(v) for k, v in data.get("details", {}).items()},
-                valid=bool(data.get("valid", True)),
-            )
-        except (OSError, ValueError, KeyError, TypeError, AttributeError):
-            # Missing, torn, or hand-edited entry (including wrong-typed
-            # fields like "specs": null): treat as a miss — the fresh
-            # simulation below rewrites it atomically.
-            return None
+        # Missing, torn, or hand-edited entries (including wrong-typed fields
+        # like "specs": null) decode to None — a miss; the fresh simulation
+        # below rewrites the file atomically.
+        entry = read_disk_entry(path)
+        return None if entry is None else entry.result
 
-    def _write_entry(self, path: Path, result: SimulationResult) -> None:
-        payload = {
-            "specs": {str(k): float(v) for k, v in result.specs.items()},
-            "details": _float_dict(result.details),
-            "valid": bool(result.valid),
-        }
+    def _write_entry(self, path: Path, result: SimulationResult, netlist: Netlist) -> None:
         # Atomic replace keeps every published entry complete even with
         # concurrent writers on the same key (last writer wins; all writers
-        # hold the identical deterministic result anyway).
-        atomic_write_json(path, payload)
+        # hold the identical deterministic result anyway).  The design point
+        # (circuit + parameter vector) rides along so the directory doubles
+        # as the surrogate training corpus.
+        write_disk_entry(path, result, circuit=netlist.name, parameters=netlist.parameter_array())
         self._writes_since_prune += 1
         if (
             self.max_disk_entries is not None

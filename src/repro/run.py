@@ -11,6 +11,11 @@ or serve specification targets from a trained policy checkpoint::
 
     python -m repro.run deploy ckpt/latest.npz specs.json [--batch-size N]
 
+or train/evaluate a learned surrogate tier on a simulation corpus::
+
+    python -m repro.run surrogate train corpus_dir model.npz
+    python -m repro.run surrogate eval model.npz corpus_dir
+
 The sweep document is either a :class:`repro.orchestrate.SweepConfig`
 (grid) or a single :class:`repro.api.RunConfig` (detected by its
 ``env``/``optimizer`` keys and wrapped as a one-unit sweep with its literal
@@ -68,6 +73,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from repro.serve.cli import main_deploy
 
         return main_deploy(argv[1:])
+    if argv and argv[0] == "surrogate":
+        # Surrogate training/evaluation (pulls in the nn stack only when used).
+        from repro.surrogate.cli import main_surrogate
+
+        return main_surrogate(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.workers is not None and args.workers < 1:

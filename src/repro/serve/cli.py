@@ -40,6 +40,13 @@ def build_deploy_parser() -> argparse.ArgumentParser:
                              "recorded env id)")
     parser.add_argument("--max-steps", type=int, default=None, dest="max_steps",
                         help="episode step budget override for every target")
+    parser.add_argument("--surrogate", default=None,
+                        help="trained surrogate checkpoint (.npz from "
+                             "'repro.run surrogate train'); trusted design steps "
+                             "are answered by the learned tier")
+    parser.add_argument("--surrogate-dir", default=None, dest="surrogate_dir",
+                        help="persistent simulation-corpus directory shared with "
+                             "the exact tier")
     parser.add_argument("--output", default=None,
                         help="write per-target results as JSON to this file")
     parser.add_argument("--quiet", action="store_true",
@@ -62,9 +69,13 @@ def main_deploy(argv: Optional[Sequence[str]] = None) -> int:
             for request in requests:
                 request.max_steps = int(args.max_steps)
         service = DeploymentService.from_checkpoint(
-            args.checkpoint, env_id=args.env, batch_size=args.batch_size
+            args.checkpoint,
+            env_id=args.env,
+            batch_size=args.batch_size,
+            surrogate=args.surrogate,
+            surrogate_dir=args.surrogate_dir,
         )
-    except (OSError, ValueError, CheckpointError) as exc:
+    except (OSError, ValueError, CheckpointError, RuntimeError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
@@ -97,6 +108,12 @@ def main_deploy(argv: Optional[Sequence[str]] = None) -> int:
         f"{stats.design_steps / stats.episodes:.1f} | "
         f"simulation cache hit rate {cache.hit_rate:.2%}"
     )
+    if stats.surrogate_hits or stats.trust_rejections:
+        print(
+            f"surrogate tier: {stats.surrogate_hits} answered, "
+            f"{stats.trust_rejections} trust-rejected, "
+            f"{stats.exact_fallbacks} exact fallbacks"
+        )
 
     if args.output is not None:
         document = {
@@ -105,6 +122,7 @@ def main_deploy(argv: Optional[Sequence[str]] = None) -> int:
             "accuracy": stats.accuracy,
             "mean_steps": stats.design_steps / stats.episodes,
             "wall_time_s": elapsed,
+            "service": service.stats_dict(),
             "results": [response.to_dict() for response in responses],
         }
         with open(args.output, "w", encoding="utf-8") as handle:

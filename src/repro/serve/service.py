@@ -83,7 +83,12 @@ class ServeStats:
     """Cumulative counters over the lifetime of a service.
 
     One request is one deployment episode, so ``episodes`` is also the
-    number of requests served.
+    number of requests served.  The three tier counters aggregate the
+    simulation tiers across every topology the service routes to (all zero
+    unless a policy was registered with a surrogate): ``surrogate_hits`` —
+    design steps answered by the learned tier, ``trust_rejections`` —
+    surrogate consults its trust gate refused, ``exact_fallbacks`` — exact
+    simulator calls made after such a refusal.
     """
 
     episodes: int = 0
@@ -91,6 +96,9 @@ class ServeStats:
     successes: int = 0
     wall_time_s: float = 0.0
     by_env: Dict[str, int] = field(default_factory=dict)
+    surrogate_hits: int = 0
+    trust_rejections: int = 0
+    exact_fallbacks: int = 0
 
     def record(self, env_id: str, results: Sequence[DeploymentResult], elapsed: float) -> None:
         self.episodes += len(results)
@@ -99,6 +107,14 @@ class ServeStats:
         self.wall_time_s += elapsed
         self.by_env[env_id] = self.by_env.get(env_id, 0) + len(results)
 
+    def record_tiers(
+        self, surrogate_hits: int, trust_rejections: int, exact_fallbacks: int
+    ) -> None:
+        """Fold one serve call's simulation-tier deltas into the totals."""
+        self.surrogate_hits += int(surrogate_hits)
+        self.trust_rejections += int(trust_rejections)
+        self.exact_fallbacks += int(exact_fallbacks)
+
     @property
     def accuracy(self) -> float:
         return self.successes / self.episodes if self.episodes else 0.0
@@ -106,6 +122,20 @@ class ServeStats:
     @property
     def episodes_per_second(self) -> float:
         return self.episodes / self.wall_time_s if self.wall_time_s > 0 else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable digest (what the deploy CLI writes)."""
+        return {
+            "episodes": self.episodes,
+            "design_steps": self.design_steps,
+            "successes": self.successes,
+            "accuracy": self.accuracy,
+            "wall_time_s": self.wall_time_s,
+            "by_env": dict(self.by_env),
+            "surrogate_hits": self.surrogate_hits,
+            "trust_rejections": self.trust_rejections,
+            "exact_fallbacks": self.exact_fallbacks,
+        }
 
 
 class DeploymentService:
@@ -141,6 +171,9 @@ class DeploymentService:
         self._policies: Dict[str, ActorCriticPolicy] = {}
         self._vector_envs: Dict[str, VectorCircuitEnv] = {}
         self._default_env_id: Optional[str] = None
+        # Per-env snapshot of the tier counters at the last serve() flush, so
+        # cumulative CacheStats fold into ServeStats as deltas exactly once.
+        self._tier_marks: Dict[str, Tuple[int, int, int]] = {}
 
     # ------------------------------------------------------------------
     # Policy registration
@@ -150,15 +183,23 @@ class DeploymentService:
         cls,
         path: Union[str, Path],
         env_id: Optional[str] = None,
+        surrogate: Any = None,
+        surrogate_dir: Optional[Union[str, Path]] = None,
         **kwargs: Any,
     ) -> "DeploymentService":
         """Build a service around one checkpoint (the CLI entry path)."""
         service = cls(**kwargs)
-        service.add_checkpoint(path, env_id=env_id)
+        service.add_checkpoint(
+            path, env_id=env_id, surrogate=surrogate, surrogate_dir=surrogate_dir
+        )
         return service
 
     def add_checkpoint(
-        self, path: Union[str, Path], env_id: Optional[str] = None
+        self,
+        path: Union[str, Path],
+        env_id: Optional[str] = None,
+        surrogate: Any = None,
+        surrogate_dir: Optional[Union[str, Path]] = None,
     ) -> str:
         """Load a checkpoint and register its policy; returns the env ID used."""
         checkpoint = load_checkpoint(path)
@@ -168,11 +209,26 @@ class DeploymentService:
                 f"checkpoint {path} does not record an environment ID; pass "
                 "env_id=... (e.g. 'opamp-p2s-v0') to route its requests"
             )
-        self.register_policy(env_id, checkpoint.policy)
+        self.register_policy(
+            env_id, checkpoint.policy, surrogate=surrogate, surrogate_dir=surrogate_dir
+        )
         return env_id
 
-    def register_policy(self, env_id: str, policy: ActorCriticPolicy) -> None:
-        """Register a (possibly freshly trained) policy for an environment ID."""
+    def register_policy(
+        self,
+        env_id: str,
+        policy: ActorCriticPolicy,
+        surrogate: Any = None,
+        surrogate_dir: Optional[Union[str, Path]] = None,
+    ) -> None:
+        """Register a (possibly freshly trained) policy for an environment ID.
+
+        ``surrogate`` (a trained :class:`repro.surrogate.SpecSurrogate` or a
+        checkpoint path) and/or ``surrogate_dir`` (a persistent corpus
+        directory) route this topology's simulations through a
+        :class:`repro.surrogate.TieredSimulator`; the tier counters surface
+        in :attr:`stats` and :meth:`stats_dict`.
+        """
         # Resolve now so an unknown ID fails at registration, not mid-serve.
         template = make_env(env_id)
         if not isinstance(template, CircuitDesignEnv):  # pragma: no cover - defensive
@@ -182,6 +238,17 @@ class DeploymentService:
                 f"policy sized for {policy.config.num_parameters} parameters cannot "
                 f"serve environment {env_id!r} ({template.num_parameters} parameters)"
             )
+        if surrogate is not None or surrogate_dir is not None:
+            # Local import: plain serving should not pay for the nn stack
+            # unless a learned tier is actually requested.
+            from repro.surrogate import TieredSimulator
+
+            template.simulator = TieredSimulator(
+                template.simulator,
+                surrogate=surrogate,
+                directory=surrogate_dir,
+                max_entries=self.cache_size,
+            )
         self._policies[env_id] = policy
         self._vector_envs[env_id] = VectorCircuitEnv.from_env(
             template,
@@ -189,6 +256,7 @@ class DeploymentService:
             cache_size=self.cache_size,
             autoreset=False,
         )
+        self._tier_marks[env_id] = (0, 0, 0)
         if self._default_env_id is None:
             self._default_env_id = env_id
 
@@ -202,6 +270,28 @@ class DeploymentService:
         vector_env = self._vector_envs[self._resolve_env_id(env_id)]
         assert vector_env.cache is not None
         return vector_env.cache.stats
+
+    def stats_dict(self) -> Dict[str, Any]:
+        """One JSON-ready document: serve counters plus per-topology caches."""
+        return {
+            **self.stats.to_dict(),
+            "caches": {
+                env_id: vector_env.cache.stats.to_dict()
+                for env_id, vector_env in self._vector_envs.items()
+                if vector_env.cache is not None
+            },
+        }
+
+    def _flush_tier_stats(self, env_id: str) -> None:
+        """Fold an env cache's tier counters into the serve stats (as deltas)."""
+        vector_env = self._vector_envs[env_id]
+        if vector_env.cache is None:  # pragma: no cover - caches always on here
+            return
+        cache = vector_env.cache.stats
+        now = (cache.surrogate_hits, cache.trust_rejections, cache.exact_fallbacks)
+        mark = self._tier_marks.get(env_id, (0, 0, 0))
+        self.stats.record_tiers(now[0] - mark[0], now[1] - mark[1], now[2] - mark[2])
+        self._tier_marks[env_id] = now
 
     # ------------------------------------------------------------------
     # Serving
@@ -269,6 +359,7 @@ class DeploymentService:
                 max_steps=max_steps,
             )
             self.stats.record(env_id, results, time.perf_counter() - start)
+            self._flush_tier_stats(env_id)
             names = vector_env.benchmark.design_space.names
             for index, result in zip(indices, results):
                 final = result.trajectory.records[-1].parameters

@@ -10,7 +10,7 @@ with from-scratch equivalents:
   RF PA evaluators used by the transfer-learning workflow.
 """
 
-from repro.simulation.base import CircuitSimulator, SimulationResult
+from repro.simulation.base import CircuitSimulator, SimulationResult, Simulator
 from repro.simulation.folded_cascode_sim import (
     FoldedCascodeOperatingPoint,
     FoldedCascodeSimulator,
@@ -57,4 +57,5 @@ __all__ = [
     "RfPaCoarseSimulator",
     "RfPaFineSimulator",
     "SimulationResult",
+    "Simulator",
 ]

@@ -55,3 +55,11 @@ class CircuitSimulator(Protocol):
     def simulate(self, netlist: Netlist) -> SimulationResult:
         """Evaluate the netlist and return the measured specifications."""
         ...
+
+
+#: Canonical short name of the simulator protocol.  Every evaluation tier —
+#: the analytic/MNA evaluators, the memoizing :class:`SimulationCache` and
+#: :class:`DiskSimulationCache` wrappers, and the learned
+#: :class:`~repro.surrogate.TieredSimulator` — satisfies this one contract,
+#: which is what lets the tiers nest in any order.
+Simulator = CircuitSimulator

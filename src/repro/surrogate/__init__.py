@@ -1,0 +1,60 @@
+"""Learned surrogate simulation tier with trust-gated exact fallback.
+
+The exact simulators in :mod:`repro.simulation` are deterministic functions
+of the netlist parameters, and every optimizer in this codebase pays for
+them by the call.  This package adds a *learned* tier in front of them:
+
+* :mod:`~repro.surrogate.dataset` harvests (parameters -> specs) training
+  pairs from the persistent simulation-cache directories every run already
+  writes;
+* :mod:`~repro.surrogate.model` fits a per-topology ensemble MLP on that
+  corpus (pure :mod:`repro.nn`, grad-free ``forward_array`` inference) whose
+  member disagreement estimates its own reliability;
+* :mod:`~repro.surrogate.gate` calibrates a trust threshold on held-out
+  error, so the surrogate only answers where it is demonstrably accurate —
+  a cold corpus degrades to the pure exact path, never to silent wrongness;
+* :mod:`~repro.surrogate.tiered` chains the tiers into one
+  :class:`~repro.parallel.SimulationCache`-compatible simulator
+  (memory -> disk -> surrogate -> exact), with exact results feeding the
+  cache, the corpus directory, and the surrogate's next refit;
+* :mod:`~repro.surrogate.prescreen` lets the GA/BO/RS baselines rank whole
+  populations with the surrogate and spend exact simulations only on the
+  top candidates — with the final answer always exactly verified.
+"""
+
+from repro.surrogate.dataset import (
+    CorpusReport,
+    SurrogateDataset,
+    corpus_circuits,
+    harvest_corpus,
+)
+from repro.surrogate.gate import TrustGate, calibrate_threshold
+from repro.surrogate.model import SpecSurrogate, SurrogateConfig
+from repro.surrogate.prescreen import PrescreenStats, SurrogatePrescreener
+from repro.surrogate.tiered import TieredSimulator
+from repro.surrogate.trainer import (
+    SurrogateError,
+    TrainReport,
+    load_surrogate,
+    save_surrogate,
+    train_surrogate,
+)
+
+__all__ = [
+    "CorpusReport",
+    "PrescreenStats",
+    "SpecSurrogate",
+    "SurrogateConfig",
+    "SurrogateDataset",
+    "SurrogateError",
+    "SurrogatePrescreener",
+    "TieredSimulator",
+    "TrainReport",
+    "TrustGate",
+    "calibrate_threshold",
+    "corpus_circuits",
+    "harvest_corpus",
+    "load_surrogate",
+    "save_surrogate",
+    "train_surrogate",
+]

@@ -1,0 +1,186 @@
+"""``python -m repro.run surrogate`` — train and evaluate surrogate models.
+
+Usage::
+
+    python -m repro.run surrogate train CORPUS_DIR MODEL.npz [--circuit NAME]
+    python -m repro.run surrogate eval MODEL.npz CORPUS_DIR [--json]
+
+``train`` harvests the (parameters -> specs) corpus a
+:class:`~repro.parallel.DiskSimulationCache` / :class:`~repro.surrogate.TieredSimulator`
+directory accumulated, fits the ensemble, calibrates the trust gate on
+held-out points, and writes a checkpoint servable by ``deploy --surrogate``
+and by the baselines' ``prescreen=`` knob.  ``eval`` re-harvests a corpus
+(typically fresh points the model never saw) and reports prediction error
+and gate acceptance on it.
+
+Exit status: 0 on success, 2 on bad input (missing/empty corpus, unreadable
+model, no trainable entries).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.surrogate.dataset import corpus_circuits, harvest_corpus
+from repro.surrogate.model import SurrogateConfig
+from repro.surrogate.trainer import (
+    SurrogateError,
+    load_surrogate,
+    save_surrogate,
+    train_surrogate,
+)
+
+
+def build_surrogate_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.run surrogate",
+        description="Train or evaluate a learned surrogate simulation tier.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    train = commands.add_parser("train", help="fit a surrogate on a harvested corpus")
+    train.add_argument("corpus", help="simulation-cache directory to harvest")
+    train.add_argument("model", help="output checkpoint path (.npz)")
+    train.add_argument("--circuit", default=None,
+                       help="topology to harvest when the corpus mixes several")
+    train.add_argument("--seed", type=int, default=0, help="training seed (default 0)")
+    train.add_argument("--epochs", type=int, default=None,
+                       help="full-batch Adam epochs per ensemble member")
+    train.add_argument("--hidden", type=int, nargs="+", default=None, metavar="WIDTH",
+                       help="hidden layer widths (default 64 64)")
+    train.add_argument("--ensemble", type=int, default=None, dest="ensemble",
+                       help="ensemble members (default 3)")
+    train.add_argument("--tolerance", type=float, default=None,
+                       help="trust-gate error tolerance in standardized spec units")
+    train.add_argument("--json", action="store_true",
+                       help="print the training report as JSON")
+
+    evaluate = commands.add_parser("eval", help="score a trained surrogate on a corpus")
+    evaluate.add_argument("model", help="surrogate checkpoint path (.npz)")
+    evaluate.add_argument("corpus", help="simulation-cache directory to score against")
+    evaluate.add_argument("--json", action="store_true",
+                          help="print the evaluation report as JSON")
+    return parser
+
+
+def _build_config(args: argparse.Namespace) -> SurrogateConfig:
+    config = SurrogateConfig()
+    if args.epochs is not None:
+        config.epochs = int(args.epochs)
+    if args.hidden is not None:
+        config.hidden = tuple(int(width) for width in args.hidden)
+    if args.ensemble is not None:
+        config.ensemble_size = int(args.ensemble)
+    if args.tolerance is not None:
+        config.trust_tolerance = float(args.tolerance)
+    return SurrogateConfig(**config.to_dict())  # re-validate the overrides
+
+
+def _main_train(args: argparse.Namespace) -> int:
+    try:
+        dataset = harvest_corpus(args.corpus, circuit=args.circuit)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if len(dataset) < 2:
+        inventory = corpus_circuits(args.corpus)
+        listing = ", ".join(f"{k} ({v})" for k, v in sorted(inventory.items())) or "nothing"
+        print(
+            f"error: corpus {args.corpus!r} has {len(dataset)} trainable entries "
+            f"(harvestable: {listing}); run more exact simulations into it first",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        config = _build_config(args)
+        surrogate, report = train_surrogate(dataset, config=config, seed=args.seed)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    save_surrogate(args.model, surrogate, extra={"train_report": report.to_dict()})
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        gate = "rejects everything (keep growing the corpus)"
+        if report.threshold is not None:
+            gate = (
+                f"threshold {report.threshold:.4g} "
+                f"({report.val_accept_rate:.0%} of held-out points accepted)"
+            )
+        print(
+            f"trained {dataset.circuit!r} surrogate on {report.num_train} points "
+            f"({report.num_val} held out) in {report.epochs} epochs"
+        )
+        print(
+            f"held-out error mean {report.val_error_mean:.4g} / "
+            f"max {report.val_error_max:.4g} (standardized) | trust gate: {gate}"
+        )
+        print(f"wrote {args.model}")
+    return 0
+
+
+def _main_eval(args: argparse.Namespace) -> int:
+    try:
+        surrogate = load_surrogate(args.model)
+        dataset = harvest_corpus(args.corpus, circuit=surrogate.circuit)
+    except (OSError, ValueError, SurrogateError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if len(dataset) == 0:
+        print(
+            f"error: corpus {args.corpus!r} holds no entries for "
+            f"circuit {surrogate.circuit!r}",
+            file=sys.stderr,
+        )
+        return 2
+    if dataset.spec_names != surrogate.spec_names or dataset.num_inputs != surrogate.num_inputs:
+        print(
+            f"error: corpus layout ({dataset.num_inputs} inputs, specs "
+            f"{list(dataset.spec_names)}) does not match the model "
+            f"({surrogate.num_inputs} inputs, specs {list(surrogate.spec_names)})",
+            file=sys.stderr,
+        )
+        return 2
+    stacked = surrogate.predict_standardized(dataset.parameters)
+    target_z = (dataset.specs - surrogate.output_mean) / surrogate.output_std
+    errors = np.abs(stacked.mean(axis=0) - target_z).max(axis=1)
+    disagreement = stacked.std(axis=0).max(axis=-1)
+    accepted = surrogate.trusted(disagreement)
+    report = {
+        "circuit": surrogate.circuit,
+        "num_points": len(dataset),
+        "error_mean": float(errors.mean()),
+        "error_max": float(errors.max()),
+        "accept_rate": float(accepted.mean()),
+        "accepted_error_max": float(errors[accepted].max()) if accepted.any() else None,
+        "threshold": surrogate.gate.threshold,
+        "corpus": dataset.report.to_dict(),
+    }
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        accepted_line = "gate rejects every point"
+        if accepted.any():
+            accepted_line = (
+                f"gate accepts {accepted.mean():.0%} "
+                f"(worst accepted error {errors[accepted].max():.4g})"
+            )
+        print(
+            f"{surrogate.circuit!r} surrogate on {len(dataset)} corpus points: "
+            f"error mean {errors.mean():.4g} / max {errors.max():.4g} (standardized)"
+        )
+        print(accepted_line)
+    return 0
+
+
+def main_surrogate(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_surrogate_parser()
+    args = parser.parse_args(argv)
+    if args.command == "train":
+        return _main_train(args)
+    return _main_eval(args)

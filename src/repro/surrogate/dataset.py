@@ -1,0 +1,175 @@
+"""Harvesting (parameters -> specs) training pairs from the disk cache.
+
+Every sweep, serve session, or optimization run that points a
+:class:`~repro.parallel.DiskSimulationCache` (or a
+:class:`~repro.surrogate.TieredSimulator`) at a directory leaves behind one
+JSON entry per exactly-simulated design point — the netlist name, the full
+device-parameter vector, and the measured specifications.  That directory
+*is* the surrogate's training corpus: :func:`harvest_corpus` decodes it into
+dense arrays, skipping (and counting) corrupt files through the same
+:func:`~repro.parallel.disk_cache.read_disk_entry` decoder the cache lookup
+path uses, so the two consumers can never disagree about what is readable.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.parallel.disk_cache import iter_disk_entries
+
+
+@dataclass
+class CorpusReport:
+    """What a harvest saw in the directory (returned on every dataset)."""
+
+    #: Entry files decoded into training rows.
+    harvested: int = 0
+    #: Unreadable/torn/hand-edited files (skipped; the cache heals them).
+    corrupt: int = 0
+    #: Readable entries written before the corpus fields existed (no
+    #: parameter vector recorded) — servable by the cache, not trainable.
+    legacy: int = 0
+    #: Readable entries for other circuits than the requested one.
+    foreign: int = 0
+    #: Entries whose simulation was degenerate (``valid=False``) — excluded
+    #: so the surrogate only learns the physical operating region.
+    invalid: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "harvested": self.harvested,
+            "corrupt": self.corrupt,
+            "legacy": self.legacy,
+            "foreign": self.foreign,
+            "invalid": self.invalid,
+        }
+
+
+@dataclass
+class SurrogateDataset:
+    """A dense (parameters -> specs) corpus for one circuit topology.
+
+    ``parameters`` is ``(N, D)`` over the netlist's full
+    ``parameter_array()`` layout; ``specs`` is ``(N, S)`` with columns in
+    ``spec_names`` order (sorted, so the layout is a pure function of the
+    spec set and survives dict-ordering differences between writers).
+    """
+
+    circuit: str
+    spec_names: Tuple[str, ...]
+    parameters: np.ndarray
+    specs: np.ndarray
+    report: CorpusReport = field(default_factory=CorpusReport)
+
+    def __post_init__(self) -> None:
+        self.parameters = np.asarray(self.parameters, dtype=np.float64)
+        self.specs = np.asarray(self.specs, dtype=np.float64)
+        if self.parameters.ndim != 2 or self.specs.ndim != 2:
+            raise ValueError("parameters and specs must be 2-D arrays")
+        if self.parameters.shape[0] != self.specs.shape[0]:
+            raise ValueError(
+                f"row mismatch: {self.parameters.shape[0]} parameter rows vs "
+                f"{self.specs.shape[0]} spec rows"
+            )
+        if self.specs.shape[1] != len(self.spec_names):
+            raise ValueError(
+                f"spec column mismatch: {self.specs.shape[1]} columns vs "
+                f"{len(self.spec_names)} names"
+            )
+        self.spec_names = tuple(str(name) for name in self.spec_names)
+
+    def __len__(self) -> int:
+        return int(self.parameters.shape[0])
+
+    @property
+    def num_inputs(self) -> int:
+        return int(self.parameters.shape[1])
+
+    @property
+    def num_specs(self) -> int:
+        return int(self.specs.shape[1])
+
+    def spec_dict(self, row: int) -> Dict[str, float]:
+        """One row's specifications as a name-keyed mapping."""
+        return {name: float(value) for name, value in zip(self.spec_names, self.specs[row])}
+
+
+def corpus_circuits(directory: Union[str, os.PathLike]) -> Dict[str, int]:
+    """Harvestable circuit name -> entry count for a cache directory."""
+    counts: Dict[str, int] = {}
+    for _, entry in iter_disk_entries(directory):
+        if entry is None or entry.circuit is None or entry.parameters is None:
+            continue
+        counts[entry.circuit] = counts.get(entry.circuit, 0) + 1
+    return counts
+
+
+def harvest_corpus(
+    directory: Union[str, os.PathLike],
+    circuit: Optional[str] = None,
+    include_invalid: bool = False,
+) -> SurrogateDataset:
+    """Decode a cache directory into a :class:`SurrogateDataset`.
+
+    ``circuit`` selects the topology when the directory mixes several; when
+    omitted, the directory must contain entries for exactly one circuit
+    (the error message lists what it found otherwise).  Corrupt files are
+    skipped and counted in the returned dataset's ``report`` — never raised,
+    matching the cache's own heal-on-miss policy.
+    """
+    if circuit is None:
+        counts = corpus_circuits(directory)
+        if len(counts) > 1:
+            inventory = ", ".join(f"{name} ({count})" for name, count in sorted(counts.items()))
+            raise ValueError(
+                f"corpus {os.fspath(directory)!r} holds several circuits ({inventory}); "
+                "pass circuit=... to pick one"
+            )
+        circuit = next(iter(counts)) if counts else None
+
+    report = CorpusReport()
+    rows: List[Tuple[np.ndarray, Dict[str, float]]] = []
+    spec_names: Optional[Tuple[str, ...]] = None
+    num_inputs: Optional[int] = None
+    for _, entry in iter_disk_entries(directory):
+        if entry is None:
+            report.corrupt += 1
+            continue
+        if entry.circuit is None or entry.parameters is None:
+            report.legacy += 1
+            continue
+        if circuit is not None and entry.circuit != circuit:
+            report.foreign += 1
+            continue
+        if not entry.result.valid and not include_invalid:
+            report.invalid += 1
+            continue
+        names = tuple(sorted(entry.result.specs))
+        if spec_names is None:
+            spec_names, num_inputs = names, entry.parameters.size
+        if names != spec_names or entry.parameters.size != num_inputs:
+            # A stale entry from an older benchmark revision with a different
+            # spec set or parameter layout: unusable for this corpus.
+            report.foreign += 1
+            continue
+        rows.append((entry.parameters, entry.result.specs))
+        report.harvested += 1
+
+    if spec_names is None:
+        spec_names = ()
+        parameters = np.zeros((0, 0))
+        specs = np.zeros((0, 0))
+    else:
+        parameters = np.stack([row for row, _ in rows])
+        specs = np.array([[values[name] for name in spec_names] for _, values in rows])
+    return SurrogateDataset(
+        circuit=circuit if circuit is not None else "",
+        spec_names=spec_names,
+        parameters=parameters,
+        specs=specs,
+        report=report,
+    )

@@ -1,0 +1,98 @@
+"""The calibrated trust gate deciding when a surrogate answer is served.
+
+A learned tier is only admissible in front of an exact simulator if it knows
+when *not* to answer.  The gate's confidence signal is ensemble
+disagreement: the per-query standard deviation across the surrogate's
+independently-initialized members (in standardized spec units, worst spec
+taken).  Disagreement correlates with prediction error — members agree where
+the corpus constrains them and diverge off-distribution — so a single
+threshold on it separates "interpolating" from "extrapolating" queries.
+
+The threshold is *calibrated*, not hand-set: :func:`calibrate_threshold`
+picks the loosest disagreement cutoff whose accepted validation queries keep
+their error quantile below a tolerance.  A cold or hopeless fit yields no
+admissible cutoff, and an uncalibrated gate rejects every query — the tier
+then degrades to the pure exact path, never to silently wrong answers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+def calibrate_threshold(
+    disagreement: np.ndarray,
+    errors: np.ndarray,
+    tolerance: float,
+    quantile: float = 0.9,
+) -> Optional[float]:
+    """Loosest disagreement cutoff keeping accepted-set error in tolerance.
+
+    Sorts the validation queries by disagreement and finds the largest
+    prefix whose ``quantile``-quantile error is at most ``tolerance``; the
+    returned threshold is that prefix's worst disagreement.  Returns ``None``
+    when even the single most-confident query misses the tolerance (the gate
+    then rejects everything).
+    """
+    disagreement = np.asarray(disagreement, dtype=np.float64).ravel()
+    errors = np.asarray(errors, dtype=np.float64).ravel()
+    if disagreement.size == 0 or disagreement.size != errors.size:
+        return None
+    if tolerance <= 0.0 or not 0.0 < quantile <= 1.0:
+        raise ValueError("tolerance must be positive and quantile in (0, 1]")
+    order = np.argsort(disagreement, kind="stable")
+    ordered_errors = errors[order]
+    threshold: Optional[float] = None
+    # Validation sets are small (a fraction of the corpus), so the O(n^2
+    # log n) exact running quantile is cheaper than being clever.  A NaN
+    # error poisons its prefix quantile into NaN, which never passes the
+    # tolerance test — exactly the conservative behaviour wanted.
+    for count in range(1, order.size + 1):
+        if float(np.quantile(ordered_errors[:count], quantile)) <= tolerance:
+            threshold = float(disagreement[order[count - 1]])
+    return threshold
+
+
+@dataclass
+class TrustGate:
+    """Accept/reject surrogate answers on calibrated ensemble disagreement.
+
+    ``threshold`` is ``None`` until calibration succeeds — an uncalibrated
+    gate rejects everything, which makes the cold-corpus tier exactly the
+    no-surrogate path.  ``min_train_points`` additionally refuses models
+    trained on corpora too small to trust their own validation estimate.
+    """
+
+    threshold: Optional[float] = None
+    min_train_points: int = 32
+    tolerance: float = 0.1
+    quantile: float = 0.9
+
+    def __post_init__(self) -> None:
+        if self.min_train_points < 1:
+            raise ValueError("min_train_points must be >= 1")
+        if self.tolerance <= 0.0:
+            raise ValueError("tolerance must be positive")
+        if not 0.0 < self.quantile <= 1.0:
+            raise ValueError("quantile must be in (0, 1]")
+
+    def ready(self, num_train_points: int) -> bool:
+        """Whether the gate can accept anything at all."""
+        return self.threshold is not None and num_train_points >= self.min_train_points
+
+    def accept(self, disagreement: np.ndarray, num_train_points: int) -> np.ndarray:
+        """Boolean accept mask for a batch of disagreement values."""
+        disagreement = np.asarray(disagreement, dtype=np.float64)
+        if not self.ready(num_train_points):
+            return np.zeros(disagreement.shape, dtype=bool)
+        return disagreement <= self.threshold
+
+    def calibrate(self, disagreement: np.ndarray, errors: np.ndarray) -> Optional[float]:
+        """Set (and return) the threshold from validation evidence."""
+        self.threshold = calibrate_threshold(
+            disagreement, errors, tolerance=self.tolerance, quantile=self.quantile
+        )
+        return self.threshold

@@ -1,0 +1,227 @@
+"""The per-topology learned spec predictor (ensemble MLP + disagreement).
+
+One :class:`SpecSurrogate` maps a circuit's full device-parameter vector to
+its specification vector, reusing the :mod:`repro.nn` dense stack: each
+ensemble member is a small :class:`~repro.nn.layers.MLP` trained on the
+harvested simulation corpus, and prediction runs through the grad-free
+pure-numpy ``forward_array`` path (the same fast path deployment inference
+uses), so a surrogate answer costs microseconds against the simulator's
+milliseconds.
+
+The ensemble is the uncertainty estimate: members share the data but not
+their initialization, so they agree only where the corpus constrains the
+fit.  ``predict`` returns the member-mean specs plus the per-query
+*disagreement* (worst-spec standard deviation across members, in
+standardized output units) that the :class:`~repro.surrogate.gate.TrustGate`
+thresholds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.nn.layers import MLP
+from repro.surrogate.gate import TrustGate
+
+#: Guard against zero-variance features/targets (constant columns in small
+#: corpora): standardization divides by at least this.
+MIN_STD = 1e-12
+
+
+@dataclass
+class SurrogateConfig:
+    """Hyper-parameters of one surrogate model (JSON-serializable)."""
+
+    hidden: Tuple[int, ...] = (64, 64)
+    ensemble_size: int = 3
+    epochs: int = 300
+    learning_rate: float = 1e-2
+    weight_decay: float = 0.0
+    validation_fraction: float = 0.2
+    min_train_points: int = 32
+    trust_tolerance: float = 0.1
+    trust_quantile: float = 0.9
+
+    def __post_init__(self) -> None:
+        self.hidden = tuple(int(width) for width in self.hidden)
+        if not self.hidden or any(width <= 0 for width in self.hidden):
+            raise ValueError("hidden must be a non-empty tuple of positive widths")
+        if self.ensemble_size < 2:
+            raise ValueError("ensemble_size must be >= 2 (disagreement needs members)")
+        if self.epochs < 1:
+            raise ValueError("epochs must be >= 1")
+        if not 0.0 < self.validation_fraction < 1.0:
+            raise ValueError("validation_fraction must be in (0, 1)")
+        if self.min_train_points < 2:
+            raise ValueError("min_train_points must be >= 2")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "hidden": list(self.hidden),
+            "ensemble_size": self.ensemble_size,
+            "epochs": self.epochs,
+            "learning_rate": self.learning_rate,
+            "weight_decay": self.weight_decay,
+            "validation_fraction": self.validation_fraction,
+            "min_train_points": self.min_train_points,
+            "trust_tolerance": self.trust_tolerance,
+            "trust_quantile": self.trust_quantile,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SurrogateConfig":
+        kwargs = dict(data)
+        if "hidden" in kwargs:
+            kwargs["hidden"] = tuple(kwargs["hidden"])  # type: ignore[arg-type]
+        return cls(**kwargs)  # type: ignore[arg-type]
+
+
+class SpecSurrogate:
+    """Ensemble spec predictor for one circuit topology.
+
+    Freshly constructed surrogates are *untrained*: ``predict`` works (the
+    members are initialized) but ``is_trained`` is False and the gate
+    rejects every query, so an attached tier behaves exactly like the plain
+    exact path until :func:`~repro.surrogate.trainer.train_surrogate` has
+    fit and calibrated the model on a corpus.
+    """
+
+    def __init__(
+        self,
+        circuit: str,
+        spec_names: Sequence[str],
+        num_inputs: int,
+        config: Optional[SurrogateConfig] = None,
+        seed: int = 0,
+    ) -> None:
+        if num_inputs <= 0:
+            raise ValueError("num_inputs must be positive")
+        if not spec_names:
+            raise ValueError("spec_names must be non-empty")
+        self.circuit = str(circuit)
+        self.spec_names: Tuple[str, ...] = tuple(str(name) for name in spec_names)
+        self.num_inputs = int(num_inputs)
+        self.config = config or SurrogateConfig()
+        self.seed = int(seed)
+        self.gate = TrustGate(
+            min_train_points=self.config.min_train_points,
+            tolerance=self.config.trust_tolerance,
+            quantile=self.config.trust_quantile,
+        )
+        # Identity standardization until fit sets corpus statistics.
+        self.input_mean = np.zeros(self.num_inputs)
+        self.input_std = np.ones(self.num_inputs)
+        self.output_mean = np.zeros(len(self.spec_names))
+        self.output_std = np.ones(len(self.spec_names))
+        self.num_train_points = 0
+        sizes = [self.num_inputs, *self.config.hidden, len(self.spec_names)]
+        # Independent member initializations are the entire uncertainty
+        # mechanism: one deterministic stream per member index.
+        self.members: List[MLP] = [
+            MLP(sizes, np.random.default_rng(np.random.SeedSequence([self.seed, index])))
+            for index in range(self.config.ensemble_size)
+        ]
+
+    # ------------------------------------------------------------------
+    @property
+    def num_specs(self) -> int:
+        return len(self.spec_names)
+
+    @property
+    def is_trained(self) -> bool:
+        """Whether fit statistics exist (not whether the gate accepts)."""
+        return self.num_train_points > 0
+
+    def set_normalization(
+        self,
+        input_mean: np.ndarray,
+        input_std: np.ndarray,
+        output_mean: np.ndarray,
+        output_std: np.ndarray,
+    ) -> None:
+        """Install corpus standardization statistics (std floored at MIN_STD)."""
+        self.input_mean = np.asarray(input_mean, dtype=np.float64).reshape(self.num_inputs)
+        self.input_std = np.maximum(
+            np.asarray(input_std, dtype=np.float64).reshape(self.num_inputs), MIN_STD
+        )
+        self.output_mean = np.asarray(output_mean, dtype=np.float64).reshape(self.num_specs)
+        self.output_std = np.maximum(
+            np.asarray(output_std, dtype=np.float64).reshape(self.num_specs), MIN_STD
+        )
+
+    # ------------------------------------------------------------------
+    # Prediction (pure numpy, grad-free)
+    # ------------------------------------------------------------------
+    def standardize_inputs(self, parameters: np.ndarray) -> np.ndarray:
+        parameters = np.asarray(parameters, dtype=np.float64)
+        squeeze = parameters.ndim == 1
+        if squeeze:
+            parameters = parameters[None, :]
+        if parameters.ndim != 2 or parameters.shape[1] != self.num_inputs:
+            raise ValueError(
+                f"expected (N, {self.num_inputs}) parameter rows, got shape {parameters.shape}"
+            )
+        return (parameters - self.input_mean) / self.input_std
+
+    def predict_standardized(self, parameters: np.ndarray) -> np.ndarray:
+        """Per-member standardized predictions, shape ``(K, N, S)``."""
+        z = self.standardize_inputs(parameters)
+        return np.stack([member.forward_array(z) for member in self.members])
+
+    def predict(self, parameters: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Mean spec predictions ``(N, S)`` plus disagreement ``(N,)``.
+
+        Disagreement is the worst-spec ensemble standard deviation in
+        standardized units — the scale the trust gate was calibrated on.
+        """
+        stacked = self.predict_standardized(parameters)
+        mean = stacked.mean(axis=0)
+        disagreement = stacked.std(axis=0).max(axis=-1)
+        return mean * self.output_std + self.output_mean, disagreement
+
+    def predict_one(self, parameters: np.ndarray) -> Tuple[Dict[str, float], float]:
+        """Single-query prediction as a spec dict plus its disagreement."""
+        specs, disagreement = self.predict(np.asarray(parameters, dtype=np.float64)[None, :])
+        return (
+            {name: float(value) for name, value in zip(self.spec_names, specs[0])},
+            float(disagreement[0]),
+        )
+
+    def trusted(self, disagreement: np.ndarray) -> np.ndarray:
+        """Gate decision for a batch of disagreement values."""
+        return self.gate.accept(disagreement, self.num_train_points)
+
+    # ------------------------------------------------------------------
+    # State (persistence support; the npz container lives in trainer.py)
+    # ------------------------------------------------------------------
+    def state_arrays(self) -> Dict[str, np.ndarray]:
+        """Every learned array keyed by a flat dotted name."""
+        arrays: Dict[str, np.ndarray] = {
+            "norm.input_mean": self.input_mean,
+            "norm.input_std": self.input_std,
+            "norm.output_mean": self.output_mean,
+            "norm.output_std": self.output_std,
+        }
+        for index, member in enumerate(self.members):
+            for name, value in member.state_dict().items():
+                arrays[f"member.{index}.{name}"] = value
+        return arrays
+
+    def load_state_arrays(self, arrays: Dict[str, np.ndarray]) -> None:
+        self.set_normalization(
+            arrays["norm.input_mean"],
+            arrays["norm.input_std"],
+            arrays["norm.output_mean"],
+            arrays["norm.output_std"],
+        )
+        for index, member in enumerate(self.members):
+            prefix = f"member.{index}."
+            state = {
+                name[len(prefix):]: value
+                for name, value in arrays.items()
+                if name.startswith(prefix)
+            }
+            member.load_state_dict(state, strict=True)

@@ -1,0 +1,164 @@
+"""Surrogate pre-screening for population optimizers (rank cheap, verify exact).
+
+The GA/BO/RS baselines burn their simulation budget scoring whole populations
+per generation, most of which are nowhere near the optimum.
+:class:`SurrogatePrescreener` cuts that cost without giving the surrogate any
+authority over the answer:
+
+1. the surrogate predicts specs for *every* candidate in the population and
+   ranks them by the exact objective formula applied to the predictions;
+2. only the top fraction is verified with the exact simulator — those
+   verified values are what the optimizer sees for its elites;
+3. the **final answer is always exact**: the reported best sizing, objective
+   and specs come from the best exactly-verified candidate
+   (:meth:`repro.baselines.base.SizingOptimizer._build_result` consults
+   :meth:`~repro.baselines.base.SizingProblem.best_exact_record`), never from
+   a surrogate estimate.
+
+Because exact verification is structural, pre-screening does not need the
+:class:`~repro.surrogate.gate.TrustGate` that guards the simulation *tier*
+(where surrogate answers replace exact ones) — a trained model is enough.
+An inactive prescreener — untrained surrogate, or a population too small to
+be worth splitting — bypasses entirely: the run is then bitwise identical
+to an unscreened one.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Mapping, Union
+
+import numpy as np
+
+from repro.surrogate.model import SpecSurrogate
+from repro.surrogate.trainer import load_surrogate
+
+#: Default fraction of each population that gets exact verification.
+DEFAULT_TOP_FRACTION = 0.25
+
+#: Default floor on exact verifications per screened population.
+DEFAULT_MIN_EXACT = 4
+
+
+@dataclass
+class PrescreenStats:
+    """Counters of one pre-screening run (JSON-serializable)."""
+
+    #: Populations actually screened (surrogate-ranked, top-k verified).
+    populations: int = 0
+    #: Candidates in screened populations.
+    candidates: int = 0
+    #: Candidates verified with the exact simulator.
+    exact_verified: int = 0
+    #: Candidates whose optimizer-visible value is a surrogate estimate.
+    surrogate_ranked: int = 0
+    #: Candidates passed through unscreened (untrained model, tiny population,
+    #: or a topology the surrogate was not trained for).
+    bypassed: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "populations": self.populations,
+            "candidates": self.candidates,
+            "exact_verified": self.exact_verified,
+            "surrogate_ranked": self.surrogate_ranked,
+            "bypassed": self.bypassed,
+        }
+
+
+class SurrogatePrescreener:
+    """Ranks candidate populations with a trusted surrogate, verifies top-k.
+
+    Parameters
+    ----------
+    surrogate:
+        A trained :class:`SpecSurrogate` or a path to a checkpoint saved by
+        :func:`~repro.surrogate.trainer.save_surrogate`.
+    top_fraction:
+        Fraction of each population to verify exactly (rounded up).
+    min_exact:
+        Floor on exact verifications per population, so small populations
+        are never dominated by unverified estimates.
+    """
+
+    def __init__(
+        self,
+        surrogate: Union[SpecSurrogate, str, os.PathLike],
+        top_fraction: float = DEFAULT_TOP_FRACTION,
+        min_exact: int = DEFAULT_MIN_EXACT,
+    ) -> None:
+        if not isinstance(surrogate, SpecSurrogate):
+            surrogate = load_surrogate(surrogate)
+        if not 0.0 < top_fraction <= 1.0:
+            raise ValueError("top_fraction must be in (0, 1]")
+        if min_exact < 1:
+            raise ValueError("min_exact must be >= 1")
+        self.surrogate = surrogate
+        self.top_fraction = float(top_fraction)
+        self.min_exact = int(min_exact)
+        self.stats = PrescreenStats()
+
+    # ------------------------------------------------------------------
+    @property
+    def active(self) -> bool:
+        """Whether the surrogate is trained enough to rank populations.
+
+        Pre-screening only *orders* candidates — every value the optimizer
+        keeps is exactly verified — so unlike the simulation tier it does not
+        require a calibrated trust gate, just a fitted model.  A cold corpus
+        (untrained model) makes this False, and every population then takes
+        the pure exact path.
+        """
+        return self.surrogate.is_trained
+
+    def matches(self, circuit: str, num_inputs: int) -> bool:
+        """Whether the surrogate was trained for this topology and layout."""
+        return self.surrogate.circuit == circuit and self.surrogate.num_inputs == num_inputs
+
+    def num_exact(self, population_size: int) -> int:
+        """How many candidates of a population get exact verification."""
+        return min(
+            int(population_size),
+            max(self.min_exact, int(math.ceil(self.top_fraction * population_size))),
+        )
+
+    def predicted_objectives(
+        self,
+        full_parameters: np.ndarray,
+        score_fn: Callable[[Mapping[str, float]], float],
+    ) -> np.ndarray:
+        """Surrogate-estimated objective per candidate (no simulator calls).
+
+        ``full_parameters`` is the ``(P, D)`` batch of *device* parameter
+        vectors (the corpus layout); ``score_fn`` is the problem's exact
+        objective formula, applied to the predicted spec dicts.
+        """
+        specs, _ = self.surrogate.predict(full_parameters)
+        return np.array(
+            [score_fn(dict(zip(self.surrogate.spec_names, row))) for row in specs],
+            dtype=np.float64,
+        )
+
+    def top_indices(self, predicted: np.ndarray, population_size: int) -> np.ndarray:
+        """Indices to verify exactly, in ascending index order.
+
+        The ranking argsort is stable, so ties keep first-row-wins semantics
+        — the same tie-break an unscreened argmax over exact values uses.
+        """
+        k = self.num_exact(population_size)
+        top = np.argsort(-np.asarray(predicted, dtype=np.float64), kind="stable")[:k]
+        return np.sort(top)
+
+    def describe(self) -> Dict[str, Any]:
+        """Run-metadata digest (what optimizer adapters record)."""
+        return {
+            "circuit": self.surrogate.circuit,
+            "top_fraction": self.top_fraction,
+            "min_exact": self.min_exact,
+            "active": self.active,
+            "threshold": self.surrogate.gate.threshold,
+            "num_train_points": self.surrogate.num_train_points,
+            "stats": self.stats.to_dict(),
+        }

@@ -1,0 +1,282 @@
+"""Fitting, calibrating, and persisting :class:`SpecSurrogate` models.
+
+:func:`train_surrogate` turns a harvested corpus into a ready model in one
+deterministic call: split, standardize on the training rows, fit each
+ensemble member full-batch with Adam on MSE, then calibrate the trust gate
+on the held-out rows (worst-spec absolute error in standardized units — the
+same scale the gate thresholds disagreement on).
+
+:func:`save_surrogate` / :func:`load_surrogate` mirror the policy
+checkpoint container (:mod:`repro.agents.checkpoint`): a single ``.npz``
+with one JSON metadata entry and one array per learned tensor, written
+atomically with no timestamps so identical models produce identical bytes
+and a model trained in one process serves bitwise-identically in the next.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import warnings
+import zipfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.nn.functional import mse_loss
+from repro.nn.optim import Adam
+from repro.nn.tensor import Tensor
+from repro.surrogate.dataset import SurrogateDataset
+from repro.surrogate.model import SpecSurrogate, SurrogateConfig
+
+#: Identifies a repro surrogate checkpoint among arbitrary ``.npz`` files.
+SURROGATE_FORMAT = "repro.surrogate-checkpoint"
+
+#: Bump when the on-disk layout changes incompatibly.
+SURROGATE_VERSION = 1
+
+_METADATA_KEY = "__surrogate__"
+_ARRAY_PREFIX = "array."
+
+
+class SurrogateError(RuntimeError):
+    """A surrogate checkpoint is missing, corrupt, or incompatible."""
+
+
+def _repro_version() -> str:
+    from repro import __version__
+
+    return __version__
+
+
+@dataclass
+class TrainReport:
+    """What one :func:`train_surrogate` call did (JSON-serializable)."""
+
+    circuit: str = ""
+    num_points: int = 0
+    num_train: int = 0
+    num_val: int = 0
+    epochs: int = 0
+    final_train_loss: float = float("nan")
+    #: Held-out worst-spec absolute error (standardized units), mean / max.
+    val_error_mean: float = float("nan")
+    val_error_max: float = float("nan")
+    #: Calibrated gate threshold (None: the gate rejects everything).
+    threshold: Optional[float] = None
+    #: Fraction of held-out queries the calibrated gate accepts.
+    val_accept_rate: float = 0.0
+    corpus: Dict[str, int] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "circuit": self.circuit,
+            "num_points": self.num_points,
+            "num_train": self.num_train,
+            "num_val": self.num_val,
+            "epochs": self.epochs,
+            "final_train_loss": self.final_train_loss,
+            "val_error_mean": self.val_error_mean,
+            "val_error_max": self.val_error_max,
+            "threshold": self.threshold,
+            "val_accept_rate": self.val_accept_rate,
+            "corpus": dict(self.corpus),
+        }
+
+
+def split_dataset(
+    dataset: SurrogateDataset, validation_fraction: float, seed: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Deterministic (train_indices, val_indices) permutation split."""
+    count = len(dataset)
+    if count < 2:
+        raise ValueError(f"need at least 2 corpus points to train, got {count}")
+    order = np.random.default_rng(np.random.SeedSequence([seed, count])).permutation(count)
+    num_val = min(count - 1, max(1, int(round(count * validation_fraction))))
+    return order[num_val:], order[:num_val]
+
+
+def train_surrogate(
+    dataset: SurrogateDataset,
+    config: Optional[SurrogateConfig] = None,
+    seed: int = 0,
+) -> Tuple[SpecSurrogate, TrainReport]:
+    """Fit and gate-calibrate a fresh surrogate on a harvested corpus.
+
+    Deterministic: the same dataset, config and seed produce bitwise
+    identical models (the split, every member initialization and the Adam
+    trajectory are all driven by ``seed``).
+    """
+    config = config or SurrogateConfig()
+    surrogate = SpecSurrogate(
+        circuit=dataset.circuit,
+        spec_names=dataset.spec_names,
+        num_inputs=dataset.num_inputs,
+        config=config,
+        seed=seed,
+    )
+    train_idx, val_idx = split_dataset(dataset, config.validation_fraction, seed)
+    train_x, train_y = dataset.parameters[train_idx], dataset.specs[train_idx]
+    val_x, val_y = dataset.parameters[val_idx], dataset.specs[val_idx]
+
+    surrogate.set_normalization(
+        train_x.mean(axis=0), train_x.std(axis=0), train_y.mean(axis=0), train_y.std(axis=0)
+    )
+    train_z = surrogate.standardize_inputs(train_x)
+    target_z = Tensor((train_y - surrogate.output_mean) / surrogate.output_std)
+
+    final_loss = float("nan")
+    for member in surrogate.members:
+        optimizer = Adam(
+            member.parameters(),
+            lr=config.learning_rate,
+            weight_decay=config.weight_decay,
+        )
+        inputs = Tensor(train_z)
+        for _ in range(config.epochs):
+            optimizer.zero_grad()
+            loss = mse_loss(member(inputs), target_z)
+            loss.backward()
+            optimizer.step()
+            final_loss = float(loss.data)
+    surrogate.num_train_points = int(train_idx.size)
+
+    # Calibrate on held-out rows: disagreement (the gate's input) against the
+    # worst-spec absolute error of the mean prediction, both standardized.
+    stacked = surrogate.predict_standardized(val_x)
+    val_target_z = (val_y - surrogate.output_mean) / surrogate.output_std
+    errors = np.abs(stacked.mean(axis=0) - val_target_z).max(axis=1)
+    disagreement = stacked.std(axis=0).max(axis=-1)
+    threshold = surrogate.gate.calibrate(disagreement, errors)
+    accepted = surrogate.trusted(disagreement)
+
+    report = TrainReport(
+        circuit=dataset.circuit,
+        num_points=len(dataset),
+        num_train=int(train_idx.size),
+        num_val=int(val_idx.size),
+        epochs=config.epochs,
+        final_train_loss=final_loss,
+        val_error_mean=float(errors.mean()),
+        val_error_max=float(errors.max()),
+        threshold=threshold,
+        val_accept_rate=float(accepted.mean()) if accepted.size else 0.0,
+        corpus=dataset.report.to_dict(),
+    )
+    return surrogate, report
+
+
+# ----------------------------------------------------------------------
+# Persistence
+# ----------------------------------------------------------------------
+def save_surrogate(
+    path: Union[str, Path],
+    surrogate: SpecSurrogate,
+    extra: Optional[Mapping[str, Any]] = None,
+) -> Path:
+    """Write a surrogate (weights + gate + rebuild metadata) to ``path``.
+
+    The file content is a pure function of the model — no timestamps — and
+    the write is atomic (temp file + ``os.replace``), matching the policy
+    checkpoint contract.
+    """
+    path = Path(path)
+    metadata: Dict[str, Any] = {
+        "format": SURROGATE_FORMAT,
+        "version": SURROGATE_VERSION,
+        "repro_version": _repro_version(),
+        "circuit": surrogate.circuit,
+        "spec_names": list(surrogate.spec_names),
+        "num_inputs": surrogate.num_inputs,
+        "seed": surrogate.seed,
+        "config": surrogate.config.to_dict(),
+        "num_train_points": surrogate.num_train_points,
+        "threshold": surrogate.gate.threshold,
+        "extra": dict(extra) if extra else {},
+    }
+    arrays = {
+        f"{_ARRAY_PREFIX}{name}": value for name, value in surrogate.state_arrays().items()
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    scratch = path.with_name(path.name + f".tmp-{os.getpid()}")
+    try:
+        with open(scratch, "wb") as handle:
+            np.savez(
+                handle,
+                **{_METADATA_KEY: np.array(json.dumps(metadata, sort_keys=True))},
+                **arrays,
+            )
+        os.replace(scratch, path)
+    finally:
+        if scratch.exists():  # pragma: no cover - only on a failed write
+            scratch.unlink()
+    return path
+
+
+def load_surrogate(path: Union[str, Path]) -> SpecSurrogate:
+    """Rebuild a surrogate saved by :func:`save_surrogate`.
+
+    The restored model predicts bitwise-identically to the saved one and
+    carries its calibrated gate, so a tier built from a loaded checkpoint
+    makes exactly the accept/reject decisions of the training process.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise SurrogateError(f"surrogate file not found: {path}")
+    try:
+        archive = np.load(path, allow_pickle=False)
+    except (OSError, ValueError, zipfile.BadZipFile) as exc:
+        raise SurrogateError(f"{path} is not a readable surrogate archive: {exc}") from exc
+    try:
+        if _METADATA_KEY not in archive.files:
+            raise SurrogateError(
+                f"{path} is a .npz archive but not a repro surrogate checkpoint "
+                f"(missing its '{_METADATA_KEY}' metadata entry)"
+            )
+        try:
+            metadata = json.loads(str(archive[_METADATA_KEY][()]))
+        except (json.JSONDecodeError, KeyError, ValueError) as exc:
+            raise SurrogateError(f"{path} has a corrupt metadata entry: {exc}") from exc
+        if not isinstance(metadata, dict) or metadata.get("format") != SURROGATE_FORMAT:
+            raise SurrogateError(f"{path} metadata does not identify a '{SURROGATE_FORMAT}' file")
+        version = metadata.get("version")
+        if version != SURROGATE_VERSION:
+            raise SurrogateError(
+                f"{path} uses surrogate format version {version!r}; this repro "
+                f"release reads version {SURROGATE_VERSION}"
+            )
+        saved_with = metadata.get("repro_version")
+        if saved_with != _repro_version():
+            warnings.warn(
+                f"surrogate {path.name} was written by repro {saved_with}, "
+                f"loading with repro {_repro_version()}",
+                stacklevel=2,
+            )
+        arrays = {
+            name[len(_ARRAY_PREFIX):]: archive[name]
+            for name in archive.files
+            if name.startswith(_ARRAY_PREFIX)
+        }
+    except (OSError, ValueError, zipfile.BadZipFile) as exc:
+        raise SurrogateError(f"{path} has a corrupt array archive: {exc}") from exc
+    finally:
+        archive.close()
+
+    try:
+        config = SurrogateConfig.from_dict(metadata["config"])
+        surrogate = SpecSurrogate(
+            circuit=metadata["circuit"],
+            spec_names=metadata["spec_names"],
+            num_inputs=int(metadata["num_inputs"]),
+            config=config,
+            seed=int(metadata.get("seed", 0)),
+        )
+        surrogate.load_state_arrays(arrays)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SurrogateError(f"{path} does not describe a loadable surrogate: {exc}") from exc
+    surrogate.num_train_points = int(metadata.get("num_train_points", 0))
+    threshold = metadata.get("threshold")
+    surrogate.gate.threshold = None if threshold is None else float(threshold)
+    return surrogate

@@ -36,6 +36,7 @@ EXAMPLE_ARGS = {
     ],
     "sweep_orchestration.py": ["--budget", "6", "--workers", "2"],
     "serve_policy.py": ["--episodes", "4", "--targets", "3", "--batch-size", "2"],
+    "surrogate_prescreen.py": ["--budget", "60", "--epochs", "120", "--tier-points", "120"],
 }
 
 

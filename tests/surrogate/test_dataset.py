@@ -1,0 +1,104 @@
+"""Corpus harvesting: shared decoder, skip-and-count policy, layout checks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.parallel.disk_cache import entry_path, write_disk_entry
+from repro.simulation.base import SimulationResult
+from repro.surrogate import corpus_circuits, harvest_corpus
+
+
+def _write(directory, index, circuit="lna", parameters=(1.0, 2.0), valid=True,
+           specs=None):
+    result = SimulationResult(
+        specs=dict(specs or {"gain": 10.0 + index, "power": 0.5 * index}),
+        details={},
+        valid=valid,
+    )
+    write_disk_entry(
+        entry_path(directory, f"key-{circuit}-{index}".encode()),
+        result,
+        circuit=circuit,
+        parameters=np.array(parameters, dtype=np.float64),
+    )
+
+
+class TestHarvest:
+    def test_harvests_rows_with_sorted_spec_columns(self, tmp_path):
+        for index in range(4):
+            _write(tmp_path, index, specs={"power": 0.5 * index, "gain": 10.0 + index})
+        dataset = harvest_corpus(tmp_path)
+        assert len(dataset) == 4
+        assert dataset.circuit == "lna"
+        assert dataset.spec_names == ("gain", "power")  # sorted, writer-order-proof
+        assert dataset.parameters.shape == (4, 2)
+        # Whatever the row order, each row keeps its own (gain, power) pair.
+        for index in range(len(dataset)):
+            row = dataset.spec_dict(index)
+            assert row["power"] == pytest.approx(0.5 * (row["gain"] - 10.0), abs=1e-12)
+
+    def test_skips_and_counts_every_failure_mode(self, tmp_path):
+        for index in range(3):
+            _write(tmp_path, index)
+        # Corrupt: a torn/hand-edited file.
+        (tmp_path / "zz-corrupt.json").write_text("{not json", encoding="utf-8")
+        # Legacy: a pre-corpus entry with no circuit/parameters fields.
+        write_disk_entry(
+            entry_path(tmp_path, b"legacy"),
+            SimulationResult(specs={"gain": 1.0}, details={}, valid=True),
+        )
+        # Foreign: another topology sharing the directory.
+        _write(tmp_path, 0, circuit="opamp")
+        # Invalid: a degenerate operating point.
+        _write(tmp_path, 9, valid=False)
+        dataset = harvest_corpus(tmp_path, circuit="lna")
+        assert len(dataset) == 3
+        assert dataset.report.to_dict() == {
+            "harvested": 3, "corrupt": 1, "legacy": 1, "foreign": 1, "invalid": 1,
+        }
+
+    def test_include_invalid_harvests_degenerate_points(self, tmp_path):
+        _write(tmp_path, 0)
+        _write(tmp_path, 1, valid=False)
+        assert len(harvest_corpus(tmp_path, include_invalid=True)) == 2
+        assert len(harvest_corpus(tmp_path)) == 1
+
+    def test_mixed_corpus_requires_an_explicit_circuit(self, tmp_path):
+        _write(tmp_path, 0, circuit="lna")
+        _write(tmp_path, 0, circuit="opamp")
+        with pytest.raises(ValueError, match="lna.*opamp|opamp.*lna"):
+            harvest_corpus(tmp_path)
+        assert harvest_corpus(tmp_path, circuit="opamp").circuit == "opamp"
+
+    def test_stale_layouts_count_as_foreign(self, tmp_path):
+        # Same circuit name, but an entry from an older benchmark revision
+        # with a different spec set and one with a different parameter count.
+        _write(tmp_path, 0)
+        _write(tmp_path, 1, specs={"gain": 1.0})
+        _write(tmp_path, 2, parameters=(1.0, 2.0, 3.0))
+        dataset = harvest_corpus(tmp_path)
+        assert len(dataset) == 1
+        assert dataset.report.foreign == 2
+
+    def test_empty_directory_yields_empty_dataset(self, tmp_path):
+        dataset = harvest_corpus(tmp_path)
+        assert len(dataset) == 0
+        assert dataset.spec_names == ()
+        assert dataset.report.to_dict() == {
+            "harvested": 0, "corrupt": 0, "legacy": 0, "foreign": 0, "invalid": 0,
+        }
+
+
+class TestCorpusCircuits:
+    def test_counts_trainable_entries_per_circuit(self, tmp_path):
+        for index in range(2):
+            _write(tmp_path, index, circuit="lna")
+        _write(tmp_path, 0, circuit="opamp")
+        (tmp_path / "zz-corrupt.json").write_text("", encoding="utf-8")
+        write_disk_entry(
+            entry_path(tmp_path, b"legacy"),
+            SimulationResult(specs={"gain": 1.0}, details={}, valid=True),
+        )
+        assert corpus_circuits(tmp_path) == {"lna": 2, "opamp": 1}

@@ -1,0 +1,95 @@
+"""TrustGate calibration: loosest-safe-threshold semantics and cold behavior."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.surrogate import TrustGate, calibrate_threshold
+
+
+class TestCalibrateThreshold:
+    def test_picks_loosest_prefix_within_tolerance(self):
+        # Error grows with disagreement: the first three queries are within
+        # tolerance, the last two are not.
+        disagreement = np.array([0.01, 0.02, 0.03, 0.5, 0.9])
+        errors = np.array([0.01, 0.02, 0.05, 0.8, 1.2])
+        threshold = calibrate_threshold(disagreement, errors, tolerance=0.1, quantile=1.0)
+        assert threshold == pytest.approx(0.03)
+
+    def test_unsorted_input_is_ranked_by_disagreement(self):
+        disagreement = np.array([0.9, 0.01, 0.5, 0.03, 0.02])
+        errors = np.array([1.2, 0.01, 0.8, 0.05, 0.02])
+        threshold = calibrate_threshold(disagreement, errors, tolerance=0.1, quantile=1.0)
+        assert threshold == pytest.approx(0.03)
+
+    def test_quantile_ignores_a_small_error_tail(self):
+        # One outlier error among many good queries: the 0.9-quantile lets the
+        # calibration keep the whole prefix, a max (quantile=1.0) would not.
+        disagreement = np.linspace(0.01, 0.1, 20)
+        errors = np.full(20, 0.01)
+        errors[10] = 5.0
+        assert calibrate_threshold(disagreement, errors, tolerance=0.1, quantile=1.0) \
+            == pytest.approx(disagreement[9])
+        assert calibrate_threshold(disagreement, errors, tolerance=0.1, quantile=0.9) \
+            == pytest.approx(disagreement[-1])
+
+    def test_hopeless_fit_returns_none(self):
+        disagreement = np.array([0.01, 0.02])
+        errors = np.array([3.0, 4.0])  # even the most confident query is bad
+        assert calibrate_threshold(disagreement, errors, tolerance=0.1) is None
+
+    def test_empty_or_mismatched_inputs_return_none(self):
+        assert calibrate_threshold(np.array([]), np.array([]), tolerance=0.1) is None
+        assert calibrate_threshold(np.array([0.1]), np.array([0.1, 0.2]), tolerance=0.1) is None
+
+    def test_nan_error_poisons_its_prefix(self):
+        # A NaN error in the most-confident query must not be silently
+        # accepted — the conservative outcome is no threshold at all.
+        disagreement = np.array([0.01, 0.02, 0.03])
+        errors = np.array([np.nan, 0.01, 0.01])
+        assert calibrate_threshold(disagreement, errors, tolerance=0.1, quantile=1.0) is None
+
+    @pytest.mark.parametrize(
+        "tolerance,quantile", [(0.0, 0.9), (-1.0, 0.9), (0.1, 0.0), (0.1, 1.5)]
+    )
+    def test_invalid_knobs_raise(self, tolerance, quantile):
+        with pytest.raises(ValueError):
+            calibrate_threshold(
+                np.array([0.1]), np.array([0.1]), tolerance=tolerance, quantile=quantile
+            )
+
+
+class TestTrustGate:
+    def test_uncalibrated_gate_rejects_everything(self):
+        gate = TrustGate()
+        assert not gate.ready(10_000)
+        mask = gate.accept(np.array([0.0, 1e-9, 1.0]), num_train_points=10_000)
+        assert mask.dtype == bool and not mask.any()
+
+    def test_small_corpus_rejects_even_with_threshold(self):
+        gate = TrustGate(threshold=0.5, min_train_points=32)
+        assert not gate.ready(31)
+        assert not gate.accept(np.zeros(3), num_train_points=31).any()
+        assert gate.ready(32)
+
+    def test_accept_mask_thresholds_disagreement(self):
+        gate = TrustGate(threshold=0.5, min_train_points=1)
+        mask = gate.accept(np.array([0.1, 0.5, 0.50001]), num_train_points=100)
+        assert mask.tolist() == [True, True, False]
+
+    def test_calibrate_installs_the_threshold(self):
+        gate = TrustGate(tolerance=0.1, quantile=1.0)
+        value = gate.calibrate(np.array([0.01, 0.9]), np.array([0.05, 2.0]))
+        assert value == pytest.approx(0.01)
+        assert gate.threshold == pytest.approx(0.01)
+        value = gate.calibrate(np.array([0.01]), np.array([2.0]))
+        assert value is None and gate.threshold is None
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"min_train_points": 0}, {"tolerance": 0.0}, {"quantile": 0.0}, {"quantile": 1.1}],
+    )
+    def test_invalid_construction_raises(self, kwargs):
+        with pytest.raises(ValueError):
+            TrustGate(**kwargs)

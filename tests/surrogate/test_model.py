@@ -1,0 +1,99 @@
+"""SpecSurrogate: determinism, prediction shapes, untrained behavior, state."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.surrogate import SpecSurrogate, SurrogateConfig
+
+
+def _surrogate(seed=0, **config_kwargs):
+    config = SurrogateConfig(hidden=(8, 8), ensemble_size=2, **config_kwargs)
+    return SpecSurrogate("lna", ["gain", "power"], num_inputs=3, config=config, seed=seed)
+
+
+class TestConstruction:
+    def test_validates_shape_arguments(self):
+        with pytest.raises(ValueError, match="num_inputs"):
+            SpecSurrogate("lna", ["gain"], num_inputs=0)
+        with pytest.raises(ValueError, match="spec_names"):
+            SpecSurrogate("lna", [], num_inputs=3)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="ensemble_size"):
+            SurrogateConfig(ensemble_size=1)
+        with pytest.raises(ValueError, match="hidden"):
+            SurrogateConfig(hidden=())
+        with pytest.raises(ValueError, match="validation_fraction"):
+            SurrogateConfig(validation_fraction=1.0)
+        with pytest.raises(ValueError, match="epochs"):
+            SurrogateConfig(epochs=0)
+
+    def test_config_dict_round_trip(self):
+        config = SurrogateConfig(hidden=(16, 8), ensemble_size=4, trust_tolerance=0.5)
+        restored = SurrogateConfig.from_dict(config.to_dict())
+        assert restored == config
+        assert isinstance(restored.hidden, tuple)
+
+    def test_members_are_independently_initialized(self):
+        surrogate = _surrogate()
+        states = [member.state_dict() for member in surrogate.members]
+        assert any(
+            not np.array_equal(states[0][name], states[1][name]) for name in states[0]
+        )
+
+    def test_same_seed_is_bitwise_reproducible(self):
+        x = np.random.default_rng(3).normal(size=(5, 3))
+        a, _ = _surrogate(seed=7).predict(x)
+        b, _ = _surrogate(seed=7).predict(x)
+        c, _ = _surrogate(seed=8).predict(x)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+
+class TestPrediction:
+    def test_shapes_and_disagreement_scale(self):
+        surrogate = _surrogate()
+        x = np.random.default_rng(0).normal(size=(6, 3))
+        specs, disagreement = surrogate.predict(x)
+        assert specs.shape == (6, 2)
+        assert disagreement.shape == (6,)
+        assert (disagreement >= 0).all()
+        stacked = surrogate.predict_standardized(x)
+        assert stacked.shape == (2, 6, 2)  # (members, queries, specs)
+
+    def test_predict_one_returns_named_specs(self):
+        surrogate = _surrogate()
+        specs, disagreement = surrogate.predict_one(np.ones(3))
+        assert set(specs) == {"gain", "power"}
+        assert isinstance(disagreement, float)
+        batch, batch_disagreement = surrogate.predict(np.ones((1, 3)))
+        assert specs["gain"] == batch[0][0] and disagreement == batch_disagreement[0]
+
+    def test_rejects_wrong_input_width(self):
+        with pytest.raises(ValueError, match=r"\(N, 3\)"):
+            _surrogate().predict(np.ones((2, 4)))
+
+    def test_untrained_surrogate_trusts_nothing(self):
+        surrogate = _surrogate()
+        assert not surrogate.is_trained
+        assert not surrogate.trusted(np.zeros(4)).any()
+
+
+class TestState:
+    def test_state_arrays_round_trip_bitwise(self):
+        source = _surrogate(seed=1)
+        source.set_normalization(np.ones(3), np.full(3, 2.0), np.zeros(2), np.full(2, 3.0))
+        target = _surrogate(seed=99)  # different init: the load must overwrite
+        target.load_state_arrays(source.state_arrays())
+        x = np.random.default_rng(2).normal(size=(4, 3))
+        for a, b in zip(source.predict(x), target.predict(x)):
+            assert np.array_equal(a, b)
+
+    def test_normalization_floors_zero_stds(self):
+        surrogate = _surrogate()
+        surrogate.set_normalization(np.zeros(3), np.zeros(3), np.zeros(2), np.zeros(2))
+        assert (surrogate.input_std > 0).all() and (surrogate.output_std > 0).all()
+        specs, _ = surrogate.predict(np.ones(3))  # no division warnings / NaNs
+        assert np.isfinite(specs).all()

@@ -1,0 +1,155 @@
+"""Surrogate pre-screening: ranking mechanics and the always-exact guarantee."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.api.optimizers import resolve_prescreener
+from repro.surrogate import (
+    SpecSurrogate,
+    SurrogateConfig,
+    SurrogatePrescreener,
+    harvest_corpus,
+    save_surrogate,
+    train_surrogate,
+)
+
+BUDGET = 60
+SEED = 11
+
+
+@pytest.fixture(scope="module")
+def warm_setup(tmp_path_factory):
+    """An unscreened reference run plus a surrogate trained on its corpus."""
+    corpus = tmp_path_factory.mktemp("prescreen") / "corpus"
+    env = repro.make_env("opamp-p2s-v0", seed=0, surrogate_dir=corpus)
+    optimizer = repro.make_optimizer("random", budget=BUDGET, stop_when_met=False)
+    reference = optimizer.optimize(env, seed=SEED)
+    config = SurrogateConfig(
+        hidden=(32, 32), epochs=200, min_train_points=8, ensemble_size=2
+    )
+    surrogate, _ = train_surrogate(harvest_corpus(corpus), config=config, seed=0)
+    return reference, surrogate
+
+
+def _exact_specs(parameters):
+    env = repro.make_env("opamp-p2s-v0", seed=0)
+    netlist = env.benchmark.fresh_netlist()
+    env.benchmark.design_space.apply_to_netlist(netlist, parameters)
+    result = env.simulator.simulate(netlist)
+    return {name: float(value) for name, value in result.specs.items()}
+
+
+class TestMechanics:
+    def test_num_exact_floor_and_ceiling(self):
+        surrogate = SpecSurrogate("lna", ["gain"], num_inputs=2)
+        prescreener = SurrogatePrescreener(surrogate, top_fraction=0.25, min_exact=4)
+        assert prescreener.num_exact(100) == 25
+        assert prescreener.num_exact(10) == 4     # floor dominates
+        assert prescreener.num_exact(3) == 3      # never more than the population
+        assert prescreener.num_exact(13) == 4     # ceil(0.25 * 13) == 4
+
+    def test_top_indices_are_sorted_and_stable_on_ties(self):
+        surrogate = SpecSurrogate("lna", ["gain"], num_inputs=2)
+        prescreener = SurrogatePrescreener(surrogate, top_fraction=0.5, min_exact=1)
+        predicted = np.array([1.0, 3.0, 3.0, 0.0])
+        top = prescreener.top_indices(predicted, 4)
+        # Stable ranking keeps the first of the tied 3.0s; indices ascend.
+        assert top.tolist() == [1, 2]
+
+    def test_constructor_validation(self):
+        surrogate = SpecSurrogate("lna", ["gain"], num_inputs=2)
+        with pytest.raises(ValueError, match="top_fraction"):
+            SurrogatePrescreener(surrogate, top_fraction=0.0)
+        with pytest.raises(ValueError, match="min_exact"):
+            SurrogatePrescreener(surrogate, min_exact=0)
+
+    def test_untrained_surrogate_is_inactive(self):
+        prescreener = SurrogatePrescreener(SpecSurrogate("lna", ["gain"], num_inputs=2))
+        assert not prescreener.active
+        assert prescreener.matches("lna", 2)
+        assert not prescreener.matches("opamp", 2)
+        assert not prescreener.matches("lna", 3)
+
+
+class TestColdParity:
+    def test_inactive_prescreener_is_bitwise_transparent(self):
+        reference = repro.make_optimizer(
+            "random", budget=24, stop_when_met=False
+        ).optimize(repro.make_env("opamp-p2s-v0", seed=0), seed=3)
+        template = repro.make_env("opamp-p2s-v0", seed=0).benchmark.fresh_netlist()
+        cold = SurrogatePrescreener(
+            SpecSurrogate(
+                template.name, ["gain"], num_inputs=template.parameter_array().size
+            )
+        )
+        screened = repro.make_optimizer(
+            "random", budget=24, stop_when_met=False, prescreen=cold
+        ).optimize(repro.make_env("opamp-p2s-v0", seed=0), seed=3)
+        assert np.array_equal(screened.best_parameters, reference.best_parameters)
+        assert screened.best_objective == reference.best_objective
+        assert screened.best_specs == reference.best_specs
+        assert screened.num_simulations == reference.num_simulations
+        assert cold.stats.populations == 0 and cold.stats.bypassed == 24
+
+
+class TestWarmScreening:
+    def test_identical_answer_with_a_fraction_of_the_simulations(self, warm_setup):
+        reference, surrogate = warm_setup
+        prescreener = SurrogatePrescreener(surrogate, top_fraction=0.25)
+        screened = repro.make_optimizer(
+            "random", budget=BUDGET, stop_when_met=False, prescreen=prescreener
+        ).optimize(repro.make_env("opamp-p2s-v0", seed=0), seed=SEED)
+        assert np.array_equal(screened.best_parameters, reference.best_parameters)
+        assert screened.best_objective == reference.best_objective
+        assert screened.best_specs == reference.best_specs
+        assert screened.num_simulations * 3 <= reference.num_simulations
+        stats = prescreener.stats
+        assert stats.populations == 1 and stats.candidates == BUDGET
+        assert stats.exact_verified == screened.num_simulations
+        assert stats.surrogate_ranked == BUDGET - stats.exact_verified
+        assert screened.metadata["prescreen"]["active"] is True
+
+    def test_final_answer_is_always_exact(self, warm_setup):
+        _, surrogate = warm_setup
+        prescreener = SurrogatePrescreener(surrogate, top_fraction=0.5)
+        result = repro.make_optimizer(
+            "genetic", budget=48, stop_when_met=False, prescreen=prescreener
+        ).optimize(repro.make_env("opamp-p2s-v0", seed=0), seed=3)
+        assert prescreener.stats.populations > 0
+        # The reported specs reproduce bitwise under a fresh exact simulator:
+        # no surrogate estimate can ever be the returned answer.
+        assert result.best_specs == _exact_specs(result.best_parameters)
+
+    def test_foreign_topology_bypasses(self, warm_setup):
+        _, surrogate = warm_setup  # trained for the op-amp
+        prescreener = SurrogatePrescreener(surrogate, top_fraction=0.25)
+        result = repro.make_optimizer(
+            "random", budget=12, stop_when_met=False, prescreen=prescreener
+        ).optimize(repro.make_env("common_source_lna-p2s-v0", seed=0), seed=2)
+        assert prescreener.stats.populations == 0
+        assert prescreener.stats.bypassed == 12
+        assert result.num_simulations > 0
+
+
+class TestResolvePrescreener:
+    def test_none_and_instance_forms(self):
+        assert resolve_prescreener(None) is None
+        prescreener = SurrogatePrescreener(SpecSurrogate("lna", ["gain"], num_inputs=2))
+        assert resolve_prescreener(prescreener) is prescreener
+
+    def test_path_and_mapping_forms(self, tmp_path, warm_setup):
+        _, surrogate = warm_setup
+        path = save_surrogate(tmp_path / "model.npz", surrogate)
+        from_path = resolve_prescreener(str(path))
+        assert from_path.surrogate.circuit == surrogate.circuit
+        from_mapping = resolve_prescreener(
+            {"surrogate": str(path), "top_fraction": 0.5, "min_exact": 2}
+        )
+        assert from_mapping.top_fraction == 0.5 and from_mapping.min_exact == 2
+
+    def test_mapping_without_surrogate_key_raises(self):
+        with pytest.raises(ValueError, match="surrogate"):
+            resolve_prescreener({"top_fraction": 0.5})

@@ -1,0 +1,111 @@
+"""The ``python -m repro.run surrogate`` train/eval subcommands."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.parallel.disk_cache import entry_path, write_disk_entry
+from repro.run import main as run_main
+from repro.simulation.base import SimulationResult
+from repro.surrogate import load_surrogate
+from repro.surrogate.cli import main_surrogate
+
+
+@pytest.fixture
+def corpus(tmp_path):
+    """A smooth 60-point corpus an 8x8 ensemble learns quickly."""
+    directory = tmp_path / "corpus"
+    directory.mkdir()
+    rng = np.random.default_rng(0)
+    for index in range(60):
+        x = rng.uniform(-1.0, 1.0, size=2)
+        result = SimulationResult(
+            specs={"gain": float(x[0] + 0.5 * x[1]), "power": float(x[0] * x[1])},
+            details={},
+            valid=True,
+        )
+        write_disk_entry(
+            entry_path(directory, f"key-{index}".encode()), result,
+            circuit="lna", parameters=x,
+        )
+    return directory
+
+
+FAST_TRAIN = ["--epochs", "120", "--hidden", "8", "8", "--ensemble", "2"]
+
+
+class TestTrain:
+    def test_trains_and_writes_a_loadable_model(self, corpus, tmp_path, capsys):
+        model = tmp_path / "model.npz"
+        code = main_surrogate(["train", str(corpus), str(model), *FAST_TRAIN])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "trained 'lna' surrogate" in out and str(model) in out
+        restored = load_surrogate(model)
+        assert restored.circuit == "lna" and restored.is_trained
+
+    def test_json_report(self, corpus, tmp_path, capsys):
+        model = tmp_path / "model.npz"
+        code = main_surrogate(["train", str(corpus), str(model), "--json", *FAST_TRAIN])
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["circuit"] == "lna"
+        assert report["num_train"] + report["num_val"] == report["num_points"] == 60
+        assert report["corpus"]["harvested"] == 60
+
+    def test_empty_corpus_exits_2(self, tmp_path, capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        code = main_surrogate(["train", str(empty), str(tmp_path / "m.npz")])
+        assert code == 2
+        assert "trainable entries" in capsys.readouterr().err
+
+    def test_routed_through_repro_run(self, corpus, tmp_path):
+        model = tmp_path / "model.npz"
+        assert run_main(["surrogate", "train", str(corpus), str(model), *FAST_TRAIN]) == 0
+        assert model.exists()
+
+
+class TestEval:
+    @pytest.fixture
+    def model(self, corpus, tmp_path):
+        path = tmp_path / "model.npz"
+        assert main_surrogate(["train", str(corpus), str(path), *FAST_TRAIN]) == 0
+        return path
+
+    def test_scores_a_corpus(self, model, corpus, capsys):
+        capsys.readouterr()
+        assert main_surrogate(["eval", str(model), str(corpus), "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["circuit"] == "lna" and report["num_points"] == 60
+        assert report["error_mean"] >= 0.0
+        assert 0.0 <= report["accept_rate"] <= 1.0
+
+    def test_missing_model_exits_2(self, corpus, tmp_path, capsys):
+        assert main_surrogate(["eval", str(tmp_path / "nope.npz"), str(corpus)]) == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_corpus_without_matching_circuit_exits_2(self, model, tmp_path, capsys):
+        other = tmp_path / "other"
+        other.mkdir()
+        write_disk_entry(
+            entry_path(other, b"x"),
+            SimulationResult(specs={"gain": 1.0}, details={}, valid=True),
+            circuit="opamp", parameters=np.ones(2),
+        )
+        assert main_surrogate(["eval", str(model), str(other)]) == 2
+        assert "no entries" in capsys.readouterr().err
+
+    def test_mismatched_layout_exits_2(self, model, tmp_path, capsys):
+        stale = tmp_path / "stale"
+        stale.mkdir()
+        write_disk_entry(
+            entry_path(stale, b"x"),
+            SimulationResult(specs={"gain": 1.0}, details={}, valid=True),
+            circuit="lna", parameters=np.ones(5),  # wrong parameter count
+        )
+        assert main_surrogate(["eval", str(model), str(stale)]) == 2
+        assert "does not match" in capsys.readouterr().err

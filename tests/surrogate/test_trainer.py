@@ -1,0 +1,169 @@
+"""Training determinism, gate calibration, and checkpoint persistence."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import zipfile
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.surrogate import (
+    SurrogateConfig,
+    SurrogateDataset,
+    SurrogateError,
+    load_surrogate,
+    save_surrogate,
+    train_surrogate,
+)
+from repro.surrogate.trainer import split_dataset
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _smooth_dataset(count=120, seed=0):
+    """A corpus an 8x8 ensemble learns well: smooth specs of 2 inputs."""
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(-1.0, 1.0, size=(count, 2))
+    specs = np.stack([x[:, 0] + 0.5 * x[:, 1], x[:, 0] * x[:, 1]], axis=1)
+    return SurrogateDataset(
+        circuit="lna", spec_names=("gain", "power"), parameters=x, specs=specs
+    )
+
+
+def _config(**kwargs):
+    defaults = dict(
+        hidden=(8, 8), ensemble_size=2, epochs=150, min_train_points=8,
+        trust_tolerance=0.3,
+    )
+    defaults.update(kwargs)
+    return SurrogateConfig(**defaults)
+
+
+class TestSplit:
+    def test_split_is_a_deterministic_partition(self):
+        dataset = _smooth_dataset(50)
+        train_a, val_a = split_dataset(dataset, 0.2, seed=3)
+        train_b, val_b = split_dataset(dataset, 0.2, seed=3)
+        assert np.array_equal(train_a, train_b) and np.array_equal(val_a, val_b)
+        assert sorted([*train_a, *val_a]) == list(range(50))
+        assert val_a.size == 10
+
+    def test_split_always_keeps_one_point_per_side(self):
+        train, val = split_dataset(_smooth_dataset(2), 0.9, seed=0)
+        assert train.size == 1 and val.size == 1
+
+    def test_split_needs_two_points(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            split_dataset(_smooth_dataset(1), 0.2, seed=0)
+
+
+class TestTraining:
+    def test_learns_and_calibrates_on_a_smooth_corpus(self):
+        surrogate, report = train_surrogate(_smooth_dataset(), config=_config(), seed=0)
+        assert surrogate.is_trained
+        assert report.num_train + report.num_val == report.num_points == 120
+        assert report.final_train_loss < 0.05
+        assert report.threshold is not None
+        assert report.val_accept_rate > 0.0
+        # The gate actually passes in-distribution queries.
+        _, disagreement = surrogate.predict(_smooth_dataset(seed=1).parameters)
+        assert surrogate.trusted(disagreement).any()
+
+    def test_training_is_bitwise_deterministic(self):
+        x = _smooth_dataset(seed=5).parameters
+        a, report_a = train_surrogate(_smooth_dataset(), config=_config(), seed=4)
+        b, report_b = train_surrogate(_smooth_dataset(), config=_config(), seed=4)
+        for left, right in zip(a.predict(x), b.predict(x)):
+            assert np.array_equal(left, right)
+        assert report_a.to_dict() == report_b.to_dict()
+        c, _ = train_surrogate(_smooth_dataset(), config=_config(), seed=5)
+        assert not np.array_equal(a.predict(x)[0], c.predict(x)[0])
+
+
+class TestPersistence:
+    def test_round_trip_preserves_predictions_and_gate(self, tmp_path):
+        surrogate, report = train_surrogate(_smooth_dataset(), config=_config(), seed=0)
+        path = save_surrogate(tmp_path / "model.npz", surrogate, extra={"note": "hi"})
+        restored = load_surrogate(path)
+        x = _smooth_dataset(seed=2).parameters
+        for a, b in zip(surrogate.predict(x), restored.predict(x)):
+            assert np.array_equal(a, b)
+        assert restored.gate.threshold == surrogate.gate.threshold == report.threshold
+        assert restored.num_train_points == surrogate.num_train_points
+        assert restored.circuit == "lna" and restored.spec_names == ("gain", "power")
+        assert restored.config == surrogate.config
+
+    def test_identical_models_write_identical_bytes(self, tmp_path):
+        surrogate, _ = train_surrogate(_smooth_dataset(), config=_config(), seed=0)
+        a = save_surrogate(tmp_path / "a.npz", surrogate)
+        b = save_surrogate(tmp_path / "b.npz", surrogate)
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_round_trip_is_bitwise_in_a_fresh_process(self, tmp_path):
+        surrogate, _ = train_surrogate(_smooth_dataset(), config=_config(), seed=0)
+        path = save_surrogate(tmp_path / "model.npz", surrogate)
+        x = _smooth_dataset(seed=2).parameters
+        np.save(tmp_path / "queries.npy", x)
+        specs, disagreement = surrogate.predict(x)
+
+        script = (
+            "import numpy as np, sys\n"
+            "from repro.surrogate import load_surrogate\n"
+            "surrogate = load_surrogate(sys.argv[1])\n"
+            "specs, disagreement = surrogate.predict(np.load(sys.argv[2]))\n"
+            "np.save(sys.argv[3], specs)\n"
+            "np.save(sys.argv[4], disagreement)\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+        subprocess.run(
+            [
+                sys.executable, "-c", script, str(path), str(tmp_path / "queries.npy"),
+                str(tmp_path / "specs.npy"), str(tmp_path / "disagreement.npy"),
+            ],
+            check=True, env=env, timeout=120,
+        )
+        assert np.array_equal(np.load(tmp_path / "specs.npy"), specs)
+        assert np.array_equal(np.load(tmp_path / "disagreement.npy"), disagreement)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(SurrogateError, match="not found"):
+            load_surrogate(tmp_path / "nope.npz")
+
+    def test_non_archive_raises(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        path.write_bytes(b"this is not a zip archive at all")
+        with pytest.raises(SurrogateError, match="not a readable"):
+            load_surrogate(path)
+
+    def test_foreign_npz_raises(self, tmp_path):
+        path = tmp_path / "foreign.npz"
+        np.savez(path, weights=np.ones(3))
+        with pytest.raises(SurrogateError, match="metadata"):
+            load_surrogate(path)
+
+    def test_future_format_version_raises(self, tmp_path):
+        surrogate, _ = train_surrogate(_smooth_dataset(), config=_config(), seed=0)
+        path = save_surrogate(tmp_path / "model.npz", surrogate)
+        # Rewrite the metadata entry claiming a future layout version.
+        with np.load(path, allow_pickle=False) as archive:
+            entries = {name: archive[name] for name in archive.files}
+        metadata = json.loads(str(entries["__surrogate__"][()]))
+        metadata["version"] = 999
+        entries["__surrogate__"] = np.array(json.dumps(metadata))
+        np.savez(path, **entries)
+        with pytest.raises(SurrogateError, match="version"):
+            load_surrogate(path)
+
+    def test_truncated_archive_raises(self, tmp_path):
+        surrogate, _ = train_surrogate(_smooth_dataset(), config=_config(), seed=0)
+        path = save_surrogate(tmp_path / "model.npz", surrogate)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises((SurrogateError, zipfile.BadZipFile)):
+            load_surrogate(path)

@@ -1,0 +1,102 @@
+"""Surrogate knobs across the front doors: make_env, serving, run configs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.parallel import VectorCircuitEnv
+from repro.serve.service import ServeStats
+from repro.surrogate import SurrogateConfig, TieredSimulator, save_surrogate, train_surrogate
+
+
+class TestMakeEnv:
+    def test_surrogate_dir_installs_a_tier(self, tmp_path):
+        corpus = tmp_path / "corpus"
+        env = repro.make_env("opamp-p2s-v0", seed=0, surrogate_dir=corpus)
+        assert isinstance(env.simulator, TieredSimulator)
+        assert env.simulator.surrogate is None  # exact-only until trained
+        env.reset()
+        env.step(np.zeros(env.benchmark.num_parameters, dtype=np.int64))
+        assert list(corpus.glob("*.json")), "exact results must persist to the corpus"
+
+    def test_surrogate_path_is_loaded(self, tmp_path):
+        corpus = tmp_path / "corpus"
+        env = repro.make_env("opamp-p2s-v0", seed=0, surrogate_dir=corpus)
+        repro.make_optimizer("random", budget=40, stop_when_met=False).optimize(env, seed=0)
+        config = SurrogateConfig(hidden=(8, 8), epochs=60, min_train_points=8, ensemble_size=2)
+        surrogate, _ = train_surrogate(repro.harvest_corpus(corpus), config=config)
+        path = save_surrogate(tmp_path / "model.npz", surrogate)
+
+        warm = repro.make_env("opamp-p2s-v0", seed=0, surrogate=str(path))
+        assert isinstance(warm.simulator, TieredSimulator)
+        assert warm.simulator.surrogate is not None
+        assert warm.simulator.surrogate.circuit == surrogate.circuit
+
+    def test_vectorized_envs_share_one_tier(self, tmp_path):
+        batch = repro.make_env(
+            "opamp-p2s-v0", seed=0, num_envs=3, surrogate_dir=tmp_path / "corpus"
+        )
+        assert isinstance(batch, VectorCircuitEnv)
+        assert isinstance(batch.cache, TieredSimulator)
+
+    def test_cache_size_alone_keeps_the_plain_cache(self):
+        env = repro.make_env("opamp-p2s-v0", seed=0, cache_size=64)
+        assert type(env.simulator).__name__ == "SimulationCache"
+
+
+class TestServeStats:
+    def test_tier_counters_accumulate_and_serialize(self):
+        stats = ServeStats()
+        stats.record_tiers(3, 2, 2)
+        stats.record_tiers(1, 0, 0)
+        document = stats.to_dict()
+        assert document["surrogate_hits"] == 4
+        assert document["trust_rejections"] == 2
+        assert document["exact_fallbacks"] == 2
+        assert {"episodes", "design_steps", "accuracy", "by_env"} <= set(document)
+
+
+class TestDeploymentService:
+    @pytest.fixture
+    def checkpoint_path(self, tmp_path):
+        env = repro.make_env("opamp-p2s-v0", seed=0, max_steps=6)
+        policy = repro.make_policy("gcn_fc", env, np.random.default_rng(0))
+        return repro.save_checkpoint(
+            tmp_path / "policy.npz", policy, policy_id="gcn_fc", env_id="opamp-p2s-v0"
+        )
+
+    def test_surrogate_dir_routes_to_a_tier(self, checkpoint_path, tmp_path):
+        service = repro.DeploymentService.from_checkpoint(
+            checkpoint_path, batch_size=2, surrogate_dir=tmp_path / "corpus"
+        )
+        targets = repro.make_env("opamp-p2s-v0", seed=0).benchmark.spec_space.sample_batch(
+            np.random.default_rng(1), 3
+        )
+        responses = service.serve([dict(target) for target in targets])
+        assert len(responses) == 3
+        assert list((tmp_path / "corpus").glob("*.json"))
+        document = service.stats_dict()
+        assert document["surrogate_hits"] == 0  # no model attached: exact only
+        cache_stats = document["caches"]["opamp-p2s-v0"]
+        assert cache_stats["misses"] > 0
+        assert {"surrogate_hits", "trust_rejections", "exact_fallbacks"} <= set(cache_stats)
+
+    def test_serving_is_identical_with_and_without_an_untrained_tier(
+        self, checkpoint_path, tmp_path
+    ):
+        targets = repro.make_env("opamp-p2s-v0", seed=0).benchmark.spec_space.sample_batch(
+            np.random.default_rng(2), 3
+        )
+        plain = repro.DeploymentService.from_checkpoint(checkpoint_path, batch_size=2)
+        tiered = repro.DeploymentService.from_checkpoint(
+            checkpoint_path, batch_size=2, surrogate_dir=tmp_path / "corpus"
+        )
+        for a, b in zip(
+            plain.serve([dict(target) for target in targets]),
+            tiered.serve([dict(target) for target in targets]),
+        ):
+            assert a.steps == b.steps
+            assert a.success == b.success
+            assert a.final_specs == b.final_specs
