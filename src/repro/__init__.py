@@ -81,7 +81,7 @@ from repro.env import make_opamp_env, make_rf_pa_env, make_rf_pa_fom_env
 from repro.nn import inference_mode
 from repro.orchestrate import ArtifactStore, SweepConfig, SweepResult, run_sweep
 from repro.parallel import DiskSimulationCache, SimulationCache, VectorCircuitEnv
-from repro.serve import DeploymentService, ServeRequest, ServeResponse
+from repro.serve import DeploymentService, Gateway, ServeRequest, ServeResponse
 from repro.surrogate import (
     SpecSurrogate,
     SurrogatePrescreener,
@@ -100,6 +100,7 @@ __all__ = [
     "DeploymentService",
     "DiskSimulationCache",
     "EnvConfig",
+    "Gateway",
     "OptimizationCallback",
     "OptimizationResult",
     "Optimizer",

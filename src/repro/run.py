@@ -1,31 +1,32 @@
-"""``python -m repro.run`` — the sweep and deployment CLI front door.
+"""``python -m repro.run`` — the experiment and serving command line.
 
-Drive a whole experiment grid from one JSON document::
+One front door, four subcommands (each with its own ``--help``)::
 
-    python -m repro.run sweep.json                  # run (resumes by default)
-    python -m repro.run sweep.json --workers 4      # shard across 4 processes
-    python -m repro.run sweep.json --expand         # list units, run nothing
-    python -m repro.run sweep.json --no-resume      # re-execute everything
+    python -m repro.run sweep sweep.json [--workers N] [--expand] ...
+    python -m repro.run deploy ckpt/latest.npz requests.json [--batch-size N]
+    python -m repro.run serve ckpt/latest.npz (--stdin | --port N) ...
+    python -m repro.run surrogate {train,eval} ...
 
-or serve specification targets from a trained policy checkpoint::
+``sweep`` drives a whole experiment grid from one JSON document — either a
+:class:`repro.orchestrate.SweepConfig` (grid) or a single
+:class:`repro.api.RunConfig` (detected by its ``env``/``optimizer`` keys and
+wrapped as a one-unit sweep with its literal seed).  CLI flags override the
+document's runtime knobs (``workers``, ``store``, ``disk_cache``); the
+scientific content of the sweep lives only in the JSON.
 
-    python -m repro.run deploy ckpt/latest.npz specs.json [--batch-size N]
+``deploy`` runs a finite request document against a checkpoint; ``serve``
+keeps the async gateway running over NDJSON or HTTP (both documented in
+:mod:`repro.serve.cli`); ``surrogate`` trains/evaluates the learned
+simulation tier (:mod:`repro.surrogate.cli`).  The serving subcommands pull
+in the nn/agents stack only when used.
 
-or train/evaluate a learned surrogate tier on a simulation corpus::
+The pre-subcommand invocation ``python -m repro.run CONFIG.json [flags]``
+still works but emits a :class:`DeprecationWarning`; use
+``python -m repro.run sweep CONFIG.json``.
 
-    python -m repro.run surrogate train corpus_dir model.npz
-    python -m repro.run surrogate eval model.npz corpus_dir
-
-The sweep document is either a :class:`repro.orchestrate.SweepConfig`
-(grid) or a single :class:`repro.api.RunConfig` (detected by its
-``env``/``optimizer`` keys and wrapped as a one-unit sweep with its literal
-seed).  CLI flags override the document's runtime knobs (``workers``,
-``store``, ``disk_cache``); the scientific content of the sweep lives only
-in the JSON.  The ``deploy`` subcommand is documented in
-:mod:`repro.serve.cli`.
-
-Exit status: 0 when every unit completed (or was skipped via the artifact
-store), 1 when any unit failed, 2 on bad input.
+Exit status: 0 on success (for ``sweep``: every unit completed or was
+skipped via the artifact store), 1 when any sweep unit failed, 2 on bad
+input or an unknown command.
 """
 
 from __future__ import annotations
@@ -33,14 +34,28 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Optional, Sequence
+import warnings
+from pathlib import Path
+from typing import List, Optional, Sequence
 
-from repro.orchestrate import SweepConfig, UnitRecord, run_sweep, sweep_from_document
+COMMANDS = ("sweep", "deploy", "serve", "surrogate")
+
+_TOP_HELP = """\
+usage: python -m repro.run COMMAND [options]
+
+commands:
+  sweep      run an experiment sweep (or a single run config) from a JSON document
+  deploy     deploy a checkpointed policy over a batch of specification targets
+  serve      run the async serving gateway (NDJSON over stdin/stdout, or HTTP)
+  surrogate  train or evaluate the learned simulation surrogate
+
+Run 'python -m repro.run COMMAND --help' for per-command options.
+"""
 
 
-def build_parser() -> argparse.ArgumentParser:
+def build_sweep_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
-        prog="python -m repro.run",
+        prog="python -m repro.run sweep",
         description="Run an experiment sweep (or a single run config) from a JSON document.",
     )
     parser.add_argument("config", help="path to a SweepConfig or RunConfig JSON document")
@@ -60,25 +75,21 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def load_sweep(path: str) -> SweepConfig:
+# Kept under its old name for pre-subcommand callers.
+build_parser = build_sweep_parser
+
+
+def load_sweep(path: str):
+    from repro.orchestrate import sweep_from_document
+
     with open(path, "r", encoding="utf-8") as handle:
         return sweep_from_document(json.load(handle))
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
-    argv = list(sys.argv[1:] if argv is None else argv)
-    if argv and argv[0] == "deploy":
-        # Deployment serving is its own parser (and pulls in the nn/agents
-        # stack only when used); everything else is the sweep path.
-        from repro.serve.cli import main_deploy
+def main_sweep(argv: Optional[Sequence[str]] = None) -> int:
+    from repro.orchestrate import UnitRecord, run_sweep
 
-        return main_deploy(argv[1:])
-    if argv and argv[0] == "surrogate":
-        # Surrogate training/evaluation (pulls in the nn stack only when used).
-        from repro.surrogate.cli import main_surrogate
-
-        return main_surrogate(argv[1:])
-    parser = build_parser()
+    parser = build_sweep_parser()
     args = parser.parse_args(argv)
     if args.workers is not None and args.workers < 1:
         print("error: --workers must be >= 1", file=sys.stderr)
@@ -130,6 +141,47 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         last_line = (record.error or "").strip().splitlines()[-1:] or ["unknown error"]
         print(f"failed: {unit_id}: {last_line[0]}", file=sys.stderr)
     return 0 if result.ok else 1
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv: List[str] = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] in ("-h", "--help", "help"):
+        print(_TOP_HELP, end="")
+        return 0
+    command, rest = argv[0], argv[1:]
+    if command == "sweep":
+        return main_sweep(rest)
+    if command == "deploy":
+        # Deployment serving is its own parser (and pulls in the nn/agents
+        # stack only when used).
+        from repro.serve.cli import main_deploy
+
+        return main_deploy(rest)
+    if command == "serve":
+        from repro.serve.cli import main_serve
+
+        return main_serve(rest)
+    if command == "surrogate":
+        # Surrogate training/evaluation (pulls in the nn stack only when used).
+        from repro.surrogate.cli import main_surrogate
+
+        return main_surrogate(rest)
+    # Pre-subcommand invocation: `python -m repro.run CONFIG.json [flags]`.
+    # Recognized by a config-file-looking first token (or a leading flag, for
+    # shapes like `--expand sweep.json`) and routed to `sweep` with a warning.
+    if command.startswith("-") or command.endswith(".json") or Path(command).exists():
+        warnings.warn(
+            "'python -m repro.run CONFIG.json' is deprecated; use "
+            "'python -m repro.run sweep CONFIG.json'",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return main_sweep(argv)
+    print(
+        f"error: unknown command {command!r} (commands: {', '.join(COMMANDS)})",
+        file=sys.stderr,
+    )
+    return 2
 
 
 if __name__ == "__main__":

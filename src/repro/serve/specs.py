@@ -1,7 +1,11 @@
-"""Parsing of the ``specs.json`` documents fed to ``repro.run deploy``.
+"""Deprecated: the pre-gateway ``specs.json`` parsing entry points.
 
-Two equivalent shapes are accepted (see the README's "Saving and serving
-policies" section):
+The serving wire format now lives in :mod:`repro.serve.protocol` — a
+versioned request document (``{"schema_version": 1, "requests": [...]}``)
+parsed by :func:`repro.serve.protocol.parse_requests_document`, which also
+accepts the legacy shapes handled here (behind a ``DeprecationWarning``).
+
+These two public names are kept as shims for pre-gateway callers:
 
 * an object with a ``targets`` list and optional document-wide defaults::
 
@@ -20,91 +24,39 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, List, Mapping, Optional, Sequence, Union
+from typing import Any, List, Union
 
-from repro.serve.service import ServeRequest
-
-
-def _parse_target(
-    entry: Any,
-    position: int,
-    default_env: Optional[str],
-    default_max_steps: Optional[int],
-) -> ServeRequest:
-    if not isinstance(entry, Mapping):
-        raise ValueError(
-            f"target #{position} must be an object, got {type(entry).__name__}"
-        )
-    if "specs" in entry:
-        unknown = set(entry) - {"specs", "env", "max_steps"}
-        if unknown:
-            raise ValueError(
-                f"target #{position} has unknown keys {sorted(unknown)} "
-                "(expected 'specs', 'env', 'max_steps')"
-            )
-        specs = entry["specs"]
-        if not isinstance(specs, Mapping):
-            raise ValueError(f"target #{position}: 'specs' must be an object")
-        env_id = entry.get("env", default_env)
-        max_steps = entry.get("max_steps", default_max_steps)
-    else:
-        specs = entry
-        env_id = default_env
-        max_steps = default_max_steps
-    try:
-        target = {str(name): float(value) for name, value in specs.items()}
-    except (TypeError, ValueError) as exc:
-        raise ValueError(
-            f"target #{position} has a non-numeric specification value: {exc}"
-        ) from exc
-    if not target:
-        raise ValueError(f"target #{position} is empty")
-    return ServeRequest(
-        target_specs=target,
-        env_id=env_id,
-        max_steps=int(max_steps) if max_steps is not None else None,
-    )
+from repro.api.deprecation import warn_deprecated
+from repro.serve.protocol import ServeRequest, parse_legacy_document
 
 
 def parse_spec_requests(document: Any) -> List[ServeRequest]:
-    """Turn a parsed ``specs.json`` document into :class:`ServeRequest` objects."""
-    default_env: Optional[str] = None
-    default_max_steps: Optional[int] = None
-    if isinstance(document, Mapping):
-        unknown = set(document) - {"targets", "env", "max_steps"}
-        if unknown:
-            raise ValueError(
-                f"unknown top-level keys {sorted(unknown)} "
-                "(expected 'targets', 'env', 'max_steps')"
-            )
-        if "targets" not in document:
-            raise ValueError("a spec document object needs a 'targets' list")
-        default_env = document.get("env")
-        default_max_steps = document.get("max_steps")
-        targets: Sequence[Any] = document["targets"]
-    elif isinstance(document, Sequence) and not isinstance(document, (str, bytes)):
-        targets = document
-    else:
-        raise ValueError(
-            "a spec document must be an object with a 'targets' list or a bare "
-            f"list of targets, got {type(document).__name__}"
-        )
-    if not isinstance(targets, Sequence) or isinstance(targets, (str, bytes)):
-        raise ValueError("'targets' must be a list")
-    if not targets:
-        raise ValueError("the spec document contains no targets")
-    return [
-        _parse_target(entry, position, default_env, default_max_steps)
-        for position, entry in enumerate(targets)
-    ]
+    """Deprecated: parse a legacy ``specs.json`` document.
+
+    Use :func:`repro.serve.protocol.parse_requests_document`, which accepts
+    both the versioned request document and (with this same warning) the
+    legacy shapes.
+    """
+    warn_deprecated(
+        "repro.serve.parse_spec_requests",
+        "repro.serve.protocol.parse_requests_document",
+    )
+    return parse_legacy_document(document)
 
 
 def load_spec_requests(path: Union[str, Path]) -> List[ServeRequest]:
-    """Read and parse a ``specs.json`` file."""
+    """Deprecated: read and parse a legacy ``specs.json`` file.
+
+    Use :func:`repro.serve.protocol.load_requests_document` instead.
+    """
+    warn_deprecated(
+        "repro.serve.load_spec_requests",
+        "repro.serve.protocol.load_requests_document",
+    )
     path = Path(path)
     with open(path, "r", encoding="utf-8") as handle:
         try:
             document = json.load(handle)
         except json.JSONDecodeError as exc:
             raise ValueError(f"{path} is not valid JSON: {exc}") from exc
-    return parse_spec_requests(document)
+    return parse_legacy_document(document)

@@ -1,0 +1,127 @@
+"""``python -m repro.run``: the consolidated subcommand tree.
+
+One front door, four subcommands — each with its own ``--help`` — plus the
+deprecated positional-config invocation routed through a warning shim.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro import run as run_module
+
+REPO_SRC = Path(repro.__file__).resolve().parents[1]
+
+
+def run_cli(*args, timeout=300):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.run", *map(str, args)],
+        capture_output=True, text=True, env=env, timeout=timeout,
+    )
+
+
+@pytest.fixture
+def sweep_config(tmp_path):
+    from repro.orchestrate import SweepConfig
+
+    sweep = SweepConfig(
+        name="help-test", optimizers=["random"], envs=["opamp-p2s-v0"],
+        seeds=[0, 1], budget=4, store=str(tmp_path / "store"),
+    )
+    path = tmp_path / "sweep.json"
+    sweep.save(path)
+    return path
+
+
+class TestHelp:
+    def test_top_level_help_lists_every_command(self):
+        for args in ([], ["--help"], ["-h"], ["help"]):
+            completed = run_cli(*args)
+            assert completed.returncode == 0, completed.stderr
+            for command in ("sweep", "deploy", "serve", "surrogate"):
+                assert command in completed.stdout
+
+    @pytest.mark.parametrize(
+        "command,marker",
+        [
+            ("sweep", "--workers"),
+            ("deploy", "--batch-size"),
+            ("serve", "--max-batch-delay-ms"),
+            ("surrogate", "train"),
+        ],
+    )
+    def test_each_subcommand_has_its_own_help(self, command, marker):
+        completed = run_cli(command, "--help")
+        assert completed.returncode == 0, completed.stderr
+        assert f"repro.run {command}" in completed.stdout
+        assert marker in completed.stdout
+
+    def test_unknown_command_is_exit_2_and_lists_commands(self):
+        completed = run_cli("frobnicate")
+        assert completed.returncode == 2
+        assert "unknown command 'frobnicate'" in completed.stderr
+        assert "sweep, deploy, serve, surrogate" in completed.stderr
+
+
+class TestDispatch:
+    def test_sweep_subcommand_expands_without_warning(self, sweep_config, capsys,
+                                                      recwarn):
+        status = run_module.main(["sweep", str(sweep_config), "--expand"])
+        captured = capsys.readouterr()
+        assert status == 0
+        assert "2 units" in captured.out
+        assert not [w for w in recwarn if issubclass(w.category, DeprecationWarning)]
+
+    def test_legacy_positional_config_warns_and_still_works(self, sweep_config, capsys):
+        with pytest.warns(DeprecationWarning, match="repro.run sweep"):
+            status = run_module.main([str(sweep_config), "--expand"])
+        captured = capsys.readouterr()
+        assert status == 0
+        assert "2 units" in captured.out
+
+    def test_legacy_subprocess_shows_the_warning(self, sweep_config):
+        completed = run_cli(sweep_config, "--expand")
+        assert completed.returncode == 0, completed.stderr
+        assert "DeprecationWarning" in completed.stderr
+        assert "2 units" in completed.stdout
+
+    def test_sweep_subcommand_runs_the_grid(self, sweep_config, tmp_path):
+        completed = run_cli("sweep", sweep_config, "--quiet")
+        assert completed.returncode == 0, completed.stderr[-2000:]
+        assert "2 units: 2 executed, 0 skipped" in completed.stdout
+        assert "DeprecationWarning" not in completed.stderr
+
+    def test_missing_config_under_sweep_is_exit_2(self, tmp_path):
+        completed = run_cli("sweep", tmp_path / "nope.json")
+        assert completed.returncode == 2
+        assert "could not load sweep" in completed.stderr
+
+    def test_bad_sweep_flag_validation(self, sweep_config, capsys):
+        assert run_module.main(["sweep", str(sweep_config), "--workers", "0"]) == 2
+        capsys.readouterr()
+
+    def test_run_config_document_still_routes(self, tmp_path):
+        """A single RunConfig JSON (not a grid) through the sweep subcommand."""
+        config = repro.RunConfig(
+            env={"id": "opamp-p2s-v0", "params": {"seed": 0, "max_steps": 6}},
+            optimizer="random", budget=4, seed=1,
+        )
+        document = tmp_path / "run.json"
+        document.write_text(config.to_json())
+        completed = run_cli("sweep", document, "--store", tmp_path / "store", "--quiet")
+        assert completed.returncode == 0, completed.stderr[-2000:]
+        assert "1 units: 1 executed" in completed.stdout
+
+
+def test_help_text_stays_in_sync_with_command_table():
+    for command in run_module.COMMANDS:
+        assert command in run_module._TOP_HELP

@@ -35,6 +35,7 @@ EXAMPLE_ARGS = {
         "--circuits", "two_stage_opamp", "common_source_lna",
     ],
     "sweep_orchestration.py": ["--budget", "6", "--workers", "2"],
+    "serve_gateway.py": ["--requests", "6", "--batch-size", "3"],
     "serve_policy.py": ["--episodes", "4", "--targets", "3", "--batch-size", "2"],
     "surrogate_prescreen.py": ["--budget", "60", "--epochs", "120", "--tier-points", "120"],
 }

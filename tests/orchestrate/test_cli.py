@@ -36,7 +36,7 @@ def run_cli(config_path: Path, *flags: str) -> subprocess.CompletedProcess:
     env = dict(os.environ)
     env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
     return subprocess.run(
-        [sys.executable, "-m", "repro.run", str(config_path), *flags],
+        [sys.executable, "-m", "repro.run", "sweep", str(config_path), *flags],
         cwd=REPO_ROOT, env=env, capture_output=True, text=True, timeout=600,
     )
 

@@ -24,8 +24,11 @@ def checkpoint_and_specs(tmp_path):
         tmp_path / "ckpt.npz", policy, policy_id="gcn_fc", env_id="opamp-p2s-v0"
     )
     targets = env.benchmark.spec_space.sample_batch(np.random.default_rng(1), 4)
-    specs = tmp_path / "specs.json"
-    specs.write_text(json.dumps({"targets": [dict(t) for t in targets]}))
+    specs = tmp_path / "requests.json"
+    specs.write_text(json.dumps({
+        "schema_version": 1,
+        "requests": [{"target_specs": dict(t)} for t in targets],
+    }))
     return checkpoint, specs
 
 
@@ -113,20 +116,37 @@ class TestDeployCli:
         checkpoint, specs = checkpoint_and_specs
         assert main_deploy(["missing.npz", str(specs)]) == 2
         bad = tmp_path / "bad.json"
-        bad.write_text("[]")
+        bad.write_text(json.dumps({"schema_version": 1, "requests": []}))
         assert main_deploy([str(checkpoint), str(bad)]) == 2
         assert main_deploy([str(checkpoint), str(specs), "--batch-size", "0"]) == 2
         assert main_deploy([str(checkpoint), str(specs), "--max-steps", "0"]) == 2
         assert main_deploy([str(checkpoint), str(specs), "--env", "nope-v0"]) == 2
         capsys.readouterr()
 
-    def test_sweep_path_still_works(self, tmp_path):
-        """The legacy positional-config invocation is untouched by the subcommand."""
-        config = repro.RunConfig(
-            env={"id": "opamp-p2s-v0", "params": {"seed": 0, "max_steps": 6}},
-            optimizer="random", budget=4, seed=1,
+    def test_legacy_specs_document_still_deploys(self, checkpoint_and_specs, tmp_path):
+        """The pre-gateway {"targets": [...]} shape parses through the shim."""
+        checkpoint, _ = checkpoint_and_specs
+        legacy = tmp_path / "specs.json"
+        legacy.write_text(json.dumps({"targets": [
+            {"gain": 350.0, "bandwidth": 1.8e7, "phase_margin": 55.0, "power": 4e-3},
+        ]}))
+        completed = run_cli(
+            "deploy", checkpoint, legacy, "--max-steps", "5", "--quiet"
         )
-        document = tmp_path / "run.json"
-        document.write_text(config.to_json())
-        completed = run_cli(document, "--store", tmp_path / "store", "--quiet")
         assert completed.returncode == 0, completed.stderr[-2000:]
+        assert "served 1 episodes" in completed.stdout
+
+    def test_legacy_specs_document_warns_in_process(self, checkpoint_and_specs,
+                                                    tmp_path, capsys):
+        from repro.serve.cli import main_deploy
+
+        checkpoint, _ = checkpoint_and_specs
+        legacy = tmp_path / "specs.json"
+        legacy.write_text(json.dumps({"targets": [
+            {"gain": 350.0, "bandwidth": 1.8e7, "phase_margin": 55.0, "power": 4e-3},
+        ]}))
+        with pytest.warns(DeprecationWarning, match="legacy specs.json"):
+            status = main_deploy([str(checkpoint), str(legacy), "--max-steps", "4",
+                                  "--quiet"])
+        assert status == 0
+        capsys.readouterr()

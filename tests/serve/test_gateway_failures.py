@@ -1,0 +1,190 @@
+"""Gateway failure discipline: every failure is a structured response.
+
+A worker must never die: timeouts, routing failures, broken checkpoints,
+and unexpected exceptions all resolve the affected futures with
+``ServeError`` responses, and the gateway keeps serving afterwards.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+
+import numpy as np
+import pytest
+
+import repro
+from repro.serve import DeploymentService, Gateway, ServeRequest
+from repro.serve.cli import _serve_stdin
+
+MAX_STEPS = 6
+
+
+@pytest.fixture(scope="module")
+def policy():
+    env = repro.make_env("opamp-p2s-v0", seed=0, max_steps=MAX_STEPS)
+    return repro.make_policy("gcn_fc", env, np.random.default_rng(0))
+
+
+@pytest.fixture(scope="module")
+def target():
+    env = repro.make_env("opamp-p2s-v0", seed=0)
+    return dict(env.benchmark.spec_space.sample_batch(np.random.default_rng(2), 1)[0])
+
+
+@pytest.fixture
+def service(policy):
+    service = DeploymentService(batch_size=4)
+    service.register_policy("opamp-p2s-v0", policy)
+    return service
+
+
+def request_for(target, **kwargs):
+    return ServeRequest(target_specs=dict(target), max_steps=MAX_STEPS, **kwargs)
+
+
+class TestTimeouts:
+    def test_expired_request_gets_structured_timeout(self, service, target):
+        # The hard budget (1 ms) is far below the batching delay (10 s), so
+        # the request expires in the queue and must come back as an error —
+        # promptly, not after the 10 s coalescing window.
+        with Gateway(
+            service, num_workers=1, max_batch_delay_ms=10_000.0, request_timeout_s=0.001
+        ) as gw:
+            response = gw.submit(request_for(target, request_id="late")).result(timeout=30)
+        assert not response.ok and not response.success
+        assert response.error.code == "timeout"
+        assert response.request_id == "late"
+        snapshot = service.stats.snapshot()
+        assert snapshot.timeouts == 1 and snapshot.errors == 1
+        assert snapshot.episodes == 0  # it never reached the simulator
+
+    def test_gateway_serves_fresh_requests_after_a_timeout(self, service, target):
+        with Gateway(
+            service, num_workers=1, max_batch_delay_ms=5_000.0, request_timeout_s=0.001
+        ) as gw:
+            assert gw.submit(request_for(target)).result(timeout=30).error.code == "timeout"
+            # A request with its own tight deadline executes normally.
+            ok = gw.submit(request_for(target, deadline_ms=0.0)).result(timeout=120)
+            # It raced the same 1 ms budget; accept either outcome but the
+            # gateway itself must still be alive and answering.
+            assert ok.error is None or ok.error.code == "timeout"
+
+
+class TestRouting:
+    def test_unknown_env_is_unroutable_not_raised(self, service, target):
+        with Gateway(service, num_workers=1) as gw:
+            response = gw.submit(
+                ServeRequest(target_specs=dict(target), env_id="nope-v0")
+            ).result(timeout=30)
+        assert response.error.code == "unroutable"
+        assert "opamp-p2s-v0" in response.error.message  # lists what IS registered
+
+    def test_broken_lazy_checkpoint_is_checkpoint_error(self, service, target, tmp_path):
+        broken = tmp_path / "broken.npz"
+        broken.write_bytes(b"this is not an npz archive")
+        with Gateway(service, checkpoints={"opamp-v0": broken}, num_workers=1) as gw:
+            response = gw.submit(
+                ServeRequest(target_specs=dict(target), env_id="opamp-v0")
+            ).result(timeout=30)
+        assert response.error.code == "checkpoint_error"
+
+    def test_mismatched_lazy_checkpoint_is_checkpoint_error(self, target, tmp_path):
+        # An LNA-sized policy cannot serve the opamp topology: the lazy
+        # registration fails and the response says why, in-band.
+        lna_env = repro.make_env("common_source_lna-p2s-v0", seed=0)
+        lna_policy = repro.make_policy("gcn_fc", lna_env, np.random.default_rng(0))
+        path = repro.save_checkpoint(tmp_path / "lna.npz", lna_policy, policy_id="gcn_fc")
+        service = DeploymentService(batch_size=2)
+        with Gateway(service, checkpoints={"opamp-p2s-v0": path}, num_workers=1) as gw:
+            response = gw.submit(
+                ServeRequest(target_specs=dict(target), env_id="opamp-p2s-v0")
+            ).result(timeout=30)
+        assert response.error.code == "checkpoint_error"
+        assert "parameters" in response.error.message
+
+    def test_healthy_lazy_checkpoint_registers_and_serves(self, policy, target, tmp_path):
+        path = repro.save_checkpoint(
+            tmp_path / "ok.npz", policy, policy_id="gcn_fc", env_id="opamp-p2s-v0"
+        )
+        service = DeploymentService(batch_size=2)
+        with Gateway(
+            service, checkpoints={"opamp-p2s-v0": path}, num_workers=1,
+            max_batch_delay_ms=0.0,
+        ) as gw:
+            response = gw.submit(request_for(target, env_id="opamp-p2s-v0")).result(
+                timeout=120
+            )
+        assert response.ok and response.steps == MAX_STEPS
+
+
+class TestWorkerSurvival:
+    def test_backend_exception_is_internal_error_and_worker_survives(
+        self, service, target, monkeypatch
+    ):
+        calls = {"n": 0}
+        real = service.serve_group
+
+        def flaky(env_id, max_steps, requests):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("simulator exploded")
+            return real(env_id, max_steps, requests)
+
+        monkeypatch.setattr(service, "serve_group", flaky)
+        with Gateway(service, num_workers=1, max_batch_delay_ms=0.0) as gw:
+            first = gw.submit(request_for(target)).result(timeout=30)
+            second = gw.submit(request_for(target)).result(timeout=120)
+        assert first.error.code == "internal"
+        assert "simulator exploded" in first.error.message
+        assert second.ok  # the same worker served the retry
+
+    def test_abandoning_close_answers_queued_requests_with_shutdown(
+        self, service, target
+    ):
+        gw = Gateway(service, num_workers=1, max_batch_delay_ms=60_000.0)
+        futures = [gw.submit(request_for(target)) for _ in range(2)]
+        gw.close(drain=False)
+        for future in futures:
+            response = future.result(timeout=30)
+            assert response.error.code == "shutdown"
+        assert all(not worker.is_alive() for worker in gw._workers)
+        assert service.stats.snapshot().queue_depth == 0
+
+    def test_draining_close_executes_queued_requests(self, service, target):
+        gw = Gateway(service, num_workers=1, max_batch_delay_ms=60_000.0)
+        futures = [gw.submit(request_for(target)) for _ in range(2)]
+        closer = threading.Thread(target=gw.close, kwargs={"drain": True})
+        closer.start()
+        for future in futures:
+            assert future.result(timeout=120).ok
+        closer.join(timeout=120)
+        assert all(not worker.is_alive() for worker in gw._workers)
+
+
+class TestStdinLoop:
+    def test_malformed_line_gets_error_response_and_loop_survives(
+        self, service, target
+    ):
+        lines = [
+            json.dumps({"target_specs": dict(target), "max_steps": MAX_STEPS,
+                        "request_id": "good-1"}),
+            "{this is not json",
+            json.dumps({"target_specs": dict(target), "bogus_field": 1}),
+            json.dumps({"target_specs": dict(target), "max_steps": MAX_STEPS,
+                        "request_id": "good-2"}),
+        ]
+        stdin = io.StringIO("\n".join(lines) + "\n")
+        stdout = io.StringIO()
+        gw = Gateway(service, num_workers=1, max_batch_delay_ms=5.0)
+        submitted = _serve_stdin(gw, stdin, stdout)
+        assert submitted == 2
+        out = [json.loads(line) for line in stdout.getvalue().splitlines()]
+        assert len(out) == 4  # every line answered, in order
+        assert out[0]["request_id"] == "good-1" and "error" not in out[0]
+        assert out[1]["error"]["code"] == "bad_request"
+        assert out[2]["error"]["code"] == "bad_request"
+        assert "bogus_field" in out[2]["error"]["message"]
+        assert out[3]["request_id"] == "good-2" and "error" not in out[3]
+        assert service.stats.snapshot().errors == 2

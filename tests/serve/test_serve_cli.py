@@ -1,0 +1,151 @@
+"""``python -m repro.run serve`` end-to-end: NDJSON stdin and HTTP modes."""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+import repro
+
+REPO_SRC = Path(repro.__file__).resolve().parents[1]
+MAX_STEPS = 6
+
+
+@pytest.fixture(scope="module")
+def checkpoint(tmp_path_factory):
+    tmp_path = tmp_path_factory.mktemp("serve_cli")
+    env = repro.make_env("opamp-p2s-v0", seed=0)
+    policy = repro.make_policy("gcn_fc", env, np.random.default_rng(0))
+    return repro.save_checkpoint(
+        tmp_path / "ckpt.npz", policy, policy_id="gcn_fc", env_id="opamp-p2s-v0"
+    )
+
+
+@pytest.fixture(scope="module")
+def targets():
+    env = repro.make_env("opamp-p2s-v0", seed=0)
+    return [dict(t) for t in env.benchmark.spec_space.sample_batch(
+        np.random.default_rng(9), 3
+    )]
+
+
+def cli_env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def serve_args(checkpoint, *extra):
+    return [sys.executable, "-m", "repro.run", "serve", str(checkpoint),
+            "--batch-size", "3", *map(str, extra)]
+
+
+class TestStdinMode:
+    def test_ndjson_round_trip_with_malformed_lines(self, checkpoint, targets, tmp_path):
+        lines = [
+            json.dumps({"schema_version": 1, "target_specs": t,
+                        "max_steps": MAX_STEPS, "request_id": f"q{i}"})
+            for i, t in enumerate(targets)
+        ]
+        lines.insert(1, "definitely not json")
+        stats_path = tmp_path / "stats.json"
+        completed = subprocess.run(
+            serve_args(checkpoint, "--stdin", "--max-batch-delay-ms", "10",
+                       "--stats-output", stats_path),
+            input="\n".join(lines) + "\n",
+            capture_output=True, text=True, env=cli_env(), timeout=600,
+        )
+        assert completed.returncode == 0, completed.stderr[-2000:]
+        out = [json.loads(line) for line in completed.stdout.splitlines()]
+        assert len(out) == 4  # every input line answered, in submission order
+        assert out[0]["request_id"] == "q0" and "error" not in out[0]
+        assert out[1]["error"]["code"] == "bad_request"
+        assert [d.get("request_id") for d in out[2:]] == ["q1", "q2"]
+        assert all(1 <= d["steps"] <= MAX_STEPS for d in out if "error" not in d)
+        stats = json.loads(stats_path.read_text())
+        assert stats["episodes"] == 3
+        assert stats["errors"] == 1
+        assert stats["gateway"]["batch_size"] == 3
+
+    def test_missing_checkpoint_is_exit_2(self, tmp_path):
+        completed = subprocess.run(
+            serve_args(tmp_path / "nope.npz", "--stdin"),
+            input="", capture_output=True, text=True, env=cli_env(), timeout=120,
+        )
+        assert completed.returncode == 2
+        assert "error" in completed.stderr
+
+
+class TestHttpMode:
+    @pytest.fixture
+    def server(self, checkpoint):
+        proc = subprocess.Popen(
+            serve_args(checkpoint, "--port", "0", "--max-batch-delay-ms", "10"),
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, env=cli_env(),
+        )
+        port = None
+        try:
+            for _ in range(2):
+                line = proc.stderr.readline()
+                if "serving on http://" in line:
+                    port = int(line.split(":")[2].split(" ")[0])
+                    break
+            assert port is not None, "the server never announced its port"
+            yield proc, port
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate(timeout=30)
+
+    @staticmethod
+    def post(port, payload, path="/v1/serve"):
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{port}{path}",
+            data=json.dumps(payload).encode() if not isinstance(payload, bytes)
+            else payload,
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(request, timeout=300) as response:
+            return json.loads(response.read())
+
+    def test_serve_stats_healthz_and_sigint_drain(self, server, targets):
+        proc, port = server
+        document = self.post(port, {
+            "schema_version": 1,
+            "max_steps": MAX_STEPS,
+            "requests": [{"target_specs": t} for t in targets],
+        })
+        assert len(document["responses"]) == len(targets)
+        for response in document["responses"]:
+            assert response["env_id"] == "opamp-p2s-v0"
+            assert 1 <= response["steps"] <= MAX_STEPS
+            assert response["final_parameters"]
+
+        single = self.post(port, {"target_specs": targets[0], "max_steps": MAX_STEPS})
+        assert single["steps"] <= MAX_STEPS and "error" not in single
+
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            self.post(port, b"{not json")
+        assert excinfo.value.code == 400
+        assert json.loads(excinfo.value.read())["error"]["code"] == "bad_request"
+
+        with urllib.request.urlopen(f"http://127.0.0.1:{port}/v1/stats", timeout=60) as r:
+            stats = json.loads(r.read())
+        assert stats["episodes"] == len(targets) + 1
+        assert stats["errors"] == 1
+        with urllib.request.urlopen(f"http://127.0.0.1:{port}/v1/healthz", timeout=60) as r:
+            assert json.loads(r.read()) == {"ok": True, "schema_version": 1}
+
+        # SIGINT must drain and exit cleanly — no orphan workers, status 0.
+        proc.send_signal(signal.SIGINT)
+        proc.communicate(timeout=120)
+        assert proc.returncode == 0

@@ -7,7 +7,7 @@ import pytest
 
 import repro
 from repro.agents.deployment import deploy_policy
-from repro.serve import DeploymentService, ServeRequest, parse_spec_requests
+from repro.serve import DeploymentService, ServeRequest
 
 
 @pytest.fixture
@@ -149,43 +149,3 @@ class TestServing:
         assert service.stats.by_env == {
             "common_source_lna-p2s-v0": 1, "opamp-p2s-v0": 1,
         }
-
-
-class TestSpecParsing:
-    def test_document_with_defaults(self):
-        requests = parse_spec_requests(
-            {
-                "env": "opamp-p2s-v0",
-                "max_steps": 60,
-                "targets": [
-                    {"gain": 350.0, "power": 4e-3},
-                    {"specs": {"gain": 400.0}, "max_steps": 30},
-                ],
-            }
-        )
-        assert len(requests) == 2
-        assert requests[0].env_id == "opamp-p2s-v0"
-        assert requests[0].max_steps == 60
-        assert requests[1].max_steps == 30
-        assert requests[1].target_specs == {"gain": 400.0}
-
-    def test_bare_list(self):
-        requests = parse_spec_requests([{"gain": 1.0}, {"gain": 2.0}])
-        assert [r.target_specs for r in requests] == [{"gain": 1.0}, {"gain": 2.0}]
-        assert requests[0].env_id is None
-
-    @pytest.mark.parametrize(
-        "document,match",
-        [
-            ({}, "targets"),
-            ({"targets": []}, "no targets"),
-            ({"targets": [{"gain": "high"}]}, "non-numeric"),
-            ({"targets": [[1, 2]]}, "must be an object"),
-            ({"targets": [{"specs": {"gain": 1.0}, "bogus": 1}]}, "unknown keys"),
-            ({"bogus": 1, "targets": [{"gain": 1.0}]}, "unknown top-level"),
-            ("not a list", "spec document"),
-        ],
-    )
-    def test_bad_documents(self, document, match):
-        with pytest.raises(ValueError, match=match):
-            parse_spec_requests(document)
