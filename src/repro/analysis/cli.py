@@ -1,0 +1,173 @@
+"""``python -m repro.run analyze`` — the invariant lint command line.
+
+Typical invocations::
+
+    python -m repro.run analyze src/                 # text report, baseline-aware
+    python -m repro.run analyze src/ --strict        # ignore the baseline
+    python -m repro.run analyze src/ --format json   # machine-readable report
+    python -m repro.run analyze src/ --output report.json
+    python -m repro.run analyze src/ --write-baseline
+    python -m repro.run analyze --rules              # print the rule catalog
+
+The baseline (default ``analysis-baseline.json`` in the working directory,
+when present) grandfathers known findings by fingerprint; only findings
+outside it affect the exit status.  Stale baseline entries — findings that
+no longer occur — are reported so the baseline gets regenerated as debt is
+paid down, and ``--write-baseline`` regenerates it from the current tree.
+
+Exit status: 0 when every finding is baselined (or there are none), 1 when
+new findings exist, 2 on bad input (unreadable paths/baseline, syntax
+errors in analyzed files).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, Optional, Sequence
+
+from repro.analysis.engine import (
+    DEFAULT_BASELINE,
+    analyze_paths,
+    baseline_document,
+    load_baseline,
+    split_baseline,
+)
+from repro.analysis.rules import ALL_RULES
+from repro.utils import atomic_write_json
+
+
+def build_analyze_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.run analyze",
+        description="Lint the tree against the project's invariant rules "
+                    "(determinism, lock discipline, atomic artifacts).",
+    )
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories to analyze (default: src/ "
+                             "when it exists, else the working directory)")
+    parser.add_argument("--baseline", default=None,
+                        help=f"baseline JSON of grandfathered findings "
+                             f"(default: {DEFAULT_BASELINE} when present)")
+    parser.add_argument("--strict", action="store_true",
+                        help="ignore the baseline: every finding fails the run "
+                             "(inline noqa suppressions still apply)")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="stdout format (default text)")
+    parser.add_argument("--output", default=None,
+                        help="also write the JSON report to this file "
+                             "(atomically; what CI uploads as an artifact)")
+    parser.add_argument("--write-baseline", action="store_true", dest="write_baseline",
+                        help="regenerate the baseline from the current findings "
+                             "and exit 0")
+    parser.add_argument("--rules", action="store_true", dest="list_rules",
+                        help="print the rule catalog (ID, rationale, fix hint) "
+                             "and exit")
+    return parser
+
+
+def _print_rule_catalog() -> None:
+    for rule in ALL_RULES:
+        print(f"{rule.rule_id}: {rule.title}")
+        print(f"  rationale: {rule.rationale}")
+        print(f"  fix: {rule.hint}")
+        print()
+
+
+def _report_document(
+    paths: Sequence[str],
+    new: Sequence[Any],
+    baselined: Sequence[Any],
+    stale: Sequence[Any],
+    files: int,
+    baseline_path: Optional[str],
+) -> Dict[str, Any]:
+    by_rule: Dict[str, int] = {}
+    for finding in new:
+        by_rule[finding.rule] = by_rule.get(finding.rule, 0) + 1
+    return {
+        "version": 1,
+        "paths": list(paths),
+        "files": files,
+        "baseline": baseline_path,
+        "findings": [finding.to_dict() for finding in new],
+        "baselined": [finding.to_dict() for finding in baselined],
+        "stale_baseline": [dict(entry) for entry in stale],
+        "summary": {
+            "new": len(new),
+            "baselined": len(baselined),
+            "stale_baseline": len(stale),
+            "by_rule": dict(sorted(by_rule.items())),
+        },
+    }
+
+
+def main_analyze(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_analyze_parser()
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        _print_rule_catalog()
+        return 0
+
+    paths = list(args.paths)
+    if not paths:
+        paths = ["src"] if Path("src").is_dir() else ["."]
+
+    try:
+        report = analyze_paths(paths)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if report.errors:
+        for error in report.errors:
+            print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    baseline_path: Optional[str] = args.baseline
+    if baseline_path is None and not args.strict and Path(DEFAULT_BASELINE).is_file():
+        baseline_path = DEFAULT_BASELINE
+
+    if args.write_baseline:
+        target = args.baseline or DEFAULT_BASELINE
+        atomic_write_json(
+            target, baseline_document(report.findings), indent=2, sort_keys=True
+        )
+        print(f"wrote {len(report.findings)} grandfathered findings to {target}")
+        return 0
+
+    entries: Sequence[Any] = []
+    if baseline_path is not None and not args.strict:
+        try:
+            entries = load_baseline(baseline_path)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"error: could not load baseline {baseline_path!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+    new, baselined, stale = split_baseline(report.findings, entries)
+
+    document = _report_document(
+        paths, new, baselined, stale, report.files,
+        baseline_path if not args.strict else None,
+    )
+    if args.output is not None:
+        atomic_write_json(args.output, document, indent=2, sort_keys=True)
+
+    if args.format == "json":
+        print(json.dumps(document, indent=2, sort_keys=True))
+    else:
+        for finding in new:
+            print(finding.render())
+            print(f"    hint: {finding.hint}")
+        for entry in stale:
+            print(
+                f"stale baseline entry: {entry.get('rule')} at {entry.get('path')} "
+                "no longer occurs (regenerate with --write-baseline)"
+            )
+        mode = "strict" if args.strict else "baseline-aware"
+        print(
+            f"analyze ({mode}): {len(new)} finding(s), {len(baselined)} baselined, "
+            f"{len(stale)} stale baseline entr(ies) across {report.files} file(s)"
+        )
+    return 1 if new else 0

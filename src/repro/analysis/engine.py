@@ -1,0 +1,504 @@
+"""The two-pass AST lint engine behind ``python -m repro.run analyze``.
+
+Generic linters cannot check the invariants this platform actually rests
+on — bitwise determinism, lock discipline on thread-shared serve state,
+atomic on-disk artifacts.  This engine makes them machine-checked: every
+rule (:mod:`repro.analysis.rules`) is a small AST visitor with an ID, a
+rationale, and a fix hint, and the engine gives all of them one shared
+walk:
+
+1. **Context pass** — each module is parsed once into a
+   :class:`ModuleContext` carrying the resolved import aliases (``np`` →
+   ``numpy``), per-class lock ownership (which attributes hold a
+   ``threading.Lock``/``RLock``/``Condition`` and which attributes are
+   written under ``with self._lock``), which functions contain the manual
+   ``os.replace`` atomic-publish pattern, and the inline suppressions.
+2. **Rule pass** — every rule visits the same tree with that context and
+   yields :class:`Finding` objects.
+
+Suppressions are inline comments of the form::
+
+    something_flagged()  # repro: noqa[REP-FLT01] why this is intentional
+
+A suppression needs a *reason* to count — a bare ``# repro: noqa[ID]``
+leaves the finding live (annotations without rationale are what this
+engine exists to prevent).  A standalone noqa comment line suppresses the
+next code line, for findings on lines too long to annotate in place.
+
+Grandfathered findings live in a checked-in baseline
+(``analysis-baseline.json``): a list of fingerprints — stable hashes of
+``(path, rule, source line)`` that survive line-number drift — matched as
+a multiset against the current findings.  ``analyze`` exits non-zero only
+for findings outside the baseline, so the rule set can ship strict while
+legacy exceptions are burned down one by one.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+import os
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+#: Lock-like constructors whose attributes make a class "lock-owning".
+LOCK_FACTORIES = {
+    "threading.Lock",
+    "threading.RLock",
+    "threading.Condition",
+}
+
+#: Callables that publish a scratch file atomically (the manual pattern the
+#: atomic-write helper wraps); their presence in a function legitimizes a
+#: raw ``open(..., "w")`` on the scratch path.
+ATOMIC_PUBLISHERS = {"os.replace", "os.rename"}
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa\[(?P<rules>[A-Za-z0-9_,\-\s]+)\]\s*(?P<reason>.*)$"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    hint: str
+    source_line: str
+
+    @property
+    def fingerprint(self) -> str:
+        """A line-number-free identity: hash of (path, rule, source text).
+
+        Stable when code above the finding moves it to a different line;
+        changes when the flagged line itself is edited — exactly the
+        granularity a grandfathering baseline wants.
+        """
+        text = f"{self.path}::{self.rule}::{self.source_line}"
+        return hashlib.sha1(text.encode("utf-8")).hexdigest()[:16]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "hint": self.hint,
+            "fingerprint": self.fingerprint,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+@dataclass
+class Suppression:
+    """One parsed ``# repro: noqa[...]`` comment."""
+
+    line: int
+    rules: Set[str]
+    reason: str
+
+    @property
+    def valid(self) -> bool:
+        return bool(self.reason.strip())
+
+
+@dataclass
+class ClassLockInfo:
+    """Lock ownership facts about one class (filled by the context pass)."""
+
+    name: str
+    node: ast.ClassDef
+    lock_attrs: Set[str] = field(default_factory=set)
+    guarded_attrs: Set[str] = field(default_factory=set)
+
+
+@dataclass
+class ModuleContext:
+    """Everything the context pass learned about one module."""
+
+    path: str
+    source: str
+    lines: List[str]
+    tree: ast.Module
+    #: local name -> fully dotted module/object it binds (``np`` -> ``numpy``).
+    imports: Dict[str, str]
+    #: line number -> suppression parsed from that line (standalone noqa
+    #: comment lines are already propagated onto the line they cover).
+    suppressions: Dict[int, Suppression]
+    classes: List[ClassLockInfo]
+    #: id(FunctionDef) for functions containing an os.replace/os.rename call.
+    atomic_functions: Set[int]
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Fully dotted name of a Name/Attribute chain, through the imports.
+
+        ``np.random.seed`` resolves to ``numpy.random.seed`` when the module
+        did ``import numpy as np``; returns None for anything that is not a
+        plain dotted chain (calls, subscripts, ...).
+        """
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        parts.append(node.id)
+        parts.reverse()
+        head = self.imports.get(parts[0], parts[0])
+        return ".".join([head] + parts[1:])
+
+    def module_name(self) -> List[str]:
+        """Dotted package path of this module, derived from its file path.
+
+        Used to resolve relative imports: ``["repro", "serve"]`` for both
+        ``src/repro/serve/cli.py`` and ``src/repro/serve/__init__.py``.
+        Without a ``src`` segment every leading directory counts.
+        """
+        parts = list(Path(self.path).parts)
+        if parts and parts[-1].endswith(".py"):
+            parts = parts[:-1]
+        if "src" in parts:
+            parts = parts[parts.index("src") + 1:]
+        return parts
+
+    def line_text(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+
+def _parse_suppressions(lines: Sequence[str]) -> Dict[int, Suppression]:
+    """Map line number -> suppression covering that line.
+
+    A noqa comment on a code line covers that line.  A noqa comment on a
+    line of its own covers the next non-blank, non-comment line (so long
+    flagged lines can carry their rationale on the line above).
+    """
+    parsed: Dict[int, Suppression] = {}
+    pending: List[Suppression] = []
+    for number, raw in enumerate(lines, start=1):
+        stripped = raw.strip()
+        match = _NOQA_RE.search(raw)
+        if match is not None:
+            rules = {r.strip() for r in match.group("rules").split(",") if r.strip()}
+            suppression = Suppression(
+                line=number, rules=rules, reason=match.group("reason").strip()
+            )
+            if stripped.startswith("#"):
+                pending.append(suppression)
+                continue
+            parsed[number] = suppression
+        elif stripped and not stripped.startswith("#"):
+            if pending:
+                merged = Suppression(
+                    line=number,
+                    rules=set().union(*(s.rules for s in pending)),
+                    reason="; ".join(s.reason for s in pending if s.reason.strip()),
+                )
+                parsed[number] = merged
+                pending = []
+    return parsed
+
+
+class _ContextVisitor(ast.NodeVisitor):
+    """The shared first pass: imports, class lock facts, atomic functions."""
+
+    def __init__(self, ctx: ModuleContext) -> None:
+        self.ctx = ctx
+        self._class_stack: List[ClassLockInfo] = []
+        self._function_stack: List[ast.AST] = []
+        self._with_lock_depth = 0
+
+    # -- imports -------------------------------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            local = alias.asname or alias.name.split(".")[0]
+            target = alias.name if alias.asname else alias.name.split(".")[0]
+            self.ctx.imports[local] = target
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        base = node.module or ""
+        if node.level:
+            package = self.ctx.module_name()
+            prefix = package[: len(package) - (node.level - 1)] if node.level > 1 else package
+            base = ".".join(prefix + ([node.module] if node.module else []))
+        for alias in node.names:
+            local = alias.asname or alias.name
+            self.ctx.imports[local] = f"{base}.{alias.name}" if base else alias.name
+        self.generic_visit(node)
+
+    # -- atomic-publish functions --------------------------------------
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node)
+
+    def _visit_function(self, node: ast.AST) -> None:
+        self._function_stack.append(node)
+        self.generic_visit(node)
+        self._function_stack.pop()
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = self.ctx.resolve(node.func)
+        if name in ATOMIC_PUBLISHERS:
+            for function in self._function_stack:
+                self.ctx.atomic_functions.add(id(function))
+        self.generic_visit(node)
+
+    # -- class lock facts ----------------------------------------------
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        info = ClassLockInfo(name=node.name, node=node)
+        # Lock attributes first (a pre-scan, so methods defined *before*
+        # __init__ still see which attributes are locks), then the full
+        # visit collects what gets written under those locks.
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Assign) and isinstance(sub.value, ast.Call):
+                if self.ctx.resolve(sub.value.func) in LOCK_FACTORIES:
+                    for target in sub.targets:
+                        attr = _self_attr(target, subscript=False)
+                        if attr is not None:
+                            info.lock_attrs.add(attr)
+        self.ctx.classes.append(info)
+        self._class_stack.append(info)
+        self.generic_visit(node)
+        self._class_stack.pop()
+
+    def visit_With(self, node: ast.With) -> None:
+        info = self._class_stack[-1] if self._class_stack else None
+        locked = info is not None and any(
+            _self_attr(item.context_expr) in info.lock_attrs for item in node.items
+        )
+        if locked:
+            self._with_lock_depth += 1
+        self.generic_visit(node)
+        if locked:
+            self._with_lock_depth -= 1
+
+    def _note_write(self, target: ast.AST) -> None:
+        if not self._class_stack or self._with_lock_depth == 0:
+            return
+        attr = _self_attr(target)
+        if attr is not None:
+            self._class_stack[-1].guarded_attrs.add(attr)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._note_write(target)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._note_write(node.target)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._note_write(node.target)
+        self.generic_visit(node)
+
+
+def _self_attr(node: Optional[ast.AST], subscript: bool = True) -> Optional[str]:
+    """Attribute name for ``self.X`` (and, optionally, ``self.X[...]``)."""
+    if subscript:
+        while isinstance(node, ast.Subscript):
+            node = node.value
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def build_context(source: str, path: str) -> ModuleContext:
+    """Run the context pass over one module's source."""
+    tree = ast.parse(source, filename=path)
+    lines = source.splitlines()
+    ctx = ModuleContext(
+        path=Path(path).as_posix(),
+        source=source,
+        lines=lines,
+        tree=tree,
+        imports={},
+        suppressions=_parse_suppressions(lines),
+        classes=[],
+        atomic_functions=set(),
+    )
+    _ContextVisitor(ctx).visit(tree)
+    return ctx
+
+
+def _apply_suppressions(
+    findings: Iterable[Finding], ctx: ModuleContext
+) -> List[Finding]:
+    kept: List[Finding] = []
+    for finding in findings:
+        suppression = ctx.suppressions.get(finding.line)
+        if suppression is not None and finding.rule in suppression.rules:
+            if suppression.valid:
+                continue
+            finding = Finding(
+                rule=finding.rule,
+                path=finding.path,
+                line=finding.line,
+                col=finding.col,
+                message=finding.message
+                + " (noqa present but missing a reason; add one after the bracket)",
+                hint=finding.hint,
+                source_line=finding.source_line,
+            )
+        kept.append(finding)
+    return kept
+
+
+def analyze_source(
+    source: str, path: str, rules: Optional[Sequence[Any]] = None
+) -> List[Finding]:
+    """Context pass + rule pass over one module; suppressed findings dropped."""
+    from repro.analysis.rules import ALL_RULES
+
+    ctx = build_context(source, path)
+    findings: List[Finding] = []
+    for rule in rules if rules is not None else ALL_RULES:
+        findings.extend(rule.check(ctx))
+    findings = _apply_suppressions(findings, ctx)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def iter_python_files(paths: Sequence[Any]) -> List[Path]:
+    """Every ``.py`` file under the given files/directories, sorted."""
+    collected: Set[Path] = set()
+    for entry in paths:
+        entry = Path(entry)
+        if entry.is_dir():
+            for found in entry.rglob("*.py"):
+                if not any(part.startswith(".") for part in found.parts):
+                    collected.add(found)
+        elif entry.suffix == ".py":
+            collected.add(entry)
+        else:
+            raise FileNotFoundError(f"not a Python file or directory: {entry}")
+    return sorted(collected)
+
+
+@dataclass
+class Report:
+    """The outcome of one ``analyze`` run, before baseline filtering."""
+
+    findings: List[Finding]
+    files: int
+    errors: List[str] = field(default_factory=list)
+
+    def by_rule(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return dict(sorted(counts.items()))
+
+
+def analyze_paths(
+    paths: Sequence[Any], rules: Optional[Sequence[Any]] = None
+) -> Report:
+    """Analyze every Python file under ``paths`` (files or directories)."""
+    findings: List[Finding] = []
+    errors: List[str] = []
+    files = iter_python_files(paths)
+    for file_path in files:
+        try:
+            source = file_path.read_text(encoding="utf-8")
+            findings.extend(analyze_source(source, str(file_path), rules=rules))
+        except SyntaxError as exc:
+            errors.append(f"{file_path}: syntax error: {exc}")
+        except OSError as exc:
+            errors.append(f"{file_path}: {exc}")
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return Report(findings=findings, files=len(files), errors=errors)
+
+
+# ----------------------------------------------------------------------
+# Baseline
+# ----------------------------------------------------------------------
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE = "analysis-baseline.json"
+
+
+def load_baseline(path: Any) -> List[Dict[str, Any]]:
+    """Parse a baseline document into its finding entries."""
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if not isinstance(document, Mapping) or document.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"baseline {os.fspath(path)!r} is not a version-{BASELINE_VERSION} "
+            "analysis baseline"
+        )
+    entries = document.get("findings", [])
+    if not isinstance(entries, list):
+        raise ValueError(f"baseline {os.fspath(path)!r}: 'findings' must be a list")
+    return entries
+
+
+def split_baseline(
+    findings: Sequence[Finding], entries: Sequence[Mapping[str, Any]]
+) -> Tuple[List[Finding], List[Finding], List[Mapping[str, Any]]]:
+    """Split findings into (new, grandfathered) and report stale entries.
+
+    Matching is a multiset over fingerprints: each baseline entry absorbs at
+    most one current finding, so a *second* occurrence of a grandfathered
+    pattern still fails the run.  Entries matching nothing are returned as
+    stale — the finding was fixed and the baseline should be regenerated.
+    """
+    budget: Dict[str, int] = {}
+    for entry in entries:
+        fingerprint = str(entry.get("fingerprint", ""))
+        budget[fingerprint] = budget.get(fingerprint, 0) + 1
+    new: List[Finding] = []
+    matched: List[Finding] = []
+    for finding in findings:
+        if budget.get(finding.fingerprint, 0) > 0:
+            budget[finding.fingerprint] -= 1
+            matched.append(finding)
+        else:
+            new.append(finding)
+    matched_fingerprints: Dict[str, int] = {}
+    for finding in matched:
+        key = finding.fingerprint
+        matched_fingerprints[key] = matched_fingerprints.get(key, 0) + 1
+    stale: List[Mapping[str, Any]] = []
+    for entry in entries:
+        key = str(entry.get("fingerprint", ""))
+        if matched_fingerprints.get(key, 0) > 0:
+            matched_fingerprints[key] -= 1
+        else:
+            stale.append(entry)
+    return new, matched, stale
+
+
+def baseline_document(findings: Sequence[Finding]) -> Dict[str, Any]:
+    """A baseline document grandfathering exactly the given findings."""
+    return {
+        "version": BASELINE_VERSION,
+        "findings": [
+            {
+                "rule": finding.rule,
+                "path": finding.path,
+                "line": finding.line,
+                "fingerprint": finding.fingerprint,
+                "note": finding.message,
+            }
+            for finding in findings
+        ],
+    }

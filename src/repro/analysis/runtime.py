@@ -1,0 +1,218 @@
+"""Runtime lock auditing: the dynamic half of the REP-LOCK01 invariant.
+
+The static rule proves lock discipline *within one class*; it cannot see a
+caller that was supposed to hold the lock.  :class:`LockAudit` closes that
+gap at test time: it instruments a live object so every access to its
+lock-guarded attributes is checked against whether the current thread
+actually holds the lock, and records the ones that do not.  Wiring it into
+the gateway/service concurrency tests turns them into a race detector —
+the tests keep asserting behaviour, and the audit additionally fails loudly
+if any code path touches shared serve state unlocked (the pre-gateway
+``ServeStats`` tier-fold bug would have been caught exactly here).
+
+The instrumentation is reversible and confined to the audited instance:
+the object's class is swapped for a dynamically created subclass whose
+``__setattr__``/``__getattribute__`` consult the audit, and its lock is
+wrapped so acquisitions are attributed to threads.  Nothing about the
+class itself (or other instances) changes, and :meth:`LockAudit.uninstall`
+restores the original class and lock.
+
+Usage::
+
+    audit = LockAudit(service.stats)          # guards every data attribute
+    ...drive concurrent traffic...
+    audit.assert_clean()                      # raises on unlocked access
+
+or as a context manager (uninstalls on exit)::
+
+    with LockAudit(service.stats, record_reads=False) as audit:
+        ...
+    audit.assert_clean()
+"""
+
+from __future__ import annotations
+
+import threading
+import traceback
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+
+class LockAuditError(AssertionError):
+    """Raised by :meth:`LockAudit.assert_clean` when violations were recorded."""
+
+
+@dataclass(frozen=True)
+class LockViolation:
+    """One guarded-state access that happened with the lock unheld."""
+
+    attribute: str
+    operation: str  # "read" or "write"
+    thread: str
+    location: str
+
+    def render(self) -> str:
+        return (
+            f"{self.operation} of guarded attribute {self.attribute!r} without "
+            f"the lock (thread {self.thread}, at {self.location})"
+        )
+
+
+class _AuditedLock:
+    """Wraps a real lock, attributing holds to threads (re-entrant counted)."""
+
+    def __init__(self, lock: Any) -> None:
+        self._lock = lock
+        self._holds: Dict[int, int] = {}
+
+    def held_by_current_thread(self) -> bool:
+        return self._holds.get(threading.get_ident(), 0) > 0
+
+    def acquire(self, *args: Any, **kwargs: Any) -> bool:
+        acquired = self._lock.acquire(*args, **kwargs)
+        if acquired:
+            ident = threading.get_ident()
+            self._holds[ident] = self._holds.get(ident, 0) + 1
+        return acquired
+
+    def release(self) -> None:
+        ident = threading.get_ident()
+        count = self._holds.get(ident, 0)
+        if count <= 1:
+            self._holds.pop(ident, None)
+        else:
+            self._holds[ident] = count - 1
+        self._lock.release()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.release()
+
+    # Condition-style passthroughs (wait/notify consult the real object).
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._lock, name)
+
+
+def _caller_location() -> str:
+    """`file:line in func` of the nearest frame outside this module."""
+    for frame in reversed(traceback.extract_stack()[:-2]):
+        if not frame.filename.endswith("runtime.py"):
+            return f"{frame.filename}:{frame.lineno} in {frame.name}"
+    return "<unknown>"
+
+
+class LockAudit:
+    """Record every unlocked access to an object's lock-guarded attributes.
+
+    Parameters
+    ----------
+    target:
+        The live object to audit (e.g. a ``ServeStats`` instance).
+    lock_attr:
+        Name of the attribute holding the lock (default ``"_lock"``).
+    guarded:
+        Attribute names to guard.  Default: every instance attribute present
+        at install time except the lock itself — for a stats object, all of
+        its counters.
+    record_reads:
+        Also record unlocked *reads* (default True).  Mutating a guarded
+        container (``self.by_env[k] = v``) is a read of the container
+        attribute, so read-auditing is what catches unlocked dict/list
+        mutation; turn it off only for objects whose plain reads are a
+        documented part of their API.
+    """
+
+    def __init__(
+        self,
+        target: Any,
+        lock_attr: str = "_lock",
+        guarded: Optional[Iterable[str]] = None,
+        record_reads: bool = True,
+    ) -> None:
+        real_lock = getattr(target, lock_attr)
+        self.target = target
+        self.lock_attr = lock_attr
+        if guarded is None:
+            guarded = [name for name in vars(target) if name != lock_attr]
+        self.guarded = frozenset(guarded)
+        self.record_reads = bool(record_reads)
+        self._original_class = type(target)
+        self._real_lock = real_lock
+        self._audited_lock = _AuditedLock(real_lock)
+        self._violations: List[LockViolation] = []
+        self._violations_lock = threading.Lock()
+        self._installed = False
+        self._install()
+
+    # ------------------------------------------------------------------
+    # Instrumentation
+    # ------------------------------------------------------------------
+    def _record(self, attribute: str, operation: str) -> None:
+        violation = LockViolation(
+            attribute=attribute,
+            operation=operation,
+            thread=threading.current_thread().name,
+            location=_caller_location(),
+        )
+        with self._violations_lock:
+            self._violations.append(violation)
+
+    def _install(self) -> None:
+        audit = self
+        original = self._original_class
+
+        def __setattr__(instance: Any, name: str, value: Any) -> None:
+            if name in audit.guarded and not audit._audited_lock.held_by_current_thread():
+                audit._record(name, "write")
+            original.__setattr__(instance, name, value)
+
+        def __getattribute__(instance: Any, name: str) -> Any:
+            if (
+                audit.record_reads
+                and name in audit.guarded
+                and not audit._audited_lock.held_by_current_thread()
+            ):
+                audit._record(name, "read")
+            return original.__getattribute__(instance, name)
+
+        audited_class = type(
+            f"LockAudited{original.__name__}",
+            (original,),
+            {"__setattr__": __setattr__, "__getattribute__": __getattribute__},
+        )
+        object.__setattr__(self.target, self.lock_attr, self._audited_lock)
+        object.__setattr__(self.target, "__class__", audited_class)
+        self._installed = True
+
+    def uninstall(self) -> None:
+        """Restore the original class and lock; the audit stops recording."""
+        if not self._installed:
+            return
+        object.__setattr__(self.target, "__class__", self._original_class)
+        object.__setattr__(self.target, self.lock_attr, self._real_lock)
+        self._installed = False
+
+    def __enter__(self) -> "LockAudit":
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.uninstall()
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    @property
+    def violations(self) -> Tuple[LockViolation, ...]:
+        with self._violations_lock:
+            return tuple(self._violations)
+
+    def assert_clean(self) -> None:
+        """Raise :class:`LockAuditError` if any unlocked access was recorded."""
+        violations = self.violations
+        if violations:
+            rendered = "\n  ".join(v.render() for v in violations)
+            raise LockAuditError(
+                f"{len(violations)} unlocked guarded-state accesses:\n  {rendered}"
+            )

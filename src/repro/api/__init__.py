@@ -54,7 +54,7 @@ from repro.api.protocol import (
     Optimizer,
 )
 from repro.api.registry import Registry, RegistryEntry, UnknownComponentError
-from repro.api.seeding import seed_everything
+from repro.api.seeding import seed_everything, seed_legacy_globals
 
 __all__ = [
     "BayesianOptimizer",
@@ -88,5 +88,6 @@ __all__ = [
     "register_optimizer",
     "register_policy",
     "seed_everything",
+    "seed_legacy_globals",
     "vectorizable",
 ]

@@ -30,6 +30,7 @@ from typing import Any, Dict, Mapping, Optional, Union
 
 from repro.api import catalog
 from repro.api.protocol import Callbacks, OptimizationResult
+from repro.utils import atomic_write_text
 
 
 def _require_mapping(value: Any, what: str) -> Dict[str, Any]:
@@ -218,9 +219,8 @@ class RunConfig:
         return cls.from_dict(json.loads(text))
 
     def save(self, path) -> None:
-        """Write the config as JSON to ``path``."""
-        with open(path, "w", encoding="utf-8") as handle:
-            handle.write(self.to_json() + "\n")
+        """Write the config as JSON to ``path`` (atomically published)."""
+        atomic_write_text(path, self.to_json() + "\n")
 
     @classmethod
     def load(cls, path) -> "RunConfig":

@@ -34,6 +34,7 @@ import numpy as np
 
 from repro.api.configs import EnvConfig, OptimizerConfig, RunConfig
 from repro.orchestrate.units import DEFAULT_RUNNER, WorkUnit, canonical_json
+from repro.utils import atomic_write_text
 
 #: Default artifact-store directory of ``python -m repro.run``.
 DEFAULT_STORE_DIR = "sweep_artifacts"
@@ -263,8 +264,7 @@ class SweepConfig:
         return cls.from_dict(json.loads(text))
 
     def save(self, path) -> None:
-        with open(path, "w", encoding="utf-8") as handle:
-            handle.write(self.to_json() + "\n")
+        atomic_write_text(path, self.to_json() + "\n")
 
     @classmethod
     def load(cls, path) -> "SweepConfig":

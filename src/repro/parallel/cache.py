@@ -108,6 +108,9 @@ def _scale_by_pow10(values: np.ndarray, exponents: np.ndarray) -> np.ndarray:
         # so e.g. 1e11 * 10**-24 reconstructs as (1e11 / 1e2) / 1e22 — two
         # exact steps — instead of rounding twice.
         step = np.mod(magnitude, 22.0)
+        # repro: noqa[REP-FLT01] exact sentinel: np.mod of a float-valued
+        # integer by 22.0 yields exactly 0.0 for exact multiples, and only
+        # that exact value must select the full 10**22 chunk.
         return np.where((step == 0.0) & (magnitude > 0.0), 22.0, step)
 
     result = np.array(values, dtype=np.float64, copy=True)
@@ -134,6 +137,8 @@ def quantize_significant(values: np.ndarray, digits: int) -> np.ndarray:
     maps to the identical cache key.
     """
     values = np.asarray(values, dtype=np.float64)
+    # repro: noqa[REP-FLT01] exact sentinel: 0.0 has no log10/exponent, so
+    # exactly-zero entries (and only those) bypass the mantissa pipeline.
     nonzero = (values != 0.0) & np.isfinite(values)
     exponents = np.zeros(values.shape)
     np.floor(np.log10(np.abs(values, where=nonzero, out=np.ones_like(values))),
@@ -152,6 +157,9 @@ def quantize_significant(values: np.ndarray, digits: int) -> np.ndarray:
     # count is binary-searched (divisibility by 10^k is monotone in k), and
     # every factor involved stays an exactly representable integer.
     trailing = np.zeros(values.shape)
+    # repro: noqa[REP-FLT01] exact sentinel: the quantization-step mantissa
+    # is an exactly-representable integer; only the exact 0.0 it assigns to
+    # zero inputs must skip the trailing-zero factorization.
     candidate_mask = mantissa != 0.0
     for bit in (8.0, 4.0, 2.0, 1.0):
         factor = np.power(10.0, trailing + bit)

@@ -1,11 +1,12 @@
 """``python -m repro.run`` — the experiment and serving command line.
 
-One front door, four subcommands (each with its own ``--help``)::
+One front door, five subcommands (each with its own ``--help``)::
 
     python -m repro.run sweep sweep.json [--workers N] [--expand] ...
     python -m repro.run deploy ckpt/latest.npz requests.json [--batch-size N]
     python -m repro.run serve ckpt/latest.npz (--stdin | --port N) ...
     python -m repro.run surrogate {train,eval} ...
+    python -m repro.run analyze src/ [--strict] [--output report.json]
 
 ``sweep`` drives a whole experiment grid from one JSON document — either a
 :class:`repro.orchestrate.SweepConfig` (grid) or a single
@@ -17,8 +18,9 @@ scientific content of the sweep lives only in the JSON.
 ``deploy`` runs a finite request document against a checkpoint; ``serve``
 keeps the async gateway running over NDJSON or HTTP (both documented in
 :mod:`repro.serve.cli`); ``surrogate`` trains/evaluates the learned
-simulation tier (:mod:`repro.surrogate.cli`).  The serving subcommands pull
-in the nn/agents stack only when used.
+simulation tier (:mod:`repro.surrogate.cli`); ``analyze`` lints the tree
+against the project's invariant rules (:mod:`repro.analysis.cli`).  The
+serving subcommands pull in the nn/agents stack only when used.
 
 The pre-subcommand invocation ``python -m repro.run CONFIG.json [flags]``
 still works but emits a :class:`DeprecationWarning`; use
@@ -38,7 +40,7 @@ import warnings
 from pathlib import Path
 from typing import List, Optional, Sequence
 
-COMMANDS = ("sweep", "deploy", "serve", "surrogate")
+COMMANDS = ("sweep", "deploy", "serve", "surrogate", "analyze")
 
 _TOP_HELP = """\
 usage: python -m repro.run COMMAND [options]
@@ -48,6 +50,7 @@ commands:
   deploy     deploy a checkpointed policy over a batch of specification targets
   serve      run the async serving gateway (NDJSON over stdin/stdout, or HTTP)
   surrogate  train or evaluate the learned simulation surrogate
+  analyze    lint the tree against the project's invariant rules
 
 Run 'python -m repro.run COMMAND --help' for per-command options.
 """
@@ -166,6 +169,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from repro.surrogate.cli import main_surrogate
 
         return main_surrogate(rest)
+    if command == "analyze":
+        from repro.analysis.cli import main_analyze
+
+        return main_analyze(rest)
     # Pre-subcommand invocation: `python -m repro.run CONFIG.json [flags]`.
     # Recognized by a config-file-looking first token (or a leading flag, for
     # shapes like `--expand sweep.json`) and routed to `sweep` with a warning.

@@ -48,6 +48,7 @@ from repro.serve.protocol import (
     parse_requests_document,
 )
 from repro.serve.service import DeploymentService
+from repro.utils import atomic_write_text
 
 
 # ----------------------------------------------------------------------
@@ -153,9 +154,7 @@ def main_deploy(argv: Optional[Sequence[str]] = None) -> int:
             "service": service.stats_dict(),
             "results": [response.to_dict() for response in responses],
         }
-        with open(args.output, "w", encoding="utf-8") as handle:
-            json.dump(document, handle, indent=2, sort_keys=True)
-            handle.write("\n")
+        atomic_write_text(args.output, json.dumps(document, indent=2, sort_keys=True) + "\n")
         print(f"wrote {args.output}")
     return 0
 
@@ -417,9 +416,10 @@ def main_serve(argv: Optional[Sequence[str]] = None) -> int:
     finally:
         gateway.close(drain=True)
         if args.stats_output is not None:
-            with open(args.stats_output, "w", encoding="utf-8") as handle:
-                json.dump(gateway.stats_dict(), handle, indent=2, sort_keys=True)
-                handle.write("\n")
+            atomic_write_text(
+                args.stats_output,
+                json.dumps(gateway.stats_dict(), indent=2, sort_keys=True) + "\n",
+            )
         if hasattr(backend, "close"):
             backend.close()
     return 0

@@ -425,6 +425,9 @@ class DeploymentService:
         mark = self._tier_marks.get(env_id, (0, 0, 0))
         delta = (now[0] - mark[0], now[1] - mark[1], now[2] - mark[2])
         self.stats.record_tiers(*delta)
+        # repro: noqa[REP-LOCK01] serve_group() holds this env's lock from
+        # self._env_locks around every call, which is what serializes the
+        # mark read-modify-write; _registry_lock only guards registration.
         self._tier_marks[env_id] = now
         return delta
 

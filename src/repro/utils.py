@@ -37,3 +37,26 @@ def atomic_write_json(
         except OSError:
             pass
         raise
+
+
+def atomic_write_text(path: Union[str, os.PathLike], text: str) -> None:
+    """Write ``text`` with the same write-then-replace publication.
+
+    For callers that control their own serialization bytes exactly (e.g. a
+    config's ``to_json() + "\\n"``): the text lands in a temporary file in
+    the destination directory and is published with ``os.replace``, so
+    concurrent readers never observe a torn write.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, temp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        os.replace(temp_name, path)
+    except OSError:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise

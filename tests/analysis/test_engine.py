@@ -1,0 +1,223 @@
+"""Engine mechanics: suppressions, fingerprints, baselines, file discovery."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis import (
+    analyze_paths,
+    analyze_source,
+    baseline_document,
+    load_baseline,
+    split_baseline,
+)
+from repro.analysis.engine import BASELINE_VERSION, iter_python_files
+
+FLAGGED = """
+def check(x):
+    return x == 0.5
+"""
+
+
+def analyze(source, path="src/pkg/module.py"):
+    return analyze_source(textwrap.dedent(source), path)
+
+
+class TestSuppressions:
+    def test_same_line_noqa_with_reason_suppresses(self):
+        findings = analyze(
+            """
+            def check(x):
+                return x == 0.5  # repro: noqa[REP-FLT01] exact sentinel by construction
+            """
+        )
+        assert findings == []
+
+    def test_standalone_noqa_above_suppresses_next_code_line(self):
+        findings = analyze(
+            """
+            def check(x):
+                # repro: noqa[REP-FLT01] exact sentinel by construction
+                return x == 0.5
+            """
+        )
+        assert findings == []
+
+    def test_standalone_noqa_skips_blank_and_comment_lines(self):
+        findings = analyze(
+            """
+            def check(x):
+                # repro: noqa[REP-FLT01] exact sentinel by construction
+
+                # unrelated comment
+                return x == 0.5
+            """
+        )
+        assert findings == []
+
+    def test_noqa_without_reason_leaves_finding_live(self):
+        findings = analyze(
+            """
+            def check(x):
+                return x == 0.5  # repro: noqa[REP-FLT01]
+            """
+        )
+        assert len(findings) == 1
+        assert "missing a reason" in findings[0].message
+
+    def test_noqa_for_a_different_rule_does_not_suppress(self):
+        findings = analyze(
+            """
+            def check(x):
+                return x == 0.5  # repro: noqa[REP-DET01] wrong rule entirely
+            """
+        )
+        assert len(findings) == 1
+        assert "missing a reason" not in findings[0].message
+
+    def test_multi_rule_noqa_suppresses_both(self):
+        findings = analyze(
+            """
+            import time
+
+            def cache_key(x):
+                return (x, time.time() == 0.5)  # repro: noqa[REP-DET02, REP-FLT01] fixture
+            """,
+            path="src/pkg/parallel/cache.py",
+        )
+        assert findings == []
+
+    def test_noqa_only_covers_its_own_line(self):
+        findings = analyze(
+            """
+            def check(x):
+                a = x == 0.5  # repro: noqa[REP-FLT01] documented sentinel
+                b = x == 0.5
+                return a or b
+            """
+        )
+        assert len(findings) == 1
+        assert findings[0].line == 4
+
+
+class TestFingerprints:
+    def test_stable_under_line_drift(self):
+        before = analyze(FLAGGED)
+        after = analyze("\n# a new comment pushing everything down\n" + FLAGGED)
+        assert len(before) == len(after) == 1
+        assert before[0].line != after[0].line
+        assert before[0].fingerprint == after[0].fingerprint
+
+    def test_changes_when_flagged_line_changes(self):
+        a = analyze(FLAGGED)
+        b = analyze(FLAGGED.replace("0.5", "0.25"))
+        assert a[0].fingerprint != b[0].fingerprint
+
+    def test_changes_with_path(self):
+        a = analyze(FLAGGED, path="src/pkg/a.py")
+        b = analyze(FLAGGED, path="src/pkg/b.py")
+        assert a[0].fingerprint != b[0].fingerprint
+
+    def test_finding_dict_and_render_shape(self):
+        (finding,) = analyze(FLAGGED)
+        payload = finding.to_dict()
+        assert payload["rule"] == "REP-FLT01"
+        assert payload["fingerprint"] == finding.fingerprint
+        assert set(payload) == {
+            "rule", "path", "line", "col", "message", "hint", "fingerprint"
+        }
+        assert finding.render().startswith("src/pkg/module.py:3:")
+
+
+class TestBaseline:
+    def test_roundtrip_document_absorbs_findings(self, tmp_path):
+        findings = analyze(FLAGGED)
+        document = baseline_document(findings)
+        assert document["version"] == BASELINE_VERSION
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps(document), encoding="utf-8")
+        new, matched, stale = split_baseline(findings, load_baseline(path))
+        assert new == [] and stale == []
+        assert [f.fingerprint for f in matched] == [f.fingerprint for f in findings]
+
+    def test_each_entry_absorbs_at_most_one_finding(self):
+        findings = analyze(
+            """
+            def check(x, y):
+                a = x == 0.5
+                b = y == 0.5
+                return a or b
+            """
+        )
+        assert len(findings) == 2
+        # Both findings share neither line nor text, so grandfather only one.
+        entries = baseline_document(findings[:1])["findings"]
+        new, matched, stale = split_baseline(findings, entries)
+        assert len(matched) == 1 and len(new) == 1 and stale == []
+        # A duplicated pattern (identical source text) needs two entries.
+        twice = analyze(
+            """
+            def check(x):
+                return x == 0.5
+
+            def check_again(x):
+                return x == 0.5
+            """
+        )
+        assert len(twice) == 2
+        assert twice[0].fingerprint == twice[1].fingerprint
+        one_entry = baseline_document(twice[:1])["findings"]
+        new, matched, _ = split_baseline(twice, one_entry)
+        assert len(matched) == 1 and len(new) == 1
+
+    def test_fixed_finding_reports_stale_entry(self):
+        findings = analyze(FLAGGED)
+        entries = baseline_document(findings)["findings"]
+        new, matched, stale = split_baseline([], entries)
+        assert new == [] and matched == []
+        assert len(stale) == 1
+
+    def test_load_rejects_wrong_version(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 999, "findings": []}), encoding="utf-8")
+        with pytest.raises(ValueError):
+            load_baseline(path)
+
+    def test_load_rejects_non_list_findings(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(
+            json.dumps({"version": BASELINE_VERSION, "findings": {}}), encoding="utf-8"
+        )
+        with pytest.raises(ValueError):
+            load_baseline(path)
+
+
+class TestPathAnalysis:
+    def test_iter_python_files_recurses_and_skips_hidden(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "a.py").write_text("x = 1\n", encoding="utf-8")
+        (tmp_path / "pkg" / "b.txt").write_text("not python\n", encoding="utf-8")
+        (tmp_path / ".hidden").mkdir()
+        (tmp_path / ".hidden" / "c.py").write_text("y = 2\n", encoding="utf-8")
+        files = iter_python_files([tmp_path])
+        assert [f.name for f in files] == ["a.py"]
+
+    def test_iter_python_files_rejects_non_python_file(self, tmp_path):
+        target = tmp_path / "notes.txt"
+        target.write_text("hello\n", encoding="utf-8")
+        with pytest.raises(FileNotFoundError):
+            iter_python_files([target])
+
+    def test_analyze_paths_collects_findings_and_syntax_errors(self, tmp_path):
+        good = tmp_path / "good.py"
+        good.write_text("def check(x):\n    return x == 0.5\n", encoding="utf-8")
+        bad = tmp_path / "bad.py"
+        bad.write_text("def broken(:\n", encoding="utf-8")
+        report = analyze_paths([tmp_path])
+        assert report.files == 2
+        assert [f.rule for f in report.findings] == ["REP-FLT01"]
+        assert len(report.errors) == 1 and "syntax error" in report.errors[0]
+        assert report.by_rule() == {"REP-FLT01": 1}

@@ -1,0 +1,138 @@
+"""Unit tests for the runtime lock-audit sanitizer."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.analysis import LockAudit, LockAuditError
+
+
+class Counter:
+    """A miniature ServeStats: a lock plus the counters it guards."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.total = 0
+        self.by_key = {}
+
+    def record(self, key, n):
+        with self._lock:
+            self.total += n
+            self.by_key[key] = self.by_key.get(key, 0) + n
+
+    def sloppy_record(self, key, n):
+        self.total += n
+        self.by_key[key] = self.by_key.get(key, 0) + n
+
+    def snapshot(self):
+        with self._lock:
+            return {"total": self.total, "by_key": dict(self.by_key)}
+
+
+class TestLockAudit:
+    def test_locked_mutations_are_clean(self):
+        counter = Counter()
+        with LockAudit(counter) as audit:
+            counter.record("a", 2)
+            counter.record("b", 3)
+            counter.snapshot()
+        audit.assert_clean()
+        assert counter.total == 5
+
+    def test_unlocked_write_is_recorded(self):
+        counter = Counter()
+        with LockAudit(counter, record_reads=False) as audit:
+            counter.sloppy_record("a", 2)
+        violations = audit.violations
+        # `self.total += n` is the attribute write; the dict mutation is a
+        # subscript store (caught by read auditing, tested separately).
+        assert [v.operation for v in violations] == ["write"]
+        assert violations[0].attribute == "total"
+        with pytest.raises(LockAuditError) as excinfo:
+            audit.assert_clean()
+        assert "total" in str(excinfo.value)
+
+    def test_unlocked_container_mutation_caught_via_reads(self):
+        counter = Counter()
+        with LockAudit(counter, guarded=["by_key"]) as audit:
+            with counter._lock:
+                counter.by_key["locked"] = 1
+            counter.by_key["unlocked"] = 2  # a *read* of by_key, then mutation
+        violations = audit.violations
+        assert violations and all(v.attribute == "by_key" for v in violations)
+        assert all(v.operation == "read" for v in violations)
+
+    def test_violation_records_thread_and_location(self):
+        counter = Counter()
+        audit = LockAudit(counter, record_reads=False)
+        try:
+            worker = threading.Thread(
+                target=counter.sloppy_record, args=("a", 1), name="audit-worker"
+            )
+            worker.start()
+            worker.join()
+        finally:
+            audit.uninstall()
+        violation = audit.violations[0]
+        assert violation.thread == "audit-worker"
+        assert "sloppy_record" in violation.location
+        assert "unlocked" in violation.render() or "without" in violation.render()
+
+    def test_explicit_guarded_subset(self):
+        counter = Counter()
+        with LockAudit(counter, guarded=["total"], record_reads=False) as audit:
+            counter.by_key["free"] = 1  # not guarded: no violation
+            counter.total = 7  # guarded: violation
+        assert [v.attribute for v in audit.violations] == ["total"]
+
+    def test_uninstall_restores_class_and_lock(self):
+        counter = Counter()
+        original_class = type(counter)
+        original_lock = counter._lock
+        audit = LockAudit(counter)
+        assert type(counter) is not original_class
+        assert counter._lock is not original_lock
+        audit.uninstall()
+        assert type(counter) is original_class
+        assert counter._lock is original_lock
+        recorded_before = len(audit.violations)
+        counter.total = 99  # no longer audited
+        assert len(audit.violations) == recorded_before
+        audit.uninstall()  # idempotent
+
+    def test_reentrant_lock_holds_are_counted(self):
+        class RCounter:
+            def __init__(self):
+                self._lock = threading.RLock()
+                self.total = 0
+
+            def bump_twice(self):
+                with self._lock:
+                    with self._lock:
+                        self.total += 1
+                    self.total += 1  # still held after inner release
+
+        counter = RCounter()
+        with LockAudit(counter) as audit:
+            counter.bump_twice()
+        audit.assert_clean()
+        assert counter.total == 2
+
+    def test_concurrent_locked_traffic_stays_clean(self):
+        counter = Counter()
+        audit = LockAudit(counter, record_reads=False)
+        try:
+            threads = [
+                threading.Thread(target=counter.record, args=(f"k{i % 3}", 1))
+                for i in range(8)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        finally:
+            audit.uninstall()
+        audit.assert_clean()
+        assert counter.total == 8

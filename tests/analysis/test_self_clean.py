@@ -1,0 +1,54 @@
+"""The shipped tree must satisfy its own lint rules (modulo the baseline)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import (
+    ALL_RULES,
+    DEFAULT_BASELINE,
+    analyze_paths,
+    load_baseline,
+    split_baseline,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_src_tree_has_no_findings_beyond_the_baseline(monkeypatch):
+    # Baseline fingerprints hash the repo-relative path, exactly as the CI
+    # invocation (`python -m repro.run analyze src/` from the repo root)
+    # produces them.
+    monkeypatch.chdir(REPO_ROOT)
+    report = analyze_paths(["src"])
+    assert report.errors == []
+    assert report.files > 50  # sanity: the whole tree was actually scanned
+    entries = load_baseline(REPO_ROOT / DEFAULT_BASELINE)
+    new, _matched, stale = split_baseline(report.findings, entries)
+    assert new == [], "new findings:\n" + "\n".join(f.render() for f in new)
+    assert stale == [], (
+        "stale baseline entries (finding fixed? regenerate with "
+        "`python -m repro.run analyze src/ --write-baseline`): "
+        + ", ".join(str(e.get("fingerprint")) for e in stale)
+    )
+
+
+def test_baseline_is_small_and_annotated():
+    entries = load_baseline(REPO_ROOT / DEFAULT_BASELINE)
+    assert len(entries) <= 5  # grandfathering budget: burn down, never grow
+    for entry in entries:
+        assert entry.get("note"), f"baseline entry without a note: {entry}"
+
+
+def test_every_rule_documents_itself():
+    seen = set()
+    for rule in ALL_RULES:
+        assert rule.rule_id and rule.rule_id not in seen
+        seen.add(rule.rule_id)
+        assert rule.title and rule.rationale and rule.hint
+
+
+def test_rule_catalog_doc_covers_every_rule():
+    catalog = (REPO_ROOT / "docs" / "analysis-rules.md").read_text(encoding="utf-8")
+    for rule in ALL_RULES:
+        assert rule.rule_id in catalog, f"{rule.rule_id} missing from docs/analysis-rules.md"

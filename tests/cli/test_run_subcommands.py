@@ -20,12 +20,12 @@ from repro import run as run_module
 REPO_SRC = Path(repro.__file__).resolve().parents[1]
 
 
-def run_cli(*args, timeout=300):
+def run_cli(*args, timeout=300, cwd=None):
     env = dict(os.environ)
     env["PYTHONPATH"] = str(REPO_SRC) + os.pathsep + env.get("PYTHONPATH", "")
     return subprocess.run(
         [sys.executable, "-m", "repro.run", *map(str, args)],
-        capture_output=True, text=True, env=env, timeout=timeout,
+        capture_output=True, text=True, env=env, timeout=timeout, cwd=cwd,
     )
 
 
@@ -47,7 +47,7 @@ class TestHelp:
         for args in ([], ["--help"], ["-h"], ["help"]):
             completed = run_cli(*args)
             assert completed.returncode == 0, completed.stderr
-            for command in ("sweep", "deploy", "serve", "surrogate"):
+            for command in ("sweep", "deploy", "serve", "surrogate", "analyze"):
                 assert command in completed.stdout
 
     @pytest.mark.parametrize(
@@ -57,6 +57,7 @@ class TestHelp:
             ("deploy", "--batch-size"),
             ("serve", "--max-batch-delay-ms"),
             ("surrogate", "train"),
+            ("analyze", "--strict"),
         ],
     )
     def test_each_subcommand_has_its_own_help(self, command, marker):
@@ -120,6 +121,97 @@ class TestDispatch:
         completed = run_cli("sweep", document, "--store", tmp_path / "store", "--quiet")
         assert completed.returncode == 0, completed.stderr[-2000:]
         assert "1 units: 1 executed" in completed.stdout
+
+
+class TestAnalyze:
+    """``analyze``: the invariant lint subcommand, end to end."""
+
+    FLAGGED = "def check(x):\n    return x == 0.5\n"
+    CLEAN = "def check(x):\n    return abs(x - 0.5) < 1e-9\n"
+
+    def test_finding_exits_1_with_rendered_report(self, tmp_path):
+        target = tmp_path / "flagged.py"
+        target.write_text(self.FLAGGED)
+        completed = run_cli("analyze", target)
+        assert completed.returncode == 1
+        assert "REP-FLT01" in completed.stdout
+        assert "hint:" in completed.stdout
+        assert "1 finding(s)" in completed.stdout
+
+    def test_clean_tree_exits_0(self, tmp_path):
+        (tmp_path / "clean.py").write_text(self.CLEAN)
+        completed = run_cli("analyze", tmp_path)
+        assert completed.returncode == 0, completed.stderr
+        assert "0 finding(s)" in completed.stdout
+
+    def test_json_format_and_output_artifact(self, tmp_path):
+        (tmp_path / "flagged.py").write_text(self.FLAGGED)
+        report_path = tmp_path / "report.json"
+        completed = run_cli(
+            "analyze", tmp_path, "--format", "json", "--output", report_path
+        )
+        assert completed.returncode == 1
+        document = json.loads(completed.stdout)
+        assert document["summary"]["new"] == 1
+        assert document["summary"]["by_rule"] == {"REP-FLT01": 1}
+        assert json.loads(report_path.read_text()) == document
+
+    def test_write_baseline_then_baselined_run_exits_0(self, tmp_path):
+        (tmp_path / "flagged.py").write_text(self.FLAGGED)
+        baseline = tmp_path / "baseline.json"
+        wrote = run_cli("analyze", tmp_path, "--baseline", baseline, "--write-baseline")
+        assert wrote.returncode == 0, wrote.stderr
+        assert baseline.is_file()
+        completed = run_cli("analyze", tmp_path, "--baseline", baseline)
+        assert completed.returncode == 0, completed.stderr
+        assert "1 baselined" in completed.stdout
+        # A second instance of the grandfathered pattern still fails.
+        (tmp_path / "flagged_again.py").write_text(self.FLAGGED)
+        completed = run_cli("analyze", tmp_path, "--baseline", baseline)
+        assert completed.returncode == 1
+
+    def test_strict_ignores_the_baseline(self, tmp_path):
+        (tmp_path / "flagged.py").write_text(self.FLAGGED)
+        baseline = tmp_path / "baseline.json"
+        run_cli("analyze", tmp_path, "--baseline", baseline, "--write-baseline")
+        completed = run_cli("analyze", tmp_path, "--baseline", baseline, "--strict")
+        assert completed.returncode == 1
+        assert "strict" in completed.stdout
+
+    def test_stale_baseline_entry_is_reported(self, tmp_path):
+        flagged = tmp_path / "flagged.py"
+        flagged.write_text(self.FLAGGED)
+        baseline = tmp_path / "baseline.json"
+        run_cli("analyze", tmp_path, "--baseline", baseline, "--write-baseline")
+        flagged.write_text(self.CLEAN)  # pay down the debt
+        completed = run_cli("analyze", tmp_path, "--baseline", baseline)
+        assert completed.returncode == 0  # stale entries inform, never fail
+        assert "stale baseline entry" in completed.stdout
+
+    def test_syntax_error_exits_2(self, tmp_path):
+        (tmp_path / "broken.py").write_text("def broken(:\n")
+        completed = run_cli("analyze", tmp_path)
+        assert completed.returncode == 2
+        assert "syntax error" in completed.stderr
+
+    def test_missing_path_exits_2(self, tmp_path):
+        completed = run_cli("analyze", tmp_path / "nope.txt")
+        assert completed.returncode == 2
+        assert "error:" in completed.stderr
+
+    def test_rules_catalog_lists_every_rule(self):
+        from repro.analysis import ALL_RULES
+
+        completed = run_cli("analyze", "--rules")
+        assert completed.returncode == 0
+        for rule in ALL_RULES:
+            assert rule.rule_id in completed.stdout
+
+    def test_shipped_tree_passes_with_checked_in_baseline(self):
+        repo_root = REPO_SRC.parent
+        completed = run_cli("analyze", "src", cwd=repo_root)
+        assert completed.returncode == 0, completed.stdout + completed.stderr
+        assert "baseline-aware" in completed.stdout
 
 
 def test_help_text_stays_in_sync_with_command_table():

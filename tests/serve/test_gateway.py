@@ -154,23 +154,31 @@ class TestGatewayParity:
             )
 
     def test_concurrent_submitters_still_match(self, service, targets, references):
+        from repro.analysis import LockAudit
+
         responses = {}
         lock = threading.Lock()
         with Gateway(service, num_workers=2, max_batch_delay_ms=30.0) as gw:
-            def submit(i):
-                future = gw.submit(
-                    ServeRequest(target_specs=dict(targets[i]), max_steps=MAX_STEPS)
-                )
-                result = future.result(timeout=120)
-                with lock:
-                    responses[i] = result
+            # Race detector: any unlocked write to the shared serve stats by
+            # a worker or submitter fails the test even if counts line up.
+            with LockAudit(gw.stats, record_reads=False) as gateway_audit, \
+                    LockAudit(service.stats, record_reads=False) as service_audit:
+                def submit(i):
+                    future = gw.submit(
+                        ServeRequest(target_specs=dict(targets[i]), max_steps=MAX_STEPS)
+                    )
+                    result = future.result(timeout=120)
+                    with lock:
+                        responses[i] = result
 
-            threads = [threading.Thread(target=submit, args=(i,))
-                       for i in range(len(targets))]
-            for thread in threads:
-                thread.start()
-            for thread in threads:
-                thread.join()
+                threads = [threading.Thread(target=submit, args=(i,))
+                           for i in range(len(targets))]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+        gateway_audit.assert_clean()
+        service_audit.assert_clean()
         for i, reference in enumerate(references):
             assert responses[i].steps == reference.steps
             assert responses[i].final_specs == reference.final_specs

@@ -1,0 +1,84 @@
+"""LockAudit wired into the gateway: serve traffic must never touch
+shared stats unlocked — and the audit must catch it loudly when it does."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.analysis import LockAudit, LockAuditError
+from repro.serve import DeploymentService, Gateway, ServeRequest
+from repro.serve.service import ServeStats
+
+MAX_STEPS = 6
+
+
+@pytest.fixture(scope="module")
+def policy():
+    env = repro.make_env("opamp-p2s-v0", seed=0, max_steps=MAX_STEPS)
+    return repro.make_policy("gcn_fc", env, np.random.default_rng(0))
+
+
+@pytest.fixture(scope="module")
+def targets():
+    env = repro.make_env("opamp-p2s-v0", seed=0)
+    return [dict(t) for t in env.benchmark.spec_space.sample_batch(
+        np.random.default_rng(11), 4
+    )]
+
+
+@pytest.fixture
+def service(policy):
+    service = DeploymentService(batch_size=2)
+    service.register_policy("opamp-p2s-v0", policy)
+    return service
+
+
+def make_requests(targets):
+    return [
+        ServeRequest(target_specs=dict(target), max_steps=MAX_STEPS,
+                     request_id=f"r{i}")
+        for i, target in enumerate(targets)
+    ]
+
+
+def test_gateway_traffic_mutates_stats_only_under_lock(service, targets):
+    """The shipped stats path is audit-clean under concurrent workers."""
+    with Gateway(service, num_workers=2, max_batch_delay_ms=10.0) as gw:
+        with LockAudit(gw.stats, record_reads=False) as gateway_audit, \
+                LockAudit(service.stats, record_reads=False) as service_audit:
+            responses = gw.serve(make_requests(targets), timeout=120)
+    assert all(response.ok for response in responses)
+    gateway_audit.assert_clean()
+    service_audit.assert_clean()
+
+
+def test_audit_catches_unlocked_mutation_in_gateway_worker(
+    service, targets, monkeypatch
+):
+    """Reintroduce an unlocked ServeStats fold (the pre-gateway bug shape)
+    and assert the audit pins it to a worker thread."""
+
+    def unlocked_record_batch(self, size, trigger):
+        # Deliberately skips `with self._lock:` — the audited instance's
+        # dynamic subclass inherits this and must record every write.
+        self.batches += 1
+        self.coalesce_sum += size
+        self.max_coalesce = max(self.max_coalesce, size)
+
+    monkeypatch.setattr(ServeStats, "record_batch", unlocked_record_batch)
+    with Gateway(service, num_workers=2, max_batch_delay_ms=10.0) as gw:
+        with LockAudit(gw.stats, record_reads=False) as audit:
+            responses = gw.serve(make_requests(targets), timeout=120)
+    assert all(response.ok for response in responses)
+    violations = audit.violations
+    assert violations, "unlocked stats fold went undetected"
+    assert {v.attribute for v in violations} <= {
+        "batches", "coalesce_sum", "max_coalesce"
+    }
+    assert all(v.operation == "write" for v in violations)
+    assert any(v.thread.startswith("gateway-worker-") for v in violations)
+    assert any("unlocked_record_batch" in v.location for v in violations)
+    with pytest.raises(LockAuditError, match="unlocked guarded-state"):
+        audit.assert_clean()
