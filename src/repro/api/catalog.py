@@ -73,7 +73,7 @@ register_optimizer = OPTIMIZERS.register
 # ----------------------------------------------------------------------
 def vectorizable(builder: Callable[..., CircuitDesignEnv]) -> Callable[..., EnvironmentLike]:
     """Give an environment factory the ``num_envs`` / ``cache_size`` /
-    ``surrogate`` / ``surrogate_dir`` knobs.
+    ``compile`` / ``surrogate`` / ``surrogate_dir`` knobs.
 
     ``make_env(id, num_envs=k)`` then returns a
     :class:`repro.parallel.VectorCircuitEnv` of ``k`` sub-environments
@@ -89,6 +89,11 @@ def vectorizable(builder: Callable[..., CircuitDesignEnv]) -> Callable[..., Envi
     answers trusted queries, exact results are persisted into the corpus —
     and a vectorized batch shares that one tier.  Third-party factories
     registered via :func:`register_env` can apply the same decorator.
+
+    ``compile=True`` (with ``num_envs > 1``) turns on the compiled episode
+    plan of :mod:`repro.compile`: the vectorized batch is stepped through a
+    traced, bitwise-verified fast path when the topology supports it, and
+    falls back to the interpreted loop when it does not.
     """
 
     @functools.wraps(builder)
@@ -96,6 +101,7 @@ def vectorizable(builder: Callable[..., CircuitDesignEnv]) -> Callable[..., Envi
         seed: Optional[int] = None,
         num_envs: int = 1,
         cache_size: Optional[int] = None,
+        compile: bool = False,
         surrogate: Any = None,
         surrogate_dir: Optional[str] = None,
         **kwargs: Any,
@@ -125,6 +131,7 @@ def vectorizable(builder: Callable[..., CircuitDesignEnv]) -> Callable[..., Envi
             num_envs=num_envs,
             seed=seed,
             cache_size=cache_size if cache_size is not None else DEFAULT_CACHE_SIZE,
+            compile=compile,
         )
 
     return factory
@@ -147,6 +154,54 @@ def _opamp_p2s_v0(
     return CircuitDesignEnv(
         benchmark=benchmark,
         simulator=OpAmpSimulator(),
+        reward_fn=P2SReward(benchmark.spec_space),
+        max_steps=max_steps,
+        initial_sizing=initial_sizing,
+        goal_tolerance=goal_tolerance,
+        seed=seed,
+    )
+
+
+@register_env(
+    "opamp-mna-v0",
+    description="Two-stage op-amp, P2S reward, MNA small-signal AC simulator, 50-step episodes",
+    metadata={"circuit": "two_stage_opamp", "task": "p2s", "fidelity": "mna"},
+)
+@vectorizable
+def _opamp_mna_p2s_v0(
+    seed: Optional[int] = None,
+    max_steps: int = 50,
+    initial_sizing: str = "center",
+    goal_tolerance: float = 0.0,
+) -> CircuitDesignEnv:
+    benchmark = build_two_stage_opamp()
+    return CircuitDesignEnv(
+        benchmark=benchmark,
+        simulator=OpAmpSimulator(method="mna"),
+        reward_fn=P2SReward(benchmark.spec_space),
+        max_steps=max_steps,
+        initial_sizing=initial_sizing,
+        goal_tolerance=goal_tolerance,
+        seed=seed,
+    )
+
+
+@register_env(
+    "current_mirror_ota-mna-v0",
+    description="Current-mirror OTA, P2S reward, MNA small-signal AC simulator, 40-step episodes",
+    metadata={"circuit": "current_mirror_ota", "task": "p2s", "fidelity": "mna"},
+)
+@vectorizable
+def _cm_ota_mna_p2s_v0(
+    seed: Optional[int] = None,
+    max_steps: Optional[int] = None,
+    initial_sizing: str = "center",
+    goal_tolerance: float = 0.0,
+) -> CircuitDesignEnv:
+    benchmark = build_current_mirror_ota()
+    return CircuitDesignEnv(
+        benchmark=benchmark,
+        simulator=CmOtaSimulator(method="mna"),
         reward_fn=P2SReward(benchmark.spec_space),
         max_steps=max_steps,
         initial_sizing=initial_sizing,
@@ -383,10 +438,14 @@ _register_optimizers()
 def make_env(id: str, **kwargs: Any) -> EnvironmentLike:
     """Build an environment by string ID, e.g. ``make_env("opamp-p2s-v0", seed=0)``.
 
-    All built-in environments accept ``num_envs`` and ``cache_size``:
-    ``make_env("opamp-p2s-v0", seed=0, num_envs=8)`` returns an 8-wide
-    :class:`repro.parallel.VectorCircuitEnv` with a shared simulation cache,
-    while ``num_envs=1`` (default) returns the sequential environment.
+    All built-in environments accept ``num_envs``, ``cache_size`` and
+    ``compile``: ``make_env("opamp-p2s-v0", seed=0, num_envs=8)`` returns an
+    8-wide :class:`repro.parallel.VectorCircuitEnv` with a shared simulation
+    cache, while ``num_envs=1`` (default) returns the sequential
+    environment.  ``compile=True`` additionally replays steps through
+    compiled per-topology episode plans (see :mod:`repro.compile`) —
+    bitwise identical to the interpreted path, falling back transparently
+    for configurations that cannot be traced.
     """
     return ENVS.make(id, **kwargs)
 

@@ -1,0 +1,60 @@
+"""Compiled per-topology execution plans for the serving/rollout hot path.
+
+The interpreted stack is written for clarity: every policy inference walks a
+Module tree, every environment step runs ``K`` independent scalar simulator
+calls, and every MNA analysis re-stamps its matrix from Python objects.
+This package trades that flexibility for speed **without trading away a
+single bit of behaviour**:
+
+* :func:`compile_policy` / :class:`CompiledPolicyPlan` — trace one
+  ``ActorCriticPolicy`` batched forward into a flat list of array ops with
+  the topology's adjacency operators baked in; replay does zero
+  Module/Tensor dispatch and is probed bitwise against the interpreted
+  ``act_batch`` at build time.
+* :class:`BatchedMNAPlan` — stamp all ``K`` per-env MNA systems of one
+  topology into a single stacked ``(K, n, n)`` tensor built once (structure
+  at plan time, parameter-dependent entries restamped per step) and solve
+  them with one stacked LAPACK call; Newton DC iterates only the
+  not-yet-converged slice.
+* :class:`CompiledEpisodePlan` — the batched ``VectorCircuitEnv.step``:
+  vectorized action snapping, a batched simulator kernel, vectorized cache
+  keys, and batched observation assembly around a slim sequential
+  bookkeeping pass that preserves cache and autoreset ordering exactly.
+* :class:`PlanCache` — keyed plan storage with config-snapshot invalidation
+  and negative caching of :class:`UntraceableError` build failures, so an
+  uncompilable configuration falls back to the interpreted path once and
+  quietly ("degrades gracefully, never wrongly").
+
+Anything the tracer cannot reproduce bitwise — subclassed modules, unshared
+simulators, cache subclasses, unknown simulator types, or a build-time probe
+mismatch — raises :class:`UntraceableError` and the caller keeps using the
+interpreted code.
+"""
+
+from repro.compile.errors import UntraceableError
+from repro.compile.plan_cache import DEFAULT_PLAN_CACHE_SIZE, PlanCache, PlanCacheStats
+from repro.compile.mna_plan import BatchedMNAPlan, solve_chunk_rows
+from repro.compile.policy_plan import CompiledPolicyPlan, compile_policy
+from repro.compile.sim_kernels import (
+    CmOtaKernel,
+    KernelResult,
+    OpAmpKernel,
+    build_simulator_kernel,
+)
+from repro.compile.env_plan import CompiledEpisodePlan
+
+__all__ = [
+    "UntraceableError",
+    "PlanCache",
+    "PlanCacheStats",
+    "DEFAULT_PLAN_CACHE_SIZE",
+    "BatchedMNAPlan",
+    "solve_chunk_rows",
+    "CompiledPolicyPlan",
+    "compile_policy",
+    "CompiledEpisodePlan",
+    "KernelResult",
+    "OpAmpKernel",
+    "CmOtaKernel",
+    "build_simulator_kernel",
+]

@@ -1,0 +1,596 @@
+"""Compiled per-topology episode plan for the vectorized environment.
+
+:class:`CompiledEpisodePlan` replaces ``VectorCircuitEnv.step``'s per-env
+Python loop (``K`` × [action snap → netlist rewrite → simulate → reward →
+observation]) with a handful of batched array operations plus one slim
+sequential bookkeeping pass, while producing **bitwise-identical** episode
+trajectories — observations, rewards, done flags, info dicts, trajectory
+records, and shared-cache statistics all match the interpreted path exactly.
+
+How the parity is kept
+----------------------
+* **Physics**: the per-env scalar simulator is replaced by a vectorized twin
+  from :mod:`repro.compile.sim_kernels` whose every expression mirrors the
+  scalar association; the build probes the kernel against the real simulator
+  on a spread of snapped design points and refuses (raises
+  :class:`UntraceableError`) on any bit mismatch.
+* **Action math**: :class:`~repro.circuits.parameters.DesignSpace`'s vector
+  methods are already elementwise-equal to the scalar path, so the batched
+  double-snap (``snap_vector(apply_actions(...))``) reproduces the
+  interpreted ``apply_actions`` → ``apply_to_netlist`` sequence.
+* **Cache semantics**: the shared :class:`SimulationCache` is replayed
+  entry-for-entry in env order — hit/miss/eviction counters, LRU order and
+  the *cached* spec dicts (which may be quantized-equal but not bitwise-equal
+  to the kernel's row) are exactly what the interpreted loop would produce.
+  Keys are computed vectorized with the cache's own binary-mantissa
+  quantization.
+* **Interleaving**: the interpreted loop fully processes env ``i`` —
+  including an autoreset's simulator/cache traffic — before env ``i+1``.
+  The compiled step therefore does all *pure* math batched up front, then
+  runs one sequential bookkeeping loop in env order for everything that is
+  order-sensitive (cache ops, trajectory records, inline interpreted
+  resets).
+* **Degrades gracefully, never wrongly**: any precondition the batched path
+  cannot honor exactly — a finished episode in the batch, malformed or
+  out-of-range actions, an incomplete target group — routes the *whole* step
+  to the interpreted implementation, which reproduces the exact partial
+  mutations and exceptions of the sequential contract.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.circuits.specs import Objective
+from repro.compile.errors import UntraceableError
+from repro.compile.sim_kernels import build_simulator_kernel
+from repro.env.circuit_env import StepRecord
+from repro.env.reward import P2SReward, RewardOutcome
+from repro.env.spaces import BatchedObservation, Observation
+from repro.parallel.cache import SimulationCache
+from repro.simulation.base import SimulationResult
+
+#: Number of probe points the build-time bitwise check evaluates (beyond the
+#: three deterministic ones: center, lower bound, upper bound).
+_PROBE_RANDOM_POINTS = 5
+
+#: numpy's add.reduce is strictly left-to-right only below its 8-wide unroll;
+#: the inlined scalar reward replica relies on that to match
+#: ``np.array(errors).sum()`` bitwise, so wider spec spaces take the
+#: interpreted reward call instead.
+_MAX_SEQUENTIAL_SUM = 8
+
+
+def _bitwise_equal(a: float, b: float) -> bool:
+    return np.float64(a).tobytes() == np.float64(b).tobytes()
+
+
+class _SpecMath:
+    """Baked per-spec constants for the vectorized observation/reward math."""
+
+    def __init__(self, spec_space) -> None:
+        self.space = spec_space
+        self.names: List[str] = list(spec_space.names)
+        self.minimize = np.array(
+            [spec.objective is Objective.MINIMIZE for spec in spec_space]
+        )
+        self.mins = np.array([spec.minimum for spec in spec_space])
+        self.spans = np.array([spec.maximum - spec.minimum for spec in spec_space])
+
+    def matrix(self, dicts: List[Dict[str, float]]) -> np.ndarray:
+        return np.array([[float(values[name]) for name in self.names] for values in dicts])
+
+    def normalize(self, matrix: np.ndarray) -> np.ndarray:
+        """Twin of ``SpecificationSpace.normalize`` over stacked rows."""
+        return (matrix - self.mins) / self.spans
+
+    def raw_errors(self, measured: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        """Twin of ``SpecificationSpace.normalized_errors`` (non-defensive)."""
+        with np.errstate(divide="ignore", invalid="ignore"):
+            denominator = np.abs(measured) + np.abs(targets)
+            difference = (measured - targets) / denominator
+        difference = np.where(self.minimize, -difference, difference)
+        clipped = np.where(difference > 0.0, 0.0, difference)
+        return np.where(denominator <= 0.0, 0.0, clipped)
+
+
+class CompiledEpisodePlan:
+    """One vector env's compiled step, bound to its sub-environments.
+
+    Raises :class:`UntraceableError` from the constructor when any part of
+    the configuration has no exact batched twin; the caller (the
+    :class:`~repro.compile.plan_cache.PlanCache` inside
+    ``VectorCircuitEnv``) then falls back to the interpreted step for good.
+    """
+
+    def __init__(self, vector_env) -> None:
+        envs = list(vector_env.envs)
+        self._vector_env = vector_env
+        self._envs = envs
+        self.num_envs = len(envs)
+        self.steps_compiled = 0
+        self.fallback_steps = 0
+        self.last_fallback_reason: Optional[str] = None
+
+        first = envs[0]
+        benchmark = first.benchmark
+        for env in envs:
+            if env.benchmark is not benchmark:
+                raise UntraceableError("sub-environments must share one benchmark object")
+            if env.simulator is not first.simulator:
+                raise UntraceableError("sub-environments must share one simulator object")
+            if env.reward_fn is not first.reward_fn:
+                raise UntraceableError("sub-environments must share one reward function")
+        self._design_space = benchmark.design_space
+        self._parameters = list(self._design_space)
+        self.num_parameters = len(self._parameters)
+
+        # --- simulator / cache resolution -----------------------------
+        simulator = first.simulator
+        if type(simulator) is SimulationCache:
+            self._cache: Optional[SimulationCache] = simulator
+            inner = simulator.simulator
+        elif isinstance(simulator, SimulationCache):
+            raise UntraceableError(
+                f"cannot replay cache subclass {type(simulator).__name__} exactly"
+            )
+        else:
+            self._cache = None
+            inner = simulator
+        self._simulator = inner
+
+        # --- parameter layout -----------------------------------------
+        base_netlist = first.data_processor.netlist
+        self._name_bytes = base_netlist.name.encode()
+        base_row = base_netlist.parameter_array()
+        from repro.compile.sim_kernels import param_flat_index
+
+        self._knob_cols = np.array(
+            [
+                param_flat_index(base_netlist, p.device, p.attribute)
+                for p in self._parameters
+            ]
+        )
+        knob_mask = np.zeros(base_row.shape[0], dtype=bool)
+        knob_mask[self._knob_cols] = True
+        fixed = base_row[~knob_mask]
+        for env in envs:
+            row = env.data_processor.netlist.parameter_array()
+            if row[~knob_mask].tobytes() != fixed.tobytes():
+                raise UntraceableError(
+                    "sub-environments disagree on non-tunable netlist parameters"
+                )
+            if env.data_processor.netlist.name != base_netlist.name:
+                raise UntraceableError("sub-environments disagree on the netlist name")
+        self._base_row = base_row
+        self._full = np.tile(base_row, (self.num_envs, 1))
+        # Per-env (device-parameter dict, key) pairs for the knob writes —
+        # Device.set_parameter is a key check plus ``dict[key] = float(v)``,
+        # so with keys validated here a direct dict store is identical.
+        self._knob_writes = []
+        for env in envs:
+            writes = []
+            for parameter in self._parameters:
+                device = env.data_processor.netlist.device(parameter.device)
+                if parameter.attribute not in device.parameters:
+                    raise UntraceableError(
+                        f"device '{parameter.device}' has no parameter "
+                        f"'{parameter.attribute}'"
+                    )
+                writes.append((device.parameters, parameter.attribute))
+            self._knob_writes.append(writes)
+
+        # --- simulator kernel + build-time bitwise probe ---------------
+        self._kernel = build_simulator_kernel(inner, base_netlist, self.num_envs)
+        self._obs_specs = _SpecMath(benchmark.spec_space)
+        kernel_names = set(self._kernel_probe_names())
+        missing = [n for n in self._obs_specs.names if n not in kernel_names]
+        if missing:
+            raise UntraceableError(f"kernel does not produce specs {missing}")
+
+        # --- reward path ----------------------------------------------
+        reward_fn = first.reward_fn
+        self._reward_fn = reward_fn
+        self._is_fom_mode = first.is_fom_mode
+        self._p2s_inline = (
+            type(reward_fn) is P2SReward
+            and len(reward_fn.spec_space) < _MAX_SEQUENTIAL_SUM
+        )
+        if self._p2s_inline:
+            self._reward_specs = [
+                (spec.name, spec.objective is Objective.MINIMIZE)
+                for spec in reward_fn.spec_space
+            ]
+            missing = [n for n, _ in self._reward_specs if n not in kernel_names]
+            if missing:
+                raise UntraceableError(f"kernel does not produce reward specs {missing}")
+
+        # --- graph feature scatter -------------------------------------
+        graph = first.data_processor.graph
+        self._node_base = graph._base_features
+        self._feature_rows = graph._feature_rows
+        self._feature_cols = graph._feature_cols
+        self._feature_scales = graph._feature_scales
+        from repro.graph.features import dynamic_parameter_reads
+
+        read_cols: List[int] = []
+        for name in graph.node_names:
+            device = base_netlist.device(name)
+            for key, _scale, _slot in dynamic_parameter_reads(device):
+                read_cols.append(param_flat_index(base_netlist, name, key))
+        if len(read_cols) != len(self._feature_rows):
+            raise UntraceableError("node-feature read plan does not match the graph")
+        self._feature_read_cols = np.array(read_cols)
+        for env in envs[1:]:
+            other = env.data_processor.graph
+            if (
+                other.node_names != graph.node_names
+                or other._base_features.tobytes() != self._node_base.tobytes()
+                or not np.array_equal(other._feature_rows, self._feature_rows)
+                or not np.array_equal(other._feature_cols, self._feature_cols)
+                or other._feature_scales.tobytes() != self._feature_scales.tobytes()
+            ):
+                raise UntraceableError("sub-environments disagree on the circuit graph")
+
+        self._adjacency = first.data_processor.adjacency
+        self._static_stack = np.stack(
+            [env.data_processor._static_features for env in envs]
+        )
+
+        self._probe_kernel()
+
+    # ------------------------------------------------------------------
+    # Build-time verification
+    # ------------------------------------------------------------------
+    def _kernel_probe_names(self) -> List[str]:
+        """Spec names the kernel produces (probed on the base parameters)."""
+        result = self._kernel.evaluate(self._full)
+        return list(result.specs)
+
+    def _probe_points(self) -> np.ndarray:
+        space = self._design_space
+        points = [
+            space.center(),
+            space.snap_vector(space.lower_bounds),
+            space.snap_vector(space.upper_bounds),
+        ]
+        rng = np.random.default_rng(0)
+        for _ in range(_PROBE_RANDOM_POINTS):
+            points.append(space.sample(rng))
+        return np.stack(points)
+
+    def _probe_kernel(self) -> None:
+        """Bitwise-compare the kernel against the scalar simulator.
+
+        Evaluates a spread of snapped design points through both paths; any
+        difference in spec values, detail values, or validity makes the whole
+        plan untraceable — "degrades gracefully, never wrongly".
+        """
+        points = self._probe_points()
+        scratch = self._envs[0].data_processor.netlist.copy()
+        full = np.tile(self._base_row, (self.num_envs, 1))
+        for start in range(0, points.shape[0], self.num_envs):
+            chunk = points[start:start + self.num_envs]
+            for slot in range(self.num_envs):
+                row = chunk[min(slot, chunk.shape[0] - 1)]
+                full[slot] = self._base_row
+                full[slot, self._knob_cols] = row
+            result = self._kernel.evaluate(full)
+            for slot in range(chunk.shape[0]):
+                row = chunk[slot]
+                for parameter, value in zip(self._parameters, row):
+                    scratch.set_parameter(parameter.device, parameter.attribute, value)
+                reference = self._simulator.simulate(scratch)
+                batched_specs = result.spec_dict(slot)
+                batched_details = result.detail_dict(slot)
+                if set(batched_specs) != set(reference.specs) or any(
+                    not _bitwise_equal(batched_specs[k], reference.specs[k])
+                    for k in reference.specs
+                ):
+                    raise UntraceableError(
+                        f"kernel spec mismatch on probe point {start + slot}"
+                    )
+                if set(batched_details) != set(reference.details) or any(
+                    not _bitwise_equal(batched_details[k], reference.details[k])
+                    for k in reference.details
+                ):
+                    raise UntraceableError(
+                        f"kernel detail mismatch on probe point {start + slot}"
+                    )
+                if bool(result.valid[slot]) != bool(reference.valid):
+                    raise UntraceableError(
+                        f"kernel validity mismatch on probe point {start + slot}"
+                    )
+
+    # ------------------------------------------------------------------
+    # Step
+    # ------------------------------------------------------------------
+    def _fallback(self, actions, reason: str):
+        self.fallback_steps += 1
+        self.last_fallback_reason = reason
+        return self._vector_env._step_interpreted(actions)
+
+    def step(
+        self, actions: np.ndarray
+    ) -> Tuple[BatchedObservation, np.ndarray, np.ndarray, List[Dict[str, object]]]:
+        envs = self._envs
+        actions = np.asarray(actions, dtype=np.int64)
+        if actions.shape != (self.num_envs, self.num_parameters):
+            return self._fallback(actions, "actions have the wrong shape")
+        if bool(np.any(actions < 0)) or bool(np.any(actions > 2)):
+            return self._fallback(actions, "action index out of range")
+        if any(env._done for env in envs):
+            return self._fallback(actions, "a sub-environment episode is finished")
+        if type(self._reward_fn) is P2SReward:
+            names = self._reward_fn.spec_space.names
+            if any(any(name not in env._targets for name in names) for env in envs):
+                return self._fallback(actions, "incomplete target specification group")
+
+        # --- batched pure math ----------------------------------------
+        # _values is the processor's own cache of the last written vector
+        # (always set once the episode has been reset); np.stack copies, so
+        # reading it directly skips one defensive copy per env.
+        current = np.stack(
+            [
+                env.data_processor._values
+                if env.data_processor._values is not None
+                else env.data_processor.parameter_values
+                for env in envs
+            ]
+        )
+        space = self._design_space
+        snapped = space.snap_vector(space.apply_actions(current, actions))
+        full = self._full
+        full[:] = self._base_row
+        full[:, self._knob_cols] = snapped
+        kernel_result = self._kernel.evaluate(full)
+        if self._cache is not None:
+            keys: Optional[List[bytes]] = self._cache_keys(full)
+            fresh_results: Optional[List[SimulationResult]] = None
+        else:
+            # No cache: every row's result is the kernel row itself, so all
+            # result dicts can be materialized for the whole batch at once.
+            keys = None
+            fresh_results = self._fresh_results(kernel_result)
+
+        # --- sequential bookkeeping (order-sensitive state) -----------
+        measured_dicts: List[Dict[str, float]] = []
+        target_dicts: List[Dict[str, float]] = []
+        outcomes: List[RewardOutcome] = []
+        goals: List[bool] = []
+        step_numbers: List[int] = []
+        valid_flags: List[bool] = []
+        reset_observations: List[Optional[Observation]] = []
+        rewards = np.zeros(self.num_envs)
+        dones = np.zeros(self.num_envs, dtype=bool)
+        autoreset = self._vector_env.autoreset
+        for index, env in enumerate(envs):
+            env._step_count += 1
+            row = snapped[index].copy()
+            for (device_parameters, attribute), value in zip(
+                self._knob_writes[index], row.tolist()
+            ):
+                device_parameters[attribute] = value
+            env.data_processor._values = row
+
+            if fresh_results is not None:
+                result = fresh_results[index]
+            else:
+                result = self._simulate_row(index, kernel_result, keys)
+            env._measured = dict(result.specs)
+            measured = env._measured
+            outcome = self._reward_outcome(measured, env._targets, result.valid)
+            goal_reached = outcome.goal_reached and not self._is_fom_mode
+            env._done = bool(goal_reached or env._step_count >= env.max_steps)
+
+            record = StepRecord(
+                step=env._step_count,
+                parameters=row.copy(),
+                specs=dict(measured),
+                reward=outcome.reward,
+                goal_reached=goal_reached,
+            )
+            assert env._trajectory is not None
+            env._trajectory.records.append(record)
+
+            measured_dicts.append(dict(measured))
+            target_dicts.append(dict(env._targets))
+            outcomes.append(outcome)
+            goals.append(goal_reached)
+            step_numbers.append(env._step_count)
+            valid_flags.append(result.valid)
+            rewards[index] = float(outcome.reward)
+            dones[index] = env._done
+            if env._done and autoreset:
+                reset_observations.append(env.reset())
+            else:
+                reset_observations.append(None)
+
+        # --- batched observation assembly -----------------------------
+        node_features = np.broadcast_to(
+            self._node_base, (self.num_envs,) + self._node_base.shape
+        ).copy()
+        node_features[:, self._feature_rows, self._feature_cols] = (
+            full[:, self._feature_read_cols] * self._feature_scales
+        )
+        obs = self._obs_specs
+        measured_matrix = obs.matrix(measured_dicts)
+        target_matrix = obs.matrix(target_dicts)
+        spec_features = np.concatenate(
+            [
+                obs.normalize(target_matrix),
+                obs.normalize(measured_matrix),
+                obs.raw_errors(measured_matrix, target_matrix),
+            ],
+            axis=-1,
+        )
+        normalized_parameters = space.normalize(snapped)
+
+        infos: List[Dict[str, object]] = []
+        for index, env in enumerate(envs):
+            outcome = outcomes[index]
+            info: Dict[str, object] = {
+                "step": step_numbers[index],
+                "specs": dict(measured_dicts[index]),
+                "goal_reached": goals[index],
+                "met_fraction": outcome.met_fraction,
+                "normalized_errors": outcome.normalized_errors,
+                "simulation_valid": valid_flags[index],
+            }
+            if self._is_fom_mode:
+                info["figure_of_merit"] = self._reward_fn.figure_of_merit(
+                    measured_dicts[index]
+                )
+            reset_observation = reset_observations[index]
+            if reset_observation is not None:
+                info["terminal_observation"] = Observation(
+                    node_features=node_features[index].copy(),
+                    static_node_features=env.data_processor._static_features,
+                    adjacency=env.data_processor.adjacency,
+                    spec_features=spec_features[index].copy(),
+                    normalized_parameters=normalized_parameters[index].copy(),
+                    measured_specs=dict(measured_dicts[index]),
+                    target_specs=dict(target_dicts[index]),
+                )
+                node_features[index] = reset_observation.node_features
+                spec_features[index] = reset_observation.spec_features
+                normalized_parameters[index] = reset_observation.normalized_parameters
+                measured_dicts[index] = dict(reset_observation.measured_specs)
+                target_dicts[index] = dict(reset_observation.target_specs)
+            infos.append(info)
+
+        batched = BatchedObservation(
+            node_features=node_features,
+            static_node_features=self._static_stack,
+            adjacency=self._adjacency,
+            spec_features=spec_features,
+            normalized_parameters=normalized_parameters,
+            measured_specs=measured_dicts,
+            target_specs=target_dicts,
+        )
+        self.steps_compiled += 1
+        return batched, rewards, dones, infos
+
+    # ------------------------------------------------------------------
+    # Simulation replay
+    # ------------------------------------------------------------------
+    def _cache_keys(self, full: np.ndarray) -> List[bytes]:
+        """Vectorized twin of ``SimulationCache._key`` over all rows."""
+        cache = self._cache
+        assert cache is not None
+        mantissas, exponents = np.frexp(full)
+        scaled = np.round(mantissas * cache._mantissa_scale)
+        carry = np.abs(scaled) >= cache._mantissa_scale
+        scaled = np.where(carry, scaled * 0.5, scaled)
+        exponents = exponents + carry
+        name = self._name_bytes
+        return [
+            name + scaled[k].tobytes() + exponents[k].tobytes()
+            for k in range(self.num_envs)
+        ]
+
+    def _fresh_results(self, kernel_result) -> List[SimulationResult]:
+        """All rows as fresh :class:`SimulationResult`\\ s (cache-off path)."""
+        spec_rows = kernel_result.spec_rows()
+        detail_rows = kernel_result.detail_rows()
+        valid = kernel_result.valid.tolist()
+        return [
+            SimulationResult(specs=specs, details=details, valid=flag)
+            for specs, details, flag in zip(spec_rows, detail_rows, valid)
+        ]
+
+    def _simulate_row(
+        self, index: int, kernel_result, keys: Optional[List[bytes]]
+    ) -> SimulationResult:
+        """Row ``index``'s simulation result with exact cache bookkeeping."""
+        fresh = lambda: SimulationResult(  # noqa: E731 - built lazily, misses only
+            specs=kernel_result.spec_dict(index),
+            details=kernel_result.detail_dict(index),
+            valid=bool(kernel_result.valid[index]),
+        )
+        cache = self._cache
+        if cache is None or keys is None:
+            return fresh()
+        key = keys[index]
+        cached = cache._entries.get(key)
+        if cached is not None:
+            cache.stats.hits += 1
+            cache._entries.move_to_end(key)
+            return cache._copy(cached)
+        cache.stats.misses += 1
+        result = fresh()
+        cache._entries[key] = cache._copy(result)
+        if len(cache._entries) > cache.max_entries:
+            cache._entries.popitem(last=False)
+            cache.stats.evictions += 1
+        return result
+
+    # ------------------------------------------------------------------
+    # Reward replay
+    # ------------------------------------------------------------------
+    def _reward_outcome(
+        self, measured: Dict[str, float], targets: Dict[str, float], valid: bool
+    ) -> RewardOutcome:
+        if not self._p2s_inline:
+            return self._reward_fn(measured, targets, valid=valid)
+        # Inlined scalar twin of P2SReward.__call__ / _defensive_errors /
+        # met_fraction — identical Python-float arithmetic without the
+        # per-call numpy array construction.
+        reward_fn = self._reward_fn
+        errors: Dict[str, float] = {}
+        complete = True
+        for name, minimize in self._reward_specs:
+            measured_value = measured.get(name)
+            target_value = float(targets[name])
+            if (
+                measured_value is None
+                or not math.isfinite(float(measured_value))
+                or not math.isfinite(target_value)
+            ):
+                errors[name] = -1.0
+                complete = False
+                continue
+            m = float(measured_value)
+            denominator = abs(m) + abs(target_value)
+            if denominator <= 0.0:
+                errors[name] = 0.0
+                continue
+            difference = (m - target_value) / denominator
+            if minimize:
+                difference = -difference
+            errors[name] = float(min(difference, 0.0))
+        if not valid or not complete:
+            return RewardOutcome(
+                reward=reward_fn.invalid_penalty,
+                goal_reached=False,
+                normalized_errors=errors,
+                met_fraction=0.0,
+            )
+        # np.array([...]).sum() folds left-to-right starting from the FIRST
+        # element (never a 0.0 seed — that would turn a leading -0.0 into
+        # +0.0), so the replica folds the same way.
+        raw: Optional[float] = None
+        goal_reached = True
+        met = 0
+        for name, minimize in self._reward_specs:
+            error = errors[name]
+            raw = error if raw is None else raw + error
+            if not error >= 0.0:
+                goal_reached = False
+            m = float(measured[name])
+            t = float(targets[name])
+            if (m <= t + 0.0) if minimize else (m >= t - 0.0):
+                met += 1
+        reward = reward_fn.goal_bonus if goal_reached else float(raw)
+        return RewardOutcome(
+            reward=reward,
+            goal_reached=goal_reached,
+            normalized_errors=errors,
+            met_fraction=met / len(self._reward_specs),
+        )
+
+
+__all__ = ["CompiledEpisodePlan"]

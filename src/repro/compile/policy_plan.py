@@ -1,0 +1,300 @@
+"""Compiled policy plans: traced, replayable batched policy forwards.
+
+A :class:`CompiledPolicyPlan` is built once per ``(policy, topology,
+num_envs)`` signature by *tracing* the structure of an
+:class:`~repro.agents.policy.ActorCriticPolicy` into a flat list of op
+records — plain closures over ``np.matmul`` / add / activation / readout
+calls — with every topology constant (the GCN operator, the GAT attention
+mask and its ``-1e9`` penalty term) baked in at trace time.  Replaying the
+plan performs zero ``Module``/``Tensor`` dispatch: no autograd graph, no
+tensor wrappers, no operator re-derivation.
+
+Faithfulness contract
+---------------------
+Replay is bitwise identical to ``policy.act_batch`` (which the build-time
+probe *proves* on a sample batch before the plan is returned — any mismatch
+raises :class:`UntraceableError` instead of producing a wrong plan):
+
+* every op record mirrors the corresponding ``forward_array`` expression
+  operation-for-operation, reading weights live through the module
+  references (so in-place PPO weight updates are picked up);
+* baked constants are derived through the same public helpers the
+  interpreted path uses (``GraphEncoder.bake_operator``,
+  ``GATLayer.attention_mask``);
+* sampling consumes the generator exactly as
+  :func:`~repro.nn.distributions.sample_from_probs` does.
+
+Anything the tracer does not recognize structurally (subclassed layers,
+unknown encoder kinds, non-MLP heads) raises :class:`UntraceableError` at
+build time; :meth:`CompiledPolicyPlan.act` additionally falls back to the
+interpreted ``act_batch`` for incompatible inputs (different batch size or
+adjacency object) — degrading gracefully, never wrongly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.agents.policy import ActorCriticPolicy, _FeatureTrunk
+from repro.compile.errors import UntraceableError
+from repro.env.spaces import NUM_ACTION_CHOICES, BatchedObservation
+from repro.nn.distributions import sample_from_probs
+from repro.nn.graph_layers import GATLayer, GCNLayer, GraphEncoder, GraphReadout
+from repro.nn.layers import MLP, Linear, log_softmax_array, softmax_array
+
+OpRecord = Tuple[str, Callable[[np.ndarray], np.ndarray]]
+
+
+def _bitwise_equal(a: np.ndarray, b: np.ndarray) -> bool:
+    """Bitwise array equality (NaN-safe, sign-of-zero-exact)."""
+    return a.shape == b.shape and a.dtype == b.dtype and a.tobytes() == b.tobytes()
+
+
+def _trace_mlp(mlp: MLP, label: str) -> List[OpRecord]:
+    """Flatten an MLP into per-layer matmul/add/activation op records."""
+    if type(mlp) is not MLP:
+        raise UntraceableError(f"{label}: expected MLP, got {type(mlp).__name__}")
+    records: List[OpRecord] = []
+    last = len(mlp.layers) - 1
+    for index, layer in enumerate(mlp.layers):
+        if type(layer) is not Linear:
+            raise UntraceableError(f"{label}: expected Linear, got {type(layer).__name__}")
+        activation = mlp._hidden_activation_array if index < last else mlp._output_activation_array
+
+        def op(x, layer=layer, activation=activation):
+            out = x @ layer.weight.data
+            if layer.use_bias:
+                out = out + layer.bias.data
+            return activation(out)
+
+        records.append((f"{label}.linear[{index}]", op))
+    return records
+
+
+def _trace_gcn_layer(layer: GCNLayer, operator: np.ndarray, label: str) -> OpRecord:
+    def op(h, layer=layer, operator=operator):
+        out = (operator @ h) @ layer.weight.data
+        if layer.use_bias:
+            out = out + layer.bias.data
+        return layer._activation_array(out)
+
+    return (label, op)
+
+
+def _trace_gat_layer(layer: GATLayer, adjacency: np.ndarray, label: str) -> OpRecord:
+    # Both topology constants are baked once; the interpreted forward
+    # recomputes them per call with the exact same expressions.
+    mask = GATLayer.attention_mask(adjacency)
+    penalty = np.full(mask.shape, -1e9) * (1.0 - mask)
+
+    def op(h, layer=layer, mask=mask, penalty=penalty):
+        head_outputs = []
+        for head in range(layer.num_heads):
+            transformed = h @ layer.head_weights[head].data
+            src_scores = transformed @ layer.attn_src[head].data
+            dst_scores = transformed @ layer.attn_dst[head].data
+            scores = src_scores + np.swapaxes(dst_scores, -1, -2)
+            scores = scores * np.where(scores > 0, 1.0, layer.negative_slope)
+            masked = scores * mask + penalty
+            attention = softmax_array(masked, axis=-1)
+            head_outputs.append(mask * attention @ transformed)
+        if layer.concat_heads:
+            combined = np.concatenate(head_outputs, axis=-1)
+        else:
+            combined = head_outputs[0]
+            for other in head_outputs[1:]:
+                combined = combined + other
+            combined = combined * (1.0 / layer.num_heads)
+        return layer._activation_array(combined)
+
+    return (label, op)
+
+
+def _trace_readout(readout: GraphReadout, label: str) -> OpRecord:
+    if type(readout) is not GraphReadout:
+        raise UntraceableError(f"{label}: expected GraphReadout, got {type(readout).__name__}")
+    mode = readout.mode
+
+    def op(h, mode=mode):
+        if mode == "mean":
+            return h.sum(axis=1) * (1.0 / h.shape[1])
+        if mode == "sum":
+            return h.sum(axis=1)
+        if mode == "max":
+            return h.max(axis=1)
+        return h.reshape(h.shape[0], -1)
+
+    return (label, op)
+
+
+class _TrunkPlan:
+    """Traced twin of ``_FeatureTrunk.forward_array_batch``."""
+
+    def __init__(self, trunk: _FeatureTrunk, adjacency: Optional[np.ndarray], label: str) -> None:
+        if type(trunk) is not _FeatureTrunk:
+            raise UntraceableError(f"{label}: expected _FeatureTrunk, got {type(trunk).__name__}")
+        config = trunk.config
+        self.use_graph = config.use_graph
+        self.use_dynamic_node_features = config.use_dynamic_node_features
+        self.include_parameters = config.include_parameters
+        self.use_spec_encoder = config.use_spec_encoder
+        self.graph_ops: List[OpRecord] = []
+        self.flat_ops: List[OpRecord] = []
+        if config.use_graph:
+            if adjacency is None:
+                raise UntraceableError(f"{label}: graph trunk requires a sample adjacency")
+            encoder = trunk.graph_encoder
+            if type(encoder) is not GraphEncoder:
+                raise UntraceableError(
+                    f"{label}: expected GraphEncoder, got {type(encoder).__name__}"
+                )
+            operator = encoder.bake_operator(adjacency)
+            for index, layer in enumerate(encoder.layers):
+                layer_label = f"{label}.graph[{index}]"
+                if type(layer) is GCNLayer:
+                    self.graph_ops.append(_trace_gcn_layer(layer, operator, layer_label))
+                elif type(layer) is GATLayer:
+                    self.graph_ops.append(_trace_gat_layer(layer, adjacency, layer_label))
+                else:
+                    raise UntraceableError(
+                        f"{layer_label}: unsupported layer type {type(layer).__name__}"
+                    )
+            self.graph_ops.append(_trace_readout(encoder.readout, f"{label}.readout"))
+        if config.use_spec_encoder:
+            self.flat_ops = _trace_mlp(trunk.spec_encoder, f"{label}.spec_encoder")
+
+    def replay(self, batch: BatchedObservation) -> np.ndarray:
+        pieces = []
+        if self.use_graph:
+            if self.use_dynamic_node_features:
+                hidden = np.asarray(batch.node_features, dtype=np.float64)
+            else:
+                hidden = np.asarray(batch.static_node_features, dtype=np.float64)
+            for _, op in self.graph_ops:
+                hidden = op(hidden)
+            pieces.append(hidden)
+        flat = batch.flat_matrix() if self.include_parameters else batch.spec_features
+        for _, op in self.flat_ops:
+            flat = op(flat)
+        pieces.append(flat)
+        if len(pieces) == 1:
+            return pieces[0]
+        return np.concatenate(pieces, axis=-1)
+
+
+class CompiledPolicyPlan:
+    """Replayable flat-op trace of one batched actor-critic forward.
+
+    Build via :func:`compile_policy`; replay via :meth:`act` (a drop-in for
+    ``policy.act_batch``) or :meth:`logits` / :meth:`values`.
+    """
+
+    def __init__(
+        self, policy: ActorCriticPolicy, num_envs: int, adjacency: Optional[np.ndarray]
+    ) -> None:
+        if type(policy) is not ActorCriticPolicy:
+            raise UntraceableError(
+                f"expected ActorCriticPolicy, got {type(policy).__name__}"
+            )
+        config = policy.config
+        self._policy = policy
+        self.num_envs = int(num_envs)
+        self.num_parameters = config.num_parameters
+        self._adjacency = adjacency if config.use_graph else None
+        self._actor_trunk = _TrunkPlan(policy.actor_trunk, adjacency, "actor_trunk")
+        self._critic_trunk = _TrunkPlan(policy.critic_trunk, adjacency, "critic_trunk")
+        self._actor_ops = _trace_mlp(policy.actor_head, "actor_head")
+        self._critic_ops = _trace_mlp(policy.critic_head, "critic_head")
+        # Baked gather indices for the per-parameter log-prob reduction.
+        self._batch_index = np.arange(self.num_envs)[:, None]
+        self._param_index = np.arange(self.num_parameters)[None, :]
+        self.fallbacks = 0
+
+    @property
+    def op_labels(self) -> List[str]:
+        """Labels of every traced op record (introspection/testing aid)."""
+        labels = [label for label, _ in self._actor_trunk.graph_ops + self._actor_trunk.flat_ops]
+        labels += [label for label, _ in self._actor_ops]
+        labels += [label for label, _ in self._critic_trunk.graph_ops + self._critic_trunk.flat_ops]
+        labels += [label for label, _ in self._critic_ops]
+        return labels
+
+    def compatible(self, batch: BatchedObservation) -> bool:
+        """Cheap guard: the batch this plan was traced for, shape and topology."""
+        if len(batch) != self.num_envs:
+            return False
+        if self._adjacency is not None and batch.adjacency is not self._adjacency:
+            return False
+        return True
+
+    def logits(self, batch: BatchedObservation) -> np.ndarray:
+        """Actor logits ``(B, M, 3)``; bitwise ``policy.actor_logits_array_batch``."""
+        features = self._actor_trunk.replay(batch)
+        for _, op in self._actor_ops:
+            features = op(features)
+        return features.reshape(self.num_envs, self.num_parameters, NUM_ACTION_CHOICES)
+
+    def values(self, batch: BatchedObservation) -> np.ndarray:
+        """Critic values ``(B,)``; bitwise ``policy.value_batch(batch).numpy()``."""
+        features = self._critic_trunk.replay(batch)
+        for _, op in self._critic_ops:
+            features = op(features)
+        return features.reshape(self.num_envs).copy()
+
+    def act(
+        self,
+        batch: BatchedObservation,
+        rng: np.random.Generator,
+        deterministic: bool = False,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Drop-in ``act_batch``: ``(actions (B, M), log_probs (B,), values (B,))``.
+
+        Incompatible batches (different size or adjacency object) fall back
+        to the interpreted ``policy.act_batch`` — identical results, just
+        without the compiled speedup.
+        """
+        if not self.compatible(batch):
+            self.fallbacks += 1
+            return self._policy.act_batch(batch, rng, deterministic=deterministic)
+        logits = self.logits(batch)
+        log_probs_full = log_softmax_array(logits)
+        probs = np.exp(log_probs_full)
+        if deterministic:
+            actions = np.argmax(probs, axis=-1).astype(np.int64)
+        else:
+            actions = sample_from_probs(probs, rng)
+        log_probs = log_probs_full[self._batch_index, self._param_index, actions].sum(axis=-1)
+        return actions, log_probs, self.values(batch)
+
+
+def compile_policy(
+    policy: ActorCriticPolicy,
+    sample_batch: BatchedObservation,
+) -> CompiledPolicyPlan:
+    """Trace ``policy`` into a :class:`CompiledPolicyPlan` and prove parity.
+
+    The returned plan is probed against the interpreted ``act_batch`` on
+    ``sample_batch`` (deterministic and stochastic, twin generators) before
+    being returned; any bitwise mismatch raises :class:`UntraceableError`.
+    """
+    plan = CompiledPolicyPlan(policy, len(sample_batch), sample_batch.adjacency)
+    probes = (
+        ("deterministic", True),
+        ("stochastic", False),
+    )
+    for name, deterministic in probes:
+        rng_plan = np.random.default_rng(0)
+        rng_interp = np.random.default_rng(0)
+        got = plan.act(sample_batch, rng_plan, deterministic=deterministic)
+        want = policy.act_batch(sample_batch, rng_interp, deterministic=deterministic)
+        for field, a, b in zip(("actions", "log_probs", "values"), got, want):
+            if not _bitwise_equal(np.asarray(a), np.asarray(b)):
+                raise UntraceableError(
+                    f"build-time parity probe failed ({name} {field}); "
+                    "refusing to return an unfaithful plan"
+                )
+    if plan.fallbacks:
+        raise UntraceableError("parity probe exercised the fallback path instead of the plan")
+    return plan

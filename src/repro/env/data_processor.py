@@ -51,6 +51,17 @@ class DataProcessor:
         self._static_features = self.graph.static_feature_matrix(self.technology_constants)
         self._adjacency = self.graph.adjacency_matrix
 
+    @property
+    def adjacency(self) -> np.ndarray:
+        """The processor's stable adjacency object (shared into observations).
+
+        Every :class:`~repro.env.spaces.Observation` this processor emits
+        carries this exact array object, so identity-keyed operator caches
+        (e.g. ``GraphEncoder``) and the compiled-plan tracer can rely on it.
+        Treat it as read-only.
+        """
+        return self._adjacency
+
     # ------------------------------------------------------------------
     # Parameter handling
     # ------------------------------------------------------------------

@@ -151,6 +151,17 @@ class GATLayer(Module):
             self.attn_src.append(attn_src)
             self.attn_dst.append(attn_dst)
 
+    @staticmethod
+    def attention_mask(adjacency: np.ndarray) -> np.ndarray:
+        """Binary attention mask (adjacency + self-loops) used by every head.
+
+        Exposed so the compiled-plan tracer (:mod:`repro.compile`) can bake
+        the mask once per topology; both forwards derive it through this
+        helper so the baked constant is bitwise-identical by construction.
+        """
+        adjacency = np.asarray(adjacency, dtype=np.float64)
+        return ((adjacency + np.eye(adjacency.shape[0])) > 0).astype(np.float64)
+
     def _head_forward(self, node_features: Tensor, mask: np.ndarray, head: int) -> Tensor:
         transformed = node_features @ self.head_weights[head]  # (..., n, d)
         # e_ij = LeakyReLU(a_src . h_i + a_dst . h_j), dense (..., n, n) matrix.
@@ -182,8 +193,7 @@ class GATLayer(Module):
         Self-loops are added so every node attends to itself, matching the
         usual GAT formulation.
         """
-        adjacency = np.asarray(adjacency, dtype=np.float64)
-        mask = ((adjacency + np.eye(adjacency.shape[0])) > 0).astype(np.float64)
+        mask = self.attention_mask(adjacency)
         head_outputs = [self._head_forward(node_features, mask, h) for h in range(self.num_heads)]
         if self.concat_heads:
             combined = concatenate(head_outputs, axis=-1)
@@ -196,8 +206,7 @@ class GATLayer(Module):
 
     def forward_array(self, node_features: np.ndarray, adjacency: np.ndarray) -> np.ndarray:
         """Grad-free forward over plain arrays (same arithmetic as ``forward``)."""
-        adjacency = np.asarray(adjacency, dtype=np.float64)
-        mask = ((adjacency + np.eye(adjacency.shape[0])) > 0).astype(np.float64)
+        mask = self.attention_mask(adjacency)
         head_outputs = [
             self._head_forward_array(node_features, mask, h) for h in range(self.num_heads)
         ]
@@ -336,6 +345,18 @@ class GraphEncoder(Module):
             return self.layer_sizes[-1] * self.num_nodes
         return self.layer_sizes[-1]
 
+    def bake_operator(self, adjacency: np.ndarray) -> np.ndarray:
+        """Derive the layer-ready operator for ``adjacency`` (no caching).
+
+        GCN layers consume the symmetrically normalized adjacency, GAT layers
+        the raw float adjacency.  Exposed so the compiled-plan tracer
+        (:mod:`repro.compile`) bakes exactly the operator the interpreted
+        forward would derive.
+        """
+        if self.kind == "gcn":
+            return normalized_adjacency(adjacency)
+        return np.asarray(adjacency, dtype=np.float64)
+
     def _resolve_operator(self, adjacency: np.ndarray) -> np.ndarray:
         """The layer-ready operator for ``adjacency``, via the one-entry cache.
 
@@ -343,10 +364,7 @@ class GraphEncoder(Module):
         (and cache) the operator identically.
         """
         if self._operator_source is not adjacency or self._operator is None:
-            if self.kind == "gcn":
-                operator = normalized_adjacency(adjacency)
-            else:
-                operator = np.asarray(adjacency, dtype=np.float64)
+            operator = self.bake_operator(adjacency)
             self._operator_source = adjacency if isinstance(adjacency, np.ndarray) else None
             self._operator = operator
         return self._operator

@@ -23,7 +23,7 @@ math, never the physics.  ``num_envs=1`` therefore *is* the sequential path.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -56,6 +56,14 @@ class VectorCircuitEnv:
     cache:
         The shared :class:`SimulationCache`, if any, kept for stats
         introspection (``vector_env.cache.stats.hit_rate``).
+    compile:
+        When True, :meth:`step` first tries a
+        :class:`~repro.compile.env_plan.CompiledEpisodePlan` — a traced,
+        batched replay of this exact configuration that is probed bitwise
+        against the interpreted path at build time.  Configurations the
+        tracer cannot reproduce bitwise fall back to the interpreted loop
+        (the build failure is cached, see :attr:`compiled_fallback_reason`);
+        either way the observable behaviour is identical.
     """
 
     def __init__(
@@ -63,6 +71,7 @@ class VectorCircuitEnv:
         envs: Sequence[CircuitDesignEnv],
         autoreset: bool = True,
         cache: Optional[SimulationCache] = None,
+        compile: bool = False,
     ) -> None:
         if not envs:
             raise ValueError("VectorCircuitEnv needs at least one sub-environment")
@@ -78,6 +87,8 @@ class VectorCircuitEnv:
         self.envs: List[CircuitDesignEnv] = list(envs)
         self.autoreset = bool(autoreset)
         self.cache = cache
+        self.compile = bool(compile)
+        self._plan_cache: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -90,6 +101,7 @@ class VectorCircuitEnv:
         seed: Optional[int] = None,
         cache_size: Optional[int] = DEFAULT_CACHE_SIZE,
         autoreset: bool = True,
+        compile: bool = False,
     ) -> "VectorCircuitEnv":
         """Replicate a template environment into an ``num_envs``-wide batch.
 
@@ -121,7 +133,7 @@ class VectorCircuitEnv:
             )
             for index in range(num_envs)
         ]
-        return cls(envs, autoreset=autoreset, cache=cache)
+        return cls(envs, autoreset=autoreset, cache=cache, compile=compile)
 
     # ------------------------------------------------------------------
     # Introspection (mirrors the sequential environment)
@@ -232,6 +244,63 @@ class VectorCircuitEnv:
         """Reset one sub-environment (sequential-style, returns its Observation)."""
         return self.envs[index].reset(target_specs=target_specs)
 
+    # ------------------------------------------------------------------
+    # Compiled fast path
+    # ------------------------------------------------------------------
+    def _plan_config(self) -> Tuple[object, ...]:
+        """Identity snapshot of everything a compiled plan bakes at trace time.
+
+        Mutable knobs the plan reads live (``goal_bonus``, ``max_steps``,
+        ``autoreset``, ...) are deliberately absent; swapping any of the
+        objects below invalidates the cached plan on the next step.
+        """
+        return (
+            self.num_envs,
+            id(self.benchmark),
+            id(self.cache),
+            tuple(id(env) for env in self.envs),
+            tuple(id(env.benchmark) for env in self.envs),
+            tuple(id(env.simulator) for env in self.envs),
+            tuple(id(env.reward_fn) for env in self.envs),
+        )
+
+    @property
+    def plan_cache(self):
+        """The per-instance :class:`~repro.compile.plan_cache.PlanCache`."""
+        if self._plan_cache is None:
+            from repro.compile.plan_cache import PlanCache
+
+            self._plan_cache = PlanCache()
+        return self._plan_cache
+
+    @property
+    def compiled_plan(self):
+        """The active compiled episode plan, building it on first access.
+
+        Returns ``None`` when ``compile`` is off or this configuration is
+        untraceable (see :attr:`compiled_fallback_reason`).
+        """
+        if not self.compile:
+            return None
+        from repro.compile.env_plan import CompiledEpisodePlan
+
+        return self.plan_cache.get_or_build(
+            "episode",
+            lambda: CompiledEpisodePlan(self),
+            config=self._plan_config(),
+        )
+
+    @property
+    def compiled_fallback_reason(self) -> Optional[str]:
+        """Why plan *building* failed (``None`` when compiled or never tried).
+
+        Per-step runtime fallbacks are reported separately on the plan itself
+        (``compiled_plan.last_fallback_reason``).
+        """
+        if self._plan_cache is None:
+            return None
+        return self._plan_cache.failure_reason("episode")
+
     def step(
         self, actions: np.ndarray
     ) -> Tuple[BatchedObservation, np.ndarray, np.ndarray, List[Dict[str, object]]]:
@@ -240,7 +309,22 @@ class VectorCircuitEnv:
         Returns ``(observations, rewards, dones, infos)`` with rewards and
         dones as ``(N,)`` arrays.  Each row is exactly what the corresponding
         sequential environment would have returned for the same action.
+
+        With ``compile=True`` the step replays a
+        :class:`~repro.compile.env_plan.CompiledEpisodePlan` when one can be
+        built for this configuration; otherwise (and for any step the plan's
+        own preconditions reject) the interpreted loop below runs unchanged.
         """
+        if self.compile:
+            plan = self.compiled_plan
+            if plan is not None:
+                return plan.step(actions)
+        return self._step_interpreted(actions)
+
+    def _step_interpreted(
+        self, actions: np.ndarray
+    ) -> Tuple[BatchedObservation, np.ndarray, np.ndarray, List[Dict[str, object]]]:
+        """The reference per-environment loop (also the compiled fallback)."""
         actions = np.asarray(actions, dtype=np.int64)
         if actions.shape != (self.num_envs, self.num_parameters):
             raise ValueError(

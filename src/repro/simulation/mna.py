@@ -193,6 +193,62 @@ class MnaCircuit:
         self._mosfets.append(_Mosfet(name, drain, gate, source, model))
 
     # ------------------------------------------------------------------
+    # Structural introspection (read-only views used by repro.compile)
+    # ------------------------------------------------------------------
+    @property
+    def resistors(self) -> Tuple[_Resistor, ...]:
+        return tuple(self._resistors)
+
+    @property
+    def capacitors(self) -> Tuple[_Capacitor, ...]:
+        return tuple(self._capacitors)
+
+    @property
+    def inductors(self) -> Tuple[_Inductor, ...]:
+        return tuple(self._inductors)
+
+    @property
+    def vsources(self) -> Tuple[_VoltageSource, ...]:
+        return tuple(self._vsources)
+
+    @property
+    def isources(self) -> Tuple[_CurrentSource, ...]:
+        return tuple(self._isources)
+
+    @property
+    def vccs_elements(self) -> Tuple[_Vccs, ...]:
+        return tuple(self._vccs)
+
+    @property
+    def mosfets(self) -> Tuple[_Mosfet, ...]:
+        return tuple(self._mosfets)
+
+    def structure_signature(self) -> Tuple:
+        """Hashable topology signature: element kinds, names and node wiring.
+
+        Two circuits with equal signatures have identical sparsity patterns,
+        node orderings and stamp orders — exactly the precondition for
+        stacking their systems into one batched solve
+        (:class:`repro.compile.BatchedMNAPlan`).  Element *values* are
+        deliberately excluded: they are the per-step restamped quantities.
+        """
+        return (
+            tuple(("r", r.name, r.n1, r.n2) for r in self._resistors),
+            tuple(("c", c.name, c.n1, c.n2) for c in self._capacitors),
+            tuple(("l", e.name, e.n1, e.n2) for e in self._inductors),
+            tuple(("v", v.name, v.n_plus, v.n_minus) for v in self._vsources),
+            tuple(("i", s.name, s.n_plus, s.n_minus) for s in self._isources),
+            tuple(
+                ("g", g.name, g.out_plus, g.out_minus, g.in_plus, g.in_minus)
+                for g in self._vccs
+            ),
+            tuple(
+                ("m", m.name, m.drain, m.gate, m.source, m.model.polarity)
+                for m in self._mosfets
+            ),
+        )
+
+    # ------------------------------------------------------------------
     # Node bookkeeping
     # ------------------------------------------------------------------
     def _collect_nodes(self) -> List[str]:

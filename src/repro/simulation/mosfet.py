@@ -119,9 +119,12 @@ class MosfetModel:
             vds = -vds
             sign = -1.0
         if vds < vov:
-            ids = self.kp * self.strength * (vov * vds - 0.5 * vds**2)
+            # ``vds * vds`` (not ``vds**2``): scalar pow can differ from the
+            # multiply numpy lowers ``arr**2`` to by 1 ulp, and the compiled
+            # vectorized twin (repro.compile.sim_kernels) must match bitwise.
+            ids = self.kp * self.strength * (vov * vds - 0.5 * (vds * vds))
         else:
-            ids = 0.5 * self.kp * self.strength * vov**2
+            ids = 0.5 * self.kp * self.strength * (vov * vov)
         return sign * ids * (1.0 + self.channel_lambda * vds)
 
     def region(self, vgs: float, vds: float) -> Region:
@@ -150,7 +153,7 @@ class MosfetModel:
             gm = self.kp * self.strength * abs(v_ds)
         else:
             gm = self.kp * self.strength * vov * (1.0 + self.channel_lambda * abs(v_ds))
-            gds = 0.5 * self.kp * self.strength * vov**2 * self.channel_lambda
+            gds = 0.5 * self.kp * self.strength * (vov * vov) * self.channel_lambda
         return OperatingPoint(
             drain_current=current,
             region=region,
@@ -168,7 +171,7 @@ class MosfetModel:
         """``I_D`` in saturation for a given overdrive (λVds ignored)."""
         if overdrive <= 0.0:
             return 0.0
-        return 0.5 * self.kp * self.strength * overdrive**2
+        return 0.5 * self.kp * self.strength * (overdrive * overdrive)
 
     def gm_at_current(self, drain_current: float) -> float:
         """``gm = sqrt(2 k S I_D)`` for a device in saturation."""

@@ -20,9 +20,13 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
 
 from repro.circuits.netlist import Netlist
 from repro.simulation.base import SimulationResult
+from repro.simulation.mna import MnaCircuit
 from repro.simulation.mosfet import MosfetModel
 from repro.simulation.opamp_sim import _parallel
 from repro.simulation.technology import CMOS_45NM, CmosTechnology
@@ -57,19 +61,29 @@ class CmOtaSimulator:
     def __init__(
         self,
         technology: CmosTechnology = CMOS_45NM,
+        method: str = "analytic",
         bias_overhead_current: float = 2e-6,
     ) -> None:
+        if method not in {"analytic", "mna"}:
+            raise ValueError("method must be 'analytic' or 'mna'")
         self.technology = technology
+        self.method = method
         #: Fixed bias-generation overhead added to the supply current (A).
         self.bias_overhead_current = bias_overhead_current
+        self.name = f"cm_ota_{method}"
 
     def simulate(self, netlist: Netlist) -> SimulationResult:
         """Return gain, bandwidth (Hz), slew rate (V/s) and power (W)."""
         op = self.operating_point(netlist)
-        valid = op.tail_current > 0.0 and op.gain > 1.0 and op.slew_rate > 0.0
+        if self.method == "mna":
+            gain, bandwidth = self._mna_frequency_response(netlist, op)
+        else:
+            gain = op.gain
+            bandwidth = op.unity_gain_bandwidth_hz
+        valid = op.tail_current > 0.0 and gain > 1.0 and op.slew_rate > 0.0
         specs = {
-            "gain": float(op.gain),
-            "bandwidth": float(op.unity_gain_bandwidth_hz),
+            "gain": float(gain),
+            "bandwidth": float(bandwidth),
             "slew_rate": float(op.slew_rate),
             "power": float(op.power_w),
         }
@@ -144,3 +158,52 @@ class CmOtaSimulator:
             slew_rate=slew_rate,
             power_w=power,
         )
+
+    # ------------------------------------------------------------------
+    # Small-signal MNA cross-check
+    # ------------------------------------------------------------------
+    def build_small_signal_circuit(
+        self, netlist: Netlist, op: Optional[CmOtaOperatingPoint] = None
+    ) -> MnaCircuit:
+        """Assemble the single-stage small-signal equivalent as an MNA circuit.
+
+        One node (``out``) behind the effective mirror-scaled
+        transconductance; resistance and load come from the analytical
+        operating point so both methods share the same DC linearization and
+        only the frequency response differs.
+        """
+        op = op or self.operating_point(netlist)
+        load_cap = netlist.get_parameter("CL", "value")
+        circuit = MnaCircuit("cm_ota_small_signal")
+        circuit.add_voltage_source("VIN", "in", "0", dc=0.0, ac=1.0)
+        circuit.add_vccs("GM", "out", "0", "in", "0", gm=-op.effective_gm)
+        circuit.add_resistor("ROUT", "out", "0", max(op.output_resistance, 1.0))
+        circuit.add_capacitor("CL", "out", "0", max(load_cap + 20e-15, 1e-18))
+        return circuit
+
+    def _mna_frequency_response(
+        self, netlist: Netlist, op: CmOtaOperatingPoint
+    ) -> "tuple[float, float]":
+        """DC gain and unity-gain bandwidth from an MNA AC sweep."""
+        circuit = self.build_small_signal_circuit(netlist, op)
+        frequencies = np.logspace(1, 11, 401)
+        solution = circuit.ac_analysis(frequencies)
+        magnitude = np.abs(solution.voltage("out"))
+        gain = float(magnitude[0])
+        # Unity-gain crossing by log interpolation (same scheme as the
+        # two-stage op-amp evaluator).
+        above = magnitude >= 1.0
+        if not above.any() or above.all():
+            unity_freq = float(frequencies[-1] if above.all() else 0.0)
+        else:
+            last_above = int(np.nonzero(above)[0][-1])
+            if last_above + 1 >= magnitude.size:
+                unity_freq = float(frequencies[-1])
+            else:
+                f_lo, f_hi = frequencies[last_above], frequencies[last_above + 1]
+                m_lo, m_hi = magnitude[last_above], magnitude[last_above + 1]
+                weight = np.log(m_lo) / (np.log(m_lo) - np.log(m_hi))
+                unity_freq = float(
+                    np.exp(np.log(f_lo) + weight * (np.log(f_hi) - np.log(f_lo)))
+                )
+        return gain, unity_freq

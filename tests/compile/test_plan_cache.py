@@ -1,0 +1,113 @@
+"""PlanCache: keying, config-snapshot invalidation, negative caching, LRU."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compile import PlanCache, UntraceableError
+
+
+class TestKeyingAndInvalidation:
+    def test_builds_once_per_key(self):
+        cache = PlanCache()
+        built = []
+
+        def builder():
+            built.append(1)
+            return "plan"
+
+        assert cache.get_or_build("k", builder, config=(1, 2)) == "plan"
+        assert cache.get_or_build("k", builder, config=(1, 2)) == "plan"
+        assert built == [1]
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_distinct_keys_build_independently(self):
+        cache = PlanCache()
+        assert cache.get_or_build("a", lambda: "A", config=()) == "A"
+        assert cache.get_or_build("b", lambda: "B", config=()) == "B"
+        assert len(cache) == 2
+
+    def test_config_drift_rebuilds(self):
+        cache = PlanCache()
+        versions = iter(["v1", "v2"])
+        builder = lambda: next(versions)  # noqa: E731
+        assert cache.get_or_build("k", builder, config=("cfg", 1)) == "v1"
+        # Same key, drifted snapshot: the stale plan must never be replayed.
+        assert cache.get_or_build("k", builder, config=("cfg", 2)) == "v2"
+        assert cache.stats.invalidations == 1
+        assert cache.stats.misses == 2
+        # The new snapshot is now the cached one.
+        assert cache.get_or_build("k", builder, config=("cfg", 2)) == "v2"
+        assert cache.stats.hits == 1
+
+    def test_explicit_invalidate(self):
+        cache = PlanCache()
+        cache.get_or_build("k", lambda: "plan", config=())
+        assert cache.invalidate("k") is True
+        assert cache.invalidate("k") is False
+        assert len(cache) == 0
+        assert cache.stats.invalidations == 1
+
+
+class TestNegativeCaching:
+    def test_untraceable_build_is_cached_as_failure(self):
+        cache = PlanCache()
+        attempts = []
+
+        def builder():
+            attempts.append(1)
+            raise UntraceableError("no kernel for this simulator")
+
+        assert cache.get_or_build("k", builder, config=("cfg",)) is None
+        # The failed trace is not retried while the snapshot is unchanged.
+        assert cache.get_or_build("k", builder, config=("cfg",)) is None
+        assert attempts == [1]
+        assert cache.stats.failures == 1
+        assert cache.failure_reason("k") == "no kernel for this simulator"
+        assert cache.failure_reason("missing") is None
+
+    def test_config_change_retries_a_failed_build(self):
+        cache = PlanCache()
+        outcomes = iter([UntraceableError("transiently wrong config"), "plan"])
+
+        def builder():
+            outcome = next(outcomes)
+            if isinstance(outcome, Exception):
+                raise outcome
+            return outcome
+
+        assert cache.get_or_build("k", builder, config=("old",)) is None
+        assert cache.get_or_build("k", builder, config=("new",)) == "plan"
+        assert cache.failure_reason("k") is None
+
+    def test_unexpected_exceptions_propagate(self):
+        cache = PlanCache()
+        with pytest.raises(ZeroDivisionError):
+            cache.get_or_build("k", lambda: 1 // 0, config=())
+        # Nothing cached: the error was not an UntraceableError.
+        assert len(cache) == 0
+
+
+class TestLruAndLimits:
+    def test_lru_eviction(self):
+        cache = PlanCache(max_entries=2)
+        cache.get_or_build("a", lambda: "A", config=())
+        cache.get_or_build("b", lambda: "B", config=())
+        cache.get_or_build("a", lambda: "A", config=())  # refresh a
+        cache.get_or_build("c", lambda: "C", config=())  # evicts b
+        assert cache.stats.evictions == 1
+        assert len(cache) == 2
+        rebuilt = []
+        cache.get_or_build("b", lambda: rebuilt.append(1) or "B2", config=())
+        assert rebuilt == [1]
+
+    def test_max_entries_must_be_positive(self):
+        with pytest.raises(ValueError):
+            PlanCache(max_entries=0)
+
+    def test_clear(self):
+        cache = PlanCache()
+        cache.get_or_build("a", lambda: "A", config=())
+        cache.clear()
+        assert len(cache) == 0

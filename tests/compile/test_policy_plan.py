@@ -1,0 +1,78 @@
+"""CompiledPolicyPlan: bitwise act_batch parity and build-time strictness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.agents.policy import ActorCriticPolicy
+from repro.compile import CompiledPolicyPlan, UntraceableError, compile_policy
+
+NUM_ENVS = 4
+STEPS = 6
+
+
+def _env_and_batch(num_envs=NUM_ENVS, seed=0):
+    env = repro.make_env("opamp-p2s-v0", seed=seed, num_envs=num_envs)
+    return env, env.reset()
+
+
+@pytest.mark.parametrize("policy_id", ["gat_fc", "gcn_fc"])
+@pytest.mark.parametrize("num_envs", [2, 4])
+@pytest.mark.parametrize("seed", [0, 123])
+class TestBitwiseParity:
+    def test_act_matches_act_batch(self, policy_id, num_envs, seed):
+        env, batch = _env_and_batch(num_envs=num_envs, seed=seed)
+        policy = repro.make_policy(policy_id, env.envs[0], np.random.default_rng(seed))
+        plan = compile_policy(policy, batch)
+        rng_plan = np.random.default_rng(seed + 1)
+        rng_interp = np.random.default_rng(seed + 1)
+        action_rng = np.random.default_rng(seed + 2)
+        for _ in range(STEPS):
+            for deterministic in (False, True):
+                got = plan.act(batch, rng_plan, deterministic=deterministic)
+                want = policy.act_batch(batch, rng_interp, deterministic=deterministic)
+                for a, b in zip(got, want):
+                    a, b = np.asarray(a), np.asarray(b)
+                    assert a.dtype == b.dtype
+                    assert a.tobytes() == b.tobytes()
+            actions = np.stack(
+                [env.action_space.sample(action_rng) for _ in range(num_envs)]
+            )
+            batch, _, _, _ = env.step(actions)
+        assert plan.fallbacks == 0
+
+
+class TestBuildStrictness:
+    def test_subclassed_policy_is_untraceable(self):
+        env, batch = _env_and_batch()
+
+        class TweakedPolicy(ActorCriticPolicy):
+            pass
+
+        policy = repro.make_policy("gat_fc", env.envs[0], np.random.default_rng(0))
+        policy.__class__ = TweakedPolicy
+        with pytest.raises(UntraceableError):
+            CompiledPolicyPlan(policy, NUM_ENVS, batch.adjacency)
+
+    def test_weight_updates_are_picked_up_live(self):
+        """Plans read weights through the module references, not snapshots."""
+        env, batch = _env_and_batch()
+        policy = repro.make_policy("gcn_fc", env.envs[0], np.random.default_rng(0))
+        plan = compile_policy(policy, batch)
+        before = plan.values(batch).copy()
+        for parameter in policy.parameters():
+            parameter.data += 0.01
+        after = plan.values(batch)
+        assert not np.array_equal(before, after)
+        assert np.array_equal(after, policy.value_batch(batch).numpy())
+
+    def test_incompatible_batch_falls_back(self):
+        env, batch = _env_and_batch()
+        policy = repro.make_policy("gat_fc", env.envs[0], np.random.default_rng(0))
+        plan = compile_policy(policy, batch)
+        small_env, small_batch = _env_and_batch(num_envs=2)
+        actions, log_probs, values = plan.act(small_batch, np.random.default_rng(0))
+        assert plan.fallbacks == 1
+        assert actions.shape == (2, env.num_parameters)

@@ -1,0 +1,105 @@
+"""Simulator kernels: batched rows bitwise equal to the scalar evaluators.
+
+Each kernel is driven over parameter points harvested from a real episode
+trajectory (every step visits a new on-grid sizing), then evaluated in one
+batch and compared row-by-row against ``simulator.simulate`` on the very
+netlist states that produced the rows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.compile import UntraceableError
+from repro.compile.sim_kernels import build_simulator_kernel
+from repro.simulation.base import SimulationResult
+from repro.simulation.opamp_sim import OpAmpSimulator
+from repro.simulation.ota_sim import CmOtaSimulator
+
+STEPS = 12
+
+CASES = [
+    ("opamp-p2s-v0", "opamp_analytic"),
+    ("opamp-mna-v0", "opamp_mna"),
+    ("current_mirror_ota-p2s-v0", "cm_ota_analytic"),
+    ("current_mirror_ota-mna-v0", "cm_ota_mna"),
+]
+
+
+def _trajectory_points(env_id: str, seed: int = 0):
+    """Full parameter vectors + scalar results along one random episode."""
+    env = repro.make_env(env_id, seed=seed)
+    env.reset()
+    simulator = env.simulator
+    rng = np.random.default_rng(seed + 1)
+    vectors, results = [], []
+    for _ in range(STEPS):
+        vectors.append(env.data_processor.parameter_values.copy())
+        results.append(simulator.simulate(env.data_processor.netlist))
+        _, _, done, _ = env.step(env.action_space.sample(rng))
+        if done:
+            env.reset()
+    return env, np.stack(vectors), results
+
+
+@pytest.mark.parametrize("env_id,simulator_name", CASES)
+def test_kernel_rows_match_scalar_simulate(env_id, simulator_name):
+    env, vectors, scalar_results = _trajectory_points(env_id)
+    assert env.simulator.name == simulator_name
+    kernel = build_simulator_kernel(
+        env.simulator, env.data_processor.netlist, len(vectors)
+    )
+    result = kernel.evaluate(vectors)
+    spec_rows, detail_rows = result.spec_rows(), result.detail_rows()
+    valid = result.valid.tolist()
+    for k, scalar in enumerate(scalar_results):
+        assert isinstance(scalar, SimulationResult)
+        assert spec_rows[k] == scalar.specs
+        assert detail_rows[k] == scalar.details
+        assert valid[k] == scalar.valid
+        # Bitwise, not just ==: compare raw float bit patterns (catches
+        # sign-of-zero drift that dict equality would wave through).
+        for name, value in scalar.specs.items():
+            assert np.float64(spec_rows[k][name]).tobytes() == np.float64(value).tobytes()
+        for name, value in scalar.details.items():
+            assert np.float64(detail_rows[k][name]).tobytes() == np.float64(value).tobytes()
+
+
+def test_kernel_result_rows_match_per_index_dicts():
+    env, vectors, _ = _trajectory_points("opamp-p2s-v0")
+    kernel = build_simulator_kernel(
+        env.simulator, env.data_processor.netlist, len(vectors)
+    )
+    result = kernel.evaluate(vectors)
+    for k in range(len(vectors)):
+        assert result.spec_rows()[k] == result.spec_dict(k)
+        assert result.detail_rows()[k] == result.detail_dict(k)
+
+
+class TestBuilderStrictness:
+    def test_unknown_simulator_type(self):
+        env = repro.make_env("opamp-p2s-v0", seed=0)
+
+        class OtherSimulator:
+            pass
+
+        with pytest.raises(UntraceableError):
+            build_simulator_kernel(OtherSimulator(), env.data_processor.netlist, 2)
+
+    def test_subclassed_simulator_is_rejected(self):
+        """An override could change the arithmetic; exact types only."""
+        env = repro.make_env("opamp-p2s-v0", seed=0)
+
+        class TweakedOpAmp(OpAmpSimulator):
+            pass
+
+        with pytest.raises(UntraceableError):
+            build_simulator_kernel(TweakedOpAmp(), env.data_processor.netlist, 2)
+
+    def test_simulator_method_validation(self):
+        with pytest.raises(ValueError):
+            OpAmpSimulator(method="spice")
+        with pytest.raises(ValueError):
+            CmOtaSimulator(method="spice")
