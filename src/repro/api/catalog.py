@@ -43,6 +43,7 @@ from repro.circuits.library.current_mirror_ota import build_current_mirror_ota
 from repro.circuits.library.folded_cascode import build_folded_cascode
 from repro.circuits.library.rf_pa import build_rf_pa
 from repro.circuits.library.two_stage_opamp import build_two_stage_opamp
+from repro.corners import CornerSimulator, YieldP2SReward, default_corner_set
 from repro.env.circuit_env import CircuitDesignEnv
 from repro.env.reward import FomReward, P2SReward
 from repro.parallel.cache import DEFAULT_CACHE_SIZE, SimulationCache
@@ -351,6 +352,78 @@ _register_zoo_circuit(
 _register_zoo_circuit(
     "common_source_lna", build_common_source_lna, LnaSimulator,
     "Common-source LNA at 2.4 GHz, P2S reward (noise-figure spec), 30-step episodes",
+)
+
+
+# ----------------------------------------------------------------------
+# PVT corner variants: every zoo topology as a ``*-corners-v0`` environment
+# whose simulator sweeps the default five-corner set per step (batched as
+# extra kernel/MNA lanes where a compiled twin exists) and whose reward is
+# the yield-aware worst-corner P2S reward.  Same machinery as the rest of
+# the catalog, so num_envs / cache_size / compile / surrogate knobs apply
+# (compiled episode plans fall back to the interpreted path — the corner
+# simulator type has no traced twin).
+# ----------------------------------------------------------------------
+def _register_corner_variant(
+    env_id: str, circuit: str, builder: Callable[[], Any],
+    simulator_factory: Callable[[], Any], description: str,
+) -> None:
+    def _build_env(
+        seed: Optional[int] = None,
+        max_steps: Optional[int] = None,
+        initial_sizing: str = "center",
+        goal_tolerance: float = 0.0,
+        corner_set: Optional[Any] = None,
+        batched_corners: bool = True,
+    ) -> CircuitDesignEnv:
+        benchmark = builder()
+        corners = corner_set if corner_set is not None else default_corner_set()
+        simulator = CornerSimulator(
+            simulator_factory(),
+            corner_set=corners,
+            spec_space=benchmark.spec_space,
+            batched=batched_corners,
+        )
+        return CircuitDesignEnv(
+            benchmark=benchmark,
+            simulator=simulator,
+            reward_fn=YieldP2SReward(benchmark.spec_space, corner_set=corners),
+            max_steps=max_steps,
+            initial_sizing=initial_sizing,
+            goal_tolerance=goal_tolerance,
+            seed=seed,
+        )
+
+    register_env(
+        env_id,
+        vectorizable(_build_env),
+        description=description,
+        metadata={"circuit": circuit, "task": "p2s-corners", "fidelity": "fine"},
+    )
+
+
+_register_corner_variant(
+    "opamp-corners-v0", "two_stage_opamp", build_two_stage_opamp, OpAmpSimulator,
+    "Two-stage op-amp, yield-aware P2S reward over the five-corner PVT sweep",
+)
+_register_corner_variant(
+    "folded_cascode-corners-v0", "folded_cascode", build_folded_cascode,
+    FoldedCascodeSimulator,
+    "Folded-cascode op-amp, yield-aware P2S reward over the five-corner PVT sweep",
+)
+_register_corner_variant(
+    "current_mirror_ota-corners-v0", "current_mirror_ota", build_current_mirror_ota,
+    CmOtaSimulator,
+    "Current-mirror OTA, yield-aware P2S reward over the five-corner PVT sweep",
+)
+_register_corner_variant(
+    "common_source_lna-corners-v0", "common_source_lna", build_common_source_lna,
+    LnaSimulator,
+    "Common-source LNA, yield-aware P2S reward over the five-corner PVT sweep",
+)
+_register_corner_variant(
+    "rf_pa-corners-v0", "rf_pa", build_rf_pa, RfPaFineSimulator,
+    "GaN RF PA, yield-aware P2S reward over the five-corner PVT sweep (fine simulator)",
 )
 
 

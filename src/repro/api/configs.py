@@ -57,6 +57,7 @@ class EnvConfig:
         return catalog.make_env(self.id, **self.params)
 
     def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready ``{"id": ..., "params": {...}}`` form (``from_dict`` inverse)."""
         return {"id": self.id, "params": dict(self.params)}
 
     @classmethod
@@ -110,6 +111,7 @@ class OptimizerConfig:
         return catalog.make_optimizer(self.id, **params)
 
     def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form including ``vectorize`` when set (``from_dict`` inverse)."""
         data: Dict[str, Any] = {"id": self.id, "params": dict(self.params)}
         if self.vectorize is not None:
             data["vectorize"] = self.vectorize
@@ -181,6 +183,7 @@ class RunConfig:
     # Serialization
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
+        """The run as one JSON-ready document (``from_dict`` inverse)."""
         return {
             "name": self.name,
             "env": self.env.to_dict(),
@@ -212,6 +215,7 @@ class RunConfig:
         )
 
     def to_json(self, indent: Optional[int] = 2) -> str:
+        """Serialize the run to a JSON string (``from_json`` inverse)."""
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
 
     @classmethod

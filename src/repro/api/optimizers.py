@@ -349,6 +349,12 @@ class PPOOptimizer:
         callbacks: Callbacks = (),
         target_specs: Optional[Mapping[str, float]] = None,
     ) -> OptimizationResult:
+        """Train a policy for ``budget`` episodes, then deploy it greedily.
+
+        Unlike the search baselines, ``budget`` counts *training episodes*
+        (the paper's budget semantics for RL); ``result.num_simulations``
+        counts only the deployment steps against the resolved target group.
+        """
         from repro.agents.deployment import deploy_policy
         from repro.agents.ppo import PPOTrainer
         from repro.api.catalog import make_policy
@@ -520,6 +526,9 @@ class SupervisedOptimizer:
         callbacks: Callbacks = (),
         target_specs: Optional[Mapping[str, float]] = None,
     ) -> OptimizationResult:
+        """Fit the supervised sizer on ``budget`` simulated samples, then
+        regress device parameters for the resolved target group (P2S only:
+        FoM-mode environments raise ``ValueError``)."""
         env, _ = _unwrap_env(env)
         if env.is_fom_mode:
             raise ValueError(

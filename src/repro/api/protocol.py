@@ -78,6 +78,7 @@ class NotifyingTrace(OptimizationTrace):
         self._callbacks = tuple(callbacks)
 
     def record(self, value: float) -> None:
+        """Record one objective evaluation and notify ``on_evaluation``."""
         super().record(value)
         notify(
             self._callbacks, "on_evaluation", len(self.objective_values), value,

@@ -174,6 +174,7 @@ class Registry:
         return iter(self.ids())
 
     def items(self) -> List[Tuple[str, RegistryEntry]]:
+        """``(id, entry)`` pairs for every registered component, sorted by ID."""
         return [(id, self._entries[id]) for id in self.ids()]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -110,11 +110,17 @@ def _where_max(a: np.ndarray, b) -> np.ndarray:
     return np.where(b > a, b, a)
 
 
-def _saturation_current(kp: float, strength: np.ndarray, overdrive: float) -> np.ndarray:
-    """Twin of ``MosfetModel.saturation_current`` over a strength vector."""
-    if overdrive <= 0.0:
-        return np.zeros_like(strength)
-    return ((0.5 * kp) * strength) * (overdrive * overdrive)
+def _saturation_current(kp, strength: np.ndarray, overdrive) -> np.ndarray:
+    """Twin of ``MosfetModel.saturation_current`` over a strength vector.
+
+    ``kp`` and ``overdrive`` may be scalars (the single-technology kernel) or
+    per-lane vectors (corner lanes bound via ``bind_lane_technologies``); the
+    scalar cutoff branch becomes the exact ``np.where`` predicate, which is
+    bitwise identical either way because the selected lanes evaluate the same
+    IEEE expression chain.
+    """
+    current = ((0.5 * kp) * strength) * (overdrive * overdrive)
+    return np.where(overdrive <= 0.0, 0.0, current)
 
 
 def _gm_at_current(kp: float, strength: np.ndarray, current: np.ndarray) -> np.ndarray:
@@ -173,6 +179,59 @@ def _require_cmos(simulator) -> CmosTechnology:
     return technology
 
 
+def _bind_cmos_lanes(kernel, technologies) -> None:
+    """Rebind a kernel's technology constants to one technology per lane.
+
+    Shared implementation of ``bind_lane_technologies`` for the CMOS
+    kernels: lane ``k`` of ``evaluate`` then computes with
+    ``technologies[k]``'s constants.  Because every kernel expression is
+    elementwise over lanes, each lane stays bitwise identical to a kernel
+    constructed from a simulator carrying that lane's technology — this is
+    what lets a corner sweep ride as extra batch lanes.
+
+    Only the corner-varying constants (``kp_*``, ``lambda_*``, ``vth_*``)
+    may differ across lanes; the geometry constants (``l_ref``,
+    ``cox_per_area``) enter the arithmetic as scalars shared by all lanes,
+    so they must match the template technology exactly.
+    """
+    if len(technologies) != kernel.num_envs:
+        raise ValueError(
+            f"{len(technologies)} lane technologies for {kernel.num_envs} lanes"
+        )
+    for technology in technologies:
+        if type(technology) is not CmosTechnology:
+            raise UntraceableError(
+                f"unsupported lane technology type {type(technology).__name__}"
+            )
+        # repro: noqa[REP-FLT01] exact check: corner derivation copies the
+        # geometry constants verbatim, so any difference is a real mismatch.
+        if technology.l_ref != kernel._l_ref or (
+            technology.cox_per_area != kernel._cox_per_area
+        ):
+            raise UntraceableError(
+                "lane technologies must share the template's l_ref/cox_per_area"
+            )
+    kernel._vth_n = np.array([technology.vth_n for technology in technologies])
+    kernel._kp = {
+        name: np.array(
+            [
+                (technology.kp_p if name in kernel._PMOS else technology.kp_n)
+                for technology in technologies
+            ]
+        )
+        for name in kernel._DEVICES
+    }
+    kernel._lambda = {
+        name: np.array(
+            [
+                (technology.lambda_p if name in kernel._PMOS else technology.lambda_n)
+                for technology in technologies
+            ]
+        )
+        for name in kernel._DEVICES
+    }
+
+
 class OpAmpKernel:
     """Batched twin of :class:`OpAmpSimulator` (analytic and mna methods)."""
 
@@ -201,6 +260,12 @@ class OpAmpKernel:
         self._supply = base_netlist.get_parameter("VP", "voltage")
         self._bias = base_netlist.get_parameter("VBIAS", "voltage")
         self._load_cap = base_netlist.get_parameter("CL", "value")
+        # Technology constants held as instance state (scalars here, per-lane
+        # vectors after bind_lane_technologies) so corner lanes can rebind
+        # them without touching the evaluate() arithmetic.
+        self._l_ref = tech.l_ref
+        self._cox_per_area = tech.cox_per_area
+        self._vth_n = tech.vth_n
         self._kp = {name: (tech.kp_p if name in self._PMOS else tech.kp_n)
                     for name in self._DEVICES}
         self._lambda = {name: (tech.lambda_p if name in self._PMOS else tech.lambda_n)
@@ -213,15 +278,18 @@ class OpAmpKernel:
             self._frequencies = np.logspace(1, 11, 401)
             self._log_frequencies = np.log(self._frequencies)
 
+    def bind_lane_technologies(self, technologies) -> None:
+        """Give each batch lane its own technology (see ``_bind_cmos_lanes``)."""
+        _bind_cmos_lanes(self, technologies)
+
     def evaluate(self, full_params: np.ndarray) -> KernelResult:
-        tech = self._tech
         widths = full_params[:, self._width_cols]
         fingers = full_params[:, self._finger_cols]
-        strengths = (widths * fingers) / tech.l_ref
+        strengths = (widths * fingers) / self._l_ref
         strength = {name: strengths[:, i] for i, name in enumerate(self._DEVICES)}
         miller_cap = full_params[:, self._cc_col]
 
-        overdrive = self._bias - tech.vth_n
+        overdrive = self._bias - self._vth_n
         tail_current = _saturation_current(self._kp["M5"], strength["M5"], overdrive)
         second_stage_current = _saturation_current(self._kp["M7"], strength["M7"], overdrive)
         branch_current = tail_current / 2.0
@@ -246,7 +314,7 @@ class OpAmpKernel:
             gain_second = np.where(np.isfinite(r_second), gm6 * r_second, 0.0)
 
         first_stage_cap = (
-            _gate_capacitance(tech.cox_per_area, tech.l_ref, widths[:, 5], fingers[:, 5])
+            _gate_capacitance(self._cox_per_area, self._l_ref, widths[:, 5], fingers[:, 5])
             + 10e-15
         )
         total_output_cap = self._load_cap + 20e-15
@@ -380,6 +448,10 @@ class CmOtaKernel:
         self._supply = base_netlist.get_parameter("VP", "voltage")
         self._tail_bias = base_netlist.get_parameter("VBIAS", "voltage")
         self._load_cap = base_netlist.get_parameter("CL", "value")
+        # Instance-held technology constants; see OpAmpKernel.__init__.
+        self._l_ref = tech.l_ref
+        self._cox_per_area = tech.cox_per_area
+        self._vth_n = tech.vth_n
         self._kp = {name: (tech.kp_p if name in self._PMOS else tech.kp_n)
                     for name in self._DEVICES}
         self._lambda = {name: (tech.lambda_p if name in self._PMOS else tech.lambda_n)
@@ -391,15 +463,18 @@ class CmOtaKernel:
             self._mna_plan = BatchedMNAPlan.from_template(template, self.num_envs)
             self._frequencies = np.logspace(1, 11, 401)
 
+    def bind_lane_technologies(self, technologies) -> None:
+        """Give each batch lane its own technology (see ``_bind_cmos_lanes``)."""
+        _bind_cmos_lanes(self, technologies)
+
     def evaluate(self, full_params: np.ndarray) -> KernelResult:
-        tech = self._tech
         widths = full_params[:, self._width_cols]
         fingers = full_params[:, self._finger_cols]
-        strengths = (widths * fingers) / tech.l_ref
+        strengths = (widths * fingers) / self._l_ref
         strength = {name: strengths[:, i] for i, name in enumerate(self._DEVICES)}
 
         tail_current = _saturation_current(
-            self._kp["M3"], strength["M3"], self._tail_bias - tech.vth_n
+            self._kp["M3"], strength["M3"], self._tail_bias - self._vth_n
         )
         branch_current = tail_current / 2.0
         ratio_up = strength["M6"] / strength["M5"]

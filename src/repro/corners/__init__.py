@@ -1,0 +1,41 @@
+"""PVT corner sweeps: corner-lane batched evaluation and yield-aware rewards.
+
+The subsystem has three layers (see ``docs/corners.md`` for the guide):
+
+* :mod:`repro.corners.model` — :class:`Corner` / :class:`CornerSet` over
+  the behavioural technology model (±10 % threshold/mobility process
+  scaling, −40/27/125 °C through the MOSFET temperature model), with
+  :func:`default_corner_set` as the standard five-corner sweep;
+* :mod:`repro.corners.simulator` — :class:`CornerSimulator`, a drop-in
+  :class:`~repro.simulation.base.CircuitSimulator` that evaluates all K
+  corners per call, riding the compiled kernel/batched-MNA path as extra
+  batch lanes where available (bitwise identical to the sequential
+  per-corner loop);
+* :mod:`repro.corners.reward` — :class:`YieldP2SReward`, worst-corner
+  Eq. (1) satisfaction with configurable corner weighting.
+
+The ``*-corners-v0`` catalog environments wire these together; the
+Monte-Carlo yield report lives in :mod:`repro.experiments.yield_report`.
+"""
+
+from repro.corners.model import (
+    Corner,
+    CornerSet,
+    TYPICAL,
+    default_corner_set,
+)
+from repro.corners.reward import YieldP2SReward
+from repro.corners.simulator import (
+    CornerSimulator,
+    clone_simulator_with_technology,
+)
+
+__all__ = [
+    "Corner",
+    "CornerSet",
+    "CornerSimulator",
+    "TYPICAL",
+    "YieldP2SReward",
+    "clone_simulator_with_technology",
+    "default_corner_set",
+]

@@ -1,0 +1,128 @@
+"""PVT corner definitions over the behavioural technology model.
+
+A :class:`Corner` is a named (process, temperature) point: threshold and
+mobility scale factors around the nominal process constants plus a junction
+temperature fed to the MOSFET temperature model
+(:func:`repro.simulation.technology.temperature_mobility_factor` /
+``VTH_TEMPCO_V_PER_K``).  A :class:`CornerSet` bundles the corners a sizing
+must survive together with the weights the yield-aware reward uses, and
+:func:`default_corner_set` is the five-corner sweep the ``*-corners-v0``
+environments evaluate: the typical point plus the four worst-case
+process/temperature combinations of a classic corner kit (±10 % threshold
+and mobility, −40/125 °C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Tuple
+
+from repro.simulation.technology import NOMINAL_TEMPERATURE_C
+
+#: The slow process corner: thresholds up 10 %, mobility down 10 %.
+SLOW_VTH_SCALE, SLOW_MOBILITY_SCALE = 1.1, 0.9
+#: The fast process corner: thresholds down 10 %, mobility up 10 %.
+FAST_VTH_SCALE, FAST_MOBILITY_SCALE = 0.9, 1.1
+#: Cold and hot ends of the sweep's temperature range (°C).
+COLD_TEMPERATURE_C = -40.0
+HOT_TEMPERATURE_C = 125.0
+
+
+@dataclass(frozen=True)
+class Corner:
+    """One named PVT point: process scale factors plus a temperature."""
+
+    name: str
+    vth_scale: float = 1.0
+    mobility_scale: float = 1.0
+    temperature_c: float = NOMINAL_TEMPERATURE_C
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("corner name must be non-empty")
+        if "@" in self.name:
+            # Spec keys are flattened as "<spec>@<corner>"; an '@' inside the
+            # corner name would make those keys ambiguous to parse back.
+            raise ValueError(f"corner name {self.name!r} must not contain '@'")
+        if self.vth_scale <= 0.0 or self.mobility_scale <= 0.0:
+            raise ValueError("vth_scale and mobility_scale must be positive")
+
+    def apply(self, technology):
+        """Technology constants at this corner (CMOS or GaN — both expose
+        :meth:`at_corner`)."""
+        return technology.at_corner(
+            vth_scale=self.vth_scale,
+            mobility_scale=self.mobility_scale,
+            temperature_c=self.temperature_c,
+        )
+
+
+#: The nominal corner (identity process scaling at 27 °C).
+TYPICAL = Corner(name="typical")
+
+
+@dataclass(frozen=True)
+class CornerSet:
+    """An ordered set of corners plus the weights the yield reward applies.
+
+    Weights are relative (they are normalized wherever they are consumed);
+    the default weighs every corner equally.  Corner order is significant —
+    it fixes the lane order of the batched evaluation and the order of the
+    flattened ``<spec>@<corner>`` keys.
+    """
+
+    corners: Tuple[Corner, ...]
+    weights: Tuple[float, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.corners:
+            raise ValueError("a CornerSet needs at least one corner")
+        names = [corner.name for corner in self.corners]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate corner names: {names}")
+        if not self.weights:
+            object.__setattr__(self, "weights", (1.0,) * len(self.corners))
+        if len(self.weights) != len(self.corners):
+            raise ValueError(
+                f"{len(self.weights)} weights for {len(self.corners)} corners"
+            )
+        if any(weight <= 0.0 for weight in self.weights):
+            raise ValueError("corner weights must be positive")
+
+    def __len__(self) -> int:
+        return len(self.corners)
+
+    def __iter__(self) -> Iterator[Corner]:
+        return iter(self.corners)
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(corner.name for corner in self.corners)
+
+    def normalized_weights(self) -> Tuple[float, ...]:
+        """Weights scaled to sum to one (the reward's mixing coefficients)."""
+        total = sum(self.weights)
+        return tuple(weight / total for weight in self.weights)
+
+    def spec_key(self, spec_name: str, corner: Corner) -> str:
+        """Flattened per-corner spec key, e.g. ``"gain@slow_hot"``."""
+        return f"{spec_name}@{corner.name}"
+
+
+def default_corner_set() -> CornerSet:
+    """The five-corner PVT sweep of the ``*-corners-v0`` environments.
+
+    Typical at 27 °C plus the four extreme process/temperature pairings.
+    ``slow_hot`` (weak process, hot) usually binds bandwidth, ``fast_cold``
+    (strong process, cold) binds power and gain; the two mixed corners catch
+    threshold-driven bias-headroom failures.
+    """
+    return CornerSet(
+        corners=(
+            TYPICAL,
+            Corner("slow_hot", SLOW_VTH_SCALE, SLOW_MOBILITY_SCALE, HOT_TEMPERATURE_C),
+            Corner("slow_cold", SLOW_VTH_SCALE, SLOW_MOBILITY_SCALE, COLD_TEMPERATURE_C),
+            Corner("fast_hot", FAST_VTH_SCALE, FAST_MOBILITY_SCALE, HOT_TEMPERATURE_C),
+            Corner("fast_cold", FAST_VTH_SCALE, FAST_MOBILITY_SCALE, COLD_TEMPERATURE_C),
+        )
+    )

@@ -1,0 +1,133 @@
+"""Yield-aware P2S reward: Eq. (1) scored across a PVT corner sweep.
+
+:class:`YieldP2SReward` extends the paper's P2S reward to corner-swept
+measurements (the flattened ``<spec>@<corner>`` keys a
+:class:`~repro.corners.simulator.CornerSimulator` emits):
+
+* the shaping term is the corner-weighted mixture of per-corner Eq. (1)
+  sums, ``r = Σ_c w_c Σ_j min((g_jc − g*_j)/(g_jc + g*_j), 0)`` — corners
+  that matter more to the product (set the :class:`CornerSet` weights) pull
+  the policy harder;
+* the goal bonus is granted only when **every** corner meets **every**
+  specification — worst-corner satisfaction, the sizing a corner-signoff
+  flow would accept;
+* the reported diagnostics (``normalized_errors``, ``met_fraction``) are
+  computed from the worst-corner value of each spec, so ``info`` keeps the
+  exact shape of the nominal environments.
+
+On measurements without per-corner keys (a plain simulator) the reward
+degrades to the nominal :class:`~repro.env.reward.P2SReward` behaviour, so
+the same reward object scores corner-swept and nominal results
+consistently.  With a single-corner set and its unit weight the two are
+identical by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional
+
+from repro.circuits.specs import Objective, SpecificationSpace
+from repro.corners.model import CornerSet, default_corner_set
+from repro.env.reward import GOAL_BONUS, P2SReward, RewardOutcome, _defensive_errors
+
+
+class YieldP2SReward(P2SReward):
+    """Worst-corner spec satisfaction with configurable corner weighting.
+
+    Parameters
+    ----------
+    spec_space:
+        The circuit's specification space (objective directions).
+    corner_set:
+        Corners whose flattened keys are read from the measurement;
+        defaults to :func:`~repro.corners.model.default_corner_set`.  Its
+        weights (normalized to sum to one) mix the per-corner Eq. (1) sums.
+    goal_bonus, invalid_penalty:
+        As in :class:`P2SReward`; the bonus requires all corners to meet
+        all specifications.
+    """
+
+    def __init__(
+        self,
+        spec_space: SpecificationSpace,
+        corner_set: Optional[CornerSet] = None,
+        goal_bonus: float = GOAL_BONUS,
+        invalid_penalty: float | None = None,
+    ) -> None:
+        super().__init__(spec_space, goal_bonus=goal_bonus, invalid_penalty=invalid_penalty)
+        self.corner_set = corner_set if corner_set is not None else default_corner_set()
+
+    def _per_corner_measurements(
+        self, measured: Mapping[str, float]
+    ) -> Optional[List[Dict[str, float]]]:
+        """Per-corner spec dicts, or None when the measurement is nominal.
+
+        All ``<spec>@<corner>`` keys must be present to take the corner
+        path; otherwise (a plain simulator, or a foreign measurement) the
+        reward falls back to nominal P2S scoring of the plain keys.
+        """
+        per_corner: List[Dict[str, float]] = []
+        for corner in self.corner_set:
+            corner_measured: Dict[str, float] = {}
+            for spec in self.spec_space:
+                key = self.corner_set.spec_key(spec.name, corner)
+                if key not in measured:
+                    return None
+                corner_measured[spec.name] = measured[key]
+            per_corner.append(corner_measured)
+        return per_corner
+
+    def _worst_measurements(
+        self, per_corner: List[Dict[str, float]]
+    ) -> Dict[str, float]:
+        worst: Dict[str, float] = {}
+        for spec in self.spec_space:
+            values = [corner_measured[spec.name] for corner_measured in per_corner]
+            worst[spec.name] = (
+                max(values) if spec.objective is Objective.MINIMIZE else min(values)
+            )
+        return worst
+
+    def __call__(
+        self,
+        measured: Mapping[str, float],
+        targets: Mapping[str, float],
+        valid: bool = True,
+    ) -> RewardOutcome:
+        per_corner = self._per_corner_measurements(measured)
+        if per_corner is None:
+            return super().__call__(measured, targets, valid=valid)
+
+        corner_errors = []
+        complete = True
+        for corner_measured in per_corner:
+            errors, corner_complete = _defensive_errors(
+                self.spec_space, corner_measured, targets
+            )
+            corner_errors.append(errors)
+            complete = complete and corner_complete
+        named_errors = {
+            name: min(errors[name] for errors in corner_errors)
+            for name in self.spec_space.names
+        }
+        if not valid or not complete:
+            return RewardOutcome(
+                reward=self.invalid_penalty,
+                goal_reached=False,
+                normalized_errors=named_errors,
+                met_fraction=0.0,
+            )
+        goal_reached = all(error >= 0.0 for error in named_errors.values())
+        weights = self.corner_set.normalized_weights()
+        shaped = sum(
+            weight * sum(errors.values())
+            for weight, errors in zip(weights, corner_errors)
+        )
+        reward = self.goal_bonus if goal_reached else float(shaped)
+        worst_measured = self._worst_measurements(per_corner)
+        return RewardOutcome(
+            reward=reward,
+            goal_reached=goal_reached,
+            normalized_errors=named_errors,
+            met_fraction=self.spec_space.met_fraction(worst_measured, targets),
+        )

@@ -1,0 +1,96 @@
+"""``python -m repro.run yield`` — the Monte-Carlo yield-report front end.
+
+Thin argparse wrapper over :func:`repro.experiments.yield_report.run_yield_report`:
+
+.. code-block:: text
+
+    python -m repro.run yield                       # whole zoo, 128 samples each
+    python -m repro.run yield --circuits rf_pa --samples 512 --workers 4
+    python -m repro.run yield --store artifacts/yield --output yield.json
+
+``--store`` makes the report resumable (shards already in the artifact
+store are skipped; ``--no-resume`` re-executes them), ``--targets`` points
+at a ``{circuit: {spec: target}}`` JSON document replacing the default
+easiest-end-of-range targets, and ``--output`` writes the machine-readable report
+atomically next to the printed table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from repro.utils import atomic_write_text
+
+
+def build_yield_parser() -> argparse.ArgumentParser:
+    from repro.experiments.yield_report import ZOO_YIELD_CIRCUITS
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.run yield",
+        description="Monte-Carlo yield report of each circuit's center sizing "
+        "over the behavioural process/temperature space.",
+    )
+    parser.add_argument("--circuits", default=",".join(ZOO_YIELD_CIRCUITS),
+                        help="comma-separated circuit names (default: the whole zoo)")
+    parser.add_argument("--samples", type=int, default=128,
+                        help="Monte-Carlo process points per circuit (default: 128)")
+    parser.add_argument("--shards", type=int, default=2,
+                        help="work units per circuit (default: 2)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="root seed; shard seeds derive deterministically")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes for the shard pool (default: 1)")
+    parser.add_argument("--store", default=None,
+                        help="artifact-store directory (enables resume)")
+    parser.add_argument("--no-resume", action="store_true",
+                        help="re-execute shards even when their artifact exists")
+    parser.add_argument("--targets", default=None,
+                        help="JSON file of {circuit: {spec: target}} overriding "
+                             "the default easiest-end-of-range targets")
+    parser.add_argument("--output", default=None,
+                        help="write the JSON report to this path (atomic)")
+    return parser
+
+
+def main_yield(argv: Optional[Sequence[str]] = None) -> int:
+    from repro.experiments.yield_report import run_yield_report
+
+    parser = build_yield_parser()
+    args = parser.parse_args(argv)
+    if args.samples < 1 or args.shards < 1 or args.workers < 1:
+        print("error: --samples, --shards and --workers must be >= 1", file=sys.stderr)
+        return 2
+    circuits = [name.strip() for name in args.circuits.split(",") if name.strip()]
+    targets = None
+    if args.targets is not None:
+        try:
+            with open(args.targets, "r", encoding="utf-8") as handle:
+                targets = json.load(handle)
+        except (OSError, ValueError) as exc:
+            print(f"error: could not load targets from {args.targets!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+    try:
+        report = run_yield_report(
+            circuits=circuits,
+            samples=args.samples,
+            shards=args.shards,
+            seed=args.seed,
+            targets=targets,
+            workers=args.workers,
+            store=args.store,
+            resume=not args.no_resume,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(report.as_text())
+    if args.output is not None:
+        atomic_write_text(
+            args.output, json.dumps(report.as_json(), indent=2, sort_keys=True) + "\n"
+        )
+        print(f"report written to {args.output}")
+    return 0

@@ -1,12 +1,13 @@
 """``python -m repro.run`` — the experiment and serving command line.
 
-One front door, five subcommands (each with its own ``--help``)::
+One front door, six subcommands (each with its own ``--help``)::
 
     python -m repro.run sweep sweep.json [--workers N] [--expand] ...
     python -m repro.run deploy ckpt/latest.npz requests.json [--batch-size N]
     python -m repro.run serve ckpt/latest.npz (--stdin | --port N) ...
     python -m repro.run surrogate {train,eval} ...
     python -m repro.run analyze src/ [--strict] [--output report.json]
+    python -m repro.run yield [--circuits a,b] [--samples N] [--workers N] ...
 
 ``sweep`` drives a whole experiment grid from one JSON document — either a
 :class:`repro.orchestrate.SweepConfig` (grid) or a single
@@ -19,8 +20,10 @@ scientific content of the sweep lives only in the JSON.
 keeps the async gateway running over NDJSON or HTTP (both documented in
 :mod:`repro.serve.cli`); ``surrogate`` trains/evaluates the learned
 simulation tier (:mod:`repro.surrogate.cli`); ``analyze`` lints the tree
-against the project's invariant rules (:mod:`repro.analysis.cli`).  The
-serving subcommands pull in the nn/agents stack only when used.
+against the project's invariant rules (:mod:`repro.analysis.cli`);
+``yield`` runs the Monte-Carlo PVT yield report
+(:mod:`repro.experiments.yield_cli`).  The serving subcommands pull in the
+nn/agents stack only when used.
 
 The pre-subcommand invocation ``python -m repro.run CONFIG.json [flags]``
 still works but emits a :class:`DeprecationWarning`; use
@@ -40,7 +43,7 @@ import warnings
 from pathlib import Path
 from typing import List, Optional, Sequence
 
-COMMANDS = ("sweep", "deploy", "serve", "surrogate", "analyze")
+COMMANDS = ("sweep", "deploy", "serve", "surrogate", "analyze", "yield")
 
 _TOP_HELP = """\
 usage: python -m repro.run COMMAND [options]
@@ -51,6 +54,7 @@ commands:
   serve      run the async serving gateway (NDJSON over stdin/stdout, or HTTP)
   surrogate  train or evaluate the learned simulation surrogate
   analyze    lint the tree against the project's invariant rules
+  yield      Monte-Carlo PVT yield report over the circuit zoo
 
 Run 'python -m repro.run COMMAND --help' for per-command options.
 """
@@ -173,6 +177,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from repro.analysis.cli import main_analyze
 
         return main_analyze(rest)
+    if command == "yield":
+        # Monte-Carlo PVT yield report (pure numpy; loads the experiment
+        # harness only when used).
+        from repro.experiments.yield_cli import main_yield
+
+        return main_yield(rest)
     # Pre-subcommand invocation: `python -m repro.run CONFIG.json [flags]`.
     # Recognized by a config-file-looking first token (or a leading flag, for
     # shapes like `--expand sweep.json`) and routed to `sweep` with a warning.

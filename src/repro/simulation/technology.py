@@ -12,7 +12,53 @@ learn is.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+
+#: Nominal (typical-corner) junction temperature, °C.
+NOMINAL_TEMPERATURE_C = 27.0
+
+#: Mobility–temperature exponent of the behavioural MOSFET temperature model:
+#: ``µ(T) = µ(T0) · (T_K / T0_K) ** MOBILITY_TEMP_EXPONENT``.  Physical
+#: short-channel silicon sits between −1.2 and −2; −1.5 is the textbook
+#: value and keeps every zoo benchmark's center sizing valid over the
+#: −40/125 °C military range.
+MOBILITY_TEMP_EXPONENT = -1.5
+
+#: Threshold-voltage temperature coefficient (V/K), applied to the threshold
+#: *magnitude*.  Physical CMOS sits between −1 and −2 mV/K; the behavioural
+#: value is calibrated at −0.8 mV/K so the fixed gate biases of the zoo
+#: circuits (0.52–0.60 V against a slow-corner ``1.1 × 0.40 V`` threshold)
+#: keep a positive overdrive at −40 °C — the same headroom discipline a
+#: constant-gm bias generator provides in a real corner kit.
+VTH_TEMPCO_V_PER_K = -0.8e-3
+
+
+def temperature_mobility_factor(temperature_c: float) -> float:
+    """Mobility multiplier of the MOSFET temperature model at ``temperature_c``."""
+    t_kelvin = 273.15 + temperature_c
+    t0_kelvin = 273.15 + NOMINAL_TEMPERATURE_C
+    return (t_kelvin / t0_kelvin) ** MOBILITY_TEMP_EXPONENT
+
+
+def threshold_magnitude_at(
+    magnitude: float, vth_scale: float, temperature_c: float
+) -> float:
+    """Threshold magnitude after process scaling and the temperature shift.
+
+    The process corner scales the nominal magnitude (``vth_scale``); the
+    temperature model then shifts it by ``VTH_TEMPCO_V_PER_K`` per kelvin
+    away from the 27 °C nominal (magnitudes drop when hot, rise when cold).
+    """
+    shifted = magnitude * vth_scale + VTH_TEMPCO_V_PER_K * (
+        temperature_c - NOMINAL_TEMPERATURE_C
+    )
+    if shifted <= 0.0:
+        raise ValueError(
+            f"threshold magnitude {magnitude} collapses to {shifted} at "
+            f"vth_scale={vth_scale}, T={temperature_c}C; corner outside the "
+            "model's validity range"
+        )
+    return shifted
 
 
 @dataclass(frozen=True)
@@ -56,6 +102,32 @@ class CmosTechnology:
         if width <= 0 or fingers <= 0:
             raise ValueError("width and fingers must be positive")
         return (width * fingers) / self.l_ref
+
+    def at_corner(
+        self,
+        vth_scale: float = 1.0,
+        mobility_scale: float = 1.0,
+        temperature_c: float = NOMINAL_TEMPERATURE_C,
+    ) -> "CmosTechnology":
+        """Process constants at a PVT corner.
+
+        ``vth_scale`` scales both threshold magnitudes (slow ``1.1`` / fast
+        ``0.9``), ``mobility_scale`` scales both transconductance constants,
+        and ``temperature_c`` applies the MOSFET temperature model on top:
+        mobility follows :func:`temperature_mobility_factor`, thresholds
+        shift by ``VTH_TEMPCO_V_PER_K`` per kelvin.  Geometry constants
+        (``l_ref``, ``cox_per_area``) and the supply are unchanged — corners
+        model the *process*, not the biasing network.
+        """
+        mobility = mobility_scale * temperature_mobility_factor(temperature_c)
+        return replace(
+            self,
+            name=f"{self.name} @({vth_scale:g},{mobility_scale:g},{temperature_c:g}C)",
+            kp_n=self.kp_n * mobility,
+            kp_p=self.kp_p * mobility,
+            vth_n=threshold_magnitude_at(self.vth_n, vth_scale, temperature_c),
+            vth_p=threshold_magnitude_at(self.vth_p, vth_scale, temperature_c),
+        )
 
 
 @dataclass(frozen=True)
@@ -110,6 +182,29 @@ class GanTechnology:
         if width <= 0 or fingers <= 0:
             raise ValueError("width and fingers must be positive")
         return self.gm_per_width * width * fingers
+
+    def at_corner(
+        self,
+        vth_scale: float = 1.0,
+        mobility_scale: float = 1.0,
+        temperature_c: float = NOMINAL_TEMPERATURE_C,
+    ) -> "GanTechnology":
+        """Process constants at a PVT corner (same model as the CMOS twin).
+
+        The pinch-off *magnitude* scales with ``vth_scale`` and shifts with
+        temperature (the depletion-mode sign is restored afterwards), and
+        the current/transconductance densities carry the mobility factor.
+        Passives (``knee_voltage``, supplies, ``cgs_per_width``) stay
+        nominal.
+        """
+        mobility = mobility_scale * temperature_mobility_factor(temperature_c)
+        return replace(
+            self,
+            name=f"{self.name} @({vth_scale:g},{mobility_scale:g},{temperature_c:g}C)",
+            vth=-threshold_magnitude_at(-self.vth, vth_scale, temperature_c),
+            imax_per_width=self.imax_per_width * mobility,
+            gm_per_width=self.gm_per_width * mobility,
+        )
 
 
 #: 45 nm CMOS constants used by the two-stage op-amp benchmark.

@@ -1,6 +1,6 @@
 """``python -m repro.run``: the consolidated subcommand tree.
 
-One front door, four subcommands — each with its own ``--help`` — plus the
+One front door, six subcommands — each with its own ``--help`` — plus the
 deprecated positional-config invocation routed through a warning shim.
 """
 
@@ -47,7 +47,8 @@ class TestHelp:
         for args in ([], ["--help"], ["-h"], ["help"]):
             completed = run_cli(*args)
             assert completed.returncode == 0, completed.stderr
-            for command in ("sweep", "deploy", "serve", "surrogate", "analyze"):
+            for command in ("sweep", "deploy", "serve", "surrogate", "analyze",
+                            "yield"):
                 assert command in completed.stdout
 
     @pytest.mark.parametrize(
@@ -58,6 +59,7 @@ class TestHelp:
             ("serve", "--max-batch-delay-ms"),
             ("surrogate", "train"),
             ("analyze", "--strict"),
+            ("yield", "--samples"),
         ],
     )
     def test_each_subcommand_has_its_own_help(self, command, marker):
@@ -212,6 +214,52 @@ class TestAnalyze:
         completed = run_cli("analyze", "src", cwd=repo_root)
         assert completed.returncode == 0, completed.stdout + completed.stderr
         assert "baseline-aware" in completed.stdout
+
+
+class TestYield:
+    """``yield``: the Monte-Carlo PVT yield report, end to end."""
+
+    def test_small_report_prints_table_and_writes_json(self, tmp_path):
+        output = tmp_path / "yield.json"
+        completed = run_cli(
+            "yield", "--circuits", "current_mirror_ota", "--samples", "8",
+            "--shards", "2", "--output", output,
+        )
+        assert completed.returncode == 0, completed.stderr[-2000:]
+        assert "current_mirror_ota" in completed.stdout
+        assert "yield" in completed.stdout
+        document = json.loads(output.read_text())
+        assert document["samples_per_circuit"] == 8
+        assert document["circuits"][0]["circuit"] == "current_mirror_ota"
+        assert 0 <= document["circuits"][0]["passed"] <= 8
+
+    def test_unknown_circuit_is_exit_2(self):
+        completed = run_cli("yield", "--circuits", "ring_oscillator", "--samples", "2")
+        assert completed.returncode == 2
+        assert "unknown circuit" in completed.stderr
+
+    def test_bad_counts_are_exit_2(self, capsys):
+        assert run_module.main(["yield", "--samples", "0"]) == 2
+        capsys.readouterr()
+
+    def test_targets_document_overrides_defaults(self, tmp_path):
+        # Impossible targets force yield to zero; trivial ones force it to
+        # one.  Both prove the override reaches the shard payloads.
+        for gain, expected in ((1e9, 0.0), (1e-9, 1.0)):
+            targets = tmp_path / f"targets_{expected}.json"
+            targets.write_text(json.dumps({
+                "current_mirror_ota": {
+                    "gain": gain, "bandwidth": 1.0, "slew_rate": 1.0, "power": 1.0,
+                }
+            }))
+            completed = run_cli(
+                "yield", "--circuits", "current_mirror_ota", "--samples", "4",
+                "--targets", targets, "--output", tmp_path / "out.json",
+            )
+            assert completed.returncode == 0, completed.stderr[-2000:]
+            row = json.loads((tmp_path / "out.json").read_text())["circuits"][0]
+            gain_passed = row["per_spec_passed"]["gain"]
+            assert gain_passed == (0 if expected == 0.0 else 4)
 
 
 def test_help_text_stays_in_sync_with_command_table():

@@ -1,0 +1,154 @@
+"""Unit contract of the PVT corner model: derating math and set validation."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.corners import Corner, CornerSet, TYPICAL, default_corner_set
+from repro.corners.model import (
+    COLD_TEMPERATURE_C,
+    FAST_MOBILITY_SCALE,
+    FAST_VTH_SCALE,
+    HOT_TEMPERATURE_C,
+    SLOW_MOBILITY_SCALE,
+    SLOW_VTH_SCALE,
+)
+from repro.simulation.technology import (
+    CMOS_45NM,
+    GAN_150NM,
+    NOMINAL_TEMPERATURE_C,
+    temperature_mobility_factor,
+    threshold_magnitude_at,
+)
+
+
+class TestTemperatureModel:
+    def test_nominal_temperature_is_identity(self):
+        assert temperature_mobility_factor(NOMINAL_TEMPERATURE_C) == 1.0
+        assert threshold_magnitude_at(0.4, 1.0, NOMINAL_TEMPERATURE_C) == 0.4
+
+    def test_mobility_falls_with_temperature(self):
+        cold = temperature_mobility_factor(COLD_TEMPERATURE_C)
+        hot = temperature_mobility_factor(HOT_TEMPERATURE_C)
+        assert cold > 1.0 > hot > 0.0
+
+    def test_threshold_magnitude_falls_with_temperature(self):
+        """Negative tempco: |Vth| shrinks when the junction heats up."""
+        cold = threshold_magnitude_at(0.4, 1.0, COLD_TEMPERATURE_C)
+        hot = threshold_magnitude_at(0.4, 1.0, HOT_TEMPERATURE_C)
+        assert cold > 0.4 > hot > 0.0
+
+    def test_threshold_collapse_is_an_error(self):
+        with pytest.raises(ValueError):
+            threshold_magnitude_at(0.01, 0.1, HOT_TEMPERATURE_C)
+
+
+class TestTechnologyAtCorner:
+    def test_typical_corner_is_the_original_technology(self):
+        derated = TYPICAL.apply(CMOS_45NM)
+        for field in dataclasses.fields(CMOS_45NM):
+            if field.name == "name":
+                continue
+            assert getattr(derated, field.name) == getattr(CMOS_45NM, field.name)
+
+    def test_slow_corner_raises_thresholds_and_lowers_mobility(self):
+        slow = Corner(
+            name="slow",
+            vth_scale=SLOW_VTH_SCALE,
+            mobility_scale=SLOW_MOBILITY_SCALE,
+        ).apply(CMOS_45NM)
+        assert slow.vth_n > CMOS_45NM.vth_n
+        assert abs(slow.vth_p) > abs(CMOS_45NM.vth_p)
+        assert slow.kp_n < CMOS_45NM.kp_n
+        assert slow.kp_p < CMOS_45NM.kp_p
+
+    def test_fast_corner_is_the_mirror_image(self):
+        fast = Corner(
+            name="fast",
+            vth_scale=FAST_VTH_SCALE,
+            mobility_scale=FAST_MOBILITY_SCALE,
+        ).apply(CMOS_45NM)
+        assert fast.vth_n < CMOS_45NM.vth_n
+        assert fast.kp_n > CMOS_45NM.kp_n
+
+    def test_geometry_is_corner_invariant(self):
+        derated = default_corner_set().corners[1].apply(CMOS_45NM)
+        assert derated.l_ref == CMOS_45NM.l_ref
+        assert derated.cox_per_area == CMOS_45NM.cox_per_area
+        assert derated.supply_voltage == CMOS_45NM.supply_voltage
+
+    def test_gan_threshold_keeps_its_sign(self):
+        """GaN depletion-mode Vth is negative; derating scales its magnitude."""
+        slow = Corner(name="slow", vth_scale=SLOW_VTH_SCALE).apply(GAN_150NM)
+        assert slow.vth < GAN_150NM.vth < 0.0
+
+    def test_every_default_corner_keeps_cmos_devices_on(self):
+        """CMOS bias points stay above threshold at every default corner.
+
+        The folded cascode's 0.52 V tail bias is the tightest margin in the
+        zoo; the GaN PA runs class-AB, so it only needs a negative Vth.
+        """
+        for corner in default_corner_set():
+            derated = corner.apply(CMOS_45NM)
+            assert derated.vth_n < 0.52
+            assert corner.apply(GAN_150NM).vth < 0.0
+
+
+class TestCornerValidation:
+    def test_rejects_at_sign_in_name(self):
+        with pytest.raises(ValueError, match="@"):
+            Corner(name="slow@hot")
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            Corner(name="")
+
+    def test_rejects_nonpositive_scales(self):
+        with pytest.raises(ValueError):
+            Corner(name="bad", vth_scale=0.0)
+        with pytest.raises(ValueError):
+            Corner(name="bad", mobility_scale=-1.0)
+
+
+class TestCornerSet:
+    def test_default_set_has_five_named_corners(self):
+        corner_set = default_corner_set()
+        assert len(corner_set) == 5
+        assert corner_set.names[0] == "typical"
+        assert set(corner_set.names) == {
+            "typical", "slow_hot", "slow_cold", "fast_hot", "fast_cold"
+        }
+
+    def test_uniform_weights_by_default(self):
+        corner_set = default_corner_set()
+        assert np.allclose(corner_set.normalized_weights(), 0.2)
+
+    def test_normalized_weights_sum_to_one(self):
+        corner_set = CornerSet(
+            corners=(TYPICAL, Corner(name="hot", temperature_c=125.0)),
+            weights=(3.0, 1.0),
+        )
+        weights = corner_set.normalized_weights()
+        assert np.isclose(sum(weights), 1.0)
+        assert np.isclose(weights[0], 0.75)
+
+    def test_spec_key_joins_with_at(self):
+        assert default_corner_set().spec_key("gain", TYPICAL) == "gain@typical"
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(ValueError):
+            CornerSet(corners=(TYPICAL, Corner(name="typical")))
+
+    def test_rejects_weight_length_mismatch(self):
+        with pytest.raises(ValueError):
+            CornerSet(corners=(TYPICAL,), weights=(0.5, 0.5))
+
+    def test_rejects_nonpositive_weights(self):
+        with pytest.raises(ValueError):
+            CornerSet(
+                corners=(TYPICAL, Corner(name="hot", temperature_c=125.0)),
+                weights=(1.0, 0.0),
+            )

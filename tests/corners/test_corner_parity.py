@@ -1,0 +1,108 @@
+"""Bitwise parity: corner-lane batched sweep == sequential per-corner loop.
+
+The acceptance bar for the corner lanes is *bitwise* equality, not
+``allclose`` — the batched path must be a pure re-vectorization of the
+sequential clone loop on every topology, including both the analytic and
+MNA methods of the kernel-batched simulators.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits import BENCHMARK_BUILDERS
+from repro.corners import CornerSimulator, default_corner_set
+from repro.simulation.folded_cascode_sim import FoldedCascodeSimulator
+from repro.simulation.lna_sim import LnaSimulator
+from repro.simulation.opamp_sim import OpAmpSimulator
+from repro.simulation.ota_sim import CmOtaSimulator
+from repro.simulation.pa_sim import RfPaFineSimulator
+
+#: (case id, circuit, simulator factory) — the zoo plus the MNA methods.
+PARITY_CASES = [
+    ("two_stage_opamp-analytic", "two_stage_opamp", lambda: OpAmpSimulator()),
+    ("two_stage_opamp-mna", "two_stage_opamp", lambda: OpAmpSimulator(method="mna")),
+    ("folded_cascode", "folded_cascode", lambda: FoldedCascodeSimulator()),
+    ("current_mirror_ota-analytic", "current_mirror_ota", lambda: CmOtaSimulator()),
+    ("current_mirror_ota-mna", "current_mirror_ota",
+     lambda: CmOtaSimulator(method="mna")),
+    ("common_source_lna", "common_source_lna", lambda: LnaSimulator()),
+    ("rf_pa", "rf_pa", lambda: RfPaFineSimulator()),
+]
+
+NUM_SIZINGS = 4
+
+
+def _bitwise_equal(a: float, b: float) -> bool:
+    return np.float64(a).tobytes() == np.float64(b).tobytes()
+
+
+def _sampled_netlists(circuit: str):
+    """The center sizing plus random on-grid sizings of the design space."""
+    benchmark = BENCHMARK_BUILDERS[circuit]()
+    rng = np.random.default_rng(7)
+    netlists = [benchmark.fresh_netlist()]
+    for _ in range(NUM_SIZINGS - 1):
+        netlist = benchmark.fresh_netlist()
+        benchmark.design_space.apply_to_netlist(
+            netlist, benchmark.design_space.sample(rng)
+        )
+        netlists.append(netlist)
+    return netlists
+
+
+@pytest.mark.parametrize(
+    "circuit,factory",
+    [pytest.param(circuit, factory, id=case_id)
+     for case_id, circuit, factory in PARITY_CASES],
+)
+def test_batched_sweep_is_bitwise_sequential(circuit, factory):
+    batched = CornerSimulator(
+        factory(), corner_set=default_corner_set(),
+        spec_space=BENCHMARK_BUILDERS[circuit]().spec_space,
+    )
+    sequential = CornerSimulator(
+        factory(), corner_set=default_corner_set(),
+        spec_space=BENCHMARK_BUILDERS[circuit]().spec_space,
+        batched=False,
+    )
+    for netlist in _sampled_netlists(circuit):
+        merged_b = batched.simulate(netlist)
+        merged_s = sequential.simulate(netlist)
+        assert merged_b.valid == merged_s.valid
+        assert set(merged_b.specs) == set(merged_s.specs)
+        for name, value in merged_b.specs.items():
+            assert _bitwise_equal(value, merged_s.specs[name]), (
+                f"{circuit}: spec {name!r} diverged "
+                f"({value!r} batched vs {merged_s.specs[name]!r} sequential)"
+            )
+
+
+@pytest.mark.parametrize(
+    "circuit,factory",
+    [pytest.param(circuit, factory, id=case_id)
+     for case_id, circuit, factory in PARITY_CASES],
+)
+def test_per_corner_results_are_bitwise_sequential(circuit, factory):
+    """corner_results() rows, not just the merged view, must match."""
+    corner_set = default_corner_set()
+    batched = CornerSimulator(factory(), corner_set=corner_set)
+    sequential = CornerSimulator(factory(), corner_set=corner_set, batched=False)
+    netlist = _sampled_netlists(circuit)[-1]
+    rows_b = batched.corner_results(netlist)
+    rows_s = sequential.corner_results(netlist)
+    assert len(rows_b) == len(rows_s) == len(corner_set)
+    for row_b, row_s in zip(rows_b, rows_s):
+        assert row_b.valid == row_s.valid
+        assert set(row_b.specs) == set(row_s.specs)
+        for name, value in row_b.specs.items():
+            assert _bitwise_equal(value, row_s.specs[name])
+
+
+def test_batched_flag_engages_the_kernel_path():
+    """The opamp/cm_ota sweeps really do take the corner-lane branch."""
+    assert CornerSimulator(OpAmpSimulator()).batched
+    assert CornerSimulator(CmOtaSimulator(method="mna")).batched
+    assert not CornerSimulator(LnaSimulator()).batched
+    assert not CornerSimulator(OpAmpSimulator(), batched=False).batched

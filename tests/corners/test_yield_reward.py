@@ -1,0 +1,122 @@
+"""Semantics of the yield-aware Eq. (1) reward over corner-swept specs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits.specs import Objective, Specification, SpecificationSpace
+from repro.corners import Corner, CornerSet, TYPICAL, YieldP2SReward
+from repro.env.reward import GOAL_BONUS, P2SReward
+
+SPEC_SPACE = SpecificationSpace(
+    [
+        Specification("gain", 100.0, 1000.0, Objective.MAXIMIZE),
+        Specification("power", 1e-4, 1e-2, Objective.MINIMIZE, log_uniform=True),
+    ]
+)
+
+TWO_CORNERS = CornerSet(
+    corners=(TYPICAL, Corner(name="hot", temperature_c=125.0)),
+)
+
+TARGETS = {"gain": 400.0, "power": 2e-3}
+
+
+def _measured(gain_typ, power_typ, gain_hot, power_hot):
+    """A corner-swept measurement dict (plain keys = worst-corner values)."""
+    return {
+        "gain": min(gain_typ, gain_hot),
+        "power": max(power_typ, power_hot),
+        "gain@typical": gain_typ,
+        "power@typical": power_typ,
+        "gain@hot": gain_hot,
+        "power@hot": power_hot,
+    }
+
+
+class TestCornerPath:
+    def test_goal_bonus_requires_every_corner(self):
+        reward = YieldP2SReward(SPEC_SPACE, corner_set=TWO_CORNERS)
+        both_met = reward(_measured(500.0, 1e-3, 450.0, 1.5e-3), TARGETS)
+        assert both_met.reward == GOAL_BONUS
+        assert both_met.goal_reached
+        one_corner_misses = reward(_measured(500.0, 1e-3, 300.0, 1.5e-3), TARGETS)
+        assert not one_corner_misses.goal_reached
+        assert one_corner_misses.reward < 0.0
+
+    def test_shaped_reward_is_the_weighted_corner_mixture(self):
+        heavy_hot = CornerSet(
+            corners=TWO_CORNERS.corners, weights=(1.0, 3.0)
+        )
+        uniform = YieldP2SReward(SPEC_SPACE, corner_set=TWO_CORNERS)
+        weighted = YieldP2SReward(SPEC_SPACE, corner_set=heavy_hot)
+        # The hot corner misses both specs; weighting it more must hurt more.
+        measured = _measured(500.0, 1e-3, 300.0, 3e-3)
+        assert weighted(measured, TARGETS).reward < uniform(measured, TARGETS).reward
+        # And the mixture is exactly the per-corner P2S sums re-weighted.
+        nominal = P2SReward(SPEC_SPACE)
+        typical_sum = nominal(
+            {"gain": 500.0, "power": 1e-3}, TARGETS
+        ).normalized_errors
+        hot_sum = nominal({"gain": 300.0, "power": 3e-3}, TARGETS).normalized_errors
+        expected = 0.25 * sum(typical_sum.values()) + 0.75 * sum(hot_sum.values())
+        assert np.isclose(weighted(measured, TARGETS).reward, expected)
+
+    def test_normalized_errors_are_the_worst_corner(self):
+        reward = YieldP2SReward(SPEC_SPACE, corner_set=TWO_CORNERS)
+        outcome = reward(_measured(500.0, 1e-3, 300.0, 3e-3), TARGETS)
+        nominal = P2SReward(SPEC_SPACE)
+        worst = nominal({"gain": 300.0, "power": 3e-3}, TARGETS)
+        assert outcome.normalized_errors == worst.normalized_errors
+        assert outcome.met_fraction == worst.met_fraction
+
+    def test_invalid_result_takes_the_penalty_path(self):
+        reward = YieldP2SReward(SPEC_SPACE, corner_set=TWO_CORNERS)
+        outcome = reward(_measured(500.0, 1e-3, 450.0, 1.5e-3), TARGETS, valid=False)
+        assert outcome.reward == reward.invalid_penalty
+        assert not outcome.goal_reached
+        assert outcome.met_fraction == 0.0
+
+    def test_non_finite_corner_value_is_invalid_in_disguise(self):
+        reward = YieldP2SReward(SPEC_SPACE, corner_set=TWO_CORNERS)
+        measured = _measured(500.0, 1e-3, float("nan"), 1.5e-3)
+        outcome = reward(measured, TARGETS)
+        assert outcome.reward == reward.invalid_penalty
+        assert not outcome.goal_reached
+
+
+class TestNominalEquivalence:
+    def test_single_typical_corner_equals_plain_p2s(self):
+        single = CornerSet(corners=(TYPICAL,))
+        yield_reward = YieldP2SReward(SPEC_SPACE, corner_set=single)
+        nominal = P2SReward(SPEC_SPACE)
+        for gain, power in [(500.0, 1e-3), (300.0, 3e-3), (401.0, 2.1e-3)]:
+            measured = {
+                "gain": gain, "power": power,
+                "gain@typical": gain, "power@typical": power,
+            }
+            ours = yield_reward(measured, TARGETS)
+            theirs = nominal({"gain": gain, "power": power}, TARGETS)
+            assert ours.reward == theirs.reward
+            assert ours.goal_reached == theirs.goal_reached
+            assert ours.normalized_errors == theirs.normalized_errors
+            assert ours.met_fraction == theirs.met_fraction
+
+    def test_missing_corner_keys_fall_back_to_nominal_scoring(self):
+        """A plain (nominal) measurement dict is scored exactly like P2S."""
+        yield_reward = YieldP2SReward(SPEC_SPACE, corner_set=TWO_CORNERS)
+        nominal = P2SReward(SPEC_SPACE)
+        measured = {"gain": 500.0, "power": 1e-3}
+        assert yield_reward(measured, TARGETS) == nominal(measured, TARGETS)
+
+    def test_partial_corner_keys_also_fall_back(self):
+        yield_reward = YieldP2SReward(SPEC_SPACE, corner_set=TWO_CORNERS)
+        measured = {"gain": 500.0, "power": 1e-3, "gain@typical": 500.0}
+        outcome = yield_reward(measured, TARGETS)
+        assert outcome.reward == GOAL_BONUS  # nominal path: both specs met
+
+    def test_missing_target_still_raises(self):
+        yield_reward = YieldP2SReward(SPEC_SPACE, corner_set=TWO_CORNERS)
+        with pytest.raises(KeyError):
+            yield_reward(_measured(500.0, 1e-3, 450.0, 1.5e-3), {"gain": 400.0})

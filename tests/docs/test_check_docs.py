@@ -1,0 +1,157 @@
+"""Contract tests for ``tools/check_docs.py`` (the blocking CI docs job).
+
+The checker is a standalone script, not part of the ``repro`` package, so it
+is loaded here by file path.  Each test builds a small markdown tree in
+``tmp_path`` and drives ``main()`` directly; the one executed fence per test
+is trivial (``print``/``raise``) so the subprocess round-trip stays fast.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+_SPEC = importlib.util.spec_from_file_location(
+    "check_docs", REPO_ROOT / "tools" / "check_docs.py"
+)
+check_docs = importlib.util.module_from_spec(_SPEC)
+# Registered before exec: the script's dataclasses resolve their (postponed)
+# annotations through sys.modules[module.__name__].
+sys.modules["check_docs"] = check_docs
+_SPEC.loader.exec_module(check_docs)
+
+
+def write(path: Path, text: str) -> Path:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text, encoding="utf-8")
+    return path
+
+
+class TestParsing:
+    def test_fences_and_links_are_separated(self, tmp_path):
+        doc = write(
+            tmp_path / "doc.md",
+            "A [real link](other.md) here.\n"
+            "```python\n"
+            "x = [1](2)  # looks like a link, is code\n"
+            "```\n"
+            "```bash\n"
+            "echo hi\n"
+            "```\n",
+        )
+        parsed = check_docs.parse_document(doc)
+        assert [link.target for link in parsed.links] == ["other.md"]
+        assert [fence.language for fence in parsed.fences] == ["python", "bash"]
+        assert parsed.fences[0].code == "x = [1](2)  # looks like a link, is code\n"
+
+    def test_skip_marker_binds_to_the_next_fence_only(self, tmp_path):
+        doc = write(
+            tmp_path / "doc.md",
+            "<!-- docs-exec: skip (slow) -->\n"
+            "```python\n"
+            "first = 1\n"
+            "```\n"
+            "```python\n"
+            "second = 2\n"
+            "```\n",
+        )
+        first, second = check_docs.parse_document(doc).fences
+        assert first.skip_reason == "slow"
+        assert second.skip_reason is None
+
+    def test_unterminated_fence_is_a_failure(self, tmp_path):
+        write(tmp_path / "doc.md", "```python\nx = 1\n")
+        assert check_docs.main([str(tmp_path / "doc.md")]) == 1
+
+
+class TestLinks:
+    def test_dead_relative_link_fails(self, tmp_path, capsys):
+        write(tmp_path / "doc.md", "see [gone](missing.md)\n")
+        assert check_docs.main([str(tmp_path / "doc.md")]) == 1
+        assert "dead link -> missing.md" in capsys.readouterr().err
+
+    def test_live_links_external_urls_and_anchors_pass(self, tmp_path):
+        write(tmp_path / "other.md", "# other\n")
+        write(
+            tmp_path / "doc.md",
+            "[file](other.md) [dir](sub) [frag](other.md#section)\n"
+            "[web](https://example.com/x.md) [anchor](#local) [mail](mailto:a@b.c)\n",
+        )
+        (tmp_path / "sub").mkdir()
+        assert check_docs.main([str(tmp_path / "doc.md")]) == 0
+
+    def test_links_resolve_relative_to_their_own_file(self, tmp_path):
+        write(tmp_path / "docs" / "guide.md", "[up](../README.md)\n")
+        write(tmp_path / "README.md", "# readme\n")
+        assert check_docs.main([str(tmp_path / "docs")]) == 0
+
+
+class TestExecution:
+    def test_failing_fence_fails_with_its_traceback(self, tmp_path, capsys):
+        write(tmp_path / "doc.md", '```python\nraise RuntimeError("stale example")\n```\n')
+        assert check_docs.main([str(tmp_path / "doc.md")]) == 1
+        assert "stale example" in capsys.readouterr().err
+
+    def test_passing_fence_passes(self, tmp_path):
+        write(tmp_path / "doc.md", '```python\nprint("ok")\n```\n')
+        assert check_docs.main([str(tmp_path / "doc.md")]) == 0
+
+    def test_fences_see_the_repro_package(self, tmp_path):
+        # The whole point: doc examples import the library under test.
+        write(tmp_path / "doc.md", "```python\nimport repro\nrepro.list_optimizers()\n```\n")
+        assert check_docs.main([str(tmp_path / "doc.md")]) == 0
+
+    def test_non_python_fences_are_not_executed(self, tmp_path):
+        write(tmp_path / "doc.md", "```bash\nexit 1\n```\n")
+        assert check_docs.main([str(tmp_path / "doc.md")]) == 0
+
+    def test_timeout_names_the_skip_marker(self, tmp_path, capsys):
+        write(tmp_path / "doc.md", "```python\nimport time\ntime.sleep(60)\n```\n")
+        assert check_docs.main([str(tmp_path / "doc.md"), "--timeout", "1"]) == 1
+        assert "docs-exec: skip" in capsys.readouterr().err
+
+
+class TestSkipMarker:
+    def test_skipped_fence_is_not_executed_but_must_compile(self, tmp_path):
+        write(
+            tmp_path / "doc.md",
+            "<!-- docs-exec: skip (would raise) -->\n"
+            '```python\nraise RuntimeError("never runs")\n```\n',
+        )
+        assert check_docs.main([str(tmp_path / "doc.md")]) == 0
+
+    def test_skipped_fragment_may_be_a_function_body(self, tmp_path):
+        # e.g. docs/analysis-rules.md quotes a bare `return` line.
+        write(
+            tmp_path / "doc.md",
+            "<!-- docs-exec: skip (fragment) -->\n```python\nreturn x + 1\n```\n",
+        )
+        assert check_docs.main([str(tmp_path / "doc.md")]) == 0
+
+    def test_skipped_fence_with_broken_syntax_still_fails(self, tmp_path, capsys):
+        write(
+            tmp_path / "doc.md",
+            "<!-- docs-exec: skip (slow) -->\n```python\ndef broken(:\n```\n",
+        )
+        assert check_docs.main([str(tmp_path / "doc.md")]) == 1
+        assert "does not even compile" in capsys.readouterr().err
+
+    def test_no_exec_mode_compiles_everything(self, tmp_path):
+        write(tmp_path / "doc.md", '```python\nraise RuntimeError("not run")\n```\n')
+        assert check_docs.main([str(tmp_path / "doc.md"), "--no-exec"]) == 0
+
+
+class TestRepositoryDocs:
+    def test_bad_root_is_a_usage_error(self, tmp_path):
+        assert check_docs.main([str(tmp_path / "nope.md")]) == 2
+
+    @pytest.mark.parametrize("root", ["README.md", "docs"])
+    def test_own_docs_pass_links_and_syntax(self, root):
+        # Full fence execution is the CI docs job; tier 1 keeps the fast
+        # guarantee that no link is dead and no fence has gone syntactically
+        # stale.
+        assert check_docs.main([root, "--no-exec"]) == 0

@@ -1,0 +1,267 @@
+#!/usr/bin/env python
+"""Documentation checker: no stale links, no broken examples.
+
+Two checks over the repository's markdown (``README.md`` and ``docs/`` by
+default), both blocking in CI's ``docs`` job:
+
+1. **Link check** — every relative markdown link must point at a file or
+   directory that exists (``#fragment`` suffixes are stripped; external
+   ``http(s)://`` and ``mailto:`` targets are not fetched).
+
+2. **Code-fence smoke execution** — every ```` ```python ```` fence is
+   executed in a subprocess with ``PYTHONPATH`` pointing at ``src/`` and a
+   per-fence timeout.  Fences that are deliberately not executable — they
+   train for minutes, need artifacts on disk, or are illustrative
+   fragments — opt out with a marker comment on one of the three lines
+   above the fence::
+
+       <!-- docs-exec: skip (trains for minutes) -->
+       ```python
+       ...
+       ```
+
+   The reason in parentheses is mandatory.  Skipped fences are still
+   *syntax-checked*: the code must compile either as a module or (for
+   fragments like a bare ``return``) wrapped in a function body, so a doc
+   example can go stale silently only in behaviour the marker's reason
+   already disclaims, never in syntax.
+
+Exit status: 0 when everything passes, 1 on any finding, 2 on bad usage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+import tempfile
+import textwrap
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, List, Optional, Sequence
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_ROOTS = ("README.md", "docs")
+DEFAULT_TIMEOUT_S = 180.0
+
+FENCE_RE = re.compile(r"^(`{3,}|~{3,})\s*([A-Za-z0-9_+-]*)\s*$")
+SKIP_RE = re.compile(r"<!--\s*docs-exec:\s*skip\s*(?:\(([^)]*)\))?\s*-->")
+LINK_RE = re.compile(r"!?\[[^\]\n]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+@dataclass
+class Fence:
+    """One fenced code block: where it is, what it says, whether it opted out."""
+
+    path: Path
+    line: int  # 1-indexed line of the opening fence
+    language: str
+    code: str
+    skip_reason: Optional[str] = None  # None = execute; str = compile-only
+
+
+@dataclass
+class Link:
+    path: Path
+    line: int
+    target: str
+
+
+@dataclass
+class Document:
+    path: Path
+    fences: List[Fence] = field(default_factory=list)
+    links: List[Link] = field(default_factory=list)
+
+
+def parse_document(path: Path) -> Document:
+    """Split a markdown file into fenced code blocks and out-of-fence links."""
+    doc = Document(path=path)
+    lines = path.read_text(encoding="utf-8").splitlines()
+    recent: List[str] = []  # last few non-fence lines, for the skip marker
+    index = 0
+    while index < len(lines):
+        opening = FENCE_RE.match(lines[index])
+        if opening is None:
+            for match in LINK_RE.finditer(lines[index]):
+                doc.links.append(Link(path=path, line=index + 1, target=match.group(1)))
+            recent.append(lines[index])
+            index += 1
+            continue
+        marker, language = opening.group(1), opening.group(2).lower()
+        skip_reason = None
+        for line in recent[-3:]:
+            skip = SKIP_RE.search(line)
+            if skip is not None:
+                skip_reason = (skip.group(1) or "").strip() or "<no reason>"
+        start = index
+        index += 1
+        body: List[str] = []
+        while index < len(lines) and not lines[index].rstrip() == marker[0] * len(marker):
+            body.append(lines[index])
+            index += 1
+        if index >= len(lines):
+            raise ValueError(f"{path}:{start + 1}: unterminated code fence")
+        index += 1  # past the closing fence
+        recent = []  # a marker applies to the next fence only
+        doc.fences.append(
+            Fence(
+                path=path,
+                line=start + 1,
+                language=language,
+                code="\n".join(body) + "\n",
+                skip_reason=skip_reason,
+            )
+        )
+    return doc
+
+
+def iter_markdown_files(roots: Sequence[Path]) -> Iterator[Path]:
+    for root in roots:
+        if root.is_dir():
+            yield from sorted(root.rglob("*.md"))
+        elif root.is_file() and root.suffix == ".md":
+            yield root
+        else:
+            raise FileNotFoundError(f"not a markdown file or directory: {root}")
+
+
+def check_link(link: Link) -> Optional[str]:
+    """Return a failure message for a dead relative link, else ``None``."""
+    target = link.target
+    if target.startswith(EXTERNAL_PREFIXES) or target.startswith("#"):
+        return None
+    target = target.split("#", 1)[0]
+    if not target:
+        return None
+    resolved = (link.path.parent / target).resolve()
+    if not resolved.exists():
+        return f"{link.path}:{link.line}: dead link -> {link.target}"
+    return None
+
+
+def check_compiles(fence: Fence) -> Optional[str]:
+    """Syntax-check a skipped fence, accepting function-body fragments."""
+    try:
+        compile(fence.code, str(fence.path), "exec")
+        return None
+    except SyntaxError:
+        pass
+    wrapped = "def _docs_fragment():\n" + textwrap.indent(fence.code, "    ")
+    try:
+        compile(wrapped, str(fence.path), "exec")
+        return None
+    except SyntaxError as error:
+        return f"{fence.path}:{fence.line}: skipped fence does not even compile: {error.msg}"
+
+
+def execute_fence(fence: Fence, timeout_s: float) -> Optional[str]:
+    """Run one python fence in a subprocess; return a failure message or ``None``."""
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src if not existing else src + os.pathsep + existing
+    with tempfile.TemporaryDirectory(prefix="docs-exec-") as scratch:
+        script = Path(scratch) / f"fence_line{fence.line}.py"
+        script.write_text(fence.code, encoding="utf-8")
+        try:
+            proc = subprocess.run(
+                [sys.executable, str(script)],
+                cwd=scratch,  # fences must not depend on (or pollute) the repo tree
+                env=env,
+                capture_output=True,
+                text=True,
+                timeout=timeout_s,
+            )
+        except subprocess.TimeoutExpired:
+            return (
+                f"{fence.path}:{fence.line}: fence timed out after {timeout_s:.0f}s "
+                "(mark it '<!-- docs-exec: skip (reason) -->' if it is meant to be slow)"
+            )
+    if proc.returncode != 0:
+        tail = "\n".join((proc.stderr or proc.stdout).strip().splitlines()[-12:])
+        return (
+            f"{fence.path}:{fence.line}: fence exited with {proc.returncode}\n"
+            + textwrap.indent(tail, "    | ")
+        )
+    return None
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "roots",
+        nargs="*",
+        default=list(DEFAULT_ROOTS),
+        help="markdown files or directories to check (default: README.md docs/)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=DEFAULT_TIMEOUT_S,
+        help="per-fence execution timeout in seconds (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--no-exec",
+        action="store_true",
+        help="links and syntax only; do not execute any fence",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        files = list(iter_markdown_files([REPO_ROOT / root for root in args.roots]))
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if not files:
+        print("error: no markdown files found", file=sys.stderr)
+        return 2
+
+    failures: List[str] = []
+    checked_links = executed = compiled_only = 0
+    for path in files:
+        try:
+            doc = parse_document(path)
+        except ValueError as error:
+            failures.append(str(error))
+            continue
+        for link in doc.links:
+            checked_links += 1
+            message = check_link(link)
+            if message:
+                failures.append(message)
+        for fence in doc.fences:
+            if fence.language != "python":
+                continue
+            if fence.skip_reason is not None or args.no_exec:
+                compiled_only += 1
+                message = check_compiles(fence)
+            else:
+                executed += 1
+                try:
+                    shown = fence.path.relative_to(REPO_ROOT)
+                except ValueError:
+                    shown = fence.path
+                print(f"executing {shown}:{fence.line} ...", flush=True)
+                message = execute_fence(fence, timeout_s=args.timeout)
+            if message:
+                failures.append(message)
+
+    print(
+        f"checked {len(files)} file(s): {checked_links} links, "
+        f"{executed} fence(s) executed, {compiled_only} compile-only"
+    )
+    if failures:
+        print(f"\n{len(failures)} failure(s):", file=sys.stderr)
+        for message in failures:
+            print(f"  {message}", file=sys.stderr)
+        return 1
+    print("docs OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
